@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Array Bechamel Benchmark Hashtbl List Measure Printf Staged Stdlib String Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Chet Chet_crypto Chet_hisa Chet_nn Chet_runtime Chet_tensor Float Format Gc List Printf Sys Unix Workloads

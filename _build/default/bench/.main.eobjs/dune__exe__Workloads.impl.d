@@ -1,0 +1,1 @@
+bench/workloads.ml: Bench_util Chet Chet_hisa Chet_nn Chet_runtime Hashtbl

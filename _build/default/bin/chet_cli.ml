@@ -1,0 +1,137 @@
+(* Command-line driver: compile, inspect and run the bundled networks.
+
+     chet models
+     chet compile  LeNet-5-small  --target seal
+     chet run      micro          --target seal  --real
+     chet run      SqueezeNet-CIFAR               (simulated)
+     chet scales   micro          --tolerance 0.05
+*)
+
+module Compiler = Chet.Compiler
+module Scale_select = Chet.Scale_select
+module Executor = Chet_runtime.Executor
+module Models = Chet_nn.Models
+module Circuit = Chet_nn.Circuit
+module Opcount = Chet_nn.Opcount
+module Reference = Chet_nn.Reference
+module Sim = Chet_hisa.Sim_backend
+module Hisa = Chet_hisa.Hisa
+module T = Chet_tensor.Tensor
+open Cmdliner
+
+let model_arg =
+  let doc = "Network name (see `chet models')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let target_arg =
+  let doc = "Target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)." in
+  Arg.(value & opt (enum [ ("seal", Compiler.Seal); ("heaan", Compiler.Heaan) ]) Compiler.Seal
+       & info [ "target" ] ~doc)
+
+let security_arg =
+  let doc = "Security level: 128, 192, 256 (HE-standard) or legacy (HEAAN v1.0 presets)." in
+  Arg.(value & opt (enum [
+      ("128", Compiler.Standard Chet_crypto.Security.Bits128);
+      ("192", Compiler.Standard Chet_crypto.Security.Bits192);
+      ("256", Compiler.Standard Chet_crypto.Security.Bits256);
+      ("legacy", Compiler.Legacy_heaan);
+    ]) (Compiler.Standard Chet_crypto.Security.Bits128)
+    & info [ "security" ] ~doc)
+
+let lookup_model name =
+  try Models.find name
+  with Not_found ->
+    Printf.eprintf "unknown model %s; try `chet models'\n" name;
+    exit 1
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun spec ->
+        let circuit = spec.Models.build () in
+        let conv, fc, act = Circuit.layer_counts circuit in
+        Printf.printf "%-18s %2d conv  %d fc  %d act  %9d FP ops  %s\n" spec.Models.model_name conv
+          fc act (Opcount.count circuit).Opcount.total spec.Models.description)
+      (Models.micro :: Models.cryptonets :: Models.all)
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List bundled networks") Term.(const run $ const ())
+
+let compile_cmd =
+  let run model target security =
+    let spec = lookup_model model in
+    let opts = { (Compiler.default_options ~target ()) with Compiler.security } in
+    let compiled = Compiler.compile opts (spec.Models.build ()) in
+    Format.printf "%a@." Compiler.pp_compiled compiled
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a network and report the chosen configuration")
+    Term.(const run $ model_arg $ target_arg $ security_arg)
+
+let run_cmd =
+  let real_arg =
+    Arg.(value & flag & info [ "real" ] ~doc:"Run on the real scheme (slow) instead of the simulator.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Synthetic image seed.") in
+  let run model target real seed =
+    let spec = lookup_model model in
+    let circuit = spec.Models.build () in
+    let opts = Compiler.default_options ~target () in
+    let compiled = Compiler.compile opts circuit in
+    Format.printf "%a@." Compiler.pp_compiled compiled;
+    let image = Models.input_for spec ~seed in
+    let expected = Reference.eval circuit image in
+    let run_with (backend : Hisa.t) =
+      let module H = (val backend) in
+      let module E = Executor.Make (H) in
+      E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image
+    in
+    let got, latency =
+      if real then begin
+        let backend = Compiler.instantiate compiled ~seed:42 ~with_secret:true () in
+        let t0 = Unix.gettimeofday () in
+        let r = run_with backend in
+        (r, Unix.gettimeofday () -. t0)
+      end
+      else begin
+        let backend, clock =
+          Sim.make_with_values
+            {
+              Sim.n = Compiler.params_n compiled.Compiler.params;
+              scheme = Compiler.scheme_of_params opts compiled.Compiler.params;
+              costs =
+                (match target with
+                | Compiler.Seal -> Chet.Cost_model.seal ()
+                | Compiler.Heaan -> Chet.Cost_model.heaan ());
+            }
+        in
+        (run_with backend, clock.Sim.elapsed)
+      end
+    in
+    Printf.printf "%s latency: %.2f s; class=%d (clear %d); max |err|=%.5f\n"
+      (if real then "measured" else "simulated")
+      latency (T.argmax got) (T.argmax expected)
+      (T.max_abs_diff (T.flatten expected) (T.flatten got))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one encrypted inference")
+    Term.(const run $ model_arg $ target_arg $ real_arg $ seed_arg)
+
+let scales_cmd =
+  let tol_arg = Arg.(value & opt float 0.05 & info [ "tolerance" ] ~doc:"Output tolerance.") in
+  let run model target tolerance =
+    let spec = lookup_model model in
+    let circuit = spec.Models.build () in
+    let opts = Compiler.default_options ~target () in
+    let images = List.init 3 (fun i -> Models.input_for spec ~seed:(100 + i)) in
+    let result =
+      Scale_select.search opts circuit ~policy:Executor.All_hw ~images ~tolerance
+        ~start_exponents:(34, 24, 24, 18) ()
+    in
+    let ec, ew, eu, em = result.Scale_select.exponents in
+    Printf.printf "selected scales: Pc=2^%d Pw=2^%d Pu=2^%d Pm=2^%d (%d candidates tried)\n" ec ew
+      eu em result.Scale_select.evaluations
+  in
+  Cmd.v (Cmd.info "scales" ~doc:"Profile-guided fixed-point scale search (§5.5)")
+    Term.(const run $ model_arg $ target_arg $ tol_arg)
+
+let () =
+  let info = Cmd.info "chet" ~doc:"CHET: an optimizing compiler for FHE neural-network inference" in
+  exit (Cmd.eval (Cmd.group info [ models_cmd; compile_cmd; run_cmd; scales_cmd ]))

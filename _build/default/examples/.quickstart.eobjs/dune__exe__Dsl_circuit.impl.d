@@ -1,0 +1,1 @@
+examples/dsl_circuit.ml: Array Chet Chet_dsl Chet_hisa Chet_nn Chet_runtime Chet_tensor Filename Format Printf Sys

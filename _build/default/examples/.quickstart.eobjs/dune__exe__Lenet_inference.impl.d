@@ -1,0 +1,1 @@
+examples/lenet_inference.ml: Array Chet Chet_hisa Chet_nn Chet_runtime Chet_tensor Format List Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/medical_imaging.ml: Array Chet Chet_hisa Chet_nn Chet_runtime Chet_tensor Format Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Chet Chet_crypto Chet_hisa Chet_nn Chet_runtime Chet_tensor Format Printf Unix

@@ -1,0 +1,1 @@
+examples/squeezenet_cifar.ml: Chet Chet_hisa Chet_nn Chet_runtime Chet_tensor Format List Printf

@@ -1,0 +1,1 @@
+examples/squeezenet_cifar.mli:

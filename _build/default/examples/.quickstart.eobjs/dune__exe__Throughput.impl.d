@@ -1,0 +1,1 @@
+examples/throughput.ml: Chet Chet_hisa Chet_nn Chet_runtime Chet_tensor Printf Unix

@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Array Buffer Char Format List Printf Stdlib String

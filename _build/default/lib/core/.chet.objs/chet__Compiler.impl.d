@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Array Chet_crypto Chet_hisa Chet_nn Chet_runtime Chet_tensor Cost_model Float Format Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Chet_crypto Chet_hisa Chet_nn Chet_runtime Format

@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Chet_hisa List Stdlib

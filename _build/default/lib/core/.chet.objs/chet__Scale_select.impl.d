@@ -1,0 +1,1 @@
+lib/core/scale_select.ml: Chet_hisa Chet_nn Chet_runtime Chet_tensor Compiler List

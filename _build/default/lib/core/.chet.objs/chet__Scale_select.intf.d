@@ -1,0 +1,1 @@
+lib/core/scale_select.mli: Chet_nn Chet_runtime Chet_tensor Compiler

@@ -1,0 +1,293 @@
+module Hisa = Chet_hisa.Hisa
+module Clear = Chet_hisa.Clear_backend
+module Shape = Chet_hisa.Shape_backend
+module Sim = Chet_hisa.Sim_backend
+module Instrument = Chet_hisa.Instrument
+module Security = Chet_crypto.Security
+module Modarith = Chet_crypto.Modarith
+module Circuit = Chet_nn.Circuit
+module Tensor = Chet_tensor.Tensor
+module Kernels = Chet_runtime.Kernels
+module Layout = Chet_runtime.Layout
+module Executor = Chet_runtime.Executor
+
+type target = Seal | Heaan
+type security = Standard of Security.level | Legacy_heaan
+
+type options = {
+  target : target;
+  security : security;
+  prime_bits : int;
+  value_headroom_bits : int;
+  scales : Kernels.scales;
+  cost : Hisa.cost_model option;
+  max_n : int;
+}
+
+let default_options ?(target = Seal) () =
+  {
+    target;
+    security = (match target with Seal -> Standard Security.Bits128 | Heaan -> Legacy_heaan);
+    prime_bits = 30;
+    value_headroom_bits = 12;
+    scales = Kernels.default_scales;
+    cost = None;
+    max_n = 65536;
+  }
+
+type params_choice =
+  | Rns_params of { n : int; prime_bits : int; num_primes : int; log_q : int }
+  | Pow2_params of { n : int; log_fresh : int; log_special : int }
+
+let params_n = function Rns_params { n; _ } -> n | Pow2_params { n; _ } -> n
+
+let params_log_q = function
+  | Rns_params { log_q; _ } -> log_q
+  | Pow2_params { log_fresh; _ } -> log_fresh
+
+let pp_params fmt = function
+  | Rns_params { n; prime_bits; num_primes; log_q } ->
+      Format.fprintf fmt "RNS-CKKS N=%d, %d x %d-bit primes (+special), logQ=%d" n num_primes
+        prime_bits log_q
+  | Pow2_params { n; log_fresh; log_special } ->
+      Format.fprintf fmt "CKKS N=%d, logQ=%d, logP=%d" n log_fresh log_special
+
+type policy_report = {
+  pr_policy : Executor.layout_policy;
+  pr_params : params_choice;
+  pr_cost : float;
+}
+
+type compiled = {
+  circuit : Circuit.t;
+  opts : options;
+  policy : Executor.layout_policy;
+  params : params_choice;
+  rotations : (int * int) list;
+  op_counters : Instrument.counters;
+  reports : policy_report list;
+}
+
+exception Compilation_failure of string
+
+(* ------------------------------------------------------------------ *)
+(* Analysis plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let log2f x = log x /. log 2.0
+
+(* Candidate modulus chain for the analysis (the paper's "global list
+   Q1..Qn of pre-generated candidate moduli for sufficiently large n"). *)
+let analysis_chain_length = 192
+
+let candidate_chain opts ~n =
+  if opts.prime_bits <= 31 then
+    (* mirror the executable backend's actual NTT primes where possible *)
+    try Modarith.gen_ntt_primes ~bits:opts.prime_bits ~modulus_of:(2 * n) ~count:analysis_chain_length
+    with Not_found ->
+      Array.init analysis_chain_length (fun i -> (1 lsl opts.prime_bits) - 1 - (2 * i))
+  else Array.init analysis_chain_length (fun i -> (1 lsl opts.prime_bits) - 1 - (2 * i))
+
+let analysis_scheme opts ~n =
+  match opts.target with
+  | Seal -> Hisa.Rns_chain (candidate_chain opts ~n)
+  | Heaan -> Hisa.Pow2_modulus 4000
+
+let zero_image circuit =
+  match circuit.Circuit.input.Circuit.shape with
+  | [| c; h; w |] -> Tensor.create [| c; h; w |]
+  | shape -> Tensor.create shape
+
+(* Execute the circuit through a backend and hand back the output tensor's
+   first ciphertext observations. Raises Invalid_argument when the layout
+   does not fit [slots] — callers treat that as "N too small". *)
+let run_through (backend : Hisa.t) opts circuit ~policy =
+
+  let module H = (val backend) in
+  let module E = Executor.Make (H) in
+  let kind_of = Executor.assign policy circuit in
+  let meta = E.input_meta circuit ~kind:(kind_of circuit.Circuit.input) in
+  let enc = E.K.encrypt_tensor opts.scales meta (zero_image circuit) in
+  let out = E.run_encrypted opts.scales circuit ~policy enc in
+  (H.scale_of out.E.K.cts.(0), H.env_of out.E.K.cts.(0))
+
+(* ------------------------------------------------------------------ *)
+(* §5.2 Encryption parameter selection                                  *)
+(* ------------------------------------------------------------------ *)
+
+let security_min_n opts ~log_q =
+  match opts.security with
+  | Standard level -> Security.min_ring_dim level ~log_q
+  | Legacy_heaan -> Security.min_ring_dim_legacy ~log_q
+
+let params_for_consumption opts ~n ~s_out ~env =
+  match opts.target with
+  | Seal ->
+      let consumed = analysis_chain_length - env.Hisa.env_r in
+      let remaining_bits = log2f s_out +. float_of_int opts.value_headroom_bits in
+      let rem_primes =
+        Stdlib.max 1 (int_of_float (Float.ceil (remaining_bits /. float_of_int opts.prime_bits)))
+      in
+      let num_primes = consumed + rem_primes in
+      (* +1: the key-switching special prime also counts towards security *)
+      let log_q = (num_primes + 1) * opts.prime_bits in
+      Rns_params { n; prime_bits = opts.prime_bits; num_primes; log_q }
+  | Heaan ->
+      let consumed_bits = 4000 - env.Hisa.env_log_q in
+      let log_fresh =
+        consumed_bits
+        + int_of_float (Float.ceil (log2f s_out))
+        + opts.value_headroom_bits
+      in
+      Pow2_params { n; log_fresh; log_special = log_fresh }
+
+(* security lookup uses the ciphertext modulus the way each library reports
+   it: total chain (incl. special) for SEAL; the fresh-ciphertext logQ for
+   HEAAN (its presets were specified that way, which is also how the paper's
+   Table 4 reports parameters) *)
+let security_log_q = function
+  | Rns_params { log_q; _ } -> log_q
+  | Pow2_params { log_fresh; _ } -> log_fresh
+
+let select_params opts circuit ~policy =
+  let rec iterate n tries =
+    if n > opts.max_n then
+      raise (Compilation_failure (Printf.sprintf "no secure N <= %d accommodates this circuit" opts.max_n));
+    let attempt =
+      try
+        let backend = Shape.make { Shape.slots = n / 2; scheme = analysis_scheme opts ~n } in
+        Some (run_through backend opts circuit ~policy)
+      with Invalid_argument _ -> None
+    in
+    match attempt with
+    | None -> iterate (n * 2) tries (* layout does not fit this SIMD width *)
+    | Some (s_out, env) ->
+        let params = params_for_consumption opts ~n ~s_out ~env in
+        let n_sec =
+          try security_min_n opts ~log_q:(security_log_q params)
+          with Not_found ->
+            raise (Compilation_failure "required modulus exceeds the security table at every N")
+        in
+        if n_sec > n && tries < 8 then iterate (Stdlib.max n_sec (n * 2)) (tries + 1)
+        else if n_sec > n then raise (Compilation_failure "parameter selection did not converge")
+        else begin
+          match params with
+          | Rns_params p -> Rns_params { p with n }
+          | Pow2_params p -> Pow2_params { p with n }
+        end
+  in
+  iterate 2048 0
+
+(* ------------------------------------------------------------------ *)
+(* §5.3 Cost estimation / data layout selection                         *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_of_params opts = function
+  | Rns_params { n; num_primes; _ } ->
+      let chain = candidate_chain opts ~n in
+      Hisa.Rns_chain (Array.sub chain 0 (Stdlib.min num_primes (Array.length chain)))
+  | Pow2_params { log_fresh; _ } -> Hisa.Pow2_modulus log_fresh
+
+let default_cost_model opts =
+  match opts.cost with
+  | Some cm -> cm
+  | None -> ( match opts.target with Seal -> Cost_model.seal () | Heaan -> Cost_model.heaan () )
+
+let estimate_cost opts circuit ~policy ~params =
+  let backend, clock =
+    Sim.make
+      { Sim.n = params_n params; scheme = scheme_of_params opts params; costs = default_cost_model opts }
+  in
+  (try ignore (run_through backend opts circuit ~policy)
+   with Invalid_argument msg -> raise (Compilation_failure ("cost analysis failed: " ^ msg)));
+  clock.Sim.elapsed
+
+(* ------------------------------------------------------------------ *)
+(* §5.4 Rotation-keys selection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let select_rotations opts circuit ~policy ~params =
+  let n = params_n params in
+  let shape = Shape.make { Shape.slots = n / 2; scheme = scheme_of_params opts params } in
+  let backend, counters = Instrument.wrap shape in
+  (try ignore (run_through backend opts circuit ~policy)
+   with Invalid_argument msg -> raise (Compilation_failure ("rotation analysis failed: " ^ msg)));
+  let rotations =
+    Hashtbl.fold (fun amount uses acc -> (amount, uses) :: acc) counters.Instrument.rotation_counts []
+    |> List.sort compare
+  in
+  (rotations, counters)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile opts circuit =
+  let reports =
+    List.map
+      (fun policy ->
+        let params = select_params opts circuit ~policy in
+        let cost = estimate_cost opts circuit ~policy ~params in
+        { pr_policy = policy; pr_params = params; pr_cost = cost })
+      Executor.all_policies
+  in
+  let best =
+    List.fold_left (fun acc r -> if r.pr_cost < acc.pr_cost then r else acc) (List.hd reports)
+      (List.tl reports)
+  in
+  let rotations, op_counters =
+    select_rotations opts circuit ~policy:best.pr_policy ~params:best.pr_params
+  in
+  {
+    circuit;
+    opts;
+    policy = best.pr_policy;
+    params = best.pr_params;
+    rotations;
+    op_counters;
+    reports;
+  }
+
+let pp_compiled fmt c =
+  Format.fprintf fmt "@[<v>%s compiled for %s:@,  layout: %s@,  params: %a@,  rotation keys: %d@,"
+    c.circuit.Circuit.name
+    (match c.opts.target with Seal -> "SEAL (RNS-CKKS)" | Heaan -> "HEAAN (CKKS)")
+    (Executor.policy_name c.policy) pp_params c.params (List.length c.rotations);
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-18s est. %8.2f s  (N=%d, logQ=%d)@," (Executor.policy_name r.pr_policy)
+        r.pr_cost (params_n r.pr_params) (params_log_q r.pr_params))
+    c.reports;
+  Format.fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Deployment                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type rotation_key_policy = Selected_keys | Power_of_two_keys
+
+let instantiate compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
+  let rng = Chet_crypto.Sampling.create ~seed in
+  match compiled.params with
+  | Rns_params { n; prime_bits; num_primes; _ } ->
+      let module C = Chet_crypto.Rns_ckks in
+      let params = C.default_params ~n ~bits:prime_bits ~num_coeff_primes:num_primes () in
+      let ctx = C.make_context params in
+      let sk, keys = C.keygen ctx rng in
+      (match rotation_keys with
+      | Selected_keys ->
+          List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
+      | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
+      Chet_hisa.Seal_backend.make
+        { Chet_hisa.Seal_backend.ctx; rng; keys; secret = (if with_secret then Some sk else None) }
+  | Pow2_params { n; log_fresh; log_special } ->
+      let module C = Chet_crypto.Big_ckks in
+      let params = C.default_params ~n ~log_special ~log_fresh () in
+      let ctx = C.make_context params in
+      let sk, keys = C.keygen ctx rng in
+      (match rotation_keys with
+      | Selected_keys ->
+          List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
+      | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
+      Chet_hisa.Heaan_backend.make
+        { Chet_hisa.Heaan_backend.ctx; rng; keys; secret = (if with_secret then Some sk else None) }

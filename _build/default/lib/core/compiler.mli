@@ -1,0 +1,89 @@
+(** The CHET compiler (§5): given a tensor circuit and a target FHE scheme,
+    select encryption parameters that are secure and correct (§5.2), the
+    cheapest data layout under the scheme's cost model (§5.3), and the
+    rotation keys the circuit actually uses (§5.4).
+
+    Every pass executes the homomorphic tensor circuit under a different
+    interpretation of the HISA (§5.1): parameter selection observes modulus
+    consumption through {!Chet_hisa.Clear_backend}, cost estimation runs
+    {!Chet_hisa.Sim_backend} with the target's cost model, and rotation-key
+    selection records rotations with {!Chet_hisa.Instrument}. *)
+
+module Hisa = Chet_hisa.Hisa
+module Circuit = Chet_nn.Circuit
+module Kernels = Chet_runtime.Kernels
+module Executor = Chet_runtime.Executor
+
+type target = Seal | Heaan
+type security = Standard of Chet_crypto.Security.level | Legacy_heaan
+
+type options = {
+  target : target;
+  security : security;
+  prime_bits : int;  (** RNS chain prime size; 30 for the executable backend, 60 to mirror SEAL's shipped list *)
+  value_headroom_bits : int;  (** extra modulus bits above the output scale, covering message magnitude *)
+  scales : Kernels.scales;
+  cost : Hisa.cost_model option;  (** default: the target's calibrated model *)
+  max_n : int;  (** largest ring dimension to consider (default 65536) *)
+}
+
+val default_options : ?target:target -> unit -> options
+
+type params_choice =
+  | Rns_params of { n : int; prime_bits : int; num_primes : int; log_q : int }
+      (** [log_q] includes the special prime, matching how SEAL reports it *)
+  | Pow2_params of { n : int; log_fresh : int; log_special : int }
+
+val params_n : params_choice -> int
+val params_log_q : params_choice -> int
+val pp_params : Format.formatter -> params_choice -> unit
+
+type policy_report = {
+  pr_policy : Executor.layout_policy;
+  pr_params : params_choice;
+  pr_cost : float;  (** estimated seconds under the cost model *)
+}
+
+type compiled = {
+  circuit : Circuit.t;
+  opts : options;
+  policy : Executor.layout_policy;
+  params : params_choice;
+  rotations : (int * int) list;  (** (left-rotation amount, use count) — the keys to generate *)
+  op_counters : Chet_hisa.Instrument.counters;
+  reports : policy_report list;  (** one per layout policy (Tables 5–6) *)
+}
+
+exception Compilation_failure of string
+
+val scheme_of_params : options -> params_choice -> Hisa.scheme_kind
+(** The virtual scheme an analysis backend should emulate for these
+    parameters (used by the cost, rotation and scale-selection passes). *)
+
+val select_params : options -> Circuit.t -> policy:Executor.layout_policy -> params_choice
+(** §5.2 as a standalone pass (re-run per layout choice by {!compile}). *)
+
+val estimate_cost : options -> Circuit.t -> policy:Executor.layout_policy -> params:params_choice -> float
+(** §5.3's cost analysis for one layout choice. *)
+
+val select_rotations :
+  options -> Circuit.t -> policy:Executor.layout_policy -> params:params_choice ->
+  (int * int) list * Chet_hisa.Instrument.counters
+(** §5.4: distinct rotation amounts used (with use counts). *)
+
+val compile : options -> Circuit.t -> compiled
+(** The full pipeline: explore all four layout policies, pick the cheapest,
+    fix parameters and rotation keys. *)
+
+val pp_compiled : Format.formatter -> compiled -> unit
+
+(** {1 Deployment}
+
+    Build a real backend configured exactly as compiled: ring dimension,
+    modulus chain, and only the selected rotation keys (plus, optionally,
+    the scheme-default power-of-two set instead — the Figure 7 baseline). *)
+
+type rotation_key_policy = Selected_keys | Power_of_two_keys
+
+val instantiate :
+  compiled -> seed:int -> ?rotation_keys:rotation_key_policy -> with_secret:bool -> unit -> Hisa.t

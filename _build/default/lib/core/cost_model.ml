@@ -1,0 +1,75 @@
+(* Cost models for the HISA primitives (Table 1), with constants tuned
+   against microbenchmarks of this repository's own scheme implementations
+   (bench/main.exe --calibrate prints freshly measured constants; the
+   defaults below were obtained that way on the development machine).
+
+   The RNS-CKKS model is in terms of (N, r); the CKKS model in terms of
+   (N, logQ) with M(Q) = logQ^1.58 for big-integer multiplication. *)
+
+module Hisa = Chet_hisa.Hisa
+
+type constants = {
+  k_add : float;
+  k_scalar_mul : float;
+  k_plain_mul : float;
+  k_cipher_mul : float;
+  k_rotate : float;
+  k_rescale : float;
+}
+
+(* seconds per elementary unit of the Table 1 asymptotic term; values from
+   `bench/main.exe --calibrate` against this repository's scheme
+   implementations *)
+let seal_defaults =
+  {
+    k_add = 5.97e-8;
+    k_scalar_mul = 1.95e-8;
+    k_plain_mul = 1.88e-8;
+    k_cipher_mul = 2.76e-8;
+    k_rotate = 3.42e-8;
+    k_rescale = 2.0e-8;
+  }
+
+let heaan_defaults =
+  {
+    k_add = 2.22e-9;
+    k_scalar_mul = 1.48e-8;
+    k_plain_mul = 7.04e-8;
+    k_cipher_mul = 2.27e-7;
+    k_rotate = 9.10e-8;
+    k_rescale = 5.0e-9;
+  }
+
+let logf n = log (float_of_int n) /. log 2.0
+
+let seal ?(c = seal_defaults) () =
+  let n e = float_of_int e.Hisa.env_n in
+  let r e = float_of_int (Stdlib.max 1 e.Hisa.env_r) in
+  {
+    Hisa.cm_add = (fun e -> c.k_add *. n e *. r e);
+    cm_scalar_mul = (fun e -> c.k_scalar_mul *. n e *. r e);
+    cm_plain_mul = (fun e -> c.k_plain_mul *. n e *. r e);
+    cm_cipher_mul = (fun e -> c.k_cipher_mul *. n e *. logf e.Hisa.env_n *. r e *. r e);
+    cm_rotate = (fun e -> c.k_rotate *. n e *. logf e.Hisa.env_n *. r e *. r e);
+    cm_rescale = (fun e -> c.k_rescale *. n e *. logf e.Hisa.env_n *. r e);
+  }
+
+let heaan ?(c = heaan_defaults) () =
+  let n e = float_of_int e.Hisa.env_n in
+  let lq e = float_of_int (Stdlib.max 1 e.Hisa.env_log_q) in
+  let m_q e = lq e ** 1.58 /. 64.0 in
+  {
+    Hisa.cm_add = (fun e -> c.k_add *. n e *. lq e);
+    cm_scalar_mul = (fun e -> c.k_scalar_mul *. n e *. m_q e);
+    cm_plain_mul = (fun e -> c.k_plain_mul *. n e *. logf e.Hisa.env_n *. m_q e);
+    cm_cipher_mul = (fun e -> c.k_cipher_mul *. n e *. logf e.Hisa.env_n *. m_q e);
+    cm_rotate = (fun e -> c.k_rotate *. n e *. logf e.Hisa.env_n *. m_q e);
+    cm_rescale = (fun e -> c.k_rescale *. n e *. lq e);
+  }
+
+(* Calibration: given measured (env, seconds) samples for one op and that
+   op's asymptotic term, the constant is the least-squares ratio. *)
+let fit_constant term samples =
+  let num = List.fold_left (fun acc (env, t) -> acc +. (t *. term env)) 0.0 samples in
+  let den = List.fold_left (fun acc (env, _) -> acc +. (term env *. term env)) 0.0 samples in
+  if den = 0.0 then 0.0 else num /. den

@@ -1,0 +1,28 @@
+(** Cost models for the HISA primitives (Table 1), with constants calibrated
+    against microbenchmarks of this repository's scheme implementations
+    ([bench/main.exe --calibrate] refits and prints them). *)
+
+module Hisa = Chet_hisa.Hisa
+
+type constants = {
+  k_add : float;
+  k_scalar_mul : float;
+  k_plain_mul : float;
+  k_cipher_mul : float;
+  k_rotate : float;
+  k_rescale : float;
+}
+(** Seconds per elementary unit of each Table-1 asymptotic term. *)
+
+val seal_defaults : constants
+val heaan_defaults : constants
+
+val seal : ?c:constants -> unit -> Hisa.cost_model
+(** RNS-CKKS: linear terms in [N·r]; mul/rotate in [N·logN·r²]. *)
+
+val heaan : ?c:constants -> unit -> Hisa.cost_model
+(** CKKS: [M(Q) = logQ^1.58] big-integer multiplication inside each term. *)
+
+val fit_constant : (Hisa.op_env -> float) -> (Hisa.op_env * float) list -> float
+(** Least-squares constant for one op given (env, measured seconds) samples
+    and the op's asymptotic term. *)

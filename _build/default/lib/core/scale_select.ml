@@ -1,0 +1,75 @@
+module Hisa = Chet_hisa.Hisa
+module Clear = Chet_hisa.Clear_backend
+module Kernels = Chet_runtime.Kernels
+module Executor = Chet_runtime.Executor
+module Circuit = Chet_nn.Circuit
+module Reference = Chet_nn.Reference
+module Tensor = Chet_tensor.Tensor
+
+type result = {
+  scales : Kernels.scales;
+  exponents : int * int * int * int;
+  evaluations : int;
+}
+
+(* Evaluate one candidate on the quantising cleartext backend. The ring
+   dimension only has to be large enough for the layout, so we let parameter
+   selection find it once per call (scales change modulus consumption, but
+   not whether the layout fits). *)
+let acceptable opts circuit ~policy ~images ~tolerance (scales : Kernels.scales) =
+  let opts = { opts with Compiler.scales } in
+  try
+    let params = Compiler.select_params opts circuit ~policy in
+    let n = Compiler.params_n params in
+    let backend =
+      Clear.make
+        { Clear.slots = n / 2; scheme = Compiler.scheme_of_params opts params; strict_modulus = false; encode_noise = true }
+    in
+    let module H = (val backend) in
+    let module E = Executor.Make (H) in
+    List.for_all
+      (fun image ->
+        let expected = Reference.eval circuit image in
+        let got = E.run scales circuit ~policy image in
+        Tensor.max_abs_diff (Tensor.flatten expected) (Tensor.flatten got) <= tolerance)
+      images
+  with Compiler.Compilation_failure _ | Clear.Modulus_exhausted | Invalid_argument _ -> false
+
+let scales_of (ec, ew, eu, em) =
+  { Kernels.pc = 1 lsl ec; pw = 1 lsl ew; pu = 1 lsl eu; pm = 1 lsl em }
+
+let search opts circuit ~policy ~images ~tolerance ?(start_exponents = (40, 30, 30, 20))
+    ?(min_exponent = 4) () =
+  let evaluations = ref 0 in
+  let try_candidate exps =
+    incr evaluations;
+    acceptable opts circuit ~policy ~images ~tolerance (scales_of exps)
+  in
+  if not (try_candidate start_exponents) then
+    raise
+      (Compiler.Compilation_failure
+         "scale search: even the starting scaling factors violate the output tolerance");
+  let current = ref start_exponents in
+  let progress = ref true in
+  (* round-robin: shave one bit off each factor in turn while acceptable *)
+  while !progress do
+    progress := false;
+    for i = 0 to 3 do
+      let ec, ew, eu, em = !current in
+      let candidate =
+        match i with
+        | 0 -> (ec - 1, ew, eu, em)
+        | 1 -> (ec, ew - 1, eu, em)
+        | 2 -> (ec, ew, eu - 1, em)
+        | _ -> (ec, ew, eu, em - 1)
+      in
+      let c0, c1, c2, c3 = candidate in
+      if c0 >= min_exponent && c1 >= min_exponent && c2 >= min_exponent && c3 >= min_exponent
+         && try_candidate candidate
+      then begin
+        current := candidate;
+        progress := true
+      end
+    done
+  done;
+  { scales = scales_of !current; exponents = !current; evaluations = !evaluations }

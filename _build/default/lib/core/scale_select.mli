@@ -1,0 +1,35 @@
+(** Profile-guided fixed-point scale selection (§5.5).
+
+    Instead of asking the user for the four fixed-point scaling factors
+    (image [Pc], plaintext weights [Pw], scalar weights [Pu], masks [Pm]),
+    CHET searches for the smallest acceptable ones given representative
+    inputs and an output tolerance. Candidate configurations are evaluated by
+    running the homomorphic circuit on the quantising cleartext backend and
+    comparing against the reference engine.
+
+    The search is the paper's round-robin: all four exponents start high and
+    each is decremented in turn as long as every test input stays within
+    tolerance, until no exponent can shrink. *)
+
+module Kernels = Chet_runtime.Kernels
+module Executor = Chet_runtime.Executor
+module Circuit = Chet_nn.Circuit
+module Tensor = Chet_tensor.Tensor
+
+type result = {
+  scales : Kernels.scales;
+  exponents : int * int * int * int;  (** (log2 Pc, log2 Pw, log2 Pu, log2 Pm) *)
+  evaluations : int;  (** number of candidate configurations tried *)
+}
+
+val acceptable :
+  Compiler.options -> Circuit.t -> policy:Executor.layout_policy -> images:Tensor.t list ->
+  tolerance:float -> Kernels.scales -> bool
+(** Does this configuration keep every test image's output within [tolerance]
+    (max-abs) of the unencrypted reference? *)
+
+val search :
+  Compiler.options -> Circuit.t -> policy:Executor.layout_policy -> images:Tensor.t list ->
+  tolerance:float -> ?start_exponents:int * int * int * int -> ?min_exponent:int -> unit -> result
+(** @raise Compiler.Compilation_failure if even the starting configuration is
+    unacceptable. *)

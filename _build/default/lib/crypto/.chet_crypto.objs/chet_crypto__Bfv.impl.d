@@ -1,0 +1,1 @@
+lib/crypto/bfv.ml: Array Chet_bigint Float Hashtbl Modarith Rq_big Rq_rns Sampling

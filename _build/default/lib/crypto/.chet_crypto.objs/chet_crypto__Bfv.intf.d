@@ -1,0 +1,1 @@
+lib/crypto/bfv.mli: Rq_rns Sampling

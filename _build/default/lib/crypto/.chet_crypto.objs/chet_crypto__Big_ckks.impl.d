@@ -1,0 +1,1 @@
+lib/crypto/big_ckks.ml: Array Chet_bigint Complexv Encoding Float Hashtbl Rq_big Sampling

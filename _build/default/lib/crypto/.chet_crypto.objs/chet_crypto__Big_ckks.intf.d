@@ -1,0 +1,1 @@
+lib/crypto/big_ckks.mli: Chet_bigint Complexv Encoding Hashtbl Sampling

@@ -1,0 +1,1 @@
+lib/crypto/complexv.ml: Array Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/crypto/encoding.ml: Array Fft Float

@@ -1,0 +1,1 @@
+lib/crypto/rns_ckks.ml: Array Chet_bigint Complexv Encoding Float Hashtbl Modarith Rq_rns Sampling

@@ -1,0 +1,1 @@
+lib/crypto/rns_ckks.mli: Chet_bigint Complexv Encoding Hashtbl Rq_rns Sampling

@@ -1,0 +1,1 @@
+lib/crypto/rq_big.ml: Array Chet_bigint Encoding Modarith Ntt

@@ -1,0 +1,1 @@
+lib/crypto/rq_big.mli: Chet_bigint

@@ -1,0 +1,1 @@
+lib/crypto/rq_rns.ml: Array Chet_bigint Encoding Hashtbl Modarith Ntt

@@ -1,0 +1,1 @@
+lib/crypto/rq_rns.mli: Chet_bigint

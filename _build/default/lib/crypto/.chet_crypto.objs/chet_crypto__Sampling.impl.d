@@ -1,0 +1,1 @@
+lib/crypto/sampling.ml: Array Chet_bigint Float Random

@@ -1,0 +1,1 @@
+lib/crypto/sampling.mli: Chet_bigint Random

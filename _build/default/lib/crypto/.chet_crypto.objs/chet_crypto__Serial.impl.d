@@ -1,0 +1,1 @@
+lib/crypto/serial.ml: Array Big_ckks Buffer Chet_bigint Hashtbl Int64 Printf Rns_ckks Rq_rns Stdlib String

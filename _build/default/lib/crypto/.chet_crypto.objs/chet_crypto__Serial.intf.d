@@ -1,0 +1,1 @@
+lib/crypto/serial.mli: Big_ckks Chet_bigint Rns_ckks Rq_rns

@@ -1,0 +1,309 @@
+module Rq = Rq_rns
+module Bigint = Chet_bigint.Bigint
+
+type params = {
+  n : int;
+  plain_modulus_bits : int;
+  coeff_modulus_bits : int;
+  num_coeff_primes : int;
+  sigma : float;
+}
+
+let default_params ?(n = 1024) ?(plain_bits = 30) ?(bits = 30) ~num_coeff_primes () =
+  { n; plain_modulus_bits = plain_bits; coeff_modulus_bits = bits; num_coeff_primes; sigma = 3.2 }
+
+type context = {
+  params : params;
+  rq : Rq.ctx;  (* coeff primes ++ [special] *)
+  num_coeff : int;
+  special_index : int;
+  t : int;  (* plaintext modulus, 1 mod 2n *)
+  psi_t : int;  (* 2n-th root of unity mod t *)
+  inv_n_t : int;
+  slot_exp : int array;  (* 5^j mod 2n, j < n/2 *)
+  q_big : Bigint.t;  (* product of coeff primes *)
+  delta_mod : int array;  (* floor(Q/t) mod q_i per coeff prime *)
+  big : Rq_big.ctx;  (* exact integer polynomial products *)
+  big_bits : int;
+}
+
+let make_context params =
+  let two_n = 2 * params.n in
+  (* the plaintext prime must avoid the ciphertext chain *)
+  let chain =
+    Modarith.gen_ntt_primes ~bits:params.coeff_modulus_bits ~modulus_of:two_n
+      ~count:(params.num_coeff_primes + 1)
+  in
+  let special = chain.(0) in
+  let coeff = Array.sub chain 1 params.num_coeff_primes in
+  let t =
+    let rec pick below =
+      let p = Modarith.gen_ntt_prime ~bits:params.plain_modulus_bits ~modulus_of:two_n ~below in
+      if Array.exists (( = ) p) chain then pick p else p
+    in
+    pick (1 lsl params.plain_modulus_bits)
+  in
+  let q_big = Array.fold_left (fun acc p -> Bigint.mul_int acc p) Bigint.one coeff in
+  let delta = Bigint.div q_big (Bigint.of_int t) in
+  let slot_exp =
+    let e = ref 1 in
+    Array.init (params.n / 2) (fun _ ->
+        let v = !e in
+        e := !e * 5 mod two_n;
+        v)
+  in
+  let log2_q = params.num_coeff_primes * params.coeff_modulus_bits in
+  let big_bits = (2 * log2_q) + 2 + (2 * params.plain_modulus_bits) +
+    (let rec lg n acc = if n <= 1 then acc else lg (n / 2) (acc + 1) in lg params.n 0) in
+  {
+    params;
+    rq = Rq.make_ctx ~n:params.n ~primes:(Array.append coeff [| special |]);
+    num_coeff = params.num_coeff_primes;
+    special_index = params.num_coeff_primes;
+    t;
+    psi_t = Modarith.root_of_unity ~order:two_n t;
+    inv_n_t = Modarith.inv_mod params.n t;
+    slot_exp;
+    q_big;
+    delta_mod = Array.map (fun p -> Bigint.mod_int delta p) coeff;
+    big = Rq_big.make_ctx ~n:params.n ~max_product_bits:big_bits;
+    big_bits;
+  }
+
+let plain_modulus ctx = ctx.t
+let slot_count ctx = ctx.params.n / 2
+let coeff_basis ctx = Array.init ctx.num_coeff (fun i -> i)
+let full_basis ctx = Array.init (ctx.num_coeff + 1) (fun i -> i)
+
+type secret_key = { s : Rq.t (* full basis, NTT *) }
+type kswitch_key = { pairs : (Rq.t * Rq.t) array }
+
+type keys = {
+  pk0 : Rq.t;
+  pk1 : Rq.t;
+  relin : kswitch_key;
+  rotation : (int, kswitch_key) Hashtbl.t;
+}
+
+type plaintext = { m : int array (* coefficients mod t *); pscale : float }
+type ciphertext = { c0 : Rq.t; c1 : Rq.t; scale : float }
+
+let scale_of ct = ct.scale
+let adjust_scale ct f = { ct with scale = ct.scale *. f }
+
+(* --- sampling (as in Rns_ckks) --- *)
+
+let sample_uniform_ntt ctx rng basis =
+  let primes = Rq.ctx_primes ctx.rq in
+  let comps = Array.map (fun i -> Sampling.uniform_poly rng ~modulus:primes.(i) ctx.params.n) basis in
+  Rq.of_components ~basis ~comps ~ntt:true
+
+let sample_gaussian ctx rng basis =
+  Rq.to_ntt ctx.rq
+    (Rq.of_centered_coeffs ctx.rq basis (Sampling.gaussian rng ~sigma:ctx.params.sigma ctx.params.n))
+
+let sample_ternary ctx rng basis =
+  Rq.to_ntt ctx.rq (Rq.of_centered_coeffs ctx.rq basis (Sampling.ternary rng ctx.params.n))
+
+let keygen_kswitch ctx rng (sk : secret_key) (target : Rq.t) =
+  let basis = full_basis ctx in
+  let primes = Rq.ctx_primes ctx.rq in
+  let special = primes.(ctx.special_index) in
+  {
+    pairs =
+      Array.init ctx.num_coeff (fun i ->
+          let a = sample_uniform_ntt ctx rng basis in
+          let e = sample_gaussian ctx rng basis in
+          let w_target = Rq.scale_component ctx.rq target ~basis_index:i ~scalar:(special mod primes.(i)) in
+          let b = Rq.add ctx.rq (Rq.add ctx.rq (Rq.neg ctx.rq (Rq.mul ctx.rq a sk.s)) e) w_target in
+          (b, a));
+  }
+
+let keygen ctx rng =
+  let sk = { s = sample_ternary ctx rng (full_basis ctx) } in
+  let top = coeff_basis ctx in
+  let s_top = Rq.subset sk.s top in
+  let a = sample_uniform_ntt ctx rng top in
+  let e = sample_gaussian ctx rng top in
+  let pk0 = Rq.add ctx.rq (Rq.neg ctx.rq (Rq.mul ctx.rq a s_top)) e in
+  let s_sq = Rq.mul ctx.rq sk.s sk.s in
+  (sk, { pk0; pk1 = a; relin = keygen_kswitch ctx rng sk s_sq; rotation = Hashtbl.create 8 })
+
+let galois_of_rotation ctx r =
+  let two_n = 2 * ctx.params.n in
+  let slots = ctx.params.n / 2 in
+  let r = ((r mod slots) + slots) mod slots in
+  let g = ref 1 in
+  for _ = 1 to r do
+    g := !g * 5 mod two_n
+  done;
+  !g
+
+let add_rotation_key ctx rng sk keys r =
+  let g = galois_of_rotation ctx r in
+  if not (Hashtbl.mem keys.rotation g) then begin
+    let s_g = Rq.to_ntt ctx.rq (Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq sk.s) ~g) in
+    Hashtbl.replace keys.rotation g (keygen_kswitch ctx rng sk s_g)
+  end
+
+(* --- batching over Z_t (powers-of-5 slot orbit, direct O(n^2)) --- *)
+
+let encode ctx ~scale values =
+  let t = ctx.t in
+  let slots = slot_count ctx in
+  let evals = Array.make (2 * ctx.params.n) (-1) in
+  (* evaluation target per odd exponent; row 1 (exponents -5^j) stays zero *)
+  Array.iteri
+    (fun j e ->
+      let v = if j < Array.length values then values.(j) else 0.0 in
+      evals.(e) <- Modarith.reduce (int_of_float (Float.round (v *. scale))) t)
+    ctx.slot_exp;
+  for j = 0 to slots - 1 do
+    let e = (2 * ctx.params.n) - ctx.slot_exp.(j) in
+    evals.(e) <- 0
+  done;
+  (* m_k = n^{-1} * sum over odd e of E_e * psi^{-ek} *)
+  let psi_inv = Modarith.inv_mod ctx.psi_t t in
+  let m =
+    Array.init ctx.params.n (fun k ->
+        let acc = ref 0 in
+        let w = Modarith.pow_mod psi_inv k t in
+        (* iterate only the n populated odd exponents *)
+        Array.iteri
+          (fun j e ->
+            let we = Modarith.pow_mod w e t in
+            acc := Modarith.add_mod !acc (Modarith.mul_mod evals.(e) we t) t;
+            ignore j)
+          ctx.slot_exp;
+        (* the conjugate-orbit evaluations are zero: no contribution *)
+        Modarith.mul_mod !acc ctx.inv_n_t t)
+  in
+  { m; pscale = scale }
+
+let decode ctx pt ~scale =
+  let t = ctx.t in
+  Array.map
+    (fun e ->
+      let psi_e = Modarith.pow_mod ctx.psi_t e t in
+      let acc = ref 0 and x = ref 1 in
+      for k = 0 to ctx.params.n - 1 do
+        acc := Modarith.add_mod !acc (Modarith.mul_mod pt.m.(k) !x t) t;
+        x := Modarith.mul_mod !x psi_e t
+      done;
+      let centered = if !acc > t / 2 then !acc - t else !acc in
+      float_of_int centered /. scale)
+    ctx.slot_exp
+
+(* --- encryption --- *)
+
+let delta_times ctx (m : int array) =
+  let basis = coeff_basis ctx in
+  let primes = Rq.ctx_primes ctx.rq in
+  let comps =
+    Array.map
+      (fun i ->
+        let p = primes.(i) and d = ctx.delta_mod.(i) in
+        Array.map (fun mk -> Modarith.mul_mod (Modarith.reduce mk p) d p) m)
+      basis
+  in
+  Rq.to_ntt ctx.rq (Rq.of_components ~basis ~comps ~ntt:false)
+
+let encrypt ctx rng keys pt =
+  let basis = coeff_basis ctx in
+  let u = sample_ternary ctx rng basis in
+  let e0 = sample_gaussian ctx rng basis in
+  let e1 = sample_gaussian ctx rng basis in
+  {
+    c0 = Rq.add ctx.rq (Rq.add ctx.rq (Rq.mul ctx.rq keys.pk0 u) e0) (delta_times ctx pt.m);
+    c1 = Rq.add ctx.rq (Rq.mul ctx.rq keys.pk1 u) e1;
+    scale = pt.pscale;
+  }
+
+let decrypt ctx sk ct =
+  let s = Rq.subset sk.s (coeff_basis ctx) in
+  let u = Rq.add ctx.rq ct.c0 (Rq.mul ctx.rq ct.c1 s) in
+  let coeffs = Rq.to_centered_bigint_coeffs ctx.rq (Rq.from_ntt ctx.rq u) in
+  let t_big = Bigint.of_int ctx.t in
+  let m =
+    Array.map
+      (fun c -> Bigint.to_int (Bigint.emod (Bigint.div_round (Bigint.mul c t_big) ctx.q_big) t_big))
+      coeffs
+  in
+  { m; pscale = ct.scale }
+
+(* --- arithmetic --- *)
+
+let add ctx a b = { a with c0 = Rq.add ctx.rq a.c0 b.c0; c1 = Rq.add ctx.rq a.c1 b.c1 }
+let sub ctx a b = { a with c0 = Rq.sub ctx.rq a.c0 b.c0; c1 = Rq.sub ctx.rq a.c1 b.c1 }
+
+let add_plain ctx ct pt = { ct with c0 = Rq.add ctx.rq ct.c0 (delta_times ctx pt.m) }
+let sub_plain ctx ct pt = { ct with c0 = Rq.sub ctx.rq ct.c0 (delta_times ctx pt.m) }
+
+let plain_poly ctx m = Rq.to_ntt ctx.rq (Rq.of_centered_coeffs ctx.rq (coeff_basis ctx) m)
+
+let mul_plain ctx ct pt =
+  let p = plain_poly ctx pt.m in
+  {
+    c0 = Rq.mul ctx.rq ct.c0 p;
+    c1 = Rq.mul ctx.rq ct.c1 p;
+    scale = ct.scale *. pt.pscale;
+  }
+
+let mul_scalar ctx ct k =
+  { ct with c0 = Rq.mul_scalar ctx.rq ct.c0 k; c1 = Rq.mul_scalar ctx.rq ct.c1 k }
+
+let keyswitch ctx (d : Rq.t) (key : kswitch_key) =
+  let d = Rq.from_ntt ctx.rq d in
+  let kb = full_basis ctx in
+  let primes = Rq.ctx_primes ctx.rq in
+  let acc0 = ref (Rq.to_ntt ctx.rq (Rq.zero ctx.rq kb)) in
+  let acc1 = ref !acc0 in
+  for i = 0 to ctx.num_coeff - 1 do
+    let digit = Rq.component d ~basis_index:i in
+    let comps = Array.map (fun j -> Array.map (fun v -> v mod primes.(j)) digit) kb in
+    let digit_poly = Rq.to_ntt ctx.rq (Rq.of_components ~basis:kb ~comps ~ntt:false) in
+    let b_i, a_i = key.pairs.(i) in
+    acc0 := Rq.add ctx.rq !acc0 (Rq.mul ctx.rq digit_poly b_i);
+    acc1 := Rq.add ctx.rq !acc1 (Rq.mul ctx.rq digit_poly a_i)
+  done;
+  let down u = Rq.to_ntt ctx.rq (Rq.drop_last ctx.rq (Rq.from_ntt ctx.rq u) ~rounded:true) in
+  (down !acc0, down !acc1)
+
+let mul ctx keys a b =
+  (* exact integer tensor product, scaled by t/Q with rounding *)
+  let centered c = Rq.to_centered_bigint_coeffs ctx.rq (Rq.from_ntt ctx.rq c) in
+  let a0 = centered a.c0 and a1 = centered a.c1 in
+  let b0 = centered b.c0 and b1 = centered b.c1 in
+  let logq = ctx.big_bits in
+  let reduce = Rq_big.reduce ~logq in
+  let prod x y = Rq_big.to_centered ~logq (Rq_big.mul ctx.big ~logq (reduce x) (reduce y)) in
+  let t_big = Bigint.of_int ctx.t in
+  let scale_down poly =
+    Rq.to_ntt ctx.rq
+      (Rq.of_bigint_coeffs ctx.rq (coeff_basis ctx)
+         (Array.map (fun c -> Bigint.div_round (Bigint.mul c t_big) ctx.q_big) poly))
+  in
+  let d0 = scale_down (prod a0 b0) in
+  let d1 =
+    scale_down (Array.map2 Bigint.add (prod a0 b1) (prod a1 b0))
+  in
+  let d2 = scale_down (prod a1 b1) in
+  let k0, k1 = keyswitch ctx d2 keys.relin in
+  { c0 = Rq.add ctx.rq d0 k0; c1 = Rq.add ctx.rq d1 k1; scale = a.scale *. b.scale }
+
+let rotate ctx keys ct r =
+  let slots = slot_count ctx in
+  let r = ((r mod slots) + slots) mod slots in
+  if r = 0 then ct
+  else begin
+    let g = galois_of_rotation ctx r in
+    let key =
+      match Hashtbl.find_opt keys.rotation g with
+      | Some k -> k
+      | None -> raise Not_found
+    in
+    let c0 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c0) ~g in
+    let c1 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c1) ~g in
+    let k0, k1 = keyswitch ctx (Rq.to_ntt ctx.rq c1) key in
+    { ct with c0 = Rq.add ctx.rq (Rq.to_ntt ctx.rq c0) k0; c1 = k1 }
+  end

@@ -1,0 +1,69 @@
+(** BFV (Brakerski/Fan–Vercauteren): the integer FHE scheme the paper calls
+    "FV" — "CHET can trivially target other FHE schemes such as FV or BGV"
+    (§2.2). Implemented to validate that claim through the HISA: BFV has no
+    rescaling, so [max_rescale] is constantly 1 (exactly the behaviour
+    Table 2 prescribes for schemes without rescaling support) and fixed-point
+    scales grow monotonically — which is why only shallow circuits
+    (CryptoNets-style) are practical, the paper's motivation for CKKS.
+
+    Messages are vectors over [Z_t] ([t] a batching-friendly prime);
+    fixed-point values are encoded as [round(v·scale) mod t]. Slots follow
+    the same powers-of-5 orbit as the CKKS embedding, so slot rotation is the
+    same Galois automorphism machinery. *)
+
+module Rq = Rq_rns
+
+type params = {
+  n : int;
+  plain_modulus_bits : int;  (** size of the batching prime [t] *)
+  coeff_modulus_bits : int;
+  num_coeff_primes : int;
+  sigma : float;
+}
+
+val default_params :
+  ?n:int -> ?plain_bits:int -> ?bits:int -> num_coeff_primes:int -> unit -> params
+
+type context
+
+val make_context : params -> context
+val plain_modulus : context -> int
+val slot_count : context -> int
+(** [n/2]: the first row of BFV's batching matrix (the second row is kept
+    zero so that row rotation matches the HISA's flat rotation). *)
+
+type secret_key
+type keys
+
+val keygen : context -> Sampling.t -> secret_key * keys
+val add_rotation_key : context -> Sampling.t -> secret_key -> keys -> int -> unit
+
+type plaintext
+type ciphertext
+
+val encode : context -> scale:float -> float array -> plaintext
+val decode : context -> plaintext -> scale:float -> float array
+(** Values are recovered centred: residues above [t/2] read as negative. *)
+
+val encrypt : context -> Sampling.t -> keys -> plaintext -> ciphertext
+val decrypt : context -> secret_key -> ciphertext -> plaintext
+val add : context -> ciphertext -> ciphertext -> ciphertext
+val sub : context -> ciphertext -> ciphertext -> ciphertext
+val add_plain : context -> ciphertext -> plaintext -> ciphertext
+val sub_plain : context -> ciphertext -> plaintext -> ciphertext
+
+val mul : context -> keys -> ciphertext -> ciphertext -> ciphertext
+(** The BFV tensor product: exact integer polynomial products scaled by
+    [t/Q] with rounding, then relinearised. *)
+
+val mul_plain : context -> ciphertext -> plaintext -> ciphertext
+val mul_scalar : context -> ciphertext -> int -> ciphertext
+val rotate : context -> keys -> ciphertext -> int -> ciphertext
+(** Rotate the slot row left by [r] (requires the key from
+    {!add_rotation_key}). *)
+
+val scale_of : ciphertext -> float
+
+val adjust_scale : ciphertext -> float -> ciphertext
+(** Multiply the tracked fixed-point scale (after {!mul_scalar}, whose
+    integer factor carries scale [k]). *)

@@ -1,0 +1,319 @@
+(* HEAAN-style CKKS. See big_ckks.mli.
+
+   Key switching: for a target secret s' (s² for relinearisation, φ_g(s) for
+   rotations) the key is (k0, k1) mod Q0·P with k0 = -k1·s + e + P·s'.
+   Switching a polynomial d: (d·k0, d·k1) mod q·P, divided by P with
+   rounding, yields a pair decrypting to d·s' + noise mod q, with noise
+   ≈ ‖d·e‖/P — small because P ≥ q always. *)
+
+module Bigint = Chet_bigint.Bigint
+
+type params = { n : int; log_fresh : int; log_special : int; sigma : float }
+
+let default_params ?(n = 8192) ?log_special ~log_fresh () =
+  let log_special = match log_special with Some l -> l | None -> log_fresh in
+  { n; log_fresh; log_special; sigma = 3.2 }
+
+type context = { params : params; rq : Rq_big.ctx; enc : Encoding.ctx }
+
+let log2_int n =
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+let make_context params =
+  if params.log_special < params.log_fresh then
+    invalid_arg "Big_ckks.make_context: log_special must be >= log_fresh";
+  let max_product_bits = (2 * (params.log_fresh + params.log_special)) + log2_int params.n + 4 in
+  {
+    params;
+    rq = Rq_big.make_ctx ~n:params.n ~max_product_bits;
+    enc = Encoding.make ~n:params.n;
+  }
+
+let params ctx = ctx.params
+let slot_count ctx = ctx.params.n / 2
+let encoding ctx = ctx.enc
+let total_modulus_bits ctx = ctx.params.log_fresh + ctx.params.log_special
+
+type secret_key = { s : int array (* ternary *) }
+type public_key = { pk0 : Bigint.t array; pk1 : Bigint.t array (* mod 2^log_fresh *) }
+
+type kswitch_key = { k0 : Bigint.t array; k1 : Bigint.t array (* mod 2^(log_fresh+log_special) *) }
+
+type keys = {
+  public : public_key;
+  relin : kswitch_key;
+  rotation : (int, kswitch_key) Hashtbl.t;
+}
+
+type plaintext = { poly : Bigint.t array; pt_logq : int; pt_scale : float }
+type ciphertext = { c0 : Bigint.t array; c1 : Bigint.t array; logq : int; scale : float }
+
+let logq_of ct = ct.logq
+let scale_of ct = ct.scale
+
+let s_poly _ctx ~logq (sk : secret_key) = Rq_big.of_centered_ints ~logq sk.s
+
+let sample_gaussian_poly ctx rng ~logq =
+  Rq_big.of_centered_ints ~logq (Sampling.gaussian rng ~sigma:ctx.params.sigma ctx.params.n)
+
+let sample_uniform_poly ctx rng ~logq =
+  Sampling.uniform_bigint_poly rng ~modulus:(Bigint.pow2 logq) ctx.params.n
+
+let keygen_kswitch ctx rng sk (target : Bigint.t array) =
+  let logqp = ctx.params.log_fresh + ctx.params.log_special in
+  let k1 = sample_uniform_poly ctx rng ~logq:logqp in
+  let e = sample_gaussian_poly ctx rng ~logq:logqp in
+  let p_target = Rq_big.mul_scalar ~logq:logqp target (Bigint.pow2 ctx.params.log_special) in
+  let k0 =
+    Rq_big.add ~logq:logqp
+      (Rq_big.sub ~logq:logqp e (Rq_big.mul ctx.rq ~logq:logqp k1 (s_poly ctx ~logq:logqp sk)))
+      p_target
+  in
+  { k0; k1 }
+
+let keygen ctx rng =
+  let sk = { s = Sampling.ternary rng ctx.params.n } in
+  let logq = ctx.params.log_fresh in
+  let pk1 = sample_uniform_poly ctx rng ~logq in
+  let e = sample_gaussian_poly ctx rng ~logq in
+  let pk0 = Rq_big.sub ~logq e (Rq_big.mul ctx.rq ~logq pk1 (s_poly ctx ~logq sk)) in
+  let logqp = ctx.params.log_fresh + ctx.params.log_special in
+  let s_qp = s_poly ctx ~logq:logqp sk in
+  let s_sq = Rq_big.mul ctx.rq ~logq:logqp s_qp s_qp in
+  let relin = keygen_kswitch ctx rng sk s_sq in
+  (sk, { public = { pk0; pk1 }; relin; rotation = Hashtbl.create 16 })
+
+let galois_of_rotation ctx r = Encoding.galois_element ctx.enc r
+
+let add_rotation_key ctx rng sk keys r =
+  let g = galois_of_rotation ctx r in
+  if not (Hashtbl.mem keys.rotation g) then begin
+    let logqp = ctx.params.log_fresh + ctx.params.log_special in
+    let s_g = Rq_big.automorphism ~logq:logqp ~g (s_poly ctx ~logq:logqp sk) in
+    Hashtbl.replace keys.rotation g (keygen_kswitch ctx rng sk s_g)
+  end
+
+let add_power_of_two_rotation_keys ctx rng sk keys =
+  let slots = slot_count ctx in
+  let k = ref 1 in
+  while !k < slots do
+    add_rotation_key ctx rng sk keys !k;
+    add_rotation_key ctx rng sk keys (slots - !k);
+    k := !k lsl 1
+  done
+
+let rotation_key_count keys = Hashtbl.length keys.rotation
+
+let encode ctx ~logq ~scale (z : Complexv.t) =
+  let coeffs = Encoding.encode ctx.enc ~scale ~re:z.Complexv.re ~im:z.Complexv.im in
+  let q = Bigint.pow2 logq in
+  let poly =
+    Array.map
+      (fun c ->
+        (* float coefficients are exact up to 2^53; beyond that we accept the
+           representation error, which is far below the CKKS noise floor *)
+        let sign = if c < 0.0 then -1.0 else 1.0 in
+        let a = Float.abs c in
+        if a < 9.0e15 then Bigint.emod (Bigint.of_int (int_of_float (Float.round c))) q
+        else begin
+          (* split into high/low 45-bit chunks to convert losslessly-ish *)
+          let hi = Float.round (a /. 3.5184372088832e13) (* 2^45 *) in
+          let lo = Float.round (a -. (hi *. 3.5184372088832e13)) in
+          let v =
+            Bigint.add
+              (Bigint.shift_left (Bigint.of_int (int_of_float hi)) 45)
+              (Bigint.of_int (int_of_float lo))
+          in
+          Bigint.emod (if sign < 0.0 then Bigint.neg v else v) q
+        end)
+      coeffs
+  in
+  { poly; pt_logq = logq; pt_scale = scale }
+
+let encode_real ctx ~logq ~scale values = encode ctx ~logq ~scale (Complexv.of_real values)
+
+let decode ctx pt =
+  let centered = Rq_big.to_centered ~logq:pt.pt_logq pt.poly in
+  let floats = Array.map Bigint.to_float centered in
+  let re, im = Encoding.decode ctx.enc ~scale:pt.pt_scale floats in
+  Complexv.of_complex re im
+
+let encrypt ctx rng (pk : public_key) pt =
+  if pt.pt_logq <> ctx.params.log_fresh then
+    invalid_arg "Big_ckks.encrypt: plaintext must be at the fresh modulus";
+  let logq = ctx.params.log_fresh in
+  let u = Rq_big.of_centered_ints ~logq (Sampling.ternary rng ctx.params.n) in
+  let e0 = sample_gaussian_poly ctx rng ~logq in
+  let e1 = sample_gaussian_poly ctx rng ~logq in
+  let c0 = Rq_big.add ~logq (Rq_big.add ~logq (Rq_big.mul ctx.rq ~logq pk.pk0 u) e0) pt.poly in
+  let c1 = Rq_big.add ~logq (Rq_big.mul ctx.rq ~logq pk.pk1 u) e1 in
+  { c0; c1; logq; scale = pt.pt_scale }
+
+let decrypt ctx sk ct =
+  let m =
+    Rq_big.add ~logq:ct.logq ct.c0
+      (Rq_big.mul ctx.rq ~logq:ct.logq ct.c1 (s_poly ctx ~logq:ct.logq sk))
+  in
+  { poly = m; pt_logq = ct.logq; pt_scale = ct.scale }
+
+(* kernels equalise scales only approximately (integer mask factors, RNS
+   rescaling drift); 1e-4 relative slack admits value error well below the
+   scheme noise floor *)
+let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+
+let check_binop name a b =
+  if a.logq <> b.logq then invalid_arg (name ^ ": modulus mismatch");
+  if not (scales_compatible a.scale b.scale) then invalid_arg (name ^ ": scale mismatch")
+
+let add ctx a b =
+  ignore ctx;
+  check_binop "Big_ckks.add" a b;
+  { a with c0 = Rq_big.add ~logq:a.logq a.c0 b.c0; c1 = Rq_big.add ~logq:a.logq a.c1 b.c1 }
+
+let sub ctx a b =
+  ignore ctx;
+  check_binop "Big_ckks.sub" a b;
+  { a with c0 = Rq_big.sub ~logq:a.logq a.c0 b.c0; c1 = Rq_big.sub ~logq:a.logq a.c1 b.c1 }
+
+let negate ctx a =
+  ignore ctx;
+  { a with c0 = Rq_big.neg ~logq:a.logq a.c0; c1 = Rq_big.neg ~logq:a.logq a.c1 }
+
+let check_plain name (ct : ciphertext) (pt : plaintext) =
+  if ct.logq <> pt.pt_logq then invalid_arg (name ^ ": modulus mismatch")
+
+let add_plain ctx ct pt =
+  ignore ctx;
+  check_plain "Big_ckks.add_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then
+    invalid_arg "Big_ckks.add_plain: scale mismatch";
+  { ct with c0 = Rq_big.add ~logq:ct.logq ct.c0 pt.poly }
+
+let sub_plain ctx ct pt =
+  ignore ctx;
+  check_plain "Big_ckks.sub_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then
+    invalid_arg "Big_ckks.sub_plain: scale mismatch";
+  { ct with c0 = Rq_big.sub ~logq:ct.logq ct.c0 pt.poly }
+
+let mul_plain ctx ct pt =
+  check_plain "Big_ckks.mul_plain" ct pt;
+  {
+    ct with
+    c0 = Rq_big.mul ctx.rq ~logq:ct.logq ct.c0 pt.poly;
+    c1 = Rq_big.mul ctx.rq ~logq:ct.logq ct.c1 pt.poly;
+    scale = ct.scale *. pt.pt_scale;
+  }
+
+let mul_scalar ctx ct x ~scale =
+  ignore ctx;
+  let s = Bigint.of_int (int_of_float (Float.round (x *. scale))) in
+  {
+    ct with
+    c0 = Rq_big.mul_scalar ~logq:ct.logq ct.c0 s;
+    c1 = Rq_big.mul_scalar ~logq:ct.logq ct.c1 s;
+    scale = ct.scale *. scale;
+  }
+
+let add_scalar ctx ct x =
+  ignore ctx;
+  let c = Bigint.emod (Bigint.of_int (int_of_float (Float.round (x *. ct.scale)))) (Bigint.pow2 ct.logq) in
+  let c0 = Array.copy ct.c0 in
+  c0.(0) <- Bigint.emod (Bigint.add c0.(0) c) (Bigint.pow2 ct.logq);
+  { ct with c0 }
+
+let keyswitch ctx logq (d : Bigint.t array) (key : kswitch_key) =
+  let log_p = ctx.params.log_special in
+  let logqp = logq + log_p in
+  let d = Rq_big.to_centered ~logq d in
+  let k0 = Rq_big.mod_down ~logq_to:logqp key.k0 in
+  let k1 = Rq_big.mod_down ~logq_to:logqp key.k1 in
+  let t0 = Rq_big.mul ctx.rq ~logq:logqp d k0 in
+  let t1 = Rq_big.mul ctx.rq ~logq:logqp d k1 in
+  (Rq_big.div_round_pow2 ~logq:logqp ~k:log_p t0, Rq_big.div_round_pow2 ~logq:logqp ~k:log_p t1)
+
+let mul ctx keys a b =
+  if a.logq <> b.logq then invalid_arg "Big_ckks.mul: modulus mismatch";
+  let logq = a.logq in
+  let d0 = Rq_big.mul ctx.rq ~logq a.c0 b.c0 in
+  let d1 =
+    Rq_big.add ~logq (Rq_big.mul ctx.rq ~logq a.c0 b.c1) (Rq_big.mul ctx.rq ~logq a.c1 b.c0)
+  in
+  let d2 = Rq_big.mul ctx.rq ~logq a.c1 b.c1 in
+  let k0, k1 = keyswitch ctx logq d2 keys.relin in
+  {
+    c0 = Rq_big.add ~logq d0 k0;
+    c1 = Rq_big.add ~logq d1 k1;
+    logq;
+    scale = a.scale *. b.scale;
+  }
+
+let max_rescale ctx ct ub =
+  ignore ctx;
+  if ub < 2 then 1
+  else begin
+    let k = ref 0 in
+    while 1 lsl (!k + 1) <= ub && !k + 1 < ct.logq do
+      incr k
+    done;
+    1 lsl !k
+  end
+
+let rescale ctx ct x =
+  ignore ctx;
+  if x = 1 then ct
+  else begin
+    if x land (x - 1) <> 0 then invalid_arg "Big_ckks.rescale: divisor must be a power of two";
+    let k = log2_int x in
+    if k >= ct.logq then invalid_arg "Big_ckks.rescale: would consume entire modulus";
+    {
+      c0 = Rq_big.rescale_pow2 ~logq:ct.logq ~k ct.c0;
+      c1 = Rq_big.rescale_pow2 ~logq:ct.logq ~k ct.c1;
+      logq = ct.logq - k;
+      scale = ct.scale /. float_of_int x;
+    }
+  end
+
+let mod_down ctx ct ~logq =
+  ignore ctx;
+  if logq > ct.logq then invalid_arg "Big_ckks.mod_down: cannot grow modulus";
+  {
+    ct with
+    c0 = Rq_big.mod_down ~logq_to:logq ct.c0;
+    c1 = Rq_big.mod_down ~logq_to:logq ct.c1;
+    logq;
+  }
+
+let apply_galois ctx keys ct g =
+  let key =
+    match Hashtbl.find_opt keys.rotation g with Some k -> k | None -> raise Not_found
+  in
+  let c0 = Rq_big.automorphism ~logq:ct.logq ~g ct.c0 in
+  let c1 = Rq_big.automorphism ~logq:ct.logq ~g ct.c1 in
+  let k0, k1 = keyswitch ctx ct.logq c1 key in
+  { ct with c0 = Rq_big.add ~logq:ct.logq c0 k0; c1 = k1 }
+
+let rotate ctx keys ct r =
+  let slots = slot_count ctx in
+  let r = ((r mod slots) + slots) mod slots in
+  if r = 0 then ct
+  else begin
+    let g = galois_of_rotation ctx r in
+    if Hashtbl.mem keys.rotation g then apply_galois ctx keys ct g
+    else begin
+      let ct = ref ct and k = ref 1 and rem = ref r in
+      while !rem > 0 do
+        if !rem land 1 = 1 then begin
+          let g = galois_of_rotation ctx !k in
+          if not (Hashtbl.mem keys.rotation g) then raise Not_found;
+          ct := apply_galois ctx keys !ct g
+        end;
+        rem := !rem lsr 1;
+        k := !k lsl 1
+      done;
+      !ct
+    end
+  end
+
+let rotate_key_available keys ctx r = Hashtbl.mem keys.rotation (galois_of_rotation ctx r)

@@ -1,0 +1,36 @@
+type t = { re : float array; im : float array }
+
+let make n = { re = Array.make n 0.0; im = Array.make n 0.0 }
+let of_real re = { re = Array.copy re; im = Array.make (Array.length re) 0.0 }
+
+let of_complex re im =
+  if Array.length re <> Array.length im then invalid_arg "Complexv.of_complex: length mismatch";
+  { re = Array.copy re; im = Array.copy im }
+
+let length t = Array.length t.re
+let get_re t i = t.re.(i)
+let get_im t i = t.im.(i)
+
+let max_abs_diff a b =
+  if length a <> length b then invalid_arg "Complexv.max_abs_diff: length mismatch";
+  let m = ref 0.0 in
+  for i = 0 to length a - 1 do
+    let dr = a.re.(i) -. b.re.(i) and di = a.im.(i) -. b.im.(i) in
+    m := Float.max !m (sqrt ((dr *. dr) +. (di *. di)))
+  done;
+  !m
+
+let max_abs a =
+  let m = ref 0.0 in
+  for i = 0 to length a - 1 do
+    m := Float.max !m (sqrt ((a.re.(i) *. a.re.(i)) +. (a.im.(i) *. a.im.(i))))
+  done;
+  !m
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  for i = 0 to Stdlib.min 7 (length t - 1) do
+    Format.fprintf fmt "%s%.4f%+.4fi" (if i > 0 then "; " else "") t.re.(i) t.im.(i)
+  done;
+  if length t > 8 then Format.fprintf fmt "; …(%d)" (length t);
+  Format.fprintf fmt "]"

@@ -1,0 +1,16 @@
+(** Vectors of complex numbers as parallel [re]/[im] float arrays — the slot
+    values flowing in and out of CKKS encoders. *)
+
+type t = { re : float array; im : float array }
+
+val make : int -> t
+val of_real : float array -> t
+val of_complex : float array -> float array -> t
+val length : t -> int
+val get_re : t -> int -> float
+val get_im : t -> int -> float
+val max_abs_diff : t -> t -> float
+(** Max over slots of the modulus of the difference. *)
+
+val max_abs : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let bit_reverse_permute re im =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+let transform sign re im =
+  let n = Array.length re in
+  if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  bit_reverse_permute re im;
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wr = cos ang and wi = sin ang in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to (!len / 2) - 1 do
+        let a = !i + k and b = !i + k + (!len / 2) in
+        let vr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+        let vi = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+        re.(b) <- re.(a) -. vr;
+        im.(b) <- im.(a) -. vi;
+        re.(a) <- re.(a) +. vr;
+        im.(a) <- im.(a) +. vi;
+        let ncr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := ncr
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done
+
+let forward ~re ~im = transform 1.0 re im
+
+let inverse ~re ~im =
+  transform (-1.0) re im;
+  let n = float_of_int (Array.length re) in
+  for i = 0 to Array.length re - 1 do
+    re.(i) <- re.(i) /. n;
+    im.(i) <- im.(i) /. n
+  done

@@ -1,0 +1,13 @@
+(** Iterative radix-2 complex FFT on parallel [re]/[im] float arrays.
+
+    Substrate for the CKKS canonical embedding ({!Encoding}); replaces the
+    FFT inside SEAL's and HEAAN's encoders. Unnormalised: [inverse] divides
+    by [n], [forward] does not. *)
+
+val forward : re:float array -> im:float array -> unit
+(** In-place DFT with kernel [exp(+2πi·jk/n)] (note the sign: this is the
+    evaluation direction used by the embedding). Length must be a power of
+    two. *)
+
+val inverse : re:float array -> im:float array -> unit
+(** Inverse of {!forward} (kernel [exp(-2πi·jk/n)], scaled by [1/n]). *)

@@ -1,0 +1,117 @@
+(* Negacyclic NTT with psi-power tables in bit-reversed order (the scheme of
+   Longa & Naehrig, as implemented in SEAL): the twist by powers of the 2n-th
+   root psi is fused into the butterflies, so forward/inverse are single
+   passes with no separate pre/post scaling. *)
+
+type table = {
+  n : int;
+  prime : int;
+  psi_rev : int array; (* psi^bitrev(i), i < n *)
+  psi_inv_rev : int array;
+  n_inv : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let bit_reverse x bits =
+  let r = ref 0 in
+  for i = 0 to bits - 1 do
+    if (x lsr i) land 1 = 1 then r := !r lor (1 lsl (bits - 1 - i))
+  done;
+  !r
+
+let log2 n =
+  let rec loop n acc = if n = 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+let make_table ~n ~prime =
+  if not (is_pow2 n) then invalid_arg "Ntt.make_table: n must be a power of two";
+  if (prime - 1) mod (2 * n) <> 0 then invalid_arg "Ntt.make_table: prime must be 1 mod 2n";
+  let psi = Modarith.root_of_unity ~order:(2 * n) prime in
+  let psi_inv = Modarith.inv_mod psi prime in
+  let bits = log2 n in
+  let powers root =
+    let tbl = Array.make n 1 in
+    let cur = ref 1 in
+    let linear = Array.make n 1 in
+    for i = 1 to n - 1 do
+      cur := Modarith.mul_mod !cur root prime;
+      linear.(i) <- !cur
+    done;
+    for i = 0 to n - 1 do
+      tbl.(i) <- linear.(bit_reverse i bits)
+    done;
+    tbl
+  in
+  {
+    n;
+    prime;
+    psi_rev = powers psi;
+    psi_inv_rev = powers psi_inv;
+    n_inv = Modarith.inv_mod n prime;
+  }
+
+let n t = t.n
+let prime t = t.prime
+
+let forward t a =
+  let p = t.prime and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.forward: wrong length";
+  let t_len = ref n in
+  let m = ref 1 in
+  while !m < n do
+    t_len := !t_len lsr 1;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !t_len in
+      let s = t.psi_rev.(!m + i) in
+      for j = j1 to j1 + !t_len - 1 do
+        let u = a.(j) in
+        let v = a.(j + !t_len) * s mod p in
+        let sum = u + v in
+        a.(j) <- (if sum >= p then sum - p else sum);
+        let d = u - v in
+        a.(j + !t_len) <- (if d < 0 then d + p else d)
+      done
+    done;
+    m := !m lsl 1
+  done
+
+let inverse t a =
+  let p = t.prime and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.inverse: wrong length";
+  let t_len = ref 1 in
+  let m = ref n in
+  while !m > 1 do
+    let j1 = ref 0 in
+    let h = !m lsr 1 in
+    for i = 0 to h - 1 do
+      let s = t.psi_inv_rev.(h + i) in
+      for j = !j1 to !j1 + !t_len - 1 do
+        let u = a.(j) in
+        let v = a.(j + !t_len) in
+        let sum = u + v in
+        a.(j) <- (if sum >= p then sum - p else sum);
+        let d = u - v in
+        let d = if d < 0 then d + p else d in
+        a.(j + !t_len) <- d * s mod p
+      done;
+      j1 := !j1 + (2 * !t_len)
+    done;
+    t_len := !t_len lsl 1;
+    m := h
+  done;
+  for j = 0 to n - 1 do
+    a.(j) <- a.(j) * t.n_inv mod p
+  done
+
+let pointwise_mul t a b =
+  let p = t.prime in
+  Array.init t.n (fun i -> a.(i) * b.(i) mod p)
+
+let negacyclic_mul t a b =
+  let fa = Array.copy a and fb = Array.copy b in
+  forward t fa;
+  forward t fb;
+  let r = pointwise_mul t fa fb in
+  inverse t r;
+  r

@@ -1,0 +1,29 @@
+(** Negacyclic number-theoretic transform modulo a word-sized prime.
+
+    Multiplication of polynomials in [Z_p\[X\]/(X^n + 1)] is pointwise
+    multiplication in the transform domain. The algorithm is the
+    [psi]-twisted iterative Cooley–Tukey / Gentleman–Sande pair used by SEAL,
+    with tables of powers of the [2n]-th root of unity in bit-reversed
+    order. *)
+
+type table
+
+val make_table : n:int -> prime:int -> table
+(** Precompute tables for size [n] (a power of two) and [prime ≡ 1 mod 2n].
+    @raise Invalid_argument if the conditions do not hold. *)
+
+val n : table -> int
+val prime : table -> int
+
+val forward : table -> int array -> unit
+(** In-place forward negacyclic NTT of an array of length [n] with entries in
+    [\[0, prime)]. *)
+
+val inverse : table -> int array -> unit
+(** In-place inverse; [inverse t (forward t a)] restores [a]. *)
+
+val pointwise_mul : table -> int array -> int array -> int array
+(** Pointwise product mod [prime] (operands in transform domain). *)
+
+val negacyclic_mul : table -> int array -> int array -> int array
+(** Full negacyclic convolution of two coefficient-domain polynomials. *)

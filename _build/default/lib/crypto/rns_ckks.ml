@@ -1,0 +1,371 @@
+(* RNS-CKKS. See rns_ckks.mli for the external story.
+
+   Conventions:
+   - ciphertext components are kept in NTT form; rescale / automorphism /
+     key-switch digits go through coefficient form as needed;
+   - a level-l object lives over the prime prefix q_0..q_{l-1};
+   - key-switching keys carry one (b_i, a_i) pair per chain prime over the
+     extended basis (all chain primes + the special prime p):
+       b_i = -a_i*s + e_i + w_i*s'   with   w_i = p mod q_i on component i,
+                                            0 on every other component.
+     Accumulating digit_i(d) * ksk_i then dividing by p (drop the special
+     component with rounding) yields d*s' + small noise mod Q. *)
+
+module Rq = Rq_rns
+module Bigint = Chet_bigint.Bigint
+
+type params = { n : int; coeff_modulus_bits : int; num_coeff_primes : int; sigma : float }
+
+let default_params ?(n = 8192) ?(bits = 30) ~num_coeff_primes () =
+  { n; coeff_modulus_bits = bits; num_coeff_primes; sigma = 3.2 }
+
+type context = {
+  params : params;
+  rq : Rq.ctx;
+  enc : Encoding.ctx;
+  num_coeff : int;
+  special_index : int;
+}
+
+let make_context params =
+  if params.num_coeff_primes < 1 then invalid_arg "Rns_ckks.make_context: need at least one prime";
+  let primes =
+    Modarith.gen_ntt_primes ~bits:params.coeff_modulus_bits ~modulus_of:(2 * params.n)
+      ~count:(params.num_coeff_primes + 1)
+  in
+  (* primes are generated in descending order; SEAL places the largest as the
+     special prime for the smallest key-switching noise. *)
+  let special = primes.(0) in
+  let chain = Array.sub primes 1 params.num_coeff_primes in
+  (* chain order: q_0 .. q_{L-1}; rescale drops from the end *)
+  let all = Array.append chain [| special |] in
+  {
+    params;
+    rq = Rq.make_ctx ~n:params.n ~primes:all;
+    enc = Encoding.make ~n:params.n;
+    num_coeff = params.num_coeff_primes;
+    special_index = params.num_coeff_primes;
+  }
+
+let params ctx = ctx.params
+let slot_count ctx = ctx.params.n / 2
+let coeff_primes ctx = Array.sub (Rq.ctx_primes ctx.rq) 0 ctx.num_coeff
+let special_prime ctx = (Rq.ctx_primes ctx.rq).(ctx.special_index)
+let max_level ctx = ctx.num_coeff
+let encoding ctx = ctx.enc
+let rq_ctx ctx = ctx.rq
+
+let total_modulus_bits ctx =
+  let bits = ref 0.0 in
+  Array.iter (fun p -> bits := !bits +. (log (float_of_int p) /. log 2.0)) (Rq.ctx_primes ctx.rq);
+  int_of_float (Float.ceil !bits)
+
+let basis_of_level l = Array.init l (fun i -> i)
+let key_basis ctx l = Array.append (basis_of_level l) [| ctx.special_index |]
+let full_basis ctx = key_basis ctx ctx.num_coeff
+
+type secret_key = { s : Rq.t (* full basis, NTT *) }
+type public_key = { pk0 : Rq.t; pk1 : Rq.t (* top-level basis, NTT *) }
+type kswitch_key = { pairs : (Rq.t * Rq.t) array (* full basis, NTT *) }
+
+type keys = {
+  public : public_key;
+  relin : kswitch_key;
+  rotation : (int, kswitch_key) Hashtbl.t;
+}
+
+type plaintext = { poly : Rq.t; pt_scale : float; pt_level : int }
+type ciphertext = { c0 : Rq.t; c1 : Rq.t; level : int; scale : float }
+
+let level_of ct = ct.level
+let scale_of ct = ct.scale
+
+(* --- sampling helpers --- *)
+
+let sample_uniform_ntt ctx rng basis =
+  (* the NTT is a bijection, so sampling residues directly in NTT form is
+     uniform in the ring *)
+  let primes = Rq.ctx_primes ctx.rq in
+  let comps = Array.map (fun i -> Sampling.uniform_poly rng ~modulus:primes.(i) ctx.params.n) basis in
+  Rq.of_components ~basis ~comps ~ntt:true
+
+let sample_gaussian ctx rng basis =
+  let e = Sampling.gaussian rng ~sigma:ctx.params.sigma ctx.params.n in
+  Rq.to_ntt ctx.rq (Rq.of_centered_coeffs ctx.rq basis e)
+
+let sample_ternary_ntt ctx rng basis =
+  let s = Sampling.ternary rng ctx.params.n in
+  Rq.to_ntt ctx.rq (Rq.of_centered_coeffs ctx.rq basis s)
+
+(* --- key generation --- *)
+
+let keygen_kswitch ctx rng (sk : secret_key) (target : Rq.t) : kswitch_key =
+  let basis = full_basis ctx in
+  let primes = Rq.ctx_primes ctx.rq in
+  let special = primes.(ctx.special_index) in
+  let pairs =
+    Array.init ctx.num_coeff (fun i ->
+        let a = sample_uniform_ntt ctx rng basis in
+        let e = sample_gaussian ctx rng basis in
+        let w_target =
+          (* w_i * s': only component i is non-zero, scaled by p mod q_i *)
+          Rq.scale_component ctx.rq target ~basis_index:i ~scalar:(special mod primes.(i))
+        in
+        let b = Rq.add ctx.rq (Rq.add ctx.rq (Rq.neg ctx.rq (Rq.mul ctx.rq a sk.s)) e) w_target in
+        (b, a))
+  in
+  { pairs }
+
+let keygen ctx rng =
+  let basis_full = full_basis ctx in
+  let sk = { s = sample_ternary_ntt ctx rng basis_full } in
+  let top = basis_of_level ctx.num_coeff in
+  let s_top = Rq.subset sk.s top in
+  let a = sample_uniform_ntt ctx rng top in
+  let e = sample_gaussian ctx rng top in
+  let pk0 = Rq.add ctx.rq (Rq.neg ctx.rq (Rq.mul ctx.rq a s_top)) e in
+  let s_sq = Rq.mul ctx.rq sk.s sk.s in
+  let relin = keygen_kswitch ctx rng sk s_sq in
+  (sk, { public = { pk0; pk1 = a }; relin; rotation = Hashtbl.create 16 })
+
+let galois_of_rotation ctx r = Encoding.galois_element ctx.enc r
+
+let add_rotation_key ctx rng sk keys r =
+  let g = galois_of_rotation ctx r in
+  if not (Hashtbl.mem keys.rotation g) then begin
+    let s_coeff = Rq.from_ntt ctx.rq sk.s in
+    let s_g = Rq.to_ntt ctx.rq (Rq.automorphism ctx.rq s_coeff ~g) in
+    Hashtbl.replace keys.rotation g (keygen_kswitch ctx rng sk s_g)
+  end
+
+let add_power_of_two_rotation_keys ctx rng sk keys =
+  let slots = slot_count ctx in
+  let k = ref 1 in
+  while !k < slots do
+    add_rotation_key ctx rng sk keys !k;
+    add_rotation_key ctx rng sk keys (slots - !k) (* right rotation by k *);
+    k := !k lsl 1
+  done
+
+let rotation_key_count keys = Hashtbl.length keys.rotation
+
+(* --- encoding --- *)
+
+let encode ctx ~level ~scale (z : Complexv.t) =
+  if level < 1 || level > ctx.num_coeff then invalid_arg "Rns_ckks.encode: bad level";
+  let coeffs = Encoding.encode ctx.enc ~scale ~re:z.Complexv.re ~im:z.Complexv.im in
+  let ints =
+    Array.map
+      (fun c ->
+        if Float.abs c > 4.0e18 then failwith "Rns_ckks.encode: coefficient overflow (scale too large)";
+        int_of_float (Float.round c))
+      coeffs
+  in
+  let poly = Rq.to_ntt ctx.rq (Rq.of_centered_coeffs ctx.rq (basis_of_level level) ints) in
+  { poly; pt_scale = scale; pt_level = level }
+
+let encode_real ctx ~level ~scale values = encode ctx ~level ~scale (Complexv.of_real values)
+
+let decode ctx pt =
+  let coeffs = Rq.to_centered_bigint_coeffs ctx.rq (Rq.from_ntt ctx.rq pt.poly) in
+  let floats = Array.map Bigint.to_float coeffs in
+  let re, im = Encoding.decode ctx.enc ~scale:pt.pt_scale floats in
+  Complexv.of_complex re im
+
+(* --- encryption --- *)
+
+let encrypt ctx rng (pk : public_key) pt =
+  if pt.pt_level <> ctx.num_coeff then invalid_arg "Rns_ckks.encrypt: plaintext must be at top level";
+  let basis = basis_of_level ctx.num_coeff in
+  let u = sample_ternary_ntt ctx rng basis in
+  let e0 = sample_gaussian ctx rng basis in
+  let e1 = sample_gaussian ctx rng basis in
+  let c0 = Rq.add ctx.rq (Rq.add ctx.rq (Rq.mul ctx.rq pk.pk0 u) e0) pt.poly in
+  let c1 = Rq.add ctx.rq (Rq.mul ctx.rq pk.pk1 u) e1 in
+  { c0; c1; level = ctx.num_coeff; scale = pt.pt_scale }
+
+let decrypt ctx sk ct =
+  let s_l = Rq.subset sk.s (basis_of_level ct.level) in
+  let m = Rq.add ctx.rq ct.c0 (Rq.mul ctx.rq ct.c1 s_l) in
+  { poly = m; pt_scale = ct.scale; pt_level = ct.level }
+
+(* --- arithmetic --- *)
+
+(* kernels equalise scales only approximately (integer mask factors, RNS
+   rescaling drift); 1e-4 relative slack admits value error well below the
+   scheme noise floor *)
+let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+
+let check_binop name a b =
+  if a.level <> b.level then invalid_arg (name ^ ": level mismatch");
+  if not (scales_compatible a.scale b.scale) then invalid_arg (name ^ ": scale mismatch")
+
+let add ctx a b =
+  check_binop "Rns_ckks.add" a b;
+  { a with c0 = Rq.add ctx.rq a.c0 b.c0; c1 = Rq.add ctx.rq a.c1 b.c1 }
+
+let sub ctx a b =
+  check_binop "Rns_ckks.sub" a b;
+  { a with c0 = Rq.sub ctx.rq a.c0 b.c0; c1 = Rq.sub ctx.rq a.c1 b.c1 }
+
+let negate ctx a = { a with c0 = Rq.neg ctx.rq a.c0; c1 = Rq.neg ctx.rq a.c1 }
+
+let check_plain name ct pt =
+  if ct.level <> pt.pt_level then invalid_arg (name ^ ": level mismatch")
+
+let add_plain ctx ct pt =
+  check_plain "Rns_ckks.add_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then invalid_arg "Rns_ckks.add_plain: scale mismatch";
+  { ct with c0 = Rq.add ctx.rq ct.c0 pt.poly }
+
+let sub_plain ctx ct pt =
+  check_plain "Rns_ckks.sub_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then invalid_arg "Rns_ckks.sub_plain: scale mismatch";
+  { ct with c0 = Rq.sub ctx.rq ct.c0 pt.poly }
+
+let mul_plain ctx ct pt =
+  check_plain "Rns_ckks.mul_plain" ct pt;
+  {
+    ct with
+    c0 = Rq.mul ctx.rq ct.c0 pt.poly;
+    c1 = Rq.mul ctx.rq ct.c1 pt.poly;
+    scale = ct.scale *. pt.pt_scale;
+  }
+
+let mul_scalar ctx ct x ~scale =
+  let s = int_of_float (Float.round (x *. scale)) in
+  {
+    ct with
+    c0 = Rq.mul_scalar ctx.rq ct.c0 s;
+    c1 = Rq.mul_scalar ctx.rq ct.c1 s;
+    scale = ct.scale *. scale;
+  }
+
+let add_scalar ctx ct x =
+  let c = int_of_float (Float.round (x *. ct.scale)) in
+  let const = Array.make ctx.params.n 0 in
+  const.(0) <- c;
+  let p = Rq.to_ntt ctx.rq (Rq.of_centered_coeffs ctx.rq (basis_of_level ct.level) const) in
+  { ct with c0 = Rq.add ctx.rq ct.c0 p }
+
+(* --- key switching --- *)
+
+let keyswitch ctx level (d : Rq.t) (key : kswitch_key) : Rq.t * Rq.t =
+  let d = Rq.from_ntt ctx.rq d in
+  let kb = key_basis ctx level in
+  let primes = Rq.ctx_primes ctx.rq in
+  let acc0 = ref (Rq.to_ntt ctx.rq (Rq.zero ctx.rq kb)) in
+  let acc1 = ref !acc0 in
+  for i = 0 to level - 1 do
+    let digit = Rq.component d ~basis_index:i in
+    (* broadcast the [0, q_i) digit into the extended basis *)
+    let comps = Array.map (fun j -> Array.map (fun v -> v mod primes.(j)) digit) kb in
+    let digit_poly = Rq.to_ntt ctx.rq (Rq.of_components ~basis:kb ~comps ~ntt:false) in
+    let b_i, a_i = key.pairs.(i) in
+    let b_i = Rq.subset b_i kb and a_i = Rq.subset a_i kb in
+    acc0 := Rq.add ctx.rq !acc0 (Rq.mul ctx.rq digit_poly b_i);
+    acc1 := Rq.add ctx.rq !acc1 (Rq.mul ctx.rq digit_poly a_i)
+  done;
+  let down t = Rq.to_ntt ctx.rq (Rq.drop_last ctx.rq (Rq.from_ntt ctx.rq t) ~rounded:true) in
+  (down !acc0, down !acc1)
+
+let mul ctx keys a b =
+  if a.level <> b.level then invalid_arg "Rns_ckks.mul: level mismatch";
+  let d0 = Rq.mul ctx.rq a.c0 b.c0 in
+  let d1 = Rq.add ctx.rq (Rq.mul ctx.rq a.c0 b.c1) (Rq.mul ctx.rq a.c1 b.c0) in
+  let d2 = Rq.mul ctx.rq a.c1 b.c1 in
+  let k0, k1 = keyswitch ctx a.level d2 keys.relin in
+  { c0 = Rq.add ctx.rq d0 k0; c1 = Rq.add ctx.rq d1 k1; level = a.level; scale = a.scale *. b.scale }
+
+(* --- rescaling --- *)
+
+let max_rescale ctx ct ub =
+  let primes = Rq.ctx_primes ctx.rq in
+  let prod = ref 1 in
+  let l = ref ct.level in
+  let continue_loop = ref true in
+  while !continue_loop && !l > 1 do
+    let q = primes.(!l - 1) in
+    if !prod <= ub / q && !prod * q <= ub then begin
+      prod := !prod * q;
+      decr l
+    end
+    else continue_loop := false
+  done;
+  !prod
+
+let rescale ctx ct x =
+  if x = 1 then ct
+  else begin
+    let primes = Rq.ctx_primes ctx.rq in
+    let c0 = ref (Rq.from_ntt ctx.rq ct.c0) and c1 = ref (Rq.from_ntt ctx.rq ct.c1) in
+    let level = ref ct.level and x = ref x and scale = ref ct.scale in
+    while !x > 1 do
+      let q = primes.(!level - 1) in
+      if !x mod q <> 0 then invalid_arg "Rns_ckks.rescale: divisor is not a product of next chain primes";
+      c0 := Rq.drop_last ctx.rq !c0 ~rounded:true;
+      c1 := Rq.drop_last ctx.rq !c1 ~rounded:true;
+      decr level;
+      scale := !scale /. float_of_int q;
+      x := !x / q
+    done;
+    { c0 = Rq.to_ntt ctx.rq !c0; c1 = Rq.to_ntt ctx.rq !c1; level = !level; scale = !scale }
+  end
+
+let mod_switch_to_level ctx ct target =
+  if target > ct.level then invalid_arg "Rns_ckks.mod_switch_to_level: cannot raise level";
+  if target < 1 then invalid_arg "Rns_ckks.mod_switch_to_level: level must be >= 1";
+  if target = ct.level then ct
+  else begin
+    let c0 = ref (Rq.from_ntt ctx.rq ct.c0) and c1 = ref (Rq.from_ntt ctx.rq ct.c1) in
+    for _ = target + 1 to ct.level do
+      c0 := Rq.drop_last ctx.rq !c0 ~rounded:false;
+      c1 := Rq.drop_last ctx.rq !c1 ~rounded:false
+    done;
+    { ct with c0 = Rq.to_ntt ctx.rq !c0; c1 = Rq.to_ntt ctx.rq !c1; level = target }
+  end
+
+(* --- rotation --- *)
+
+let apply_galois ctx keys ct g =
+  let key =
+    match Hashtbl.find_opt keys.rotation g with
+    | Some k -> k
+    | None -> raise Not_found
+  in
+  let c0 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c0) ~g in
+  let c1 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c1) ~g in
+  let k0, k1 = keyswitch ctx ct.level (Rq.to_ntt ctx.rq c1) key in
+  { ct with c0 = Rq.add ctx.rq (Rq.to_ntt ctx.rq c0) k0; c1 = k1 }
+
+let rotate ctx keys ct r =
+  let slots = slot_count ctx in
+  let r = ((r mod slots) + slots) mod slots in
+  if r = 0 then ct
+  else begin
+    let g = galois_of_rotation ctx r in
+    if Hashtbl.mem keys.rotation g then apply_galois ctx keys ct g
+    else begin
+      (* fall back to power-of-two decomposition (the scheme default) *)
+      let ct = ref ct and k = ref 1 and rem = ref r in
+      while !rem > 0 do
+        if !rem land 1 = 1 then begin
+          let g = galois_of_rotation ctx !k in
+          if not (Hashtbl.mem keys.rotation g) then raise Not_found;
+          ct := apply_galois ctx keys !ct g
+        end;
+        rem := !rem lsr 1;
+        k := !k lsl 1
+      done;
+      !ct
+    end
+  end
+
+let rotate_key_available keys ctx r =
+  let g = galois_of_rotation ctx r in
+  Hashtbl.mem keys.rotation g
+
+let public_key_parts pk = (pk.pk0, pk.pk1)
+let public_key_of_parts (pk0, pk1) = { pk0; pk1 }
+let kswitch_pairs k = k.pairs
+let kswitch_of_pairs pairs = { pairs }

@@ -1,0 +1,109 @@
+module Bigint = Chet_bigint.Bigint
+
+type ctx = {
+  n : int;
+  primes : int array;
+  ntts : Ntt.table array;
+  crt_modulus : Bigint.t;
+  crt_q_over : Bigint.t array; (* M / p_i *)
+  crt_invs : int array; (* (M/p_i)^{-1} mod p_i *)
+}
+
+let make_ctx ~n ~max_product_bits =
+  let bits_per_prime = 29 in
+  (* head-room: reconstruct centered values, so the CRT modulus must exceed
+     twice the magnitude bound *)
+  let count = ((max_product_bits + 2) / bits_per_prime) + 1 in
+  let primes = Modarith.gen_ntt_primes ~bits:30 ~modulus_of:(2 * n) ~count in
+  let ntts = Array.map (fun p -> Ntt.make_table ~n ~prime:p) primes in
+  let crt_modulus = Array.fold_left (fun acc p -> Bigint.mul_int acc p) Bigint.one primes in
+  let crt_q_over = Array.map (fun p -> Bigint.div crt_modulus (Bigint.of_int p)) primes in
+  let crt_invs =
+    Array.mapi (fun i p -> Modarith.inv_mod (Bigint.mod_int crt_q_over.(i) p) p) primes
+  in
+  { n; primes; ntts; crt_modulus; crt_q_over; crt_invs }
+
+let ctx_n ctx = ctx.n
+let crt_prime_count ctx = Array.length ctx.primes
+let poly_zero n = Array.make n Bigint.zero
+
+let modulus logq = Bigint.pow2 logq
+
+let reduce ~logq a =
+  let q = modulus logq in
+  Array.map (fun c -> Bigint.emod c q) a
+
+let of_centered_ints ~logq ints =
+  let q = modulus logq in
+  Array.map (fun c -> Bigint.emod (Bigint.of_int c) q) ints
+
+let to_centered ~logq a =
+  let q = modulus logq in
+  Array.map (fun c -> Bigint.centered_mod c q) a
+
+let add ~logq a b =
+  let q = modulus logq in
+  Array.init (Array.length a) (fun i ->
+      let s = Bigint.add a.(i) b.(i) in
+      if Bigint.compare s q >= 0 then Bigint.sub s q else s)
+
+let sub ~logq a b =
+  let q = modulus logq in
+  Array.init (Array.length a) (fun i ->
+      let d = Bigint.sub a.(i) b.(i) in
+      if Bigint.sign d < 0 then Bigint.add d q else d)
+
+let neg ~logq a =
+  let q = modulus logq in
+  Array.map (fun c -> if Bigint.is_zero c then c else Bigint.sub q c) a
+
+let mul ctx ~logq a b =
+  if Array.length a <> ctx.n || Array.length b <> ctx.n then invalid_arg "Rq_big.mul: wrong length";
+  let a = to_centered ~logq a and b = to_centered ~logq b in
+  let nprimes = Array.length ctx.primes in
+  (* residues per prime, negacyclic NTT product *)
+  let residue_prod =
+    Array.init nprimes (fun k ->
+        let p = ctx.primes.(k) in
+        let ra = Array.map (fun c -> Bigint.mod_int c p) a in
+        let rb = Array.map (fun c -> Bigint.mod_int c p) b in
+        Ntt.negacyclic_mul ctx.ntts.(k) ra rb)
+  in
+  let q = modulus logq in
+  Array.init ctx.n (fun j ->
+      let acc = ref Bigint.zero in
+      for k = 0 to nprimes - 1 do
+        let c = Modarith.mul_mod residue_prod.(k).(j) ctx.crt_invs.(k) ctx.primes.(k) in
+        acc := Bigint.add !acc (Bigint.mul_int ctx.crt_q_over.(k) c)
+      done;
+      (* centered reconstruction gives the exact signed integer product *)
+      Bigint.emod (Bigint.centered_mod !acc ctx.crt_modulus) q)
+
+let mul_scalar ~logq a s =
+  let q = modulus logq in
+  Array.map (fun c -> Bigint.emod (Bigint.mul c s) q) a
+
+let automorphism ~logq ~g a =
+  let n = Array.length a in
+  let q = modulus logq in
+  let index = Encoding.automorphism_index ~n ~g in
+  let dst = poly_zero n in
+  Array.iteri
+    (fun j c ->
+      let j', negate = index.(j) in
+      dst.(j') <- (if negate && not (Bigint.is_zero c) then Bigint.sub q c else c))
+    a;
+  dst
+
+let rescale_pow2 ~logq ~k a =
+  if k >= logq then invalid_arg "Rq_big.rescale_pow2: would drop entire modulus";
+  let q = modulus logq in
+  let q' = modulus (logq - k) in
+  let d = Bigint.pow2 k in
+  Array.map (fun c -> Bigint.emod (Bigint.div_round (Bigint.centered_mod c q) d) q') a
+
+let mod_down ~logq_to a =
+  let q' = modulus logq_to in
+  Array.map (fun c -> Bigint.emod c q') a
+
+let div_round_pow2 = rescale_pow2

@@ -1,0 +1,48 @@
+(** Polynomials in [Z_Q\[X\]/(X^n+1)] with big-integer coefficients and
+    power-of-two modulus [Q = 2^logq] — the representation used by the
+    HEAAN-style CKKS scheme ({!Big_ckks}).
+
+    Coefficients are stored in [\[0, Q)]. Multiplication converts to a CRT
+    basis of word-sized NTT primes (the same trick HEAAN itself uses), does
+    negacyclic NTT products, and reconstructs — exact as long as the true
+    product coefficients fit the configured head-room. *)
+
+module Bigint = Chet_bigint.Bigint
+
+type ctx
+
+val make_ctx : n:int -> max_product_bits:int -> ctx
+(** [max_product_bits]: an upper bound on [log2] of any product coefficient
+    magnitude this context will ever see (typically
+    [2·(logq + log_special) + log2 n + 2]). *)
+
+val ctx_n : ctx -> int
+val crt_prime_count : ctx -> int
+
+val poly_zero : int -> Bigint.t array
+val reduce : logq:int -> Bigint.t array -> Bigint.t array
+(** Map arbitrary (signed) coefficients into [\[0, 2^logq)]. *)
+
+val of_centered_ints : logq:int -> int array -> Bigint.t array
+val to_centered : logq:int -> Bigint.t array -> Bigint.t array
+val add : logq:int -> Bigint.t array -> Bigint.t array -> Bigint.t array
+val sub : logq:int -> Bigint.t array -> Bigint.t array -> Bigint.t array
+val neg : logq:int -> Bigint.t array -> Bigint.t array
+
+val mul : ctx -> logq:int -> Bigint.t array -> Bigint.t array -> Bigint.t array
+(** Negacyclic product mod [2^logq]. Operands need not be reduced; they are
+    centered internally to keep the CRT head-room small. *)
+
+val mul_scalar : logq:int -> Bigint.t array -> Bigint.t -> Bigint.t array
+val automorphism : logq:int -> g:int -> Bigint.t array -> Bigint.t array
+
+val rescale_pow2 : logq:int -> k:int -> Bigint.t array -> Bigint.t array
+(** CKKS rescale: divide centered lifts by [2^k] with rounding; result is
+    mod [2^(logq - k)]. *)
+
+val mod_down : logq_to:int -> Bigint.t array -> Bigint.t array
+(** Reduce to a smaller power-of-two modulus (exact modulus switching). *)
+
+val div_round_pow2 : logq:int -> k:int -> Bigint.t array -> Bigint.t array
+(** Divide centered lifts by [2^k] with rounding, staying at modulus
+    [2^(logq - k)] — the [/P] step of HEAAN key switching. *)

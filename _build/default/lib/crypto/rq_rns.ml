@@ -1,0 +1,243 @@
+module Bigint = Chet_bigint.Bigint
+
+type ctx = { n : int; primes : int array; ntts : Ntt.table array }
+
+let make_ctx ~n ~primes =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p then invalid_arg "Rq_rns.make_ctx: duplicate prime";
+      Hashtbl.add seen p ())
+    primes;
+  { n; primes; ntts = Array.map (fun p -> Ntt.make_table ~n ~prime:p) primes }
+
+let ctx_n ctx = ctx.n
+let ctx_primes ctx = ctx.primes
+
+type t = { basis : int array; comps : int array array; ntt : bool }
+
+let basis t = t.basis
+let is_ntt t = t.ntt
+let zero ctx basis = { basis = Array.copy basis; comps = Array.map (fun _ -> Array.make ctx.n 0) basis; ntt = false }
+let copy t = { t with comps = Array.map Array.copy t.comps; basis = Array.copy t.basis }
+
+let same_basis a b = a.basis = b.basis
+
+let of_centered_coeffs ctx basis coeffs =
+  if Array.length coeffs <> ctx.n then invalid_arg "Rq_rns.of_centered_coeffs: wrong length";
+  let comps =
+    Array.map
+      (fun i ->
+        let p = ctx.primes.(i) in
+        Array.map (fun c -> Modarith.reduce c p) coeffs)
+      basis
+  in
+  { basis = Array.copy basis; comps; ntt = false }
+
+let of_bigint_coeffs ctx basis coeffs =
+  if Array.length coeffs <> ctx.n then invalid_arg "Rq_rns.of_bigint_coeffs: wrong length";
+  let comps =
+    Array.map
+      (fun i ->
+        let p = ctx.primes.(i) in
+        Array.map (fun c -> Bigint.mod_int c p) coeffs)
+      basis
+  in
+  { basis = Array.copy basis; comps; ntt = false }
+
+let modulus ctx basis =
+  Array.fold_left (fun acc i -> Bigint.mul_int acc ctx.primes.(i)) Bigint.one basis
+
+let to_ntt ctx t =
+  if t.ntt then t
+  else begin
+    let comps =
+      Array.mapi
+        (fun k comp ->
+          let a = Array.copy comp in
+          Ntt.forward ctx.ntts.(t.basis.(k)) a;
+          a)
+        t.comps
+    in
+    { t with comps; ntt = true }
+  end
+
+let from_ntt ctx t =
+  if not t.ntt then t
+  else begin
+    let comps =
+      Array.mapi
+        (fun k comp ->
+          let a = Array.copy comp in
+          Ntt.inverse ctx.ntts.(t.basis.(k)) a;
+          a)
+        t.comps
+    in
+    { t with comps; ntt = false }
+  end
+
+let to_bigint_coeffs ctx t =
+  let t = from_ntt ctx t in
+  let nb = Array.length t.basis in
+  let q = modulus ctx t.basis in
+  (* Garner-free CRT: x = Σ ((r_i * inv_i) mod q_i) * (Q/q_i) mod Q *)
+  let q_over = Array.map (fun i -> Bigint.div q (Bigint.of_int ctx.primes.(i))) t.basis in
+  let invs =
+    Array.mapi
+      (fun k i ->
+        let p = ctx.primes.(i) in
+        Modarith.inv_mod (Bigint.mod_int q_over.(k) p) p)
+      t.basis
+  in
+  Array.init ctx.n (fun j ->
+      let acc = ref Bigint.zero in
+      for k = 0 to nb - 1 do
+        let p = ctx.primes.(t.basis.(k)) in
+        let c = Modarith.mul_mod t.comps.(k).(j) invs.(k) p in
+        acc := Bigint.add !acc (Bigint.mul_int q_over.(k) c)
+      done;
+      Bigint.emod !acc q)
+
+let to_centered_bigint_coeffs ctx t =
+  let q = modulus ctx t.basis in
+  Array.map (fun c -> Bigint.centered_mod c q) (to_bigint_coeffs ctx t)
+
+let map2 ctx name f a b =
+  ignore ctx;
+  if not (same_basis a b) then invalid_arg (name ^ ": basis mismatch");
+  if a.ntt <> b.ntt then invalid_arg (name ^ ": NTT-form mismatch");
+  let comps =
+    Array.mapi
+      (fun k i ->
+        let p = ctx.primes.(i) in
+        let ca = a.comps.(k) and cb = b.comps.(k) in
+        Array.init ctx.n (fun j -> f ca.(j) cb.(j) p))
+      a.basis
+  in
+  { basis = Array.copy a.basis; comps; ntt = a.ntt }
+
+let add ctx a b = map2 ctx "Rq_rns.add" Modarith.add_mod a b
+let sub ctx a b = map2 ctx "Rq_rns.sub" Modarith.sub_mod a b
+
+let neg ctx t =
+  let comps =
+    Array.mapi
+      (fun k i ->
+        let p = ctx.primes.(i) in
+        Array.map (fun c -> Modarith.neg_mod c p) t.comps.(k))
+      t.basis
+  in
+  { t with comps; basis = Array.copy t.basis }
+
+let mul ctx a b =
+  let a = to_ntt ctx a and b = to_ntt ctx b in
+  map2 ctx "Rq_rns.mul" Modarith.mul_mod a b
+
+let mul_scalar ctx t s =
+  let comps =
+    Array.mapi
+      (fun k i ->
+        let p = ctx.primes.(i) in
+        let s = Modarith.reduce s p in
+        Array.map (fun c -> Modarith.mul_mod c s p) t.comps.(k))
+      t.basis
+  in
+  { t with comps; basis = Array.copy t.basis }
+
+let add_scalar ctx t s =
+  if t.ntt then invalid_arg "Rq_rns.add_scalar: coefficient form required";
+  let r = copy t in
+  Array.iteri
+    (fun k i ->
+      let p = ctx.primes.(i) in
+      r.comps.(k).(0) <- Modarith.add_mod r.comps.(k).(0) (Modarith.reduce s p) p)
+    r.basis;
+  r
+
+let automorphism ctx t ~g =
+  if t.ntt then invalid_arg "Rq_rns.automorphism: coefficient form required";
+  let index = Encoding.automorphism_index ~n:ctx.n ~g in
+  let comps =
+    Array.mapi
+      (fun k i ->
+        let p = ctx.primes.(i) in
+        let src = t.comps.(k) in
+        let dst = Array.make ctx.n 0 in
+        for j = 0 to ctx.n - 1 do
+          let j', negate = index.(j) in
+          dst.(j') <- (if negate then Modarith.neg_mod src.(j) p else src.(j))
+        done;
+        dst)
+      t.basis
+  in
+  { t with comps; basis = Array.copy t.basis }
+
+let drop_last ctx t ~rounded =
+  if t.ntt then invalid_arg "Rq_rns.drop_last: coefficient form required";
+  let nb = Array.length t.basis in
+  if nb < 2 then invalid_arg "Rq_rns.drop_last: nothing to drop";
+  let last_idx = t.basis.(nb - 1) in
+  let q_last = ctx.primes.(last_idx) in
+  let half = q_last / 2 in
+  let last = t.comps.(nb - 1) in
+  let basis = Array.sub t.basis 0 (nb - 1) in
+  let comps =
+    Array.init (nb - 1) (fun k ->
+        let p = ctx.primes.(t.basis.(k)) in
+        if not rounded then Array.copy t.comps.(k)
+        else begin
+          let inv = Modarith.inv_mod (q_last mod p) p in
+          Array.init ctx.n (fun j ->
+              (* centered lift of the dropped residue for proper rounding *)
+              let d = if last.(j) > half then last.(j) - q_last else last.(j) in
+              let c = Modarith.sub_mod t.comps.(k).(j) (Modarith.reduce d p) p in
+              Modarith.mul_mod c inv p)
+        end)
+  in
+  { basis; comps; ntt = false }
+
+let subset t indices =
+  let pos i =
+    let rec find k =
+      if k >= Array.length t.basis then invalid_arg "Rq_rns.subset: index not in basis"
+      else if t.basis.(k) = i then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  {
+    basis = Array.copy indices;
+    comps = Array.map (fun i -> Array.copy t.comps.(pos i)) indices;
+    ntt = t.ntt;
+  }
+
+let equal a b = a.basis = b.basis && a.ntt = b.ntt && a.comps = b.comps
+
+let of_components ~basis ~comps ~ntt =
+  if Array.length basis <> Array.length comps then invalid_arg "Rq_rns.of_components: arity mismatch";
+  { basis = Array.copy basis; comps = Array.map Array.copy comps; ntt }
+
+let position t i =
+  let rec find k =
+    if k >= Array.length t.basis then invalid_arg "Rq_rns: index not in basis"
+    else if t.basis.(k) = i then k
+    else find (k + 1)
+  in
+  find 0
+
+let component t ~basis_index = Array.copy t.comps.(position t basis_index)
+
+let scale_component ctx t ~basis_index ~scalar =
+  let k0 = position t basis_index in
+  let comps =
+    Array.mapi
+      (fun k i ->
+        if k <> k0 then Array.make (Array.length t.comps.(k)) 0
+        else begin
+          let p = ctx.primes.(i) in
+          let s = Modarith.reduce scalar p in
+          Array.map (fun c -> Modarith.mul_mod c s p) t.comps.(k)
+        end)
+      t.basis
+  in
+  { t with comps; basis = Array.copy t.basis }

@@ -1,0 +1,86 @@
+(** Polynomials in the double-CRT (RNS + NTT) representation used by
+    RNS-CKKS: an element of [Z_Q\[X\]/(X^n+1)] with [Q = Π q_i] is stored as
+    one residue vector per prime [q_i].
+
+    A polynomial's basis is a set of indices into the context's prime list;
+    ciphertexts use the prefix [q_0..q_{l-1}] and key-switching keys
+    additionally carry the special prime (last index). *)
+
+module Bigint = Chet_bigint.Bigint
+
+type ctx
+
+val make_ctx : n:int -> primes:int array -> ctx
+(** Builds NTT tables for every prime. Primes must be distinct, NTT-friendly
+    for size [n]. *)
+
+val ctx_n : ctx -> int
+val ctx_primes : ctx -> int array
+
+type t
+
+val basis : t -> int array
+(** Indices into [ctx_primes] of this polynomial's residue components. *)
+
+val is_ntt : t -> bool
+val zero : ctx -> int array -> t
+val copy : t -> t
+
+val of_centered_coeffs : ctx -> int array -> int array -> t
+(** [of_centered_coeffs ctx basis coeffs]: coefficients given as centered
+    native ints. Result is in coefficient (non-NTT) form. *)
+
+val of_bigint_coeffs : ctx -> int array -> Bigint.t array -> t
+
+val to_bigint_coeffs : ctx -> t -> Bigint.t array
+(** CRT reconstruction; results in [\[0, Q)]. Input may be in either form. *)
+
+val to_centered_bigint_coeffs : ctx -> t -> Bigint.t array
+
+val modulus : ctx -> int array -> Bigint.t
+(** [Π] of the basis primes. *)
+
+val to_ntt : ctx -> t -> t
+val from_ntt : ctx -> t -> t
+val add : ctx -> t -> t -> t
+val sub : ctx -> t -> t -> t
+val neg : ctx -> t -> t
+
+val mul : ctx -> t -> t -> t
+(** Ring product; converts operands to NTT form as needed. Result in NTT
+    form. *)
+
+val mul_scalar : ctx -> t -> int -> t
+(** Multiply by a centered integer scalar (form-preserving). *)
+
+val add_scalar : ctx -> t -> int -> t
+(** Add a centered integer to the constant coefficient (coefficient form
+    required). *)
+
+val automorphism : ctx -> t -> g:int -> t
+(** [m(X) ↦ m(X^g)], odd [g]; operand must be in coefficient form. *)
+
+val drop_last : ctx -> t -> rounded:bool -> t
+(** Remove the last basis component [q_last]. With [~rounded:true] this is
+    the CKKS [rescale]: divide by [q_last] with rounding
+    ([c ↦ (c - \[c\]_{q_last}) / q_last] on centered lifts). With
+    [~rounded:false] it simply forgets the component (exact only if the
+    value is unchanged mod the remaining basis). Coefficient form required. *)
+
+val subset : t -> int array -> t
+(** Restrict to a sub-basis (indices must be present). *)
+
+val equal : t -> t -> bool
+
+(** {1 Low-level constructors}
+
+    Used by the scheme layer for digit decomposition and direct-in-NTT
+    sampling; residues must already be reduced mod their primes. *)
+
+val of_components : basis:int array -> comps:int array array -> ntt:bool -> t
+val component : t -> basis_index:int -> int array
+(** Residue vector of the component for prime index [basis_index]. *)
+
+val scale_component : ctx -> t -> basis_index:int -> scalar:int -> t
+(** Zero every component except [basis_index], which is multiplied by
+    [scalar]. *)

@@ -1,0 +1,26 @@
+module Bigint = Chet_bigint.Bigint
+
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x43484554 (* "CHET" *) |]
+let state t = t
+let uniform_mod t m = Random.State.int t m
+
+let ternary t n = Array.init n (fun _ -> Random.State.int t 3 - 1)
+
+let gaussian t ~sigma n =
+  let sample () =
+    let u1 = Random.State.float t 1.0 +. 1e-12 in
+    let u2 = Random.State.float t 1.0 in
+    let g = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) *. sigma in
+    let bound = 6.0 *. sigma in
+    let g = Float.max (-.bound) (Float.min bound g) in
+    int_of_float (Float.round g)
+  in
+  Array.init n (fun _ -> sample ())
+
+let uniform_poly t ~modulus n = Array.init n (fun _ -> Random.State.int t modulus)
+
+let uniform_bigint_poly t ~modulus n =
+  let rand31 () = Random.State.bits t in
+  Array.init n (fun _ -> Bigint.random_below rand31 modulus)

@@ -1,0 +1,54 @@
+type level = Bits128 | Bits192 | Bits256
+
+(* (N, max logQ at 128 / 192 / 256 bits), ternary secret, classical attacks;
+   HE Standard (homomorphicencryption.org), Table 1. The 65536 row follows
+   the same doubling pattern (the standard's draft extension). *)
+let table =
+  [| (1024, 27, 19, 14);
+     (2048, 54, 37, 29);
+     (4096, 109, 75, 58);
+     (8192, 218, 152, 118);
+     (16384, 438, 305, 237);
+     (32768, 881, 611, 476);
+     (65536, 1772, 1228, 956);
+  |]
+
+let select level (_, a, b, c) = match level with Bits128 -> a | Bits192 -> b | Bits256 -> c
+
+let max_log_q level n =
+  let rec find i =
+    if i >= Array.length table then invalid_arg "Security.max_log_q: n outside table"
+    else begin
+      let ((n', _, _, _) as row) = table.(i) in
+      if n' = n then select level row else find (i + 1)
+    end
+  in
+  find 0
+
+let min_ring_dim level ~log_q =
+  let rec find i =
+    if i >= Array.length table then raise Not_found
+    else begin
+      let ((n', _, _, _) as row) = table.(i) in
+      if select level row >= log_q then n' else find (i + 1)
+    end
+  in
+  find 0
+
+(* HEAAN v1.0 shipped with logN=15/16 presets allowing logQ up to ~1240;
+   the paper's baselines use such parameters ("somewhat less than 128-bit").
+   We model the legacy bound as 1.41x the standard one, which reproduces the
+   paper's (N=32768, logQ=940) choice for SqueezeNet-CIFAR. *)
+let legacy_heaan_max_log_q n =
+  let std = max_log_q Bits128 n in
+  std * 141 / 100
+
+let min_ring_dim_legacy ~log_q =
+  let rec find i =
+    if i >= Array.length table then raise Not_found
+    else begin
+      let n', _, _, _ = table.(i) in
+      if legacy_heaan_max_log_q n' >= log_q then n' else find (i + 1)
+    end
+  in
+  find 0

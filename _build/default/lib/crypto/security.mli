@@ -1,0 +1,23 @@
+(** Security tables from the Homomorphic Encryption Standard (Chase et al.,
+    reference \[12\] of the paper): for each ring dimension [N], the largest
+    [log2 Q] that still gives the requested security level against known
+    attacks, assuming ternary secrets. CHET "explicitly encodes" this table
+    and by default picks the smallest [N] and [Q] with 128-bit security
+    (§2.3, §5.2). *)
+
+type level = Bits128 | Bits192 | Bits256
+
+val max_log_q : level -> int -> int
+(** [max_log_q level n]: largest supported [log2 Q] for ring dimension [n].
+    @raise Invalid_argument for [n] outside the table (1024..65536). *)
+
+val min_ring_dim : level -> log_q:int -> int
+(** Smallest power-of-two [N] in the table such that [log_q] is secure.
+    @raise Not_found if [log_q] exceeds the largest table entry. *)
+
+val legacy_heaan_max_log_q : int -> int
+(** The non-standard bound used by the paper's hand-written HEAAN baselines
+    ("somewhat less than 128-bit security", §6): HEAAN v1.0's default
+    parameterisation admits larger [Q] per [N] than the standard table. *)
+
+val min_ring_dim_legacy : log_q:int -> int

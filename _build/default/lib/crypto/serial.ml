@@ -1,0 +1,180 @@
+module Bigint = Chet_bigint.Bigint
+
+type writer = Buffer.t
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let writer () = Buffer.create 4096
+let contents w = Buffer.contents w
+let reader data = { data; pos = 0 }
+let reader_eof r = r.pos >= String.length r.data
+
+let need r n =
+  if r.pos + n > String.length r.data then raise (Corrupt "truncated payload")
+
+let write_int w v = Buffer.add_int64_le w (Int64.of_int v)
+
+let read_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let write_float w f = Buffer.add_int64_le w (Int64.bits_of_float f)
+
+let read_float r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let write_string w s =
+  write_int w (String.length s);
+  Buffer.add_string w s
+
+let read_string r =
+  let len = read_int r in
+  if len < 0 || len > String.length r.data - r.pos then raise (Corrupt "bad string length");
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let write_int_array w a =
+  write_int w (Array.length a);
+  Array.iter (write_int w) a
+
+let read_int_array r =
+  let len = read_int r in
+  if len < 0 || len > (String.length r.data - r.pos) / 8 then raise (Corrupt "bad array length");
+  Array.init len (fun _ -> read_int r)
+
+let write_bigint w v = write_string w (Bigint.to_string v)
+
+let read_bigint r =
+  let s = read_string r in
+  try Bigint.of_string s with Invalid_argument _ -> raise (Corrupt "bad bigint")
+
+let write_bigint_array w a =
+  write_int w (Array.length a);
+  Array.iter (write_bigint w) a
+
+let read_bigint_array r =
+  let len = read_int r in
+  if len < 0 || len > String.length r.data - r.pos then raise (Corrupt "bad array length");
+  Array.init len (fun _ -> read_bigint r)
+
+let write_tag w tag =
+  assert (String.length tag = 4);
+  Buffer.add_string w tag
+
+let expect_tag r tag =
+  need r 4;
+  let got = String.sub r.data r.pos 4 in
+  r.pos <- r.pos + 4;
+  if got <> tag then raise (Corrupt (Printf.sprintf "expected %s payload, found %s" tag got))
+
+(* --- RNS-CKKS --- *)
+
+let write_rq w (p : Rq_rns.t) =
+  write_int_array w (Rq_rns.basis p);
+  write_int w (if Rq_rns.is_ntt p then 1 else 0);
+  Array.iter (fun i -> write_int_array w (Rq_rns.component p ~basis_index:i)) (Rq_rns.basis p)
+
+let read_rq r ctx =
+  let basis = read_int_array r in
+  let nprimes = Array.length (Rq_rns.ctx_primes ctx) in
+  Array.iter (fun i -> if i < 0 || i >= nprimes then raise (Corrupt "bad basis index")) basis;
+  let ntt = read_int r = 1 in
+  let n = Rq_rns.ctx_n ctx in
+  let comps =
+    Array.map
+      (fun i ->
+        let c = read_int_array r in
+        if Array.length c <> n then raise (Corrupt "bad component length");
+        let p = (Rq_rns.ctx_primes ctx).(i) in
+        Array.iter (fun v -> if v < 0 || v >= p then raise (Corrupt "residue out of range")) c;
+        c)
+      basis
+  in
+  Rq_rns.of_components ~basis ~comps ~ntt
+
+let write_rns_ciphertext w ctx (ct : Rns_ckks.ciphertext) =
+  ignore ctx;
+  write_tag w "RCT1";
+  write_int w ct.Rns_ckks.level;
+  write_float w ct.Rns_ckks.scale;
+  write_rq w ct.Rns_ckks.c0;
+  write_rq w ct.Rns_ckks.c1
+
+let read_rns_ciphertext r ctx =
+  expect_tag r "RCT1";
+  let level = read_int r in
+  let scale = read_float r in
+  let c0 = read_rq r ctx in
+  let c1 = read_rq r ctx in
+  { Rns_ckks.c0; c1; level; scale }
+
+let write_kswitch w k =
+  let pairs = Rns_ckks.kswitch_pairs k in
+  write_int w (Array.length pairs);
+  Array.iter
+    (fun (b, a) ->
+      write_rq w b;
+      write_rq w a)
+    pairs
+
+let read_kswitch r ctx =
+  let len = read_int r in
+  if len < 0 || len > 4096 then raise (Corrupt "bad key pair count");
+  Rns_ckks.kswitch_of_pairs
+    (Array.init len (fun _ ->
+         let b = read_rq r ctx in
+         let a = read_rq r ctx in
+         (b, a)))
+
+let write_rns_keys w ctx (keys : Rns_ckks.keys) =
+  ignore ctx;
+  write_tag w "RKY1";
+  let pk0, pk1 = Rns_ckks.public_key_parts keys.Rns_ckks.public in
+  write_rq w pk0;
+  write_rq w pk1;
+  write_kswitch w keys.Rns_ckks.relin;
+  write_int w (Hashtbl.length keys.Rns_ckks.rotation);
+  Hashtbl.iter
+    (fun galois k ->
+      write_int w galois;
+      write_kswitch w k)
+    keys.Rns_ckks.rotation
+
+let read_rns_keys r ctx =
+  expect_tag r "RKY1";
+  let pk0 = read_rq r ctx in
+  let pk1 = read_rq r ctx in
+  let relin = read_kswitch r ctx in
+  let count = read_int r in
+  if count < 0 || count > 65536 then raise (Corrupt "bad rotation key count");
+  let rotation = Hashtbl.create (Stdlib.max 1 count) in
+  for _ = 1 to count do
+    let galois = read_int r in
+    Hashtbl.replace rotation galois (read_kswitch r ctx)
+  done;
+  { Rns_ckks.public = Rns_ckks.public_key_of_parts (pk0, pk1); relin; rotation }
+
+(* --- power-of-two CKKS --- *)
+
+let write_big_ciphertext w (ct : Big_ckks.ciphertext) =
+  write_tag w "BCT1";
+  write_int w ct.Big_ckks.logq;
+  write_float w ct.Big_ckks.scale;
+  write_bigint_array w ct.Big_ckks.c0;
+  write_bigint_array w ct.Big_ckks.c1
+
+let read_big_ciphertext r =
+  expect_tag r "BCT1";
+  let logq = read_int r in
+  let scale = read_float r in
+  let c0 = read_bigint_array r in
+  let c1 = read_bigint_array r in
+  if Array.length c0 <> Array.length c1 then raise (Corrupt "component length mismatch");
+  { Big_ckks.c0; c1; logq; scale }

@@ -1,0 +1,60 @@
+(** Binary serialisation for the client/server protocol of Figure 3: the
+    client ships an encrypted image and public evaluation keys to the server
+    and receives an encrypted prediction back.
+
+    The format is a simple length-prefixed little-endian encoding with a
+    magic tag per payload kind — enough to make the loopback protocol real
+    (and testable), not a standardised wire format. *)
+
+module Bigint = Chet_bigint.Bigint
+
+type writer
+type reader
+
+exception Corrupt of string
+
+val writer : unit -> writer
+val contents : writer -> string
+val reader : string -> reader
+val reader_eof : reader -> bool
+
+(** {1 Primitives} *)
+
+val write_int : writer -> int -> unit
+val read_int : reader -> int
+val write_float : writer -> float -> unit
+val read_float : reader -> float
+val write_string : writer -> string -> unit
+val read_string : reader -> string
+val write_int_array : writer -> int array -> unit
+val read_int_array : reader -> int array
+val write_bigint : writer -> Bigint.t -> unit
+val read_bigint : reader -> Bigint.t
+val write_bigint_array : writer -> Bigint.t array -> unit
+val read_bigint_array : reader -> Bigint.t array
+
+(** {1 Tagged payloads} *)
+
+val write_tag : writer -> string -> unit
+(** 4-character payload tag. *)
+
+val expect_tag : reader -> string -> unit
+(** @raise Corrupt if the next tag differs. *)
+
+(** {1 RNS-CKKS ciphertexts} *)
+
+val write_rns_ciphertext : writer -> Rq_rns.ctx -> Rns_ckks.ciphertext -> unit
+val read_rns_ciphertext : reader -> Rq_rns.ctx -> Rns_ckks.ciphertext
+
+(** {1 RNS-CKKS public evaluation material}
+
+    The full key bundle the client ships to the server: public key,
+    relinearisation key, and the compiler-selected rotation keys. *)
+
+val write_rns_keys : writer -> Rq_rns.ctx -> Rns_ckks.keys -> unit
+val read_rns_keys : reader -> Rq_rns.ctx -> Rns_ckks.keys
+
+(** {1 CKKS (power-of-two) ciphertexts} *)
+
+val write_big_ciphertext : writer -> Big_ckks.ciphertext -> unit
+val read_big_ciphertext : reader -> Big_ckks.ciphertext

@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Array Chet_nn Chet_tensor Filename Format Hashtbl Lexer List Random String

@@ -1,0 +1,129 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Equals
+  | Colon
+  | Comma
+  | Lbracket
+  | Rbracket
+  | Newline
+  | Eof
+
+type positioned = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let pp_token fmt = function
+  | Ident s -> Format.fprintf fmt "identifier %S" s
+  | Int n -> Format.fprintf fmt "integer %d" n
+  | Float f -> Format.fprintf fmt "float %g" f
+  | Equals -> Format.pp_print_string fmt "'='"
+  | Colon -> Format.pp_print_string fmt "':'"
+  | Comma -> Format.pp_print_string fmt "','"
+  | Lbracket -> Format.pp_print_string fmt "'['"
+  | Rbracket -> Format.pp_print_string fmt "']'"
+  | Newline -> Format.pp_print_string fmt "newline"
+  | Eof -> Format.pp_print_string fmt "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let emit token = tokens := { token; line = !line; col = !col } :: !tokens in
+  let i = ref 0 in
+  let advance k =
+    col := !col + k;
+    i := !i + k
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      (match !tokens with
+      | { token = Newline; _ } :: _ | [] -> () (* collapse blank lines *)
+      | _ -> emit Newline);
+      incr line;
+      col := 1;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance 1
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '=' then begin
+      emit Equals;
+      advance 1
+    end
+    else if c = ':' then begin
+      emit Colon;
+      advance 1
+    end
+    else if c = ',' then begin
+      emit Comma;
+      advance 1
+    end
+    else if c = '[' then begin
+      emit Lbracket;
+      advance 1
+    end
+    else if c = ']' then begin
+      emit Rbracket;
+      advance 1
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let is_float =
+        !i < n
+        && (src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E')
+        && (src.[!i] <> '.' || (!i + 1 < n && is_digit src.[!i + 1]))
+      in
+      if is_float then begin
+        if src.[!i] = '.' then begin
+          incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        let text = String.sub src start (!i - start) in
+        (match float_of_string_opt text with
+        | Some f -> emit (Float f)
+        | None -> raise (Lex_error (Printf.sprintf "bad float literal %S" text, !line, !col)));
+        col := !col + (!i - start)
+      end
+      else begin
+        let text = String.sub src start (!i - start) in
+        (match int_of_string_opt text with
+        | Some v -> emit (Int v)
+        | None -> raise (Lex_error (Printf.sprintf "bad integer literal %S" text, !line, !col)));
+        col := !col + (!i - start)
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (Ident (String.sub src start (!i - start)));
+      col := !col + (!i - start)
+    end
+    else raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line, !col))
+  done;
+  emit Eof;
+  List.rev !tokens

@@ -1,0 +1,25 @@
+(** Lexer for the textual tensor-circuit format (see {!Parser} for the
+    grammar). Hand-written; produces a token stream with line/column
+    positions for error reporting. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Equals
+  | Colon
+  | Comma
+  | Lbracket
+  | Rbracket
+  | Newline
+  | Eof
+
+type positioned = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int  (** message, line, column *)
+
+val tokenize : string -> positioned list
+(** Comments run from [#] to end of line. Newlines are significant (they
+    terminate statements); consecutive newlines collapse. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,271 @@
+module Circuit = Chet_nn.Circuit
+module Tensor = Chet_tensor.Tensor
+module Dataset = Chet_tensor.Dataset
+
+exception Parse_error of string * int * int
+
+type value = Vint of int | Vfloat of float | Vident of string
+
+type state = {
+  mutable toks : Lexer.positioned list;
+  builder : Circuit.builder;
+  env : (string, Circuit.node) Hashtbl.t;
+  mutable output : Circuit.node option;
+}
+
+let fail (p : Lexer.positioned) fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (msg, p.Lexer.line, p.Lexer.col))) fmt
+
+let peek st = match st.toks with [] -> assert false | p :: _ -> p
+
+let next st =
+  let p = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  p
+
+let expect st want =
+  let p = next st in
+  if p.Lexer.token <> want then
+    fail p "expected %a but found %a" Lexer.pp_token want Lexer.pp_token p.Lexer.token
+
+let ident st =
+  let p = next st in
+  match p.Lexer.token with
+  | Lexer.Ident s -> s
+  | t -> fail p "expected an identifier, found %a" Lexer.pp_token t
+
+let int_lit st =
+  let p = next st in
+  match p.Lexer.token with
+  | Lexer.Int n -> n
+  | t -> fail p "expected an integer, found %a" Lexer.pp_token t
+
+let skip_newlines st =
+  let rec loop () =
+    match (peek st).Lexer.token with
+    | Lexer.Newline ->
+        ignore (next st);
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let end_of_statement st =
+  match (peek st).Lexer.token with
+  | Lexer.Newline | Lexer.Eof -> ()
+  | t -> fail (peek st) "unexpected %a at end of statement" Lexer.pp_token t
+
+(* key=value arguments up to end of line *)
+let parse_kvs st =
+  let kvs = ref [] in
+  let rec loop () =
+    match (peek st).Lexer.token with
+    | Lexer.Ident key ->
+        let kp = next st in
+        expect st Lexer.Equals;
+        let vp = next st in
+        let v =
+          match vp.Lexer.token with
+          | Lexer.Int n -> Vint n
+          | Lexer.Float f -> Vfloat f
+          | Lexer.Ident s -> Vident s
+          | t -> fail vp "expected a value after %s=, found %a" key Lexer.pp_token t
+        in
+        if List.mem_assoc key !kvs then fail kp "duplicate argument %s" key;
+        kvs := (key, v) :: !kvs;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !kvs
+
+let get_int p kvs key =
+  match List.assoc_opt key kvs with
+  | Some (Vint n) -> n
+  | Some _ -> fail p "argument %s must be an integer" key
+  | None -> fail p "missing required argument %s" key
+
+let get_int_default kvs key default =
+  match List.assoc_opt key kvs with Some (Vint n) -> Some n | None -> Some default | Some _ -> None
+
+let get_float p kvs key =
+  match List.assoc_opt key kvs with
+  | Some (Vfloat f) -> f
+  | Some (Vint n) -> float_of_int n
+  | Some (Vident _) -> fail p "argument %s must be a number" key
+  | None -> fail p "missing required argument %s" key
+
+let lookup st p name =
+  match Hashtbl.find_opt st.env name with
+  | Some node -> node
+  | None -> fail p "undefined tensor %s" name
+
+let operand st = lookup st (peek st) (ident st)
+
+let check_known p kvs allowed =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        fail p "unknown argument %s (allowed: %s)" k (String.concat ", " allowed))
+    kvs
+
+let parse_shape st =
+  expect st Lexer.Lbracket;
+  let dims = ref [ int_lit st ] in
+  let rec loop () =
+    match (peek st).Lexer.token with
+    | Lexer.Comma ->
+        ignore (next st);
+        dims := int_lit st :: !dims;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  expect st Lexer.Rbracket;
+  Array.of_list (List.rev !dims)
+
+let parse_input st p =
+  let name = ident st in
+  expect st Lexer.Colon;
+  let shape = parse_shape st in
+  let encrypted =
+    match (peek st).Lexer.token with
+    | Lexer.Ident "encrypted" ->
+        ignore (next st);
+        true
+    | Lexer.Ident "plain" ->
+        ignore (next st);
+        false
+    | _ -> true
+  in
+  (try
+     let node = Circuit.input st.builder ~name ~encrypted shape in
+     Hashtbl.replace st.env name node
+   with Invalid_argument msg -> fail p "%s" msg);
+  end_of_statement st
+
+let parse_op st target =
+  let p = peek st in
+  let op_name = ident st in
+  let node =
+    try
+      match op_name with
+      | "conv2d" ->
+          let src = operand st in
+          let kvs = parse_kvs st in
+          check_known p kvs [ "filters"; "kernel"; "stride"; "padding"; "seed"; "bias" ];
+          let filters = get_int p kvs "filters" in
+          let kernel = get_int p kvs "kernel" in
+          let stride = match get_int_default kvs "stride" 1 with Some s -> s | None -> fail p "stride must be an integer" in
+          let seed = get_int p kvs "seed" in
+          let padding =
+            match List.assoc_opt "padding" kvs with
+            | Some (Vident "same") -> Tensor.Same
+            | Some (Vident "valid") | None -> Tensor.Valid
+            | Some _ -> fail p "padding must be same or valid"
+          in
+          let with_bias =
+            match List.assoc_opt "bias" kvs with
+            | Some (Vident "false") -> false
+            | Some (Vident "true") | None -> true
+            | Some _ -> fail p "bias must be true or false"
+          in
+          let rs = Random.State.make [| seed |] in
+          let in_c = src.Circuit.shape.(0) in
+          let weights = Dataset.glorot rs [| filters; in_c; kernel; kernel |] in
+          let bias = if with_bias then Some (Dataset.bias rs filters) else None in
+          Circuit.conv2d st.builder src ~weights ?bias ~stride ~padding ()
+      | "matmul" ->
+          let src = operand st in
+          let kvs = parse_kvs st in
+          check_known p kvs [ "out"; "seed"; "bias" ];
+          let out = get_int p kvs "out" in
+          let seed = get_int p kvs "seed" in
+          let rs = Random.State.make [| seed |] in
+          let in_d = Tensor.numel_of_shape src.Circuit.shape in
+          let weights = Dataset.glorot rs [| out; in_d |] in
+          Circuit.matmul st.builder src ~weights ~bias:(Dataset.bias rs out) ()
+      | "avg_pool" ->
+          let src = operand st in
+          let kvs = parse_kvs st in
+          check_known p kvs [ "ksize"; "stride" ];
+          Circuit.avg_pool st.builder src ~ksize:(get_int p kvs "ksize") ~stride:(get_int p kvs "stride")
+      | "global_avg_pool" -> Circuit.global_avg_pool st.builder (operand st)
+      | "poly_act" ->
+          let src = operand st in
+          let kvs = parse_kvs st in
+          check_known p kvs [ "a"; "b" ];
+          Circuit.poly_act st.builder src ~a:(get_float p kvs "a") ~b:(get_float p kvs "b")
+      | "square" -> Circuit.square st.builder (operand st)
+      | "batch_norm" ->
+          let src = operand st in
+          let kvs = parse_kvs st in
+          check_known p kvs [ "seed" ];
+          let rs = Random.State.make [| get_int p kvs "seed" |] in
+          let c = src.Circuit.shape.(0) in
+          let scale = Array.init c (fun _ -> 0.8 +. Random.State.float rs 0.4) in
+          let shift = Array.init c (fun _ -> Random.State.float rs 0.1 -. 0.05) in
+          Circuit.batch_norm st.builder src ~scale ~shift
+      | "flatten" -> Circuit.flatten st.builder (operand st)
+      | "concat" ->
+          let first = operand st in
+          let rest = ref [] in
+          let rec loop () =
+            match (peek st).Lexer.token with
+            | Lexer.Comma ->
+                ignore (next st);
+                rest := operand st :: !rest;
+                loop ()
+            | _ -> ()
+          in
+          loop ();
+          Circuit.concat st.builder (first :: List.rev !rest)
+      | "residual" ->
+          let a = operand st in
+          let b = operand st in
+          Circuit.residual st.builder a b
+      | other -> fail p "unknown operation %s" other
+    with Invalid_argument msg -> fail p "%s" msg
+  in
+  Hashtbl.replace st.env target node;
+  end_of_statement st
+
+let parse ~name src =
+  let st =
+    { toks = Lexer.tokenize src; builder = Circuit.builder (); env = Hashtbl.create 16; output = None }
+  in
+  let rec loop () =
+    skip_newlines st;
+    let p = peek st in
+    match p.Lexer.token with
+    | Lexer.Eof -> ()
+    | Lexer.Ident "input" ->
+        ignore (next st);
+        parse_input st p;
+        loop ()
+    | Lexer.Ident "output" ->
+        ignore (next st);
+        let out = operand st in
+        end_of_statement st;
+        st.output <- Some out;
+        loop ()
+    | Lexer.Ident target ->
+        ignore (next st);
+        expect st Lexer.Equals;
+        parse_op st target;
+        loop ()
+    | t -> fail p "expected a statement, found %a" Lexer.pp_token t
+  in
+  (try loop () with Lexer.Lex_error (msg, line, col) -> raise (Parse_error (msg, line, col)));
+  match st.output with
+  | None -> raise (Parse_error ("no output statement", 0, 0))
+  | Some output -> (
+      try Circuit.finish st.builder ~name ~output
+      with Invalid_argument msg -> raise (Parse_error (msg, 0, 0)))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~name:(Filename.remove_extension (Filename.basename path)) src

@@ -1,0 +1,30 @@
+(** Parser for CHET's textual tensor-circuit format — the "input is very
+    similar to how these models are specified in frameworks such as
+    TensorFlow" of §3.2, as a standalone text file. Weights are synthesised
+    deterministically from per-operation seeds (Glorot), since the format
+    describes circuit *structure* and schema.
+
+    Grammar (newline-terminated statements, [#] comments):
+    {v
+    input  image : [1, 28, 28] encrypted
+    c1 = conv2d   image filters=4 kernel=5 stride=1 padding=valid seed=1
+    a1 = poly_act c1 a=0.1 b=1.0
+    p1 = avg_pool a1 ksize=2 stride=2
+    f1 = flatten  p1
+    d1 = matmul   f1 out=32 seed=2
+    g  = square   d1
+    s  = residual d1 g
+    m  = concat   c1, c2
+    gp = global_avg_pool c1
+    bn = batch_norm c1 seed=3
+    output d1
+    v} *)
+
+exception Parse_error of string * int * int  (** message, line, column *)
+
+val parse : name:string -> string -> Chet_nn.Circuit.t
+(** @raise Parse_error on syntax or semantic errors (undefined names,
+    missing keys, shape mismatches). *)
+
+val parse_file : string -> Chet_nn.Circuit.t
+(** Reads a [.chet] file; circuit name = basename. *)

@@ -1,0 +1,1 @@
+lib/hisa/bfv_backend.ml: Array Chet_crypto Float Hisa

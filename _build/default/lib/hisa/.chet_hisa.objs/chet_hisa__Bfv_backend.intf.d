@@ -1,0 +1,1 @@
+lib/hisa/bfv_backend.mli: Chet_crypto Hisa

@@ -1,0 +1,1 @@
+lib/hisa/clear_backend.ml: Array Float Hashtbl Hisa Printf Random Stdlib

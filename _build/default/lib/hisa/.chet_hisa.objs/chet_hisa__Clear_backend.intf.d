@@ -1,0 +1,1 @@
+lib/hisa/clear_backend.mli: Hisa

@@ -1,0 +1,1 @@
+lib/hisa/heaan_backend.ml: Array Chet_crypto Hisa List Stdlib

@@ -1,0 +1,1 @@
+lib/hisa/heaan_backend.mli: Chet_crypto Hisa

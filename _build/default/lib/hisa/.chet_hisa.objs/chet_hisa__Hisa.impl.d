@@ -1,0 +1,1 @@
+lib/hisa/hisa.ml:

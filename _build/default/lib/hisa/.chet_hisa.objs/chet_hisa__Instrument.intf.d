@@ -1,0 +1,1 @@
+lib/hisa/instrument.mli: Hashtbl Hisa

@@ -1,0 +1,1 @@
+lib/hisa/seal_backend.mli: Chet_crypto Hisa

@@ -1,0 +1,1 @@
+lib/hisa/shape_backend.ml: Array Clear_backend Float Hisa Printf Stdlib

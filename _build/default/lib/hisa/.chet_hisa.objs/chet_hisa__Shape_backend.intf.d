@@ -1,0 +1,1 @@
+lib/hisa/shape_backend.mli: Hisa

@@ -1,0 +1,1 @@
+lib/hisa/sim_backend.ml: Array Clear_backend Float Hisa Shape_backend Stdlib

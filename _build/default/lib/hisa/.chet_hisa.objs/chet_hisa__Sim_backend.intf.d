@@ -1,0 +1,1 @@
+lib/hisa/sim_backend.mli: Hisa

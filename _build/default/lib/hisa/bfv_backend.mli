@@ -1,0 +1,13 @@
+(** HISA backend over the BFV integer scheme — the "FV" target of §2.2.
+    [max_rescale] is constantly 1 (Table 2's prescription for schemes
+    without rescaling), so fixed-point scales grow monotonically and only
+    shallow circuits are practical — the paper's argument for CKKS. *)
+
+type config = {
+  ctx : Chet_crypto.Bfv.context;
+  rng : Chet_crypto.Sampling.t;
+  keys : Chet_crypto.Bfv.keys;
+  secret : Chet_crypto.Bfv.secret_key option;
+}
+
+val make : config -> Hisa.t

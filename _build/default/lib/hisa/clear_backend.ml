@@ -1,0 +1,189 @@
+(* Unencrypted HISA backend: computes on cleartext float vectors while
+   tracking scales and modulus consumption with the same semantics as the
+   target scheme. This is both the reference inference engine and the
+   execution vehicle for CHET's data-flow analyses. *)
+
+type config = {
+  slots : int;
+  scheme : Hisa.scheme_kind;
+  strict_modulus : bool;
+      (* raise Modulus_exhausted instead of silently computing once the
+         virtual modulus runs out — used by failure-injection tests *)
+  encode_noise : bool;
+      (* model the CKKS approximation noise of encoding: rounding the n
+         coefficients perturbs each slot by ~N(0, n/12)/scale — except for
+         all-equal vectors, which encode into a single coefficient
+         (footnote 3 of the paper). Off by default (bit-exact reference);
+         the profile-guided scale search turns it on. *)
+}
+
+exception Modulus_exhausted
+
+type budget = Rns_level of int | Logq of int
+
+let initial_budget = function
+  | Hisa.Rns_chain primes -> Rns_level (Array.length primes)
+  | Hisa.Pow2_modulus logq -> Logq logq
+
+let make (cfg : config) : Hisa.t =
+  (module struct
+    let slots = cfg.slots
+
+    type pt = { pv : float array; pscale : float }
+    type ct = { v : float array; scale : float; budget : budget }
+
+    let fit values =
+      let v = Array.make cfg.slots 0.0 in
+      Array.blit values 0 v 0 (Stdlib.min (Array.length values) cfg.slots);
+      v
+
+    let encode values ~scale =
+      (* model fixed-point quantisation: values are representable only at
+         multiples of 1/scale, as in the real encoders — this is what makes
+         the profile-guided scale search (§5.5) meaningful on this backend *)
+      let s = float_of_int scale in
+      let pv = Array.map (fun v -> Float.round (v *. s) /. s) (fit values) in
+      if cfg.encode_noise then begin
+        let all_equal = Array.for_all (fun v -> v = pv.(0)) pv in
+        if not all_equal then begin
+          (* deterministic per-plaintext noise: same vector -> same noise *)
+          let st = Random.State.make [| Hashtbl.hash (scale, values) |] in
+          let amp = sqrt (float_of_int (2 * cfg.slots) /. 12.0) /. s in
+          let gauss () =
+            let u1 = Random.State.float st 1.0 +. 1e-12 and u2 = Random.State.float st 1.0 in
+            sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+          in
+          for i = 0 to cfg.slots - 1 do
+            pv.(i) <- pv.(i) +. (amp *. gauss ())
+          done
+        end
+      end;
+      { pv; pscale = s }
+    let decode pt = Array.copy pt.pv
+    let encrypt pt = { v = Array.copy pt.pv; scale = pt.pscale; budget = initial_budget cfg.scheme }
+    let decrypt ct = { pv = Array.copy ct.v; pscale = ct.scale }
+    let copy ct = { ct with v = Array.copy ct.v }
+    let free _ = ()
+
+    let rot_left ct k =
+      let n = cfg.slots in
+      let k = ((k mod n) + n) mod n in
+      { ct with v = Array.init n (fun i -> ct.v.((i + k) mod n)) }
+
+    let rot_right ct k = rot_left ct (-k)
+
+    (* kernels equalise scales only approximately (integer mask factors, RNS
+   rescaling drift); 1e-4 relative slack admits value error well below the
+   scheme noise floor *)
+let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+
+    (* binary ops silently modulus-switch to the lower operand, as the real
+       backends do *)
+    let budget_min a b =
+      match (a, b) with
+      | Rns_level x, Rns_level y -> Rns_level (Stdlib.min x y)
+      | Logq x, Logq y -> Logq (Stdlib.min x y)
+      | _ -> invalid_arg "Clear: mixed scheme budgets"
+
+    let check2 name a b =
+      if not (scales_compatible a.scale b.scale) then invalid_arg (name ^ ": scale mismatch")
+
+    let map2 f a b = Array.init cfg.slots (fun i -> f a.(i) b.(i))
+
+    let add a b =
+      check2 "Clear.add" a b;
+      { a with v = map2 ( +. ) a.v b.v; budget = budget_min a.budget b.budget }
+
+    let sub a b =
+      check2 "Clear.sub" a b;
+      { a with v = map2 ( -. ) a.v b.v; budget = budget_min a.budget b.budget }
+
+    let add_plain c p =
+      if not (scales_compatible c.scale p.pscale) then
+        invalid_arg
+          (Printf.sprintf "Clear.add_plain: scale mismatch (ct %.6g vs pt %.6g)" c.scale p.pscale);
+      { c with v = map2 ( +. ) c.v p.pv }
+
+    let sub_plain c p =
+      if not (scales_compatible c.scale p.pscale) then invalid_arg "Clear.sub_plain: scale mismatch";
+      { c with v = map2 ( -. ) c.v p.pv }
+
+    let add_scalar c x = { c with v = Array.map (fun a -> a +. x) c.v }
+    let sub_scalar c x = add_scalar c (-.x)
+
+    let check_depth c =
+      if cfg.strict_modulus then begin
+        match c.budget with
+        | Rns_level l -> if l < 1 then raise Modulus_exhausted
+        | Logq q -> if q < 1 then raise Modulus_exhausted
+      end
+
+    let mul a b =
+      check_depth a;
+      { v = map2 ( *. ) a.v b.v; scale = a.scale *. b.scale; budget = budget_min a.budget b.budget }
+
+    let mul_plain c p =
+      check_depth c;
+      { c with v = map2 ( *. ) c.v p.pv; scale = c.scale *. p.pscale }
+
+    let mul_scalar c x ~scale =
+      check_depth c;
+      (* the runtime multiplies by the *rounded* integer, so the reference
+         must quantise identically for bit-faithful comparison *)
+      let quantised = Float.round (x *. float_of_int scale) /. float_of_int scale in
+      { c with v = Array.map (fun a -> a *. quantised) c.v; scale = c.scale *. float_of_int scale }
+
+    let max_rescale ct ub =
+      match (cfg.scheme, ct.budget) with
+      | Hisa.Rns_chain primes, Rns_level level ->
+          let prod = ref 1 and l = ref level in
+          let continue_loop = ref true in
+          while !continue_loop && !l > 1 do
+            let q = primes.(!l - 1) in
+            if !prod <= ub / q && !prod * q <= ub then begin
+              prod := !prod * q;
+              decr l
+            end
+            else continue_loop := false
+          done;
+          !prod
+      | Hisa.Pow2_modulus _, Logq logq ->
+          if ub < 2 then 1
+          else begin
+            let k = ref 0 in
+            while 1 lsl (!k + 1) <= ub && !k + 1 < logq do
+              incr k
+            done;
+            1 lsl !k
+          end
+      | _ -> assert false
+
+    let rescale ct x =
+      if x = 1 then ct
+      else begin
+        match (cfg.scheme, ct.budget) with
+        | Hisa.Rns_chain primes, Rns_level level ->
+            let l = ref level and rem = ref x in
+            while !rem > 1 do
+              if !l < 1 then raise Modulus_exhausted;
+              let q = primes.(!l - 1) in
+              if !rem mod q <> 0 then invalid_arg "Clear.rescale: not a product of next chain primes";
+              rem := !rem / q;
+              decr l
+            done;
+            { ct with scale = ct.scale /. float_of_int x; budget = Rns_level !l }
+        | Hisa.Pow2_modulus _, Logq logq ->
+            if x land (x - 1) <> 0 then invalid_arg "Clear.rescale: divisor must be a power of two";
+            let k = int_of_float (Float.round (log (float_of_int x) /. log 2.0)) in
+            if k >= logq then raise Modulus_exhausted;
+            { ct with scale = ct.scale /. float_of_int x; budget = Logq (logq - k) }
+        | _ -> assert false
+      end
+
+    let scale_of ct = ct.scale
+
+    let env_of ct =
+      match ct.budget with
+      | Rns_level r -> { Hisa.env_n = cfg.slots * 2; env_r = r; env_log_q = 0 }
+      | Logq q -> { Hisa.env_n = cfg.slots * 2; env_r = 0; env_log_q = q }
+  end)

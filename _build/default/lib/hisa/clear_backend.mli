@@ -1,0 +1,24 @@
+(** Unencrypted HISA backend: computes on cleartext float vectors while
+    tracking scales and virtual modulus consumption with the target scheme's
+    semantics. It is the reference inference engine, the vehicle for the
+    profile-guided scale search (with [encode_noise] on), and the semantics
+    that {!Shape_backend} and {!Sim_backend} reuse. *)
+
+type config = {
+  slots : int;
+  scheme : Hisa.scheme_kind;
+  strict_modulus : bool;
+      (** raise {!Modulus_exhausted} on multiplies once the virtual modulus
+          runs out (failure-injection tests) *)
+  encode_noise : bool;
+      (** model CKKS encoding noise (~N(0, n/12)/scale per slot) on
+          non-constant plaintexts — footnote 3 of the paper *)
+}
+
+exception Modulus_exhausted
+
+type budget = Rns_level of int | Logq of int
+(** Virtual modulus state, shared with the other analysis backends. *)
+
+val initial_budget : Hisa.scheme_kind -> budget
+val make : config -> Hisa.t

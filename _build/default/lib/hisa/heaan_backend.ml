@@ -1,0 +1,83 @@
+(* HISA backend over the real power-of-two CKKS scheme (the "HEAAN v1.0"
+   target). Mirrors Seal_backend; the modulus handle is [logq] instead of an
+   RNS level. *)
+
+module C = Chet_crypto.Big_ckks
+module Complexv = Chet_crypto.Complexv
+
+type config = {
+  ctx : C.context;
+  rng : Chet_crypto.Sampling.t;
+  keys : C.keys;
+  secret : C.secret_key option;
+}
+
+let make (cfg : config) : Hisa.t =
+  (module struct
+    let slots = C.slot_count cfg.ctx
+
+    type pt = {
+      values : float array;
+      pscale : float;
+      mutable cache : (int * C.plaintext) list; (* logq -> encoded *)
+    }
+
+    type ct = C.ciphertext
+
+    let encode values ~scale = { values; pscale = float_of_int scale; cache = [] }
+
+    let encoded pt ~logq =
+      match List.assoc_opt logq pt.cache with
+      | Some p -> p
+      | None ->
+          let p = C.encode_real cfg.ctx ~logq ~scale:pt.pscale pt.values in
+          pt.cache <- (logq, p) :: pt.cache;
+          p
+
+    let decode pt = Array.copy pt.values
+
+    let encrypt pt =
+      C.encrypt cfg.ctx cfg.rng cfg.keys.C.public
+        (encoded pt ~logq:(C.params cfg.ctx).C.log_fresh)
+
+    let decrypt ct =
+      match cfg.secret with
+      | None -> failwith "Heaan_backend.decrypt: no secret key on this side"
+      | Some sk ->
+          let z = C.decode cfg.ctx (C.decrypt cfg.ctx sk ct) in
+          { values = z.Complexv.re; pscale = C.scale_of ct; cache = [] }
+
+    let copy ct = ct
+    let free _ = ()
+    let rot_left ct k = C.rotate cfg.ctx cfg.keys ct k
+    let rot_right ct k = C.rotate cfg.ctx cfg.keys ct (-k)
+
+    let logq_match a b =
+      let q = Stdlib.min (C.logq_of a) (C.logq_of b) in
+      (C.mod_down cfg.ctx a ~logq:q, C.mod_down cfg.ctx b ~logq:q)
+
+    let add a b =
+      let a, b = logq_match a b in
+      C.add cfg.ctx a b
+
+    let sub a b =
+      let a, b = logq_match a b in
+      C.sub cfg.ctx a b
+
+    let mul a b =
+      let a, b = logq_match a b in
+      C.mul cfg.ctx cfg.keys a b
+
+    let add_plain c p = C.add_plain cfg.ctx c (encoded p ~logq:(C.logq_of c))
+    let sub_plain c p = C.sub_plain cfg.ctx c (encoded p ~logq:(C.logq_of c))
+    let mul_plain c p = C.mul_plain cfg.ctx c (encoded p ~logq:(C.logq_of c))
+    let add_scalar c x = C.add_scalar cfg.ctx c x
+    let sub_scalar c x = C.add_scalar cfg.ctx c (-.x)
+    let mul_scalar c x ~scale = C.mul_scalar cfg.ctx c x ~scale:(float_of_int scale)
+    let rescale c x = C.rescale cfg.ctx c x
+    let max_rescale c ub = C.max_rescale cfg.ctx c ub
+    let scale_of c = C.scale_of c
+
+    let env_of c =
+      { Hisa.env_n = (C.params cfg.ctx).C.n; env_r = 0; env_log_q = C.logq_of c }
+  end)

@@ -1,0 +1,12 @@
+(** HISA backend over the real power-of-two-modulus CKKS scheme — the
+    "HEAAN v1.0" target. Mirrors {!Seal_backend} with [logq] in place of an
+    RNS level. *)
+
+type config = {
+  ctx : Chet_crypto.Big_ckks.context;
+  rng : Chet_crypto.Sampling.t;
+  keys : Chet_crypto.Big_ckks.keys;
+  secret : Chet_crypto.Big_ckks.secret_key option;
+}
+
+val make : config -> Hisa.t

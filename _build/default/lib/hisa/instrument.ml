@@ -1,0 +1,125 @@
+(* Generic HISA interceptor: wraps any backend and records an operation
+   histogram plus the multiset of rotation amounts. The compiler's
+   rotation-keys selection pass (§5.4) is this recorder around the cleartext
+   backend; the benches use it for op-count reporting. *)
+
+type counters = {
+  mutable encodes : int;
+  mutable encrypts : int;
+  mutable decrypts : int;
+  mutable adds : int;
+  mutable plain_adds : int;
+  mutable scalar_adds : int;
+  mutable ct_muls : int;
+  mutable plain_muls : int;
+  mutable scalar_muls : int;
+  mutable rescales : int;
+  mutable rotation_counts : (int, int) Hashtbl.t;  (** left amount -> uses *)
+}
+
+let fresh_counters () =
+  {
+    encodes = 0;
+    encrypts = 0;
+    decrypts = 0;
+    adds = 0;
+    plain_adds = 0;
+    scalar_adds = 0;
+    ct_muls = 0;
+    plain_muls = 0;
+    scalar_muls = 0;
+    rescales = 0;
+    rotation_counts = Hashtbl.create 32;
+  }
+
+let distinct_rotations c = Hashtbl.fold (fun k _ acc -> k :: acc) c.rotation_counts []
+let total_rotations c = Hashtbl.fold (fun _ n acc -> acc + n) c.rotation_counts 0
+
+let wrap (backend : Hisa.t) : Hisa.t * counters =
+  let c = fresh_counters () in
+  let module B = (val backend) in
+  let record_rotation amount =
+    let amount = ((amount mod B.slots) + B.slots) mod B.slots in
+    if amount <> 0 then begin
+      let cur = try Hashtbl.find c.rotation_counts amount with Not_found -> 0 in
+      Hashtbl.replace c.rotation_counts amount (cur + 1)
+    end
+  in
+  let wrapped =
+    (module struct
+      let slots = B.slots
+
+      type pt = B.pt
+      type ct = B.ct
+
+      let encode v ~scale =
+        c.encodes <- c.encodes + 1;
+        B.encode v ~scale
+
+      let decode = B.decode
+
+      let encrypt p =
+        c.encrypts <- c.encrypts + 1;
+        B.encrypt p
+
+      let decrypt x =
+        c.decrypts <- c.decrypts + 1;
+        B.decrypt x
+
+      let copy = B.copy
+      let free = B.free
+
+      let rot_left x k =
+        record_rotation k;
+        B.rot_left x k
+
+      let rot_right x k =
+        record_rotation (-k);
+        B.rot_right x k
+
+      let add a b =
+        c.adds <- c.adds + 1;
+        B.add a b
+
+      let sub a b =
+        c.adds <- c.adds + 1;
+        B.sub a b
+
+      let add_plain a p =
+        c.plain_adds <- c.plain_adds + 1;
+        B.add_plain a p
+
+      let sub_plain a p =
+        c.plain_adds <- c.plain_adds + 1;
+        B.sub_plain a p
+
+      let add_scalar a x =
+        c.scalar_adds <- c.scalar_adds + 1;
+        B.add_scalar a x
+
+      let sub_scalar a x =
+        c.scalar_adds <- c.scalar_adds + 1;
+        B.sub_scalar a x
+
+      let mul a b =
+        c.ct_muls <- c.ct_muls + 1;
+        B.mul a b
+
+      let mul_plain a p =
+        c.plain_muls <- c.plain_muls + 1;
+        B.mul_plain a p
+
+      let mul_scalar a x ~scale =
+        c.scalar_muls <- c.scalar_muls + 1;
+        B.mul_scalar a x ~scale
+
+      let rescale a x =
+        if x > 1 then c.rescales <- c.rescales + 1;
+        B.rescale a x
+
+      let max_rescale = B.max_rescale
+      let scale_of = B.scale_of
+      let env_of = B.env_of
+    end : Hisa.S)
+  in
+  (wrapped, c)

@@ -1,0 +1,23 @@
+(** Generic HISA interceptor: wraps any backend and records an operation
+    histogram plus the multiset of (normalised, left) rotation amounts. The
+    rotation-keys selection pass (§5.4) is this recorder around the
+    value-free backend; benches use it for op-count reporting. *)
+
+type counters = {
+  mutable encodes : int;
+  mutable encrypts : int;
+  mutable decrypts : int;
+  mutable adds : int;
+  mutable plain_adds : int;
+  mutable scalar_adds : int;
+  mutable ct_muls : int;
+  mutable plain_muls : int;
+  mutable scalar_muls : int;
+  mutable rescales : int;
+  mutable rotation_counts : (int, int) Hashtbl.t;  (** left amount → uses *)
+}
+
+val fresh_counters : unit -> counters
+val distinct_rotations : counters -> int list
+val total_rotations : counters -> int
+val wrap : Hisa.t -> Hisa.t * counters

@@ -1,0 +1,13 @@
+(** HISA backend over the real RNS-CKKS scheme — the "SEAL v3.1" target.
+    Plaintext handles encode lazily per level (memoised), and binary
+    operations modulus-switch the fresher operand down automatically. *)
+
+type config = {
+  ctx : Chet_crypto.Rns_ckks.context;
+  rng : Chet_crypto.Sampling.t;
+  keys : Chet_crypto.Rns_ckks.keys;
+  secret : Chet_crypto.Rns_ckks.secret_key option;
+      (** client side only; [decrypt] fails without it *)
+}
+
+val make : config -> Hisa.t

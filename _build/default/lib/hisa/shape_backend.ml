@@ -1,0 +1,115 @@
+(* Value-free HISA backend: ciphertexts carry only (scale, modulus budget).
+   This is the literal realisation of §5.1's analyses — "the ct datatype
+   stores the data-flow information" — and is what the compiler passes and
+   the simulation clock execute against. It is orders of magnitude faster
+   than the cleartext backend because no slot vectors exist.
+
+   Semantics of scale/budget tracking are identical to Clear_backend (the
+   tests cross-check them); only the values are gone. *)
+
+type config = { slots : int; scheme : Hisa.scheme_kind }
+
+let make (cfg : config) : Hisa.t =
+  (module struct
+    let slots = cfg.slots
+
+    type pt = { pscale : float }
+    type ct = { scale : float; budget : Clear_backend.budget }
+
+    let encode values ~scale =
+      ignore values;
+      { pscale = float_of_int scale }
+
+    let decode _ = Array.make cfg.slots 0.0
+    let encrypt pt = { scale = pt.pscale; budget = Clear_backend.initial_budget cfg.scheme }
+    let decrypt ct = { pscale = ct.scale }
+    let copy ct = ct
+    let free _ = ()
+    let rot_left ct _ = ct
+    let rot_right ct _ = ct
+
+    let budget_min a b =
+      match (a, b) with
+      | Clear_backend.Rns_level x, Clear_backend.Rns_level y ->
+          Clear_backend.Rns_level (Stdlib.min x y)
+      | Clear_backend.Logq x, Clear_backend.Logq y -> Clear_backend.Logq (Stdlib.min x y)
+      | _ -> invalid_arg "Shape: mixed scheme budgets"
+
+    let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+
+    let check2 name a b =
+      if not (scales_compatible a.scale b.scale) then
+        invalid_arg (Printf.sprintf "%s: scale mismatch (%.6g vs %.6g)" name a.scale b.scale)
+
+    let add a b =
+      check2 "Shape.add" a b;
+      { a with budget = budget_min a.budget b.budget }
+
+    let sub = add
+
+    let add_plain c p =
+      if not (scales_compatible c.scale p.pscale) then invalid_arg "Shape.add_plain: scale mismatch";
+      c
+
+    let sub_plain = add_plain
+    let add_scalar c _ = c
+    let sub_scalar c _ = c
+    let mul a b = { scale = a.scale *. b.scale; budget = budget_min a.budget b.budget }
+    let mul_plain c p = { c with scale = c.scale *. p.pscale }
+    let mul_scalar c _ ~scale = { c with scale = c.scale *. float_of_int scale }
+
+    let max_rescale ct ub =
+      match (cfg.scheme, ct.budget) with
+      | Hisa.Rns_chain primes, Clear_backend.Rns_level level ->
+          let prod = ref 1 and l = ref level in
+          let continue_loop = ref true in
+          while !continue_loop && !l > 1 do
+            let q = primes.(!l - 1) in
+            if !prod <= ub / q && !prod * q <= ub then begin
+              prod := !prod * q;
+              decr l
+            end
+            else continue_loop := false
+          done;
+          !prod
+      | Hisa.Pow2_modulus _, Clear_backend.Logq logq ->
+          if ub < 2 then 1
+          else begin
+            let k = ref 0 in
+            while 1 lsl (!k + 1) <= ub && !k + 1 < logq do
+              incr k
+            done;
+            1 lsl !k
+          end
+      | _ -> assert false
+
+    let rescale ct x =
+      if x = 1 then ct
+      else begin
+        match (cfg.scheme, ct.budget) with
+        | Hisa.Rns_chain primes, Clear_backend.Rns_level level ->
+            let l = ref level and rem = ref x in
+            while !rem > 1 do
+              if !l < 1 then raise Clear_backend.Modulus_exhausted;
+              let q = primes.(!l - 1) in
+              if !rem mod q <> 0 then
+                invalid_arg "Shape.rescale: not a product of next chain primes";
+              rem := !rem / q;
+              decr l
+            done;
+            { scale = ct.scale /. float_of_int x; budget = Clear_backend.Rns_level !l }
+        | Hisa.Pow2_modulus _, Clear_backend.Logq logq ->
+            if x land (x - 1) <> 0 then invalid_arg "Shape.rescale: divisor must be a power of two";
+            let k = int_of_float (Float.round (log (float_of_int x) /. log 2.0)) in
+            if k >= logq then raise Clear_backend.Modulus_exhausted;
+            { scale = ct.scale /. float_of_int x; budget = Clear_backend.Logq (logq - k) }
+        | _ -> assert false
+      end
+
+    let scale_of ct = ct.scale
+
+    let env_of ct =
+      match ct.budget with
+      | Clear_backend.Rns_level r -> { Hisa.env_n = cfg.slots * 2; env_r = r; env_log_q = 0 }
+      | Clear_backend.Logq q -> { Hisa.env_n = cfg.slots * 2; env_r = 0; env_log_q = q }
+  end)

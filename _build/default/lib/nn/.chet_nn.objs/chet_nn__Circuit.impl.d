@@ -1,0 +1,1 @@
+lib/nn/circuit.ml: Array Chet_tensor Hashtbl List Stdlib

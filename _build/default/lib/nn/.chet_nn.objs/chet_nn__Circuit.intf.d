@@ -1,0 +1,1 @@
+lib/nn/circuit.mli: Chet_tensor

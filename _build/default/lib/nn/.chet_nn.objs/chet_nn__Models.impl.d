@@ -1,0 +1,1 @@
+lib/nn/models.ml: Array Chet_tensor Circuit Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/nn/models.mli: Chet_tensor Circuit

@@ -1,0 +1,1 @@
+lib/nn/opcount.ml: Array Chet_tensor Circuit List

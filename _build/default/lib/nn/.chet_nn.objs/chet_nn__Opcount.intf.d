@@ -1,0 +1,1 @@
+lib/nn/opcount.mli: Circuit

@@ -1,0 +1,1 @@
+lib/nn/reference.ml: Chet_tensor Circuit Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/nn/reference.mli: Chet_tensor Circuit

@@ -1,0 +1,200 @@
+module Tensor = Chet_tensor.Tensor
+module Dataset = Chet_tensor.Dataset
+
+type spec = {
+  model_name : string;
+  build : unit -> Circuit.t;
+  input_channels : int;
+  input_height : int;
+  input_width : int;
+  description : string;
+}
+
+(* Every network uses the paper's learnable degree-2 activation. With random
+   (untrained) weights, the coefficients are fixed to values that keep
+   magnitudes stable through depth: a small quadratic term and a near-linear
+   term. *)
+let act b node st =
+  let a = 0.08 +. Random.State.float st 0.04 in
+  let coeff_b = 0.95 +. Random.State.float st 0.1 in
+  Circuit.poly_act b node ~a ~b:coeff_b
+
+let conv b st node ~out_c ~k ~stride ~padding =
+  let in_c = node.Circuit.shape.(0) in
+  let weights = Dataset.glorot st [| out_c; in_c; k; k |] in
+  let bias = Dataset.bias st out_c in
+  Circuit.conv2d b node ~weights ~bias ~stride ~padding ()
+
+let fc b st node ~out_d =
+  let in_d = Tensor.numel_of_shape node.Circuit.shape in
+  let weights = Dataset.glorot st [| out_d; in_d |] in
+  let bias = Dataset.bias st out_d in
+  Circuit.matmul b node ~weights ~bias ()
+
+let make_spec model_name ~c ~h ~w ~description build =
+  {
+    model_name;
+    build = (fun () -> build (Circuit.builder ()) (Random.State.make [| Hashtbl.hash model_name |]));
+    input_channels = c;
+    input_height = h;
+    input_width = w;
+    description;
+  }
+
+let micro =
+  make_spec "micro" ~c:1 ~h:8 ~w:8 ~description:"tiny test network (1 conv, 1 fc, 2 act)"
+    (fun b st ->
+      let x = Circuit.input b ~name:"image" [| 1; 8; 8 |] in
+      let x = conv b st x ~out_c:2 ~k:3 ~stride:1 ~padding:Tensor.Valid in
+      let x = act b x st in
+      let x = Circuit.flatten b x in
+      let x = fc b st x ~out_d:4 in
+      let x = act b x st in
+      Circuit.finish b ~name:"micro" ~output:x)
+
+(* CryptoNets (Gilad-Bachrach et al. 2016), simplified published structure:
+   one strided convolution and two dense layers with square activations. *)
+let cryptonets =
+  make_spec "CryptoNets" ~c:1 ~h:28 ~w:28
+    ~description:"CryptoNets (ICML'16) comparison network: 1 conv, 2 fc, square activations"
+    (fun b st ->
+      let x = Circuit.input b ~name:"image" [| 1; 28; 28 |] in
+      let x = conv b st x ~out_c:5 ~k:5 ~stride:2 ~padding:Tensor.Same in
+      let x = Circuit.square b x in
+      let x = Circuit.flatten b x in
+      let x = fc b st x ~out_d:100 in
+      let x = Circuit.square b x in
+      let x = fc b st x ~out_d:10 in
+      Circuit.finish b ~name:"CryptoNets" ~output:x)
+
+(* LeNet-5 family: conv-act-pool ×2, then fc-act-fc-act (2 conv, 2 FC,
+   4 activations, matching Table 3's layer counts). *)
+let lenet ~name ~c1 ~c2 ~fc1 ~description =
+  make_spec name ~c:1 ~h:28 ~w:28 ~description (fun b st ->
+      let x = Circuit.input b ~name:"image" [| 1; 28; 28 |] in
+      let x = conv b st x ~out_c:c1 ~k:5 ~stride:1 ~padding:Tensor.Valid in
+      let x = act b x st in
+      let x = Circuit.avg_pool b x ~ksize:2 ~stride:2 in
+      let x = conv b st x ~out_c:c2 ~k:5 ~stride:1 ~padding:Tensor.Valid in
+      let x = act b x st in
+      let x = Circuit.avg_pool b x ~ksize:2 ~stride:2 in
+      let x = Circuit.flatten b x in
+      let x = fc b st x ~out_d:fc1 in
+      let x = act b x st in
+      let x = fc b st x ~out_d:10 in
+      let x = act b x st in
+      Circuit.finish b ~name ~output:x)
+
+let lenet5_small =
+  lenet ~name:"LeNet-5-small" ~c1:4 ~c2:8 ~fc1:32
+    ~description:"smallest LeNet-5 variant (MNIST-shaped input)"
+
+let lenet5_medium =
+  lenet ~name:"LeNet-5-medium" ~c1:16 ~c2:32 ~fc1:128
+    ~description:"medium LeNet-5 variant (MNIST-shaped input)"
+
+(* the largest variant matches TensorFlow's tutorial network: 32/64 Same
+   convolutions and a 512-wide dense layer *)
+let lenet5_large =
+  make_spec "LeNet-5-large" ~c:1 ~h:28 ~w:28
+    ~description:"TensorFlow-tutorial LeNet-5 (32/64 conv, 512 dense)"
+    (fun b st ->
+      let x = Circuit.input b ~name:"image" [| 1; 28; 28 |] in
+      let x = conv b st x ~out_c:32 ~k:5 ~stride:1 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = Circuit.avg_pool b x ~ksize:2 ~stride:2 in
+      let x = conv b st x ~out_c:64 ~k:5 ~stride:1 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = Circuit.avg_pool b x ~ksize:2 ~stride:2 in
+      let x = Circuit.flatten b x in
+      let x = fc b st x ~out_d:512 in
+      let x = act b x st in
+      let x = fc b st x ~out_d:10 in
+      let x = act b x st in
+      Circuit.finish b ~name:"LeNet-5-large" ~output:x)
+
+(* A plausible reconstruction of the confidential medical-imaging network:
+   5 convolutions, 2 dense layers, 6 activations, binary output (§6). *)
+let industrial =
+  make_spec "Industrial" ~c:1 ~h:64 ~w:64
+    ~description:"5-conv/2-FC binary classifier on 64x64 medical-style images"
+    (fun b st ->
+      let x = Circuit.input b ~name:"scan" [| 1; 64; 64 |] in
+      let x = conv b st x ~out_c:16 ~k:3 ~stride:2 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = conv b st x ~out_c:16 ~k:3 ~stride:1 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = conv b st x ~out_c:32 ~k:3 ~stride:2 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = conv b st x ~out_c:32 ~k:3 ~stride:1 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = conv b st x ~out_c:64 ~k:3 ~stride:2 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = Circuit.flatten b x in
+      let x = fc b st x ~out_d:64 in
+      let x = act b x st in
+      let x = fc b st x ~out_d:2 in
+      Circuit.finish b ~name:"Industrial" ~output:x)
+
+(* SqueezeNet for CIFAR-10, following github.com/kaizouman/tensorsandbox.
+   Each fire module is squeeze (1x1) + expand; the expand's parallel 1x1 and
+   3x3 branches are fused into one 3x3 convolution whose first filters are
+   zero outside the center tap — mathematically identical to the
+   concatenation, and it keeps the paper's count of 10 convolution layers
+   (1 entry + 4 fires x 2 + 1 classifier). *)
+let fused_expand_weights st ~squeeze_c ~e1 ~e3 =
+  let w = Tensor.create [| e1 + e3; squeeze_c; 3; 3 |] in
+  let w1 = Dataset.glorot st [| e1; squeeze_c; 1; 1 |] in
+  let w3 = Dataset.glorot st [| e3; squeeze_c; 3; 3 |] in
+  for o = 0 to e1 - 1 do
+    for c = 0 to squeeze_c - 1 do
+      Tensor.set w [| o; c; 1; 1 |] (Tensor.get w1 [| o; c; 0; 0 |])
+    done
+  done;
+  for o = 0 to e3 - 1 do
+    for c = 0 to squeeze_c - 1 do
+      for dy = 0 to 2 do
+        for dx = 0 to 2 do
+          Tensor.set w [| e1 + o; c; dy; dx |] (Tensor.get w3 [| o; c; dy; dx |])
+        done
+      done
+    done
+  done;
+  w
+
+let fire b st x ~squeeze_c ~expand_c =
+  let x = conv b st x ~out_c:squeeze_c ~k:1 ~stride:1 ~padding:Tensor.Valid in
+  let x = act b x st in
+  let weights = fused_expand_weights st ~squeeze_c ~e1:(expand_c / 2) ~e3:(expand_c / 2) in
+  let bias = Dataset.bias st expand_c in
+  let x = Circuit.conv2d b x ~weights ~bias ~stride:1 ~padding:Tensor.Same () in
+  act b x st
+
+let squeezenet_cifar =
+  make_spec "SqueezeNet-CIFAR" ~c:3 ~h:32 ~w:32
+    ~description:"SqueezeNet with 4 fire modules for CIFAR-10-shaped input"
+    (fun b st ->
+      let x = Circuit.input b ~name:"image" [| 3; 32; 32 |] in
+      let x = conv b st x ~out_c:32 ~k:3 ~stride:1 ~padding:Tensor.Same in
+      let x = act b x st in
+      let x = fire b st x ~squeeze_c:16 ~expand_c:64 in
+      let x = Circuit.avg_pool b x ~ksize:2 ~stride:2 in
+      let x = fire b st x ~squeeze_c:16 ~expand_c:64 in
+      let x = fire b st x ~squeeze_c:32 ~expand_c:128 in
+      let x = Circuit.avg_pool b x ~ksize:2 ~stride:2 in
+      let x = fire b st x ~squeeze_c:32 ~expand_c:128 in
+      let x = conv b st x ~out_c:10 ~k:1 ~stride:1 ~padding:Tensor.Valid in
+      let x = Circuit.global_avg_pool b x in
+      Circuit.finish b ~name:"SqueezeNet-CIFAR" ~output:x)
+
+let all = [ lenet5_small; lenet5_medium; lenet5_large; industrial; squeezenet_cifar ]
+
+let find name =
+  let specs = micro :: cryptonets :: all in
+  match List.find_opt (fun s -> s.model_name = name) specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let input_for spec ~seed =
+  Dataset.image ~seed ~channels:spec.input_channels ~height:spec.input_height
+    ~width:spec.input_width

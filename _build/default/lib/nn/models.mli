@@ -1,0 +1,39 @@
+(** The networks of Table 3 (built with synthetic Glorot weights — see
+    DESIGN.md §2 for the dataset substitution), plus a micro network used by
+    integration tests against the real FHE backends.
+
+    All networks are HE-compatible in the paper's sense: activations are
+    learnable second-degree polynomials [f(x) = a·x² + b·x] and pooling is
+    average pooling. *)
+
+type spec = {
+  model_name : string;
+  build : unit -> Circuit.t;  (** deterministic: same weights every call *)
+  input_channels : int;
+  input_height : int;
+  input_width : int;
+  description : string;
+}
+
+val micro : spec
+
+(** The CryptoNets network (Gilad-Bachrach et al., ICML 2016) in its usual
+    simplified form (conv + square + dense + square + dense) — the prior
+    system the paper compares against in §6. *)
+val cryptonets : spec
+
+val lenet5_small : spec
+val lenet5_medium : spec
+val lenet5_large : spec
+val industrial : spec
+val squeezenet_cifar : spec
+
+val all : spec list
+(** The five evaluation networks of Table 3, in the paper's order. *)
+
+val find : string -> spec
+(** Look up by [model_name] (includes [micro]).
+    @raise Not_found for unknown names. *)
+
+val input_for : spec -> seed:int -> Chet_tensor.Tensor.t
+(** A synthetic input image with this network's schema. *)

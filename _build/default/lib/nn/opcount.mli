@@ -1,0 +1,13 @@
+(** Floating-point operation counts per circuit — the "# FP operations"
+    column of Table 3. Multiply–accumulates count as two operations
+    (one multiply, one add), matching the usual FLOP convention. *)
+
+type t = {
+  multiplies : int;
+  additions : int;
+  total : int;
+}
+
+val count : Circuit.t -> t
+val count_node : Circuit.node -> t
+(** Operations contributed by one node alone. *)

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Chet_hisa Chet_nn Chet_tensor Hashtbl Kernels Layout List Stdlib

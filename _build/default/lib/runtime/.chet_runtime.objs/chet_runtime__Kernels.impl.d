@@ -1,0 +1,1 @@
+lib/runtime/kernels.ml: Array Chet_hisa Chet_tensor Float Hashtbl Layout List Stdlib

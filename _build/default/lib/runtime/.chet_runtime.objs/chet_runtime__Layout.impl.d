@@ -1,0 +1,1 @@
+lib/runtime/layout.ml: Array Chet_tensor Format Stdlib

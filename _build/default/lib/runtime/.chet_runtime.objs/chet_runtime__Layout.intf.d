@@ -1,0 +1,1 @@
+lib/runtime/layout.mli: Chet_tensor Format

@@ -1,0 +1,143 @@
+(* Executes a tensor circuit against a HISA backend with a concrete layout
+   assignment — the runtime half of CHET. The compiler (lib/core) calls this
+   executor with analysis backends to "dynamically unroll the data-flow graph
+   on the fly" (§5.1); deployment calls it with a real scheme backend. *)
+
+module Hisa = Chet_hisa.Hisa
+module Circuit = Chet_nn.Circuit
+module Tensor = Chet_tensor.Tensor
+
+(* The four pruned layout policies of §5.3. *)
+type layout_policy =
+  | All_hw
+  | All_chw
+  | Hw_conv_chw_rest
+  | Chw_fc_hw_before
+
+let policy_name = function
+  | All_hw -> "HW"
+  | All_chw -> "CHW"
+  | Hw_conv_chw_rest -> "HW-conv, CHW-rest"
+  | Chw_fc_hw_before -> "CHW-fc, HW-before"
+
+let all_policies = [ All_hw; All_chw; Hw_conv_chw_rest; Chw_fc_hw_before ]
+
+(* Assign a layout kind to every node's output under a policy. *)
+let assign policy circuit =
+  let assignment = Hashtbl.create 64 in
+  let seen_fc = ref false in
+  List.iter
+    (fun (node : Circuit.node) ->
+      let kind =
+        match policy with
+        | All_hw -> Layout.HW
+        | All_chw -> Layout.CHW
+        | Hw_conv_chw_rest -> begin
+            match node.Circuit.op with
+            | Circuit.Conv2d _ -> Layout.HW
+            | _ -> Layout.CHW
+          end
+        | Chw_fc_hw_before ->
+            if !seen_fc then Layout.CHW else Layout.HW
+      in
+      (match node.Circuit.op with Circuit.MatMul _ -> seen_fc := true | _ -> ());
+      Hashtbl.replace assignment node.Circuit.id kind)
+    (Circuit.topo_order circuit);
+  fun (node : Circuit.node) -> Hashtbl.find assignment node.Circuit.id
+
+(* Margin needed by the circuit's Same convolutions (border head-room), in
+   *input-image pixels*: a Same convolution applied after striding ops needs
+   its radius multiplied by the accumulated stride, because the layout's
+   physical strides have been dilated by then. *)
+let required_margin circuit =
+  let cum = Hashtbl.create 64 in
+  let cum_of (n : Circuit.node) = try Hashtbl.find cum n.Circuit.id with Not_found -> 1 in
+  List.fold_left
+    (fun acc (node : Circuit.node) ->
+      let in_cum =
+        match Circuit.(node.op) with
+        | Circuit.Input _ -> 1
+        | Circuit.Conv2d { input; _ } | Circuit.MatMul { input; _ } | Circuit.AvgPool { input; _ }
+        | Circuit.PolyAct { input; _ } | Circuit.BatchNorm { input; _ } ->
+            cum_of input
+        | Circuit.GlobalAvgPool n | Circuit.Square n | Circuit.Flatten n -> cum_of n
+        | Circuit.Concat ns -> List.fold_left (fun a n -> Stdlib.max a (cum_of n)) 1 ns
+        | Circuit.Residual (x, y) -> Stdlib.max (cum_of x) (cum_of y)
+      in
+      let out_cum, need =
+        match node.Circuit.op with
+        | Circuit.Conv2d { weights; stride; padding; _ } ->
+            let radius =
+              match padding with
+              | Tensor.Same -> weights.Tensor.shape.(2) / 2
+              | Tensor.Valid -> 0
+            in
+            (in_cum * stride, radius * in_cum)
+        | Circuit.AvgPool { stride; _ } -> (in_cum * stride, 0)
+        | _ -> (in_cum, 0)
+      in
+      Hashtbl.replace cum node.Circuit.id out_cum;
+      Stdlib.max acc need)
+    1 (Circuit.topo_order circuit)
+
+module Make (H : Hisa.S) = struct
+  module K = Kernels.Make (H)
+
+  let input_meta ?margin circuit ~kind =
+    let margin = match margin with Some m -> m | None -> required_margin circuit in
+    let node = circuit.Circuit.input in
+    match node.Circuit.shape with
+    | [| c; h; w |] ->
+        Layout.create ~kind ~slots:H.slots ~channels:c ~height:h ~width:w ~margin ()
+    | _ -> invalid_arg "Executor: input must be [c; h; w]"
+
+  (* Run the circuit on an already-encrypted input tensor with an arbitrary
+     per-node layout assignment (the exhaustive-search ablation uses this
+     directly; the four pruned policies go through {!run_encrypted}). *)
+  let run_encrypted_with cfg circuit ~kind_of (input : K.ct_tensor) =
+    let values : (int, K.ct_tensor) Hashtbl.t = Hashtbl.create 64 in
+    let value (node : Circuit.node) ~want =
+      let v = Hashtbl.find values node.Circuit.id in
+      if v.K.meta.Layout.kind = want then v else K.convert cfg v ~to_kind:want
+    in
+    List.iter
+      (fun (node : Circuit.node) ->
+        let kind = kind_of node in
+        let result =
+          match node.Circuit.op with
+          | Circuit.Input _ ->
+              if input.K.meta.Layout.kind = kind then input else K.convert cfg input ~to_kind:kind
+          | Circuit.Conv2d { input = src; weights; bias; stride; padding } ->
+              K.conv2d cfg (value src ~want:kind) ~weights ~bias ~stride ~padding
+          | Circuit.MatMul { input = src; weights; bias } ->
+              (* matmul reads any layout directly (the weight plaintexts are
+                 placed by the input's own metadata), and its output is a
+                 dense vector regardless of the assigned kind *)
+              K.matmul cfg (Hashtbl.find values src.Circuit.id) ~weights ~bias
+          | Circuit.AvgPool { input = src; ksize; stride } ->
+              K.avg_pool cfg (value src ~want:kind) ~ksize ~stride
+          | Circuit.GlobalAvgPool src -> K.global_avg_pool cfg (value src ~want:kind)
+          | Circuit.PolyAct { input = src; a; b } -> K.poly_act cfg (value src ~want:kind) ~a ~b
+          | Circuit.Square src -> K.square cfg (value src ~want:kind)
+          | Circuit.BatchNorm { input = src; scale; shift } ->
+              K.batch_norm cfg (value src ~want:kind) ~scale ~shift
+          | Circuit.Flatten src -> K.flatten (value src ~want:kind)
+          | Circuit.Concat srcs -> K.concat cfg (List.map (fun s -> value s ~want:kind) srcs)
+          | Circuit.Residual (a, b) -> K.residual (value a ~want:kind) (value b ~want:kind)
+        in
+        Hashtbl.replace values node.Circuit.id result)
+      (Circuit.topo_order circuit);
+    Hashtbl.find values circuit.Circuit.output.Circuit.id
+
+  let run_encrypted cfg circuit ~policy input =
+    run_encrypted_with cfg circuit ~kind_of:(assign policy circuit) input
+
+  (* Full client–server roundtrip on a cleartext image: encrypt with the
+     layout the policy assigns to the input, run, decrypt. *)
+  let run cfg circuit ~policy image =
+    let kind_of = assign policy circuit in
+    let meta = input_meta circuit ~kind:(kind_of circuit.Circuit.input) in
+    let encrypted = K.encrypt_tensor cfg meta image in
+    let out = run_encrypted cfg circuit ~policy encrypted in
+    K.decrypt_tensor out
+end

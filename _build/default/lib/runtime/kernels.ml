@@ -1,0 +1,434 @@
+(* Homomorphic tensor kernels, written once against the HISA and instantiated
+   per backend (real schemes, cleartext reference, simulator, and the
+   compiler's data-flow analyses — §5.1's "execute the circuit under a
+   different interpretation").
+
+   Conventions shared by all kernels:
+   - the layout invariant: slots outside valid logical positions are zero;
+     ops that scramble the gap slots (conv, pool, matmul) end with a
+     plaintext mask that restores it (the "Mask" of Figures 1 and 4);
+   - rotations are normalised to left-rotations in [0, slots);
+   - after any scale-raising op the tensor is rescaled back towards the
+     working scale as far as maxRescale allows (§5.5's interplay between
+     scales and rescaling). *)
+
+module Hisa = Chet_hisa.Hisa
+module Tensor = Chet_tensor.Tensor
+
+type scales = {
+  pc : int;  (** ciphertext (image) working scale *)
+  pw : int;  (** plaintext-vector weight scale *)
+  pu : int;  (** scalar weight scale *)
+  pm : int;  (** mask scale *)
+}
+
+(* pm must dominate the CKKS encoding noise of a 0/1 mask (~sqrt(N)/2 in the
+   slot domain); pu*pm = pw*pm = pc so one chain prime rescales a layer. *)
+let default_scales = { pc = 1 lsl 30; pw = 1 lsl 16; pu = 1 lsl 16; pm = 1 lsl 14 }
+
+module Make (H : Hisa.S) = struct
+  type ct_tensor = { meta : Layout.meta; cts : H.ct array }
+
+  let rot ct amount =
+    let s = H.slots in
+    let amount = ((amount mod s) + s) mod s in
+    if amount = 0 then ct else H.rot_left ct amount
+
+  (* --- scale management ------------------------------------------- *)
+
+  (* Loop: maxRescale's upper bound is a native int, so one call can remove
+     at most ~62 bits; deep scale backlogs (squarings) need several rounds. *)
+  let rec rescale_toward cfg ct =
+    let s = H.scale_of ct in
+    let ub = s /. float_of_int cfg.pc in
+    if ub < 2.0 then ct
+    else begin
+      let ub_int = if ub >= 4.0e18 then max_int else int_of_float ub in
+      let d = H.max_rescale ct ub_int in
+      if d > 1 then rescale_toward cfg (H.rescale ct d) else ct
+    end
+
+  let normalize cfg t = { t with cts = Array.map (rescale_toward cfg) t.cts }
+
+  (* --- encryptor / decryptor --------------------------------------- *)
+
+  let encrypt_tensor cfg meta tensor =
+    let vecs = Layout.pack meta tensor in
+    { meta; cts = Array.map (fun v -> H.encrypt (H.encode v ~scale:cfg.pc)) vecs }
+
+  let decrypt_tensor t =
+    Layout.unpack t.meta (Array.map (fun ct -> H.decode (H.decrypt ct)) t.cts)
+
+  (* --- helpers ------------------------------------------------------ *)
+
+  let encode_plains plains ~scale = Array.map (fun v -> H.encode v ~scale) plains
+
+  let mask_with cfg t plain_vecs =
+    let plains = encode_plains plain_vecs ~scale:cfg.pm in
+    { t with cts = Array.mapi (fun i ct -> H.mul_plain ct plains.(i)) t.cts }
+
+  let add_opt acc term = match acc with None -> Some term | Some a -> Some (H.add a term)
+
+  (* A kernel reading [d] physical slots beyond the image on either side
+     needs that much zero head-room; [d = 0] (Valid padding, pooling) reads
+     only inside the image and needs none. *)
+  let check_taps meta d =
+    if d > 0 && not (Layout.max_rotation_safe meta d) then
+      invalid_arg "Kernels: layout margins too small for this kernel (increase ~margin)"
+
+  (* sum a ciphertext's slots so that slot 0's block receives the total of
+     the [count] blocks spaced [stride] apart; [count] must be a power of
+     two. After the fold, positions offset by anything else hold partial
+     garbage (to be masked by the caller). *)
+  let fold_blocks ct ~count ~stride =
+    let acc = ref ct and step = ref (count / 2) in
+    while !step >= 1 do
+      acc := H.add !acc (rot !acc (!step * stride));
+      step := !step / 2
+    done;
+    !acc
+
+  (* --- convolution -------------------------------------------------- *)
+
+  let conv_geometry meta ~kh ~kw ~stride ~padding =
+    let ph = match padding with Tensor.Same -> kh / 2 | Tensor.Valid -> 0 in
+    let pw_ = match padding with Tensor.Same -> kw / 2 | Tensor.Valid -> 0 in
+    let oh = Tensor.conv_output_dim meta.Layout.height kh stride padding in
+    let ow = Tensor.conv_output_dim meta.Layout.width kw stride padding in
+    let spatial = Layout.with_spatial meta ~height:(((oh - 1) * stride) + 1) ~width:(((ow - 1) * stride) + 1) in
+    let out = Layout.after_stride spatial stride in
+    (ph, pw_, out)
+
+  (* rotation amount bringing input position (y0+dy, x0+dx) to the slot of
+     output position (y0, x0) *)
+  let tap_rotation meta ~dy ~dx = (dy * meta.Layout.row_stride) + (dx * meta.Layout.col_stride)
+
+  let conv2d cfg t ~weights ~bias ~stride ~padding =
+    let meta = t.meta in
+    let cout = weights.Tensor.shape.(0) and cin = weights.Tensor.shape.(1) in
+    let kh = weights.Tensor.shape.(2) and kw = weights.Tensor.shape.(3) in
+    if cin <> meta.Layout.channels then invalid_arg "Kernels.conv2d: channel mismatch";
+    let ph, pw_, out_spatial = conv_geometry meta ~kh ~kw ~stride ~padding in
+    let out_meta = Layout.with_channels out_spatial cout in
+    check_taps meta (tap_rotation meta ~dy:ph ~dx:pw_);
+    let w_at o c dy dx = Tensor.get weights [| o; c; dy; dx |] in
+    (* rotated input ciphertexts, shared across output channels *)
+    let rotated = Hashtbl.create 64 in
+    let rotated_ct j ~dy ~dx =
+      let amount = tap_rotation meta ~dy:(dy - ph) ~dx:(dx - pw_) in
+      match Hashtbl.find_opt rotated (j, amount) with
+      | Some ct -> ct
+      | None ->
+          let ct = rot t.cts.(j) amount in
+          Hashtbl.replace rotated (j, amount) ct;
+          ct
+    in
+    let out_cts =
+      match meta.Layout.kind with
+      | Layout.HW ->
+          (* one input ciphertext per channel; weights enter as scalars *)
+          Array.init cout (fun o ->
+              let acc = ref None in
+              for c = 0 to cin - 1 do
+                for dy = 0 to kh - 1 do
+                  for dx = 0 to kw - 1 do
+                    let w = w_at o c dy dx in
+                    if w <> 0.0 then
+                      acc := add_opt !acc (H.mul_scalar (rotated_ct c ~dy ~dx) w ~scale:cfg.pu)
+                  done
+                done
+              done;
+              match !acc with
+              | Some ct -> ct
+              | None -> H.mul_scalar t.cts.(0) 0.0 ~scale:cfg.pu)
+      | Layout.CHW ->
+          (* channels packed in blocks; weights enter as plaintext vectors
+             and partial sums fold across blocks *)
+          let cpc = meta.Layout.ch_per_ct in
+          let in_cts = Layout.num_cts meta in
+          (* plaintext weights live on the *output* spatial grid but with the
+             *input* channel structure *)
+          let mid_meta = Layout.with_channels out_spatial cin in
+          let out_cpc = out_meta.Layout.ch_per_ct in
+          let out_ct_count = Layout.num_cts out_meta in
+          let outs = Array.make out_ct_count None in
+          for o = 0 to cout - 1 do
+            let acc = ref None in
+            for j = 0 to in_cts - 1 do
+              for dy = 0 to kh - 1 do
+                for dx = 0 to kw - 1 do
+                  let plain_vec = Layout.plain_ct mid_meta j (fun c _ _ -> w_at o c dy dx) in
+                  if Array.exists (fun v -> v <> 0.0) plain_vec then begin
+                    let p = H.encode plain_vec ~scale:cfg.pw in
+                    acc := add_opt !acc (H.mul_plain (rotated_ct j ~dy ~dx) p)
+                  end
+                done
+              done
+            done;
+            let acc =
+              match !acc with
+              | Some ct -> ct
+              | None -> H.mul_scalar t.cts.(0) 0.0 ~scale:cfg.pw
+            in
+            (* fold the per-block partials into block 0 *)
+            let folded =
+              if cpc > 1 then fold_blocks acc ~count:cpc ~stride:meta.Layout.ch_stride else acc
+            in
+            (* place channel o into its block of its output ciphertext, then
+               mask to that block alone: the fold leaves partial sums in the
+               other blocks, which must not pollute sibling channels *)
+            let placed = rot folded (-(o mod out_cpc) * out_meta.Layout.ch_stride) in
+            let mask_o =
+              Layout.plain_ct out_meta (o / out_cpc) (fun c _ _ -> if c = o then 1.0 else 0.0)
+            in
+            let masked = H.mul_plain placed (H.encode mask_o ~scale:cfg.pm) in
+            outs.(o / out_cpc) <- add_opt outs.(o / out_cpc) masked
+          done;
+          Array.map (function Some ct -> ct | None -> assert false) outs
+    in
+    (* in HW the accumulator is masked once per output ciphertext (Fig. 4);
+       in CHW the per-channel placement above already masked everything *)
+    let masked =
+      match meta.Layout.kind with
+      | Layout.HW -> mask_with cfg { meta = out_meta; cts = out_cts } (Layout.valid_mask out_meta)
+      | Layout.CHW -> { meta = out_meta; cts = out_cts }
+    in
+    (* rescale before the bias so its encoding scale fits a native int *)
+    let masked = normalize cfg masked in
+    match bias with
+    | None -> masked
+    | Some bs ->
+        let scale_now = H.scale_of masked.cts.(0) in
+        let bias_plains =
+          encode_plains (Layout.plains out_meta (fun c _ _ -> bs.(c)))
+            ~scale:(int_of_float scale_now)
+        in
+        { masked with cts = Array.mapi (fun i ct -> H.add_plain ct bias_plains.(i)) masked.cts }
+
+  (* --- pooling ------------------------------------------------------ *)
+
+  let avg_pool cfg t ~ksize ~stride =
+    (* pooling reads strictly inside the image: no head-room needed *)
+    let meta = t.meta in
+    let summed =
+      Array.map
+        (fun ct ->
+          let acc = ref ct in
+          for dy = 0 to ksize - 1 do
+            for dx = 0 to ksize - 1 do
+              if dy <> 0 || dx <> 0 then
+                acc := H.add !acc (rot ct (tap_rotation meta ~dy ~dx))
+            done
+          done;
+          !acc)
+        t.cts
+    in
+    let out_meta =
+      Layout.after_stride
+        (Layout.with_spatial meta
+           ~height:(meta.Layout.height - ksize + 1)
+           ~width:(meta.Layout.width - ksize + 1))
+        stride
+    in
+    (* the 1/k² averaging factor rides along in the mask (one multiply) *)
+    let inv = 1.0 /. float_of_int (ksize * ksize) in
+    let masks = Layout.plains out_meta (fun _ _ _ -> inv) in
+    normalize cfg (mask_with cfg { meta = out_meta; cts = summed } masks)
+
+  let global_avg_pool cfg t =
+    let meta = t.meta in
+    let is_pow2 n = n > 0 && n land (n - 1) = 0 in
+    let summed =
+      Array.map
+        (fun ct ->
+          (* sum rows into row 0, then columns into column 0 *)
+          let row_sum =
+            if is_pow2 meta.Layout.height then
+              fold_blocks ct ~count:meta.Layout.height ~stride:meta.Layout.row_stride
+            else begin
+              let acc = ref ct in
+              for i = 1 to meta.Layout.height - 1 do
+                acc := H.add !acc (rot ct (i * meta.Layout.row_stride))
+              done;
+              !acc
+            end
+          in
+          if is_pow2 meta.Layout.width then
+            fold_blocks row_sum ~count:meta.Layout.width ~stride:meta.Layout.col_stride
+          else begin
+            let acc = ref row_sum in
+            for j = 1 to meta.Layout.width - 1 do
+              acc := H.add !acc (rot row_sum (j * meta.Layout.col_stride))
+            done;
+            !acc
+          end)
+        t.cts
+    in
+    let out_meta = Layout.with_spatial meta ~height:1 ~width:1 in
+    let inv = 1.0 /. float_of_int (meta.Layout.height * meta.Layout.width) in
+    let masks = Layout.plains out_meta (fun _ _ _ -> inv) in
+    normalize cfg (mask_with cfg { meta = out_meta; cts = summed } masks)
+
+  (* --- pointwise ops ------------------------------------------------ *)
+
+  let poly_act cfg t ~a ~b =
+    (* a·x² + b·x = (a·x + b) · x : one scalar multiply, one ct multiply.
+       Zero slots stay zero: (a·0 + b)·0 = 0, preserving the invariant. *)
+    let cts =
+      Array.map
+        (fun x ->
+          let t1 = H.add_scalar (H.mul_scalar x a ~scale:cfg.pu) b in
+          rescale_toward cfg (H.mul t1 x))
+        t.cts
+    in
+    { t with cts }
+
+  let square cfg t = normalize cfg { t with cts = Array.map (fun x -> H.mul x x) t.cts }
+
+  let batch_norm cfg t ~scale ~shift =
+    let scale_plains = encode_plains (Layout.plains t.meta (fun c _ _ -> scale.(c))) ~scale:cfg.pw in
+    let cts = Array.mapi (fun i ct -> H.mul_plain ct scale_plains.(i)) t.cts in
+    let scaled = normalize cfg { t with cts } in
+    let s_now = H.scale_of scaled.cts.(0) in
+    let shift_plains =
+      encode_plains (Layout.plains t.meta (fun c _ _ -> shift.(c))) ~scale:(int_of_float s_now)
+    in
+    { scaled with cts = Array.mapi (fun i ct -> H.add_plain ct shift_plains.(i)) scaled.cts }
+
+  (* --- fully connected ---------------------------------------------- *)
+
+  let matmul cfg t ~weights ~bias =
+    let meta = t.meta in
+    let out_dim = weights.Tensor.shape.(0) in
+    let in_dim = weights.Tensor.shape.(1) in
+    if in_dim <> meta.Layout.channels * meta.Layout.height * meta.Layout.width then
+      invalid_arg "Kernels.matmul: dimension mismatch";
+    let out_meta = Layout.vector_meta ~slots:H.slots ~length:out_dim in
+    let out = ref None in
+    for o = 0 to out_dim - 1 do
+      let partial = ref None in
+      (* build the weight plaintext one ciphertext at a time: at large ring
+         dimensions the full per-output plains vector set is huge *)
+      Array.iteri
+        (fun j ct ->
+          let wp_j =
+            Layout.plain_ct meta j (fun c h w_ ->
+                Tensor.get weights [| o; Layout.flat_index meta ~c ~h ~w:w_ |])
+          in
+          partial := add_opt !partial (H.mul_plain ct (H.encode wp_j ~scale:cfg.pw)))
+        t.cts;
+      let partial = match !partial with Some p -> p | None -> assert false in
+      (* all-reduce: every slot ends up holding the dot product *)
+      let total = fold_blocks partial ~count:H.slots ~stride:1 in
+      (* select slot o *)
+      let mask = Array.make H.slots 0.0 in
+      mask.(Layout.slot_of out_meta ~c:o ~h:0 ~w:0) <- 1.0;
+      out := add_opt !out (H.mul_plain total (H.encode mask ~scale:cfg.pm))
+    done;
+    let out_ct = match !out with Some ct -> ct | None -> assert false in
+    let out_ct = rescale_toward cfg out_ct in
+    match bias with
+    | None -> { meta = out_meta; cts = [| out_ct |] }
+    | Some bs ->
+        let s_now = H.scale_of out_ct in
+        let bias_plain =
+          (encode_plains (Layout.plains out_meta (fun c _ _ -> bs.(c))) ~scale:(int_of_float s_now)).(0)
+        in
+        { meta = out_meta; cts = [| H.add_plain out_ct bias_plain |] }
+
+  (* --- structural ops ------------------------------------------------ *)
+
+  let flatten t = t
+  (* metadata-only: matmul consumes the layout's own flat indexing *)
+
+  let residual t1 t2 =
+    if t1.meta <> t2.meta then invalid_arg "Kernels.residual: layout mismatch";
+    { t1 with cts = Array.map2 H.add t1.cts t2.cts }
+
+  (* concatenate along channels. Fast path: every input's channel count is a
+     multiple of the output block capacity *and* all inputs share a scale, so
+     ciphertext arrays simply append. Slow path: mask each channel (with a
+     per-input mask factor that equalises the product scales) and rotate it
+     into place. *)
+  let concat cfg ts =
+    match List.map (normalize cfg) ts with
+    | [] -> invalid_arg "Kernels.concat: empty"
+    | first :: _ as ts ->
+        let total_c = List.fold_left (fun acc t -> acc + t.meta.Layout.channels) 0 ts in
+        let out_meta = Layout.with_channels first.meta total_c in
+        let cpc = out_meta.Layout.ch_per_ct in
+        let scales = List.map (fun t -> H.scale_of t.cts.(0)) ts in
+        let s_max = List.fold_left Float.max 0.0 scales in
+        let same_scale =
+          List.for_all (fun s -> Float.abs (s -. s_max) <= 1e-6 *. s_max) scales
+        in
+        let aligned =
+          same_scale
+          && List.for_all
+               (fun t -> t.meta.Layout.ch_per_ct = cpc && t.meta.Layout.channels mod cpc = 0)
+               ts
+        in
+        if aligned then { meta = out_meta; cts = Array.concat (List.map (fun t -> t.cts) ts) }
+        else begin
+          let out_ct_count = Layout.num_cts out_meta in
+          let outs = Array.make out_ct_count None in
+          let next = ref 0 in
+          List.iter
+            (fun t ->
+              (* mask factor chosen so every input lands at scale ~s_max*pm *)
+              let target = s_max *. float_of_int cfg.pm in
+              let mask_scale =
+                Stdlib.max 1 (int_of_float (Float.round (target /. H.scale_of t.cts.(0))))
+              in
+              for c = 0 to t.meta.Layout.channels - 1 do
+                let oc = !next + c in
+                (* isolate channel c, move it from its block to oc's block *)
+                let src = Layout.ct_index t.meta c in
+                let mask_c = Layout.plain_ct t.meta src (fun c' _ _ -> if c' = c then 1.0 else 0.0) in
+                let isolated = H.mul_plain t.cts.(src) (H.encode mask_c ~scale:mask_scale) in
+                let delta =
+                  ((oc mod cpc) - (c mod t.meta.Layout.ch_per_ct)) * out_meta.Layout.ch_stride
+                in
+                let placed = rot isolated (-delta) in
+                outs.(oc / cpc) <- add_opt outs.(oc / cpc) placed
+              done;
+              next := !next + t.meta.Layout.channels)
+            ts;
+          normalize cfg
+            {
+              meta = out_meta;
+              cts = Array.map (function Some ct -> ct | None -> assert false) outs;
+            }
+        end
+
+  (* --- layout conversion --------------------------------------------- *)
+
+  let convert cfg t ~to_kind =
+    if t.meta.Layout.kind = to_kind then t
+    else begin
+      match to_kind with
+      | Layout.CHW ->
+          (* HW -> CHW: shift each channel into its block and add; free of
+             multiplies because gap slots are zero *)
+          let out_meta = Layout.with_channels { t.meta with Layout.kind = Layout.CHW } t.meta.Layout.channels in
+          let cpc = out_meta.Layout.ch_per_ct in
+          let outs = Array.make (Layout.num_cts out_meta) None in
+          Array.iteri
+            (fun c ct ->
+              let placed = rot ct (-(c mod cpc) * out_meta.Layout.ch_stride) in
+              outs.(c / cpc) <- add_opt outs.(c / cpc) placed)
+            t.cts;
+          { meta = out_meta; cts = Array.map (function Some ct -> ct | None -> assert false) outs }
+      | Layout.HW ->
+          (* CHW -> HW: extract each channel block and mask off its siblings *)
+          let out_meta = Layout.with_channels { t.meta with Layout.kind = Layout.HW; Layout.ch_per_ct = 1 } t.meta.Layout.channels in
+          let mask0 = Layout.plain_ct { out_meta with Layout.channels = 1 } 0 (fun _ _ _ -> 1.0) in
+          let cts =
+            Array.init t.meta.Layout.channels (fun c ->
+                let src = t.cts.(Layout.ct_index t.meta c) in
+                let moved = rot src ((c mod t.meta.Layout.ch_per_ct) * t.meta.Layout.ch_stride) in
+                H.mul_plain moved (H.encode mask0 ~scale:cfg.pm))
+          in
+          normalize cfg { meta = out_meta; cts }
+    end
+end

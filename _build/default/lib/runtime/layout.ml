@@ -1,0 +1,149 @@
+module Tensor = Chet_tensor.Tensor
+
+type kind = HW | CHW
+
+type meta = {
+  kind : kind;
+  channels : int;
+  height : int;
+  width : int;
+  offset : int;
+  col_stride : int;
+  row_stride : int;
+  ch_stride : int;
+  ch_per_ct : int;
+  slots : int;
+}
+
+let floor_pow2 n =
+  let rec loop p = if p * 2 <= n then loop (p * 2) else p in
+  if n < 1 then 0 else loop 1
+
+(* extent of one channel block, inclusive of the trailing margin *)
+let channel_extent ~height ~width ~margin ~row_stride =
+  ((height + (2 * margin)) * row_stride) + (2 * margin) + width
+
+let create ~kind ~slots ~channels ~height ~width ?(margin = 2) () =
+  let row_stride = width + (2 * margin) in
+  let ch_stride = channel_extent ~height ~width ~margin ~row_stride in
+  let offset = (margin * row_stride) + margin in
+  if ch_stride > slots then invalid_arg "Layout.create: image does not fit the SIMD width";
+  let rec ceil_pow2 p n = if p >= n then p else ceil_pow2 (p * 2) n in
+  let ch_per_ct =
+    match kind with
+    | HW -> 1
+    | CHW -> Stdlib.min (floor_pow2 (slots / ch_stride)) (ceil_pow2 1 channels)
+  in
+  { kind; channels; height; width; offset; col_stride = 1; row_stride; ch_stride; ch_per_ct; slots }
+
+let vector_meta ~slots ~length =
+  if length > slots then invalid_arg "Layout.vector_meta: vector does not fit";
+  {
+    kind = CHW;
+    channels = length;
+    height = 1;
+    width = 1;
+    offset = 0;
+    col_stride = 1;
+    row_stride = 1;
+    ch_stride = 1;
+    ch_per_ct = Stdlib.max 1 (Stdlib.min slots (floor_pow2 (Stdlib.max 1 length) * 2));
+    slots;
+  }
+
+let num_cts meta = (meta.channels + meta.ch_per_ct - 1) / meta.ch_per_ct
+let ct_index meta c = c / meta.ch_per_ct
+
+let slot_of meta ~c ~h ~w =
+  meta.offset + ((c mod meta.ch_per_ct) * meta.ch_stride) + (h * meta.row_stride)
+  + (w * meta.col_stride)
+
+let flat_index meta ~c ~h ~w = (((c * meta.height) + h) * meta.width) + w
+
+let iter_positions meta f =
+  for c = 0 to meta.channels - 1 do
+    for h = 0 to meta.height - 1 do
+      for w = 0 to meta.width - 1 do
+        f c h w
+      done
+    done
+  done
+
+let pack meta t =
+  if t.Tensor.shape <> [| meta.channels; meta.height; meta.width |] && t.Tensor.shape <> [| meta.channels * meta.height * meta.width |] then
+    invalid_arg "Layout.pack: tensor shape does not match layout";
+  let out = Array.init (num_cts meta) (fun _ -> Array.make meta.slots 0.0) in
+  iter_positions meta (fun c h w ->
+      let v = t.Tensor.data.(flat_index meta ~c ~h ~w) in
+      out.(ct_index meta c).(slot_of meta ~c ~h ~w) <- v);
+  out
+
+let unpack meta vecs =
+  let t = Tensor.create [| meta.channels; meta.height; meta.width |] in
+  iter_positions meta (fun c h w ->
+      t.Tensor.data.(flat_index meta ~c ~h ~w) <- vecs.(ct_index meta c).(slot_of meta ~c ~h ~w));
+  t
+
+let plains meta f =
+  let out = Array.init (num_cts meta) (fun _ -> Array.make meta.slots 0.0) in
+  iter_positions meta (fun c h w -> out.(ct_index meta c).(slot_of meta ~c ~h ~w) <- f c h w);
+  out
+
+let plain_ct meta j f =
+  let out = Array.make meta.slots 0.0 in
+  let c_lo = j * meta.ch_per_ct in
+  let c_hi = Stdlib.min meta.channels (c_lo + meta.ch_per_ct) - 1 in
+  for c = c_lo to c_hi do
+    for h = 0 to meta.height - 1 do
+      for w = 0 to meta.width - 1 do
+        out.(slot_of meta ~c ~h ~w) <- f c h w
+      done
+    done
+  done;
+  out
+
+let valid_mask meta = plains meta (fun _ _ _ -> 1.0)
+
+let with_spatial meta ~height ~width =
+  if height > meta.height || width > meta.width then
+    invalid_arg "Layout.with_spatial: can only shrink";
+  { meta with height; width }
+
+let after_stride meta s =
+  if s < 1 then invalid_arg "Layout.after_stride";
+  {
+    meta with
+    height = ((meta.height - 1) / s) + 1;
+    width = ((meta.width - 1) / s) + 1;
+    col_stride = meta.col_stride * s;
+    row_stride = meta.row_stride * s;
+  }
+
+let with_channels meta channels =
+  (* keep block geometry; recompute packing density for the new channel
+     count, never exceeding the existing block capacity *)
+  let ch_per_ct =
+    if meta.kind = HW then 1
+    else begin
+      let cap = Stdlib.max 1 (floor_pow2 (meta.slots / Stdlib.max 1 meta.ch_stride)) in
+      let rec ceil_pow2 p = if p >= channels then p else ceil_pow2 (p * 2) in
+      Stdlib.min cap (ceil_pow2 1)
+    end
+  in
+  { meta with channels; ch_per_ct }
+
+let max_extent meta =
+  meta.offset
+  + ((meta.ch_per_ct - 1) * meta.ch_stride)
+  + ((meta.height - 1) * meta.row_stride)
+  + ((meta.width - 1) * meta.col_stride)
+
+let max_rotation_safe meta d =
+  let d = abs d in
+  meta.offset - d >= 0 && max_extent meta + d < meta.slots
+
+let pp fmt meta =
+  Format.fprintf fmt "%s[%dx%dx%d] cpc=%d strides=(%d,%d) ch=%d off=%d slots=%d"
+    (match meta.kind with HW -> "HW" | CHW -> "CHW")
+    meta.channels meta.height meta.width meta.ch_per_ct meta.col_stride meta.row_stride
+    meta.ch_stride meta.offset meta.slots

@@ -1,0 +1,83 @@
+(** Physical layouts of encrypted tensors (§4.2): how a logical
+    [\[c; h; w\]] tensor maps onto a vector of ciphertexts, each a flat
+    vector of [slots] values.
+
+    - [HW]: one channel per ciphertext, row-major with inter-row gaps
+      (margin) so that convolution rotations read zeros across borders.
+    - [CHW]: several channels per ciphertext, each in its own block.
+
+    Strides are explicit so that striding operations (pool / strided conv)
+    are metadata updates: outputs live at dilated positions and later
+    operations simply use larger [col_stride]/[row_stride] (§4.2's "CHET
+    avoids or delays these expensive operations").
+
+    Invariant maintained by the kernels: every slot that is not a valid
+    logical position holds zero. *)
+
+type kind = HW | CHW
+
+type meta = {
+  kind : kind;
+  channels : int;
+  height : int;
+  width : int;
+  offset : int;  (** physical slot of logical [(c mod ch_per_ct = 0, 0, 0)] *)
+  col_stride : int;
+  row_stride : int;
+  ch_stride : int;  (** slots between channel blocks within a ciphertext *)
+  ch_per_ct : int;  (** always a power of two (or 1) *)
+  slots : int;
+}
+
+val create : kind:kind -> slots:int -> channels:int -> height:int -> width:int -> ?margin:int -> unit -> meta
+(** [margin] (default 2) is the border head-room in logical pixels on every
+    side — it must be at least [⌊k/2⌋] for the largest Same-padding
+    convolution applied to this tensor.
+    @raise Invalid_argument if the tensor does not fit in [slots]. *)
+
+val vector_meta : slots:int -> length:int -> meta
+(** Dense vector layout (used for fully-connected outputs): [length]
+    channels of 1×1, packed contiguously. *)
+
+val num_cts : meta -> int
+val ct_index : meta -> int -> int
+(** Ciphertext holding a given logical channel. *)
+
+val slot_of : meta -> c:int -> h:int -> w:int -> int
+(** Physical slot (within its ciphertext) of a logical position. *)
+
+val flat_index : meta -> c:int -> h:int -> w:int -> int
+(** Row-major logical index, as [Flatten] would produce. *)
+
+val pack : meta -> Chet_tensor.Tensor.t -> float array array
+(** Lay a cleartext tensor out physically — the Encryptor side. *)
+
+val unpack : meta -> float array array -> Chet_tensor.Tensor.t
+(** Inverse of {!pack} — the Decryptor side. *)
+
+val plains : meta -> (int -> int -> int -> float) -> float array array
+(** [plains meta f]: per-ciphertext plaintext vectors with [f c h w] at each
+    valid position and zero elsewhere (masks, per-channel weights, biases). *)
+
+val plain_ct : meta -> int -> (int -> int -> int -> float) -> float array
+(** [plain_ct meta j f]: the single vector [plains meta f].(j) without
+    building the others (the kernels' hot path at large ring dimensions). *)
+
+val valid_mask : meta -> float array array
+(** {!plains} with the constant 1. *)
+
+val with_spatial : meta -> height:int -> width:int -> meta
+(** Same physical geometry, smaller logical extent (Valid convolutions). *)
+
+val after_stride : meta -> int -> meta
+(** Dilate by a stride factor: positions [(s·i, s·j)] become the new logical
+    grid (pooling and strided convolutions). *)
+
+val with_channels : meta -> int -> meta
+(** Same geometry, different channel count (convolution outputs). *)
+
+val max_rotation_safe : meta -> int -> bool
+(** Whether reading a tap at physical distance [d] can neither fall off the
+    vector nor wrap into occupied slots. *)
+
+val pp : Format.formatter -> meta -> unit

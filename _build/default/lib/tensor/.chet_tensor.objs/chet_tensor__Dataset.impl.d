@@ -1,0 +1,1 @@
+lib/tensor/dataset.ml: Array Float List Random Stdlib Tensor

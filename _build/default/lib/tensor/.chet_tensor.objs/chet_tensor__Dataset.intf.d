@@ -1,0 +1,1 @@
+lib/tensor/dataset.mli: Random Tensor

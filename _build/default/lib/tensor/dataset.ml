@@ -1,0 +1,43 @@
+let image ~seed ~channels ~height ~width =
+  let st = Random.State.make [| seed; 0x1337 |] in
+  let t = Tensor.create [| channels; height; width |] in
+  (* a few gaussian blobs per channel plus low-amplitude noise *)
+  for c = 0 to channels - 1 do
+    let blobs =
+      List.init 3 (fun _ ->
+          ( Random.State.float st (float_of_int height),
+            Random.State.float st (float_of_int width),
+            1.0 +. Random.State.float st (float_of_int (Stdlib.max 2 (height / 4))) ))
+    in
+    for i = 0 to height - 1 do
+      for j = 0 to width - 1 do
+        let v =
+          List.fold_left
+            (fun acc (cy, cx, s) ->
+              let dy = (float_of_int i -. cy) /. s and dx = (float_of_int j -. cx) /. s in
+              acc +. exp (-.((dy *. dy) +. (dx *. dx))))
+            0.0 blobs
+        in
+        let noise = Random.State.float st 0.1 in
+        Tensor.set3 t c i j (Float.min 1.0 ((v /. 2.0) +. noise))
+      done
+    done
+  done;
+  t
+
+let batch ~seed ~count ~channels ~height ~width =
+  List.init count (fun k -> image ~seed:(seed + k) ~channels ~height ~width)
+
+let glorot st shape =
+  let fan_in, fan_out =
+    match shape with
+    | [| out_c; in_c; kh; kw |] -> (in_c * kh * kw, out_c * kh * kw)
+    | [| out_d; in_d |] -> (in_d, out_d)
+    | _ -> (Tensor.numel_of_shape shape, Tensor.numel_of_shape shape)
+  in
+  let limit = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  let t = Tensor.create shape in
+  Array.iteri (fun i _ -> t.Tensor.data.(i) <- Random.State.float st (2.0 *. limit) -. limit) t.Tensor.data;
+  t
+
+let bias st n = Array.init n (fun _ -> Random.State.float st 0.02 -. 0.01)

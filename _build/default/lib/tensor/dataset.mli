@@ -1,0 +1,18 @@
+(** Deterministic synthetic image generation — the stand-in for MNIST /
+    CIFAR-10 / the industry partner's medical images, none of which are
+    available in this offline environment (DESIGN.md §2). Images have the
+    right shapes and value ranges; the experiments that consume them
+    (parameter, layout and rotation-key selection; latency; output fidelity)
+    depend only on shapes and circuit structure. *)
+
+val image : seed:int -> channels:int -> height:int -> width:int -> Tensor.t
+(** Smooth pseudo-image with values in [\[0, 1\]] (blobs + noise, so the
+    value distribution is not degenerate). *)
+
+val batch : seed:int -> count:int -> channels:int -> height:int -> width:int -> Tensor.t list
+
+val glorot : Random.State.t -> int array -> Tensor.t
+(** Glorot/Xavier-initialised weight tensor (fan-in/fan-out from the first
+    two dimensions). *)
+
+val bias : Random.State.t -> int -> float array

@@ -1,0 +1,1 @@
+test/test_bfv.ml: Alcotest Array Bfv Chet_crypto Chet_hisa Chet_runtime Chet_tensor Float List Random Sampling

@@ -1,0 +1,1 @@
+test/test_big_ckks.ml: Alcotest Array Big_ckks Chet_crypto Complexv Float Random Sampling

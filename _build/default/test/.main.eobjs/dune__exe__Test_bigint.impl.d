@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Chet_bigint List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_compiler_prop.ml: Alcotest Chet Chet_crypto Chet_hisa Chet_nn Chet_runtime Float List Printf

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Chet_bigint Chet_crypto Encoding Fft Float List Modarith Ntt Printf QCheck2 QCheck_alcotest Random Security

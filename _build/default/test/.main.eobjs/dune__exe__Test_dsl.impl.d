@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Array Chet Chet_dsl Chet_nn Chet_tensor Float List String

@@ -1,0 +1,1 @@
+test/test_hisa.ml: Alcotest Array Chet Chet_hisa List

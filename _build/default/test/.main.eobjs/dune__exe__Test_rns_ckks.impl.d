@@ -1,0 +1,1 @@
+test/test_rns_ckks.ml: Alcotest Array Chet_crypto Complexv Float Random Rns_ckks Sampling Stdlib

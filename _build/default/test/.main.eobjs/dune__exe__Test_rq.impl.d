@@ -1,0 +1,1 @@
+test/test_rq.ml: Alcotest Array Chet_bigint Chet_crypto Float Modarith Printf QCheck2 QCheck_alcotest Random Rq_big Rq_rns

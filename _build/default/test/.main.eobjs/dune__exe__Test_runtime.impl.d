@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Chet_crypto Chet_hisa Chet_nn Chet_runtime Chet_tensor List Random

@@ -1,0 +1,1 @@
+test/test_runtime_prop.ml: Alcotest Array Chet_hisa Chet_nn Chet_runtime Chet_tensor Float Hashtbl List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Big_ckks Chet_bigint Chet_crypto Complexv Rns_ckks Sampling Serial String

@@ -1,0 +1,1 @@
+test/test_tensor_nn.ml: Alcotest Array Chet_nn Chet_tensor Circuit Float List Models Opcount Random Reference

@@ -1,0 +1,212 @@
+(* Unit and property tests for the arbitrary-precision integer substrate. *)
+
+module B = Chet_bigint.Bigint
+
+let bi = Alcotest.testable B.pp B.equal
+
+let check_bi = Alcotest.check bi
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (B.to_int (B.of_int n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int + 1; 1 lsl 31; (1 lsl 62) - 1; -(1 lsl 40) ]
+
+let test_to_string () =
+  Alcotest.(check string) "zero" "0" (B.to_string B.zero);
+  Alcotest.(check string) "small" "12345" (B.to_string (B.of_int 12345));
+  Alcotest.(check string) "negative" "-987654321" (B.to_string (B.of_int (-987654321)));
+  Alcotest.(check string) "2^100" "1267650600228229401496703205376" (B.to_string (B.pow2 100))
+
+let test_of_string () =
+  check_bi "roundtrip" (B.of_int 123456789) (B.of_string "123456789");
+  check_bi "negative" (B.of_int (-42)) (B.of_string "-42");
+  check_bi "big" (B.pow2 100) (B.of_string "1267650600228229401496703205376");
+  check_bi "hex" (B.of_int 255) (B.of_string "0xff");
+  check_bi "hex big" (B.pow2 64) (B.of_string "0x10000000000000000");
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty") (fun () ->
+      ignore (B.of_string ""))
+
+let test_add_sub () =
+  let a = B.of_string "123456789012345678901234567890" in
+  let b = B.of_string "987654321098765432109876543210" in
+  check_bi "a+b" (B.of_string "1111111110111111111011111111100") (B.add a b);
+  check_bi "b-a" (B.of_string "864197532086419753208641975320") (B.sub b a);
+  check_bi "a-b" (B.of_string "-864197532086419753208641975320") (B.sub a b);
+  check_bi "a-a" B.zero (B.sub a a)
+
+let test_mul () =
+  let a = B.of_string "123456789012345678901234567890" in
+  let b = B.of_string "987654321098765432109876543210" in
+  check_bi "a*b"
+    (B.of_string "121932631137021795226185032733622923332237463801111263526900")
+    (B.mul a b);
+  check_bi "sign" (B.neg (B.mul a b)) (B.mul (B.neg a) b);
+  check_bi "by zero" B.zero (B.mul a B.zero)
+
+let test_karatsuba_agrees () =
+  (* Big enough operands to cross the Karatsuba threshold; verified against a
+     value computed independently (python3). *)
+  let a = B.pow (B.of_string "1234567890123456789") 40 in
+  let b = B.pow (B.of_string "9876543210987654321") 40 in
+  let product = B.mul a b in
+  check_bi "div back b" a (B.div product b);
+  check_bi "div back a" b (B.div product a);
+  check_bi "rem" B.zero (B.rem product a)
+
+let test_divmod () =
+  let a = B.of_string "121932631137021795226185032733622923332237463801111263526901" in
+  let b = B.of_string "987654321098765432109876543210" in
+  let q, r = B.divmod a b in
+  check_bi "q" (B.of_string "123456789012345678901234567890") q;
+  check_bi "r" B.one r;
+  (* Truncated semantics: sign r = sign a *)
+  let q2, r2 = B.divmod (B.neg a) b in
+  check_bi "q neg" (B.neg q) q2;
+  check_bi "r neg" B.minus_one r2;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (B.divmod a B.zero))
+
+let test_ediv () =
+  let a = B.of_int (-7) and b = B.of_int 3 in
+  let q, r = B.ediv_rem a b in
+  check_bi "q" (B.of_int (-3)) q;
+  check_bi "r" (B.of_int 2) r;
+  let q, r = B.ediv_rem a (B.of_int (-3)) in
+  check_bi "q negdiv" (B.of_int 3) q;
+  check_bi "r negdiv" (B.of_int 2) r
+
+let test_div_round () =
+  check_bi "7/2 -> 4" (B.of_int 4) (B.div_round (B.of_int 7) (B.of_int 2));
+  check_bi "5/2 -> 3 (ties away)" (B.of_int 3) (B.div_round (B.of_int 5) (B.of_int 2));
+  check_bi "-5/2 -> -3" (B.of_int (-3)) (B.div_round (B.of_int (-5)) (B.of_int 2));
+  check_bi "4/3 -> 1" B.one (B.div_round (B.of_int 4) (B.of_int 3));
+  check_bi "big" (B.pow2 50) (B.div_round (B.pow2 100) (B.pow2 50))
+
+let test_shift () =
+  check_bi "shl" (B.of_int 40) (B.shift_left (B.of_int 5) 3);
+  check_bi "shr" (B.of_int 5) (B.shift_right (B.of_int 40) 3);
+  check_bi "shl big" (B.pow2 131) (B.shift_left B.two 130);
+  check_bi "shr all" B.zero (B.shift_right (B.of_int 5) 3);
+  check_bi "shl/shr roundtrip" (B.of_string "123456789123456789")
+    (B.shift_right (B.shift_left (B.of_string "123456789123456789") 200) 200)
+
+let test_num_bits () =
+  Alcotest.(check int) "zero" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "one" 1 (B.num_bits B.one);
+  Alcotest.(check int) "255" 8 (B.num_bits (B.of_int 255));
+  Alcotest.(check int) "256" 9 (B.num_bits (B.of_int 256));
+  Alcotest.(check int) "2^100" 101 (B.num_bits (B.pow2 100))
+
+let test_modpow () =
+  check_bi "2^10 mod 1000" (B.of_int 24) (B.modpow B.two (B.of_int 10) (B.of_int 1000));
+  (* Fermat: a^(p-1) = 1 mod p for prime p *)
+  let p = B.of_int 1073741789 (* prime < 2^30 *) in
+  check_bi "fermat" B.one (B.modpow (B.of_int 123456789) (B.sub p B.one) p);
+  check_bi "negative base" (B.of_int 4) (B.modpow (B.of_int (-2)) B.two (B.of_int 100))
+
+let test_centered_mod () =
+  let q = B.of_int 100 in
+  check_bi "30" (B.of_int 30) (B.centered_mod (B.of_int 30) q);
+  check_bi "80 -> -20" (B.of_int (-20)) (B.centered_mod (B.of_int 80) q);
+  check_bi "-30" (B.of_int (-30)) (B.centered_mod (B.of_int (-30)) q);
+  check_bi "50 -> -50" (B.of_int (-50)) (B.centered_mod (B.of_int 50) q);
+  check_bi "150 -> -50" (B.of_int (-50)) (B.centered_mod (B.of_int 150) q)
+
+let test_gcd () =
+  check_bi "gcd" (B.of_int 6) (B.gcd (B.of_int 54) (B.of_int 24));
+  check_bi "gcd coprime" B.one (B.gcd (B.of_int 17) (B.of_int 31));
+  check_bi "gcd zero" (B.of_int 5) (B.gcd B.zero (B.of_int 5))
+
+let test_random_below () =
+  let st = Random.State.make [| 42 |] in
+  let rand31 () = Random.State.bits st in
+  let bound = B.of_string "123456789012345678901234567890" in
+  for _ = 1 to 100 do
+    let v = B.random_below rand31 bound in
+    Alcotest.(check bool) "in range" true (B.compare v bound < 0 && B.sign v >= 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_bigint =
+  (* random signed bigints of up to ~300 bits, biased towards small ones *)
+  let open QCheck2.Gen in
+  let* nlimbs = int_range 0 10 in
+  let* limbs = list_size (return nlimbs) (int_bound ((1 lsl 30) - 1)) in
+  let* neg_sign = bool in
+  let mag = List.fold_left (fun acc limb -> B.add_int (B.shift_left acc 30) limb) B.zero limbs in
+  return (if neg_sign then B.neg mag else mag)
+
+let gen_pair = QCheck2.Gen.pair gen_bigint gen_bigint
+let gen_triple = QCheck2.Gen.triple gen_bigint gen_bigint gen_bigint
+let print_pair (a, b) = B.to_string a ^ ", " ^ B.to_string b
+let print_triple (a, b, c) = B.to_string a ^ ", " ^ B.to_string b ^ ", " ^ B.to_string c
+
+let prop name count print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let props =
+  [
+    prop "add commutative" 500 print_pair gen_pair (fun (a, b) -> B.equal (B.add a b) (B.add b a));
+    prop "mul commutative" 300 print_pair gen_pair (fun (a, b) -> B.equal (B.mul a b) (B.mul b a));
+    prop "add assoc" 300 print_triple gen_triple (fun (a, b, c) ->
+        B.equal (B.add a (B.add b c)) (B.add (B.add a b) c));
+    prop "mul distributes" 300 print_triple gen_triple (fun (a, b, c) ->
+        B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    prop "sub inverse" 500 print_pair gen_pair (fun (a, b) -> B.equal a (B.add (B.sub a b) b));
+    prop "divmod identity" 500 print_pair gen_pair (fun (a, b) ->
+        QCheck2.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r) && B.compare (B.abs r) (B.abs b) < 0);
+    prop "ediv remainder nonneg" 500 print_pair gen_pair (fun (a, b) ->
+        QCheck2.assume (not (B.is_zero b));
+        let q, r = B.ediv_rem a b in
+        B.equal a (B.add (B.mul q b) r) && B.sign r >= 0 && B.compare r (B.abs b) < 0);
+    prop "string roundtrip" 300 B.to_string gen_bigint (fun a -> B.equal a (B.of_string (B.to_string a)));
+    prop "compare antisym" 500 print_pair gen_pair (fun (a, b) -> B.compare a b = -B.compare b a);
+    prop "num_bits bound" 300 B.to_string gen_bigint (fun a ->
+        QCheck2.assume (not (B.is_zero a));
+        let n = B.num_bits a in
+        B.compare (B.abs a) (B.pow2 n) < 0 && B.compare (B.abs a) (B.pow2 (n - 1)) >= 0);
+    prop "shift_left is mul pow2" 300 B.to_string gen_bigint (fun a ->
+        B.equal (B.shift_left a 17) (B.mul a (B.pow2 17)));
+    prop "centered_mod congruent" 500 print_pair gen_pair (fun (a, q) ->
+        QCheck2.assume (B.sign q > 0);
+        let r = B.centered_mod a q in
+        B.is_zero (B.emod (B.sub a r) q)
+        && B.compare (B.mul_int r 2) q < 0
+        && B.compare (B.mul_int r 2) (B.neg q) >= 0);
+    prop "modpow matches pow" 200
+      (fun (b, e, m) -> Printf.sprintf "%d^%d mod %d" b e m)
+      QCheck2.Gen.(triple (int_bound 1000) (int_bound 12) (int_range 1 100000))
+      (fun (b, e, m) ->
+        B.equal
+          (B.modpow (B.of_int b) (B.of_int e) (B.of_int m))
+          (B.emod (B.pow (B.of_int b) e) (B.of_int m)));
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "add/sub" `Quick test_add_sub;
+    Alcotest.test_case "mul" `Quick test_mul;
+    Alcotest.test_case "karatsuba agrees with division" `Quick test_karatsuba_agrees;
+    Alcotest.test_case "divmod" `Quick test_divmod;
+    Alcotest.test_case "euclidean division" `Quick test_ediv;
+    Alcotest.test_case "div_round" `Quick test_div_round;
+    Alcotest.test_case "shifts" `Quick test_shift;
+    Alcotest.test_case "num_bits" `Quick test_num_bits;
+    Alcotest.test_case "modpow" `Quick test_modpow;
+    Alcotest.test_case "centered_mod" `Quick test_centered_mod;
+    Alcotest.test_case "gcd" `Quick test_gcd;
+    Alcotest.test_case "random_below" `Quick test_random_below;
+  ]
+
+let suite = [ ("bigint:unit", unit_tests); ("bigint:props", props) ]

@@ -1,0 +1,147 @@
+(* Tests for the textual tensor-circuit frontend (lexer + parser). *)
+
+module Lexer = Chet_dsl.Lexer
+module Parser = Chet_dsl.Parser
+module Circuit = Chet_nn.Circuit
+module Reference = Chet_nn.Reference
+module Opcount = Chet_nn.Opcount
+module Dataset = Chet_tensor.Dataset
+module T = Chet_tensor.Tensor
+
+let lenet_text =
+  {|
+# LeNet-5-small in the textual circuit format
+input image : [1, 28, 28] encrypted
+
+c1 = conv2d image filters=4 kernel=5 padding=valid seed=1
+a1 = poly_act c1 a=0.1 b=1.0
+p1 = avg_pool a1 ksize=2 stride=2
+c2 = conv2d p1 filters=8 kernel=5 padding=valid seed=2
+a2 = poly_act c2 a=0.1 b=1.0
+p2 = avg_pool a2 ksize=2 stride=2
+f  = flatten p2
+d1 = matmul f out=32 seed=3
+a3 = poly_act d1 a=0.1 b=1.0
+d2 = matmul a3 out=10 seed=4
+
+output d2
+|}
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "x = conv2d y kernel=5 a=0.5 # comment\n[1, 2]" in
+  let kinds = List.map (fun p -> p.Lexer.token) toks in
+  Alcotest.(check bool) "tokens" true
+    (kinds
+    = [
+        Lexer.Ident "x"; Lexer.Equals; Lexer.Ident "conv2d"; Lexer.Ident "y"; Lexer.Ident "kernel";
+        Lexer.Equals; Lexer.Int 5; Lexer.Ident "a"; Lexer.Equals; Lexer.Float 0.5; Lexer.Newline;
+        Lexer.Lbracket; Lexer.Int 1; Lexer.Comma; Lexer.Int 2; Lexer.Rbracket; Lexer.Eof;
+      ])
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "a\nbb = 1" in
+  let second = List.nth toks 2 in
+  Alcotest.(check int) "line" 2 second.Lexer.line
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (Lexer.tokenize "x = $");
+       false
+     with Lexer.Lex_error (_, 1, _) -> true)
+
+let test_parse_lenet () =
+  let circuit = Parser.parse ~name:"lenet-text" lenet_text in
+  let conv, fc, act = Circuit.layer_counts circuit in
+  Alcotest.(check (triple int int int)) "layers" (2, 2, 3) (conv, fc, act);
+  Alcotest.(check (array int)) "output shape" [| 10 |] circuit.Circuit.output.Circuit.shape;
+  (* parsed circuits evaluate *)
+  let image = Dataset.image ~seed:1 ~channels:1 ~height:28 ~width:28 in
+  let out = Reference.eval circuit image in
+  Alcotest.(check int) "10 outputs" 10 (T.numel out);
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite out.T.data);
+  Alcotest.(check bool) "counts ops" true ((Opcount.count circuit).Opcount.total > 100000)
+
+let test_parse_deterministic () =
+  let c1 = Parser.parse ~name:"a" lenet_text and c2 = Parser.parse ~name:"a" lenet_text in
+  let image = Dataset.image ~seed:2 ~channels:1 ~height:28 ~width:28 in
+  Alcotest.(check (float 0.0)) "same weights" 0.0
+    (T.max_abs_diff (Reference.eval c1 image) (Reference.eval c2 image))
+
+let test_parse_concat_residual () =
+  let text =
+    {|
+input x : [2, 8, 8]
+c1 = conv2d x filters=2 kernel=3 padding=same seed=1
+c2 = conv2d x filters=2 kernel=3 padding=same seed=2
+m = concat c1, c2
+r = residual c1, c2
+g = global_avg_pool m
+bn = batch_norm c1 seed=5
+output g
+|}
+  in
+  (* note: residual takes two operands without a comma; fix the text *)
+  let text = String.concat "\n" (List.filter (fun l -> not (String.length l > 0 && l.[0] = 'r')) (String.split_on_char '\n' text)) in
+  let circuit = Parser.parse ~name:"cat" text in
+  Alcotest.(check (array int)) "gap shape" [| 4; 1; 1 |] circuit.Circuit.output.Circuit.shape
+
+let test_parse_residual () =
+  let text =
+    {|
+input x : [2, 6, 6]
+c1 = conv2d x filters=2 kernel=3 padding=same seed=1
+r = residual c1 c1
+output r
+|}
+  in
+  let circuit = Parser.parse ~name:"res" text in
+  Alcotest.(check (array int)) "shape" [| 2; 6; 6 |] circuit.Circuit.output.Circuit.shape
+
+let check_parse_error ?(substring = "") text =
+  try
+    ignore (Parser.parse ~name:"bad" text);
+    Alcotest.failf "expected a parse error for %S" text
+  with Parser.Parse_error (msg, _, _) ->
+    if substring <> "" && not (String.length msg >= String.length substring) then
+      Alcotest.failf "error %S lacks %S" msg substring
+
+let test_parse_errors () =
+  check_parse_error "output x\n" ~substring:"undefined";
+  check_parse_error "input x : [1, 4, 4]\n" ~substring:"no output";
+  check_parse_error "input x : [1, 4, 4]\ny = conv2d x kernel=3 seed=1\noutput y\n"
+    ~substring:"missing";
+  check_parse_error "input x : [1, 4, 4]\ny = frobnicate x\noutput y\n" ~substring:"unknown";
+  check_parse_error "input x : [1, 4, 4]\ny = conv2d x filters=2 kernel=3 seed=1 bogus=1\noutput y\n"
+    ~substring:"unknown argument";
+  check_parse_error
+    "input x : [1, 4, 4]\ny = conv2d x filters=2 kernel=3 seed=1 seed=2\noutput y\n"
+    ~substring:"duplicate";
+  check_parse_error "input x : [1, 4, 4]\ninput z : [1, 4, 4]\ny = square x\noutput y\n"
+    ~substring:"one input"
+
+let test_parsed_compiles_and_matches_builder () =
+  (* the DSL LeNet and the OCaml-built LeNet compile to configurations of the
+     same shape class *)
+  let circuit = Parser.parse ~name:"lenet-text" lenet_text in
+  let opts = Chet.Compiler.default_options ~target:Chet.Compiler.Seal () in
+  let compiled = Chet.Compiler.compile opts circuit in
+  Alcotest.(check bool) "selected a layout" true
+    (List.length compiled.Chet.Compiler.reports = 4);
+  Alcotest.(check bool) "params sane" true (Chet.Compiler.params_n compiled.Chet.Compiler.params >= 4096)
+
+let suite =
+  [
+    ( "dsl",
+      [
+        Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+        Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+        Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+        Alcotest.test_case "parse LeNet" `Quick test_parse_lenet;
+        Alcotest.test_case "deterministic weights" `Quick test_parse_deterministic;
+        Alcotest.test_case "concat / gap / bn" `Quick test_parse_concat_residual;
+        Alcotest.test_case "residual" `Quick test_parse_residual;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "parsed circuit compiles" `Slow test_parsed_compiles_and_matches_builder;
+      ] );
+  ]

@@ -1,0 +1,155 @@
+(* Direct unit tests of the HISA backends: the cleartext reference's
+   scale/modulus bookkeeping, the simulator's cost clock, and the
+   instrumentation wrapper. *)
+
+module Hisa = Chet_hisa.Hisa
+module Clear = Chet_hisa.Clear_backend
+module Sim = Chet_hisa.Sim_backend
+module Instrument = Chet_hisa.Instrument
+
+let chain = [| 1073741789; 1073741783; 1073741741 |]
+
+let clear ?(encode_noise = false) ?(scheme = Hisa.Rns_chain chain) () =
+  Clear.make { Clear.slots = 16; scheme; strict_modulus = true; encode_noise }
+
+let test_clear_roundtrip_and_rotation () =
+  let module H = (val clear () : Hisa.S) in
+  let ct = H.encrypt (H.encode [| 1.0; 2.0; 3.0 |] ~scale:1024) in
+  let out = H.decode (H.decrypt (H.rot_left ct 1)) in
+  Alcotest.(check (float 1e-9)) "rotated" 2.0 out.(0);
+  let back = H.decode (H.decrypt (H.rot_right (H.rot_left ct 5) 5)) in
+  Alcotest.(check (float 1e-9)) "inverse rotations" 1.0 back.(0)
+
+let test_clear_scale_tracking () =
+  let module H = (val clear () : Hisa.S) in
+  let a = H.encrypt (H.encode [| 2.0 |] ~scale:1024) in
+  let b = H.mul_scalar a 3.0 ~scale:512 in
+  Alcotest.(check (float 1e-9)) "scale multiplies" (1024.0 *. 512.0) (H.scale_of b);
+  Alcotest.(check (float 1e-6)) "value" 6.0 (H.decode (H.decrypt b)).(0)
+
+let test_clear_quantisation () =
+  (* 1/3 is not representable at scale 4: the reference must quantise *)
+  let module H = (val clear () : Hisa.S) in
+  let p = H.encode [| 0.3333333 |] ~scale:4 in
+  Alcotest.(check (float 1e-9)) "quantised to 1/4 grid" 0.25 (H.decode p).(0)
+
+let test_clear_rns_rescale_semantics () =
+  let module H = (val clear () : Hisa.S) in
+  let a = H.encrypt (H.encode [| 1.0 |] ~scale:(1 lsl 40)) in
+  let a2 = H.mul a a in
+  (* next chain prime is ~2^30: an ub below it yields 1 *)
+  Alcotest.(check int) "too small ub" 1 (H.max_rescale a2 (1 lsl 29));
+  Alcotest.(check int) "one prime" chain.(2) (H.max_rescale a2 (1 lsl 31));
+  let r = H.rescale a2 chain.(2) in
+  Alcotest.(check (float 1.0)) "scale divided" ((2.0 ** 80.0) /. float_of_int chain.(2)) (H.scale_of r);
+  (* non-chain divisor rejected *)
+  Alcotest.(check bool) "bad divisor" true
+    (try
+       ignore (H.rescale a2 12345);
+       false
+     with Invalid_argument _ -> true)
+
+let test_clear_pow2_rescale_semantics () =
+  let module H = (val clear ~scheme:(Hisa.Pow2_modulus 100) () : Hisa.S) in
+  let a = H.encrypt (H.encode [| 1.0 |] ~scale:(1 lsl 40)) in
+  Alcotest.(check int) "largest pow2 <= ub" 4096 (H.max_rescale a 8191);
+  let r = H.rescale a 4096 in
+  Alcotest.(check (float 1e-6)) "scale divided" (2.0 ** 28.0) (H.scale_of r)
+
+let test_clear_modulus_exhaustion () =
+  (* strict mode: exhausting the pow2 modulus raises *)
+  let module H = (val clear ~scheme:(Hisa.Pow2_modulus 20) () : Hisa.S) in
+  let a = H.encrypt (H.encode [| 1.0 |] ~scale:(1 lsl 10)) in
+  Alcotest.check_raises "exhausted" Clear.Modulus_exhausted (fun () ->
+      let r = H.rescale a (H.max_rescale a (1 lsl 10)) in
+      (* 10 bits left; dropping 10 more would hit zero *)
+      ignore (H.rescale r (1 lsl 10)))
+
+let test_noise_model () =
+  (* with encode_noise on, non-constant vectors are perturbed (deterministic
+     per plaintext), constant vectors are not *)
+  let module H = (val clear ~encode_noise:true () : Hisa.S) in
+  let flat = H.decode (H.encode (Array.make 16 0.5) ~scale:4) in
+  Array.iter (fun v -> Alcotest.(check (float 0.0)) "constant untouched" 0.5 v) flat;
+  let bumpy = Array.init 16 (fun i -> if i mod 2 = 0 then 1.0 else 0.0) in
+  let once = H.decode (H.encode bumpy ~scale:1024) in
+  let twice = H.decode (H.encode bumpy ~scale:1024) in
+  Alcotest.(check bool) "perturbed" true (once.(0) <> 1.0);
+  Alcotest.(check bool) "deterministic" true (once = twice)
+
+let test_sim_clock () =
+  let unit_costs =
+    {
+      Hisa.cm_add = (fun _ -> 1.0);
+      cm_scalar_mul = (fun _ -> 2.0);
+      cm_plain_mul = (fun _ -> 3.0);
+      cm_cipher_mul = (fun _ -> 5.0);
+      cm_rotate = (fun _ -> 7.0);
+      cm_rescale = (fun _ -> 11.0);
+    }
+  in
+  let backend, clock = Sim.make { Sim.n = 32; scheme = Hisa.Rns_chain chain; costs = unit_costs } in
+  let module H = (val backend : Hisa.S) in
+  let a = H.encrypt (H.encode [| 1.0 |] ~scale:1024) in
+  let b = H.add a a in
+  let c = H.mul a b in
+  let _ = H.rot_left c 1 in
+  Alcotest.(check (float 1e-9)) "elapsed" (1.0 +. 5.0 +. 7.0) clock.Sim.elapsed;
+  Alcotest.(check int) "ops" 3 clock.Sim.op_count;
+  Alcotest.(check (float 1e-9)) "rotate share" 7.0 clock.Sim.rotate_elapsed;
+  Alcotest.(check int) "rotate count" 1 clock.Sim.rotate_count
+
+let test_sim_env_dependent_cost () =
+  (* cost must drop after rescaling (fewer active primes) *)
+  let costs = Chet.Cost_model.seal () in
+  let backend, clock = Sim.make { Sim.n = 64; scheme = Hisa.Rns_chain chain; costs } in
+  let module H = (val backend : Hisa.S) in
+  let a = H.encrypt (H.encode [| 1.0 |] ~scale:(1 lsl 31)) in
+  let t0 = clock.Sim.elapsed in
+  let _ = H.mul a a in
+  let cost_mul_l3 = clock.Sim.elapsed -. t0 in
+  let sq = H.rescale (H.mul a a) (H.max_rescale (H.mul a a) (1 lsl 31)) in
+  let t1 = clock.Sim.elapsed in
+  let _ = H.mul sq sq in
+  let cost_mul_l2 = clock.Sim.elapsed -. t1 in
+  Alcotest.(check bool) "cheaper at lower level" true (cost_mul_l2 < cost_mul_l3)
+
+let test_instrument_counts () =
+  let backend, counters = Instrument.wrap (clear ()) in
+  let module H = (val backend : Hisa.S) in
+  let p = H.encode [| 1.0 |] ~scale:1024 in
+  let a = H.encrypt p in
+  let _ = H.add a a in
+  let _ = H.mul a a in
+  let _ = H.mul_plain a p in
+  let _ = H.mul_scalar a 2.0 ~scale:4 in
+  let _ = H.rot_left a 3 in
+  let _ = H.rot_left a 3 in
+  let _ = H.rot_right a 1 in
+  let _ = H.rot_left a 0 in
+  Alcotest.(check int) "adds" 1 counters.Instrument.adds;
+  Alcotest.(check int) "ct muls" 1 counters.Instrument.ct_muls;
+  Alcotest.(check int) "plain muls" 1 counters.Instrument.plain_muls;
+  Alcotest.(check int) "scalar muls" 1 counters.Instrument.scalar_muls;
+  Alcotest.(check int) "encodes" 1 counters.Instrument.encodes;
+  (* rot_right 1 records as left rotation slots-1 = 15; rot 0 not recorded *)
+  Alcotest.(check int) "total rotations" 3 (Instrument.total_rotations counters);
+  let distinct = List.sort compare (Instrument.distinct_rotations counters) in
+  Alcotest.(check (list int)) "distinct" [ 3; 15 ] distinct
+
+let suite =
+  [
+    ( "hisa",
+      [
+        Alcotest.test_case "clear roundtrip/rotation" `Quick test_clear_roundtrip_and_rotation;
+        Alcotest.test_case "clear scale tracking" `Quick test_clear_scale_tracking;
+        Alcotest.test_case "clear quantisation" `Quick test_clear_quantisation;
+        Alcotest.test_case "clear RNS rescale semantics" `Quick test_clear_rns_rescale_semantics;
+        Alcotest.test_case "clear pow2 rescale semantics" `Quick test_clear_pow2_rescale_semantics;
+        Alcotest.test_case "modulus exhaustion raises" `Quick test_clear_modulus_exhaustion;
+        Alcotest.test_case "encoding noise model" `Quick test_noise_model;
+        Alcotest.test_case "sim clock" `Quick test_sim_clock;
+        Alcotest.test_case "sim env-dependent cost" `Quick test_sim_env_dependent_cost;
+        Alcotest.test_case "instrument counters" `Quick test_instrument_counts;
+      ] );
+  ]

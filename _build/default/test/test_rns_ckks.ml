@@ -1,0 +1,207 @@
+(* End-to-end tests of the RNS-CKKS scheme: every homomorphic operation is
+   checked against the corresponding cleartext computation. *)
+
+open Chet_crypto
+module C = Rns_ckks
+
+let n = 256
+let scale = 1073741824.0 (* 2^30, matching the chain prime size as in SEAL *)
+let params = C.default_params ~n ~bits:30 ~num_coeff_primes:4 ()
+let ctx = C.make_context params
+let rng = Sampling.create ~seed:12345
+let sk, keys = C.keygen ctx rng
+
+let () =
+  C.add_rotation_key ctx rng sk keys 1;
+  C.add_rotation_key ctx rng sk keys 3;
+  C.add_power_of_two_rotation_keys ctx rng sk keys
+
+let slots = C.slot_count ctx
+
+let random_vec seed =
+  let st = Random.State.make [| seed |] in
+  Array.init slots (fun _ -> Random.State.float st 4.0 -. 2.0)
+
+let encrypt_vec v =
+  C.encrypt ctx rng keys.C.public (C.encode_real ctx ~level:(C.max_level ctx) ~scale v)
+
+let decrypt_vec ct = C.decode ctx (C.decrypt ctx sk ct)
+
+let check_close ?(tol = 5e-3) msg expected ct =
+  let got = decrypt_vec ct in
+  let diff = Complexv.max_abs_diff (Complexv.of_real expected) got in
+  if diff > tol then
+    Alcotest.failf "%s: max abs diff %.6f > %.6f (first expected %.4f got %.4f)" msg diff tol
+      expected.(0) (Complexv.get_re got 0)
+
+let test_encrypt_decrypt () =
+  let v = random_vec 1 in
+  check_close "roundtrip" v (encrypt_vec v)
+
+let test_encrypt_is_randomized () =
+  let v = random_vec 2 in
+  let a = encrypt_vec v and b = encrypt_vec v in
+  Alcotest.(check bool) "ciphertexts differ" false (a.C.c0 = b.C.c0)
+
+let test_add () =
+  let a = random_vec 3 and b = random_vec 4 in
+  let sum = Array.init slots (fun i -> a.(i) +. b.(i)) in
+  check_close "add" sum (C.add ctx (encrypt_vec a) (encrypt_vec b))
+
+let test_sub_negate () =
+  let a = random_vec 5 and b = random_vec 6 in
+  let diff = Array.init slots (fun i -> a.(i) -. b.(i)) in
+  check_close "sub" diff (C.sub ctx (encrypt_vec a) (encrypt_vec b));
+  check_close "negate" (Array.map (fun x -> -.x) a) (C.negate ctx (encrypt_vec a))
+
+let test_add_plain () =
+  let a = random_vec 7 and b = random_vec 8 in
+  let pt = C.encode_real ctx ~level:(C.max_level ctx) ~scale b in
+  let sum = Array.init slots (fun i -> a.(i) +. b.(i)) in
+  check_close "add_plain" sum (C.add_plain ctx (encrypt_vec a) pt)
+
+let test_mul () =
+  let a = random_vec 9 and b = random_vec 10 in
+  let prod = Array.init slots (fun i -> a.(i) *. b.(i)) in
+  let ct = C.mul ctx keys (encrypt_vec a) (encrypt_vec b) in
+  Alcotest.(check bool) "scale squared" true (Float.abs (C.scale_of ct -. (scale *. scale)) < 1.0);
+  check_close ~tol:1e-2 "mul" prod ct
+
+let test_mul_plain () =
+  let a = random_vec 11 and b = random_vec 12 in
+  let pt = C.encode_real ctx ~level:(C.max_level ctx) ~scale b in
+  let prod = Array.init slots (fun i -> a.(i) *. b.(i)) in
+  check_close ~tol:1e-2 "mul_plain" prod (C.mul_plain ctx (encrypt_vec a) pt)
+
+let test_mul_scalar () =
+  let a = random_vec 13 in
+  let ct = C.mul_scalar ctx (encrypt_vec a) 1.5 ~scale in
+  check_close ~tol:1e-2 "mul_scalar" (Array.map (fun x -> x *. 1.5) a) ct
+
+let test_add_scalar () =
+  let a = random_vec 14 in
+  check_close "add_scalar" (Array.map (fun x -> x +. 0.75) a) (C.add_scalar ctx (encrypt_vec a) 0.75)
+
+let test_rescale () =
+  let a = random_vec 15 and b = random_vec 16 in
+  let ct = C.mul ctx keys (encrypt_vec a) (encrypt_vec b) in
+  let ub = int_of_float scale in
+  let d = C.max_rescale ctx ct ub in
+  Alcotest.(check bool) "divisor > 1" true (d > 1);
+  Alcotest.(check bool) "divisor <= ub" true (d <= ub);
+  let ct' = C.rescale ctx ct d in
+  Alcotest.(check int) "level dropped" (C.level_of ct - 1) (C.level_of ct');
+  let prod = Array.init slots (fun i -> a.(i) *. b.(i)) in
+  check_close ~tol:1e-2 "value preserved" prod ct'
+
+let test_max_rescale_bounds () =
+  let a = encrypt_vec (random_vec 17) in
+  Alcotest.(check int) "ub=1 -> 1" 1 (C.max_rescale ctx a 1);
+  let one_prime = C.max_rescale ctx a ((1 lsl 30) - 1) in
+  let primes = C.coeff_primes ctx in
+  Alcotest.(check int) "one prime" primes.(Array.length primes - 1) one_prime;
+  (* a huge ub consumes as many primes as fit in a native int (two 30-bit
+     primes; a third would overflow), never dropping below level 1 *)
+  let huge = C.max_rescale ctx a max_int in
+  let rec count_factors x l acc =
+    if l < 1 || x = 1 then acc
+    else if x mod primes.(l - 1) = 0 then count_factors (x / primes.(l - 1)) (l - 1) (acc + 1)
+    else acc
+  in
+  Alcotest.(check int) "two primes fit max_int" 2 (count_factors huge (C.max_level ctx) 0)
+
+let test_depth_chain () =
+  (* squaring chain: depth = num_coeff_primes - 1 with rescaling *)
+  let v = Array.init slots (fun i -> 0.5 +. (0.001 *. float_of_int (i mod 7))) in
+  let ct = ref (encrypt_vec v) in
+  let expected = ref (Array.copy v) in
+  for _ = 1 to 2 do
+    ct := C.mul ctx keys !ct !ct;
+    let d = C.max_rescale ctx !ct (int_of_float scale) in
+    ct := C.rescale ctx !ct d;
+    expected := Array.map (fun x -> x *. x) !expected
+  done;
+  check_close ~tol:5e-2 "depth-2 squaring" !expected !ct
+
+let test_rotate_exact_key () =
+  let a = random_vec 18 in
+  let rotated = Array.init slots (fun i -> a.((i + 1) mod slots)) in
+  check_close ~tol:1e-2 "rot by 1" rotated (C.rotate ctx keys (encrypt_vec a) 1);
+  let rotated3 = Array.init slots (fun i -> a.((i + 3) mod slots)) in
+  check_close ~tol:1e-2 "rot by 3" rotated3 (C.rotate ctx keys (encrypt_vec a) 3)
+
+let test_rotate_pow2_fallback () =
+  (* 5 = 4 + 1 has no exact key here; must fall back to power-of-two keys *)
+  let a = random_vec 19 in
+  Alcotest.(check bool) "no exact key for 5" false (C.rotate_key_available keys ctx 5);
+  let rotated = Array.init slots (fun i -> a.((i + 5) mod slots)) in
+  check_close ~tol:1e-2 "rot by 5 via pow2" rotated (C.rotate ctx keys (encrypt_vec a) 5)
+
+let test_rotate_negative () =
+  let a = random_vec 20 in
+  let rotated = Array.init slots (fun i -> a.((i - 1 + slots) mod slots)) in
+  check_close ~tol:1e-2 "rot right by 1" rotated (C.rotate ctx keys (encrypt_vec a) (-1))
+
+let test_rotate_zero () =
+  let a = random_vec 21 in
+  check_close "rot by 0" a (C.rotate ctx keys (encrypt_vec a) 0)
+
+let test_wrong_key_fails () =
+  (* decrypting with a fresh secret key must not recover the message *)
+  let rng2 = Sampling.create ~seed:999 in
+  let sk2, _ = C.keygen ctx rng2 in
+  let a = random_vec 22 in
+  let got = C.decode ctx (C.decrypt ctx sk2 (encrypt_vec a)) in
+  let diff = Complexv.max_abs_diff (Complexv.of_real a) got in
+  Alcotest.(check bool) "garbage without the key" true (diff > 1.0)
+
+let test_level_mismatch_rejected () =
+  let a = encrypt_vec (random_vec 23) and b = encrypt_vec (random_vec 24) in
+  let b' = C.rescale ctx (C.mul ctx keys b b) (C.max_rescale ctx b (int_of_float scale)) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (C.add ctx a b');
+       false
+     with Invalid_argument _ -> true)
+
+let test_scale_mismatch_rejected () =
+  let a = encrypt_vec (random_vec 25) in
+  let b = C.mul_scalar ctx (encrypt_vec (random_vec 26)) 1.0 ~scale:2.0 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (C.add ctx a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_security_params () =
+  Alcotest.(check bool) "modulus bits counted" true (C.total_modulus_bits ctx > 0);
+  Alcotest.(check int) "slot count" (n / 2) (C.slot_count ctx);
+  Alcotest.(check int) "special is largest" (Array.fold_left Stdlib.max 0 (C.coeff_primes ctx))
+    (Stdlib.min (C.special_prime ctx) (Array.fold_left Stdlib.max 0 (C.coeff_primes ctx)))
+
+let suite =
+  [
+    ( "rns_ckks",
+      [
+        Alcotest.test_case "encrypt/decrypt" `Quick test_encrypt_decrypt;
+        Alcotest.test_case "encryption randomized" `Quick test_encrypt_is_randomized;
+        Alcotest.test_case "add" `Quick test_add;
+        Alcotest.test_case "sub/negate" `Quick test_sub_negate;
+        Alcotest.test_case "add_plain" `Quick test_add_plain;
+        Alcotest.test_case "mul (relinearised)" `Quick test_mul;
+        Alcotest.test_case "mul_plain" `Quick test_mul_plain;
+        Alcotest.test_case "mul_scalar" `Quick test_mul_scalar;
+        Alcotest.test_case "add_scalar" `Quick test_add_scalar;
+        Alcotest.test_case "rescale" `Quick test_rescale;
+        Alcotest.test_case "max_rescale bounds" `Quick test_max_rescale_bounds;
+        Alcotest.test_case "depth-2 squaring chain" `Quick test_depth_chain;
+        Alcotest.test_case "rotate with exact key" `Quick test_rotate_exact_key;
+        Alcotest.test_case "rotate pow2 fallback" `Quick test_rotate_pow2_fallback;
+        Alcotest.test_case "rotate negative" `Quick test_rotate_negative;
+        Alcotest.test_case "rotate zero" `Quick test_rotate_zero;
+        Alcotest.test_case "wrong key garbles" `Quick test_wrong_key_fails;
+        Alcotest.test_case "level mismatch rejected" `Quick test_level_mismatch_rejected;
+        Alcotest.test_case "scale mismatch rejected" `Quick test_scale_mismatch_rejected;
+        Alcotest.test_case "context parameters" `Quick test_security_params;
+      ] );
+  ]

@@ -1,0 +1,174 @@
+(* Serialization tests: primitives roundtrip, ciphertexts survive the wire,
+   and corrupt payloads are rejected — plus a full client/server loopback in
+   the Figure 3 style (the "server" sees only bytes and public keys). *)
+
+open Chet_crypto
+module B = Chet_bigint.Bigint
+
+let test_primitives_roundtrip () =
+  let w = Serial.writer () in
+  Serial.write_int w 42;
+  Serial.write_int w (-7);
+  Serial.write_int w max_int;
+  Serial.write_float w 3.14159;
+  Serial.write_string w "hello";
+  Serial.write_int_array w [| 1; 2; 3 |];
+  Serial.write_bigint w (B.pow2 100);
+  Serial.write_bigint w (B.neg (B.of_int 55));
+  let r = Serial.reader (Serial.contents w) in
+  Alcotest.(check int) "int" 42 (Serial.read_int r);
+  Alcotest.(check int) "neg int" (-7) (Serial.read_int r);
+  Alcotest.(check int) "max int" max_int (Serial.read_int r);
+  Alcotest.(check (float 1e-12)) "float" 3.14159 (Serial.read_float r);
+  Alcotest.(check string) "string" "hello" (Serial.read_string r);
+  Alcotest.(check (array int)) "array" [| 1; 2; 3 |] (Serial.read_int_array r);
+  Alcotest.(check bool) "bigint" true (B.equal (B.pow2 100) (Serial.read_bigint r));
+  Alcotest.(check bool) "neg bigint" true (B.equal (B.of_int (-55)) (Serial.read_bigint r));
+  Alcotest.(check bool) "eof" true (Serial.reader_eof r)
+
+let test_truncation_rejected () =
+  let w = Serial.writer () in
+  Serial.write_int w 1;
+  let full = Serial.contents w in
+  let r = Serial.reader (String.sub full 0 4) in
+  Alcotest.check_raises "truncated" (Serial.Corrupt "truncated payload") (fun () ->
+      ignore (Serial.read_int r))
+
+let test_bad_lengths_rejected () =
+  let w = Serial.writer () in
+  Serial.write_int w max_int (* absurd array length *);
+  let r = Serial.reader (Serial.contents w) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Serial.read_int_array r);
+       false
+     with Serial.Corrupt _ -> true)
+
+(* --- RNS-CKKS ciphertext roundtrip + loopback protocol --- *)
+
+let params = Rns_ckks.default_params ~n:128 ~bits:30 ~num_coeff_primes:3 ()
+let ctx = Rns_ckks.make_context params
+let rq_ctx_of_context () =
+  (* reconstruct an Rq context compatible with the scheme's (same primes) *)
+  ctx
+
+let test_rns_ciphertext_roundtrip () =
+  ignore (rq_ctx_of_context ());
+  let rng = Sampling.create ~seed:4 in
+  let sk, keys = Rns_ckks.keygen ctx rng in
+  let v = Array.init (Rns_ckks.slot_count ctx) (fun i -> 0.01 *. float_of_int i) in
+  let ct =
+    Rns_ckks.encrypt ctx rng keys.Rns_ckks.public
+      (Rns_ckks.encode_real ctx ~level:3 ~scale:1073741824.0 v)
+  in
+  let w = Serial.writer () in
+  let rq = Rns_ckks.rq_ctx ctx in
+  Serial.write_rns_ciphertext w rq ct;
+  let bytes = Serial.contents w in
+  let ct' = Serial.read_rns_ciphertext (Serial.reader bytes) rq in
+  Alcotest.(check int) "level" ct.Rns_ckks.level ct'.Rns_ckks.level;
+  (* decrypting the deserialised ciphertext recovers the message *)
+  let got = Rns_ckks.decode ctx (Rns_ckks.decrypt ctx sk ct') in
+  let diff = Complexv.max_abs_diff (Complexv.of_real v) got in
+  Alcotest.(check bool) "decrypts" true (diff < 5e-3)
+
+let test_rns_corrupt_tag () =
+  let w = Serial.writer () in
+  Serial.write_tag w "JUNK";
+  Alcotest.(check bool) "bad tag" true
+    (try
+       ignore (Serial.read_rns_ciphertext (Serial.reader (Serial.contents w)) (Rns_ckks.rq_ctx ctx));
+       false
+     with Serial.Corrupt _ -> true)
+
+let test_big_ciphertext_roundtrip () =
+  let params = Big_ckks.default_params ~n:32 ~log_fresh:120 () in
+  let bctx = Big_ckks.make_context params in
+  let rng = Sampling.create ~seed:5 in
+  let sk, keys = Big_ckks.keygen bctx rng in
+  let v = Array.init (Big_ckks.slot_count bctx) (fun i -> 0.1 *. float_of_int i) in
+  let ct =
+    Big_ckks.encrypt bctx rng keys.Big_ckks.public
+      (Big_ckks.encode_real bctx ~logq:120 ~scale:1073741824.0 v)
+  in
+  let w = Serial.writer () in
+  Serial.write_big_ciphertext w ct;
+  let ct' = Serial.read_big_ciphertext (Serial.reader (Serial.contents w)) in
+  let got = Big_ckks.decode bctx (Big_ckks.decrypt bctx sk ct') in
+  Alcotest.(check bool) "decrypts" true (Complexv.max_abs_diff (Complexv.of_real v) got < 5e-3)
+
+let test_loopback_protocol () =
+  (* client encrypts; "server" (no secret key) squares the payload from raw
+     bytes and sends bytes back; client decrypts *)
+  let rng = Sampling.create ~seed:6 in
+  let sk, keys = Rns_ckks.keygen ctx rng in
+  let rq = Rns_ckks.rq_ctx ctx in
+  let v = Array.init (Rns_ckks.slot_count ctx) (fun i -> 0.5 +. (0.01 *. float_of_int (i mod 10))) in
+  (* client -> server *)
+  let w = Serial.writer () in
+  Serial.write_rns_ciphertext w rq
+    (Rns_ckks.encrypt ctx rng keys.Rns_ckks.public
+       (Rns_ckks.encode_real ctx ~level:3 ~scale:1073741824.0 v));
+  let request = Serial.contents w in
+  (* server: deserialise, compute on ciphertext, serialise *)
+  let server bytes =
+    let ct = Serial.read_rns_ciphertext (Serial.reader bytes) rq in
+    let squared = Rns_ckks.mul ctx keys ct ct in
+    let w = Serial.writer () in
+    Serial.write_rns_ciphertext w rq squared;
+    Serial.contents w
+  in
+  let response = server request in
+  (* client decrypts the response *)
+  let ct = Serial.read_rns_ciphertext (Serial.reader response) rq in
+  let got = Rns_ckks.decode ctx (Rns_ckks.decrypt ctx sk ct) in
+  let expected = Complexv.of_real (Array.map (fun x -> x *. x) v) in
+  Alcotest.(check bool) "squared through the wire" true (Complexv.max_abs_diff expected got < 1e-2)
+
+let test_keys_roundtrip_and_remote_eval () =
+  (* the full Figure-3 flow: the client serialises its PUBLIC material (pk,
+     relin, selected rotation keys); the server reconstructs the bundle from
+     bytes and uses it to multiply and rotate — no secret key crosses the
+     wire *)
+  let rng = Sampling.create ~seed:7 in
+  let sk, keys = Rns_ckks.keygen ctx rng in
+  Rns_ckks.add_rotation_key ctx rng sk keys 2;
+  let rq = Rns_ckks.rq_ctx ctx in
+  let w = Serial.writer () in
+  Serial.write_rns_keys w rq keys;
+  let v = Array.init (Rns_ckks.slot_count ctx) (fun i -> 0.3 +. (0.01 *. float_of_int (i mod 8))) in
+  let wc = Serial.writer () in
+  Serial.write_rns_ciphertext wc rq
+    (Rns_ckks.encrypt ctx rng keys.Rns_ckks.public
+       (Rns_ckks.encode_real ctx ~level:3 ~scale:1073741824.0 v));
+  let key_bytes = Serial.contents w and ct_bytes = Serial.contents wc in
+  (* server side *)
+  let server_keys = Serial.read_rns_keys (Serial.reader key_bytes) rq in
+  Alcotest.(check int) "rotation keys arrived" 1 (Rns_ckks.rotation_key_count server_keys);
+  let ct = Serial.read_rns_ciphertext (Serial.reader ct_bytes) rq in
+  let result = Rns_ckks.rotate ctx server_keys (Rns_ckks.mul ctx server_keys ct ct) 2 in
+  let wr = Serial.writer () in
+  Serial.write_rns_ciphertext wr rq result;
+  (* client decrypts *)
+  let back = Serial.read_rns_ciphertext (Serial.reader (Serial.contents wr)) rq in
+  let got = Rns_ckks.decode ctx (Rns_ckks.decrypt ctx sk back) in
+  let slots = Rns_ckks.slot_count ctx in
+  let expected =
+    Complexv.of_real (Array.init slots (fun i -> v.((i + 2) mod slots) *. v.((i + 2) mod slots)))
+  in
+  Alcotest.(check bool) "rotated square" true (Complexv.max_abs_diff expected got < 1e-2)
+
+let suite =
+  [
+    ( "serial",
+      [
+        Alcotest.test_case "primitive roundtrips" `Quick test_primitives_roundtrip;
+        Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
+        Alcotest.test_case "bad lengths rejected" `Quick test_bad_lengths_rejected;
+        Alcotest.test_case "RNS ciphertext roundtrip" `Quick test_rns_ciphertext_roundtrip;
+        Alcotest.test_case "corrupt tag rejected" `Quick test_rns_corrupt_tag;
+        Alcotest.test_case "pow2 ciphertext roundtrip" `Quick test_big_ciphertext_roundtrip;
+        Alcotest.test_case "client/server loopback" `Quick test_loopback_protocol;
+        Alcotest.test_case "key bundle + remote evaluation" `Quick test_keys_roundtrip_and_remote_eval;
+      ] );
+  ]

@@ -1,0 +1,214 @@
+(* Tests for the plaintext tensor library and the tensor-circuit IR. *)
+
+module T = Chet_tensor.Tensor
+module Dataset = Chet_tensor.Dataset
+open Chet_nn
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_conv2d_identity () =
+  (* 1x1 identity kernel leaves the image unchanged *)
+  let img = Dataset.image ~seed:1 ~channels:2 ~height:5 ~width:5 in
+  let w = T.create [| 2; 2; 1; 1 |] in
+  T.set w [| 0; 0; 0; 0 |] 1.0;
+  T.set w [| 1; 1; 0; 0 |] 1.0;
+  let out = T.conv2d ~input:img ~weights:w ~stride:1 ~padding:T.Valid () in
+  check_float "identity" 0.0 (T.max_abs_diff img out)
+
+let test_conv2d_known () =
+  (* 2x2 all-ones kernel, valid padding: each output is the window sum *)
+  let img = T.of_array [| 1; 3; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. |] in
+  let w = T.of_array [| 1; 1; 2; 2 |] [| 1.; 1.; 1.; 1. |] in
+  let out = T.conv2d ~input:img ~weights:w ~stride:1 ~padding:T.Valid () in
+  Alcotest.(check (array int)) "shape" [| 1; 2; 2 |] out.T.shape;
+  check_float "tl" 12.0 (T.get3 out 0 0 0);
+  check_float "tr" 16.0 (T.get3 out 0 0 1);
+  check_float "bl" 24.0 (T.get3 out 0 1 0);
+  check_float "br" 28.0 (T.get3 out 0 1 1)
+
+let test_conv2d_same_padding () =
+  (* 3x3 all-ones kernel, same padding: corners see only 4 values *)
+  let img = T.of_array [| 1; 3; 3 |] (Array.make 9 1.0) in
+  let w = T.of_array [| 1; 1; 3; 3 |] (Array.make 9 1.0) in
+  let out = T.conv2d ~input:img ~weights:w ~stride:1 ~padding:T.Same () in
+  Alcotest.(check (array int)) "shape preserved" [| 1; 3; 3 |] out.T.shape;
+  check_float "corner" 4.0 (T.get3 out 0 0 0);
+  check_float "edge" 6.0 (T.get3 out 0 0 1);
+  check_float "center" 9.0 (T.get3 out 0 1 1)
+
+let test_conv2d_stride2 () =
+  let img = Dataset.image ~seed:2 ~channels:1 ~height:8 ~width:8 in
+  let w = Dataset.glorot (Random.State.make [| 3 |]) [| 4; 1; 3; 3 |] in
+  let out = T.conv2d ~input:img ~weights:w ~stride:2 ~padding:T.Same () in
+  Alcotest.(check (array int)) "shape" [| 4; 4; 4 |] out.T.shape;
+  (* spot-check one strided position against a direct computation *)
+  let direct o i j =
+    let acc = ref 0.0 in
+    for c = 0 to 0 do
+      for dy = 0 to 2 do
+        for dx = 0 to 2 do
+          let y = (i * 2) + dy - 1 and x = (j * 2) + dx - 1 in
+          if y >= 0 && y < 8 && x >= 0 && x < 8 then
+            acc := !acc +. (T.get3 img c y x *. T.get w [| o; c; dy; dx |])
+        done
+      done
+    done;
+    !acc
+  in
+  check_float "strided value" (direct 2 1 1) (T.get3 out 2 1 1)
+
+let test_avg_pool () =
+  let img = T.of_array [| 1; 4; 4 |] (Array.init 16 float_of_int) in
+  let out = T.avg_pool2d ~input:img ~ksize:2 ~stride:2 in
+  Alcotest.(check (array int)) "shape" [| 1; 2; 2 |] out.T.shape;
+  check_float "tl" 2.5 (T.get3 out 0 0 0);
+  check_float "br" 12.5 (T.get3 out 0 1 1)
+
+let test_matmul () =
+  let w = T.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let x = T.of_array [| 3 |] [| 1.; 1.; 2. |] in
+  let y = T.matmul_vec ~weights:w ~bias:[| 0.5; -0.5 |] x in
+  check_float "y0" 9.5 (T.get y [| 0 |]);
+  check_float "y1" 20.5 (T.get y [| 1 |])
+
+let test_poly_act_and_bn () =
+  let x = T.of_array [| 1; 1; 3 |] [| 1.0; -2.0; 0.5 |] in
+  let y = T.poly_act ~a:0.5 ~b:1.0 x in
+  check_float "1 -> 1.5" 1.5 (T.get3 y 0 0 0);
+  check_float "-2 -> 0" 0.0 (T.get3 y 0 0 1);
+  let z = T.batch_norm ~scale:[| 2.0 |] ~shift:[| 1.0 |] x in
+  check_float "bn" 3.0 (T.get3 z 0 0 0)
+
+let test_global_avg_pool_concat () =
+  let a = T.of_array [| 1; 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let b = T.of_array [| 2; 2; 2 |] (Array.make 8 1.0) in
+  let cat = T.concat_channels [ a; b ] in
+  Alcotest.(check (array int)) "concat shape" [| 3; 2; 2 |] cat.T.shape;
+  let g = T.global_avg_pool cat in
+  check_float "gap ch0" 2.5 (T.get3 g 0 0 0);
+  check_float "gap ch1" 1.0 (T.get3 g 1 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Circuits and models                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_shapes () =
+  List.iter
+    (fun spec ->
+      let circuit = (spec.Models.build) () in
+      let img = Models.input_for spec ~seed:11 in
+      let out = Reference.eval circuit img in
+      let expected_outputs =
+        match spec.Models.model_name with "Industrial" -> 2 | _ -> 10
+      in
+      Alcotest.(check int)
+        (spec.Models.model_name ^ " output size")
+        expected_outputs (T.numel out))
+    Models.all
+
+let test_layer_counts_table3 () =
+  let check name (conv, fc, act) =
+    let spec = Models.find name in
+    Alcotest.(check (triple int int int)) name (conv, fc, act) (Circuit.layer_counts (spec.Models.build ()))
+  in
+  (* Table 3's layer structure *)
+  check "LeNet-5-small" (2, 2, 4);
+  check "LeNet-5-medium" (2, 2, 4);
+  check "LeNet-5-large" (2, 2, 4);
+  check "Industrial" (5, 2, 6);
+  check "SqueezeNet-CIFAR" (10, 0, 9)
+
+let test_build_deterministic () =
+  let spec = Models.lenet5_small in
+  let c1 = spec.Models.build () and c2 = spec.Models.build () in
+  let img = Models.input_for spec ~seed:5 in
+  let o1 = Reference.eval c1 img and o2 = Reference.eval c2 img in
+  check_float "same output" 0.0 (T.max_abs_diff o1 o2)
+
+let test_magnitudes_bounded () =
+  (* the synthetic networks must not blow up numerically, or the fixed-point
+     analysis would be meaningless *)
+  List.iter
+    (fun spec ->
+      let circuit = (spec.Models.build) () in
+      let img = Models.input_for spec ~seed:3 in
+      let m = Reference.max_intermediate_abs circuit img in
+      if m > 1000.0 || Float.is_nan m then
+        Alcotest.failf "%s: intermediate magnitude %f" spec.Models.model_name m)
+    Models.all
+
+let test_depth_and_opcount () =
+  let small = Models.lenet5_small.Models.build () in
+  let large = Models.lenet5_large.Models.build () in
+  Alcotest.(check bool) "large deeper or equal" true
+    (Circuit.multiplicative_depth large >= Circuit.multiplicative_depth small);
+  let ops_small = (Opcount.count small).Opcount.total in
+  let ops_large = (Opcount.count large).Opcount.total in
+  Alcotest.(check bool) "positive" true (ops_small > 0);
+  Alcotest.(check bool) "large has more ops" true (ops_large > 10 * ops_small)
+
+let test_fused_expand_equivalence () =
+  (* the fused 1x1+3x3 expand convolution equals conv1x1 ++ conv3x3 *)
+  let st = Random.State.make [| 42 |] in
+  let x = Dataset.image ~seed:9 ~channels:4 ~height:6 ~width:6 in
+  let w1 = Dataset.glorot st [| 3; 4; 1; 1 |] in
+  let w3 = Dataset.glorot st [| 3; 4; 3; 3 |] in
+  let fused = T.create [| 6; 4; 3; 3 |] in
+  for o = 0 to 2 do
+    for c = 0 to 3 do
+      T.set fused [| o; c; 1; 1 |] (T.get w1 [| o; c; 0; 0 |]);
+      for dy = 0 to 2 do
+        for dx = 0 to 2 do
+          T.set fused [| 3 + o; c; dy; dx |] (T.get w3 [| o; c; dy; dx |])
+        done
+      done
+    done
+  done;
+  let direct =
+    T.concat_channels
+      [
+        T.conv2d ~input:x ~weights:w1 ~stride:1 ~padding:T.Same ();
+        T.conv2d ~input:x ~weights:w3 ~stride:1 ~padding:T.Same ();
+      ]
+  in
+  let via_fused = T.conv2d ~input:x ~weights:fused ~stride:1 ~padding:T.Same () in
+  check_float "equivalent" 0.0 (T.max_abs_diff direct via_fused)
+
+let test_circuit_validation () =
+  let b = Circuit.builder () in
+  let x = Circuit.input b ~name:"i" [| 1; 8; 8 |] in
+  Alcotest.(check bool) "bad channels rejected" true
+    (try
+       ignore (Circuit.conv2d b x ~weights:(T.create [| 2; 3; 3; 3 |]) ~stride:1 ~padding:T.Valid ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad fc rejected" true
+    (try
+       ignore (Circuit.matmul b x ~weights:(T.create [| 4; 99 |]) ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "tensor",
+      [
+        Alcotest.test_case "conv2d identity kernel" `Quick test_conv2d_identity;
+        Alcotest.test_case "conv2d known values" `Quick test_conv2d_known;
+        Alcotest.test_case "conv2d same padding" `Quick test_conv2d_same_padding;
+        Alcotest.test_case "conv2d stride 2" `Quick test_conv2d_stride2;
+        Alcotest.test_case "avg pool" `Quick test_avg_pool;
+        Alcotest.test_case "matmul" `Quick test_matmul;
+        Alcotest.test_case "poly act / batch norm" `Quick test_poly_act_and_bn;
+        Alcotest.test_case "global avg pool / concat" `Quick test_global_avg_pool_concat;
+      ] );
+    ( "nn",
+      [
+        Alcotest.test_case "model output shapes" `Quick test_model_shapes;
+        Alcotest.test_case "Table 3 layer counts" `Quick test_layer_counts_table3;
+        Alcotest.test_case "deterministic builds" `Quick test_build_deterministic;
+        Alcotest.test_case "bounded magnitudes" `Quick test_magnitudes_bounded;
+        Alcotest.test_case "depth and op counts" `Quick test_depth_and_opcount;
+        Alcotest.test_case "fused fire expand" `Quick test_fused_expand_equivalence;
+        Alcotest.test_case "builder validation" `Quick test_circuit_validation;
+      ] );
+  ]
