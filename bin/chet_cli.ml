@@ -16,6 +16,7 @@ module Opcount = Chet_nn.Opcount
 module Reference = Chet_nn.Reference
 module Sim = Chet_hisa.Sim_backend
 module Hisa = Chet_hisa.Hisa
+module Herr = Chet_hisa.Herr
 module T = Chet_tensor.Tensor
 open Cmdliner
 
@@ -70,8 +71,17 @@ let run_cmd =
   let real_arg =
     Arg.(value & flag & info [ "real" ] ~doc:"Run on the real scheme (slow) instead of the simulator.")
   in
+  let checked_arg =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:
+            "With --real: validate every homomorphic op's pre/postconditions at runtime \
+             (scales, levels, rescale legality, NaN screening); corruption surfaces as a \
+             typed FHE error instead of a garbage prediction.")
+  in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Synthetic image seed.") in
-  let run model target real seed =
+  let run model target real checked seed =
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
     let opts = Compiler.default_options ~target () in
@@ -86,7 +96,10 @@ let run_cmd =
     in
     let got, latency =
       if real then begin
-        let backend = Compiler.instantiate compiled ~seed:42 ~with_secret:true () in
+        let backend =
+          if checked then Compiler.instantiate_checked compiled ~seed:42 ~with_secret:true ()
+          else Compiler.instantiate compiled ~seed:42 ~with_secret:true ()
+        in
         let t0 = Unix.gettimeofday () in
         let r = run_with backend in
         (r, Unix.gettimeofday () -. t0)
@@ -112,7 +125,7 @@ let run_cmd =
       (T.max_abs_diff (T.flatten expected) (T.flatten got))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one encrypted inference")
-    Term.(const run $ model_arg $ target_arg $ real_arg $ seed_arg)
+    Term.(const run $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg)
 
 let scales_cmd =
   let tol_arg = Arg.(value & opt float 0.05 & info [ "tolerance" ] ~doc:"Output tolerance.") in
@@ -122,16 +135,33 @@ let scales_cmd =
     let opts = Compiler.default_options ~target () in
     let images = List.init 3 (fun i -> Models.input_for spec ~seed:(100 + i)) in
     let result =
-      Scale_select.search opts circuit ~policy:Executor.All_hw ~images ~tolerance
+      Scale_select.search
+        ~log:(fun line -> Printf.eprintf "%s\n%!" line)
+        opts circuit ~policy:Executor.All_hw ~images ~tolerance
         ~start_exponents:(34, 24, 24, 18) ()
     in
     let ec, ew, eu, em = result.Scale_select.exponents in
-    Printf.printf "selected scales: Pc=2^%d Pw=2^%d Pu=2^%d Pm=2^%d (%d candidates tried)\n" ec ew
-      eu em result.Scale_select.evaluations
+    Printf.printf "selected scales: Pc=2^%d Pw=2^%d Pu=2^%d Pm=2^%d (%d candidates tried, %d rejected)\n"
+      ec ew eu em result.Scale_select.evaluations
+      (List.length result.Scale_select.rejections)
   in
   Cmd.v (Cmd.info "scales" ~doc:"Profile-guided fixed-point scale search (§5.5)")
     Term.(const run $ model_arg $ target_arg $ tol_arg)
 
 let () =
   let info = Cmd.info "chet" ~doc:"CHET: an optimizing compiler for FHE neural-network inference" in
-  exit (Cmd.eval (Cmd.group info [ models_cmd; compile_cmd; run_cmd; scales_cmd ]))
+  let code =
+    (* render the typed failure modes as structured one-liners instead of a
+       raw OCaml backtrace *)
+    try Cmd.eval ~catch:false (Cmd.group info [ models_cmd; compile_cmd; run_cmd; scales_cmd ]) with
+    | Herr.Fhe_error (e, c) ->
+        Printf.eprintf "chet: %s\n" (Herr.to_string (e, c));
+        3
+    | Compiler.Compilation_failure msg ->
+        Printf.eprintf "chet: compilation failed: %s\n" msg;
+        3
+    | Chet_crypto.Serial.Corrupt msg ->
+        Printf.eprintf "chet: corrupt payload: %s\n" msg;
+        3
+  in
+  exit code

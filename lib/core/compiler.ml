@@ -1,7 +1,9 @@
 module Hisa = Chet_hisa.Hisa
+module Herr = Chet_hisa.Herr
 module Clear = Chet_hisa.Clear_backend
 module Shape = Chet_hisa.Shape_backend
 module Sim = Chet_hisa.Sim_backend
+module Checked = Chet_hisa.Checked_backend
 module Instrument = Chet_hisa.Instrument
 module Security = Chet_crypto.Security
 module Modarith = Chet_crypto.Modarith
@@ -99,8 +101,9 @@ let zero_image circuit =
   | shape -> Tensor.create shape
 
 (* Execute the circuit through a backend and hand back the output tensor's
-   first ciphertext observations. Raises Invalid_argument when the layout
-   does not fit [slots] — callers treat that as "N too small". *)
+   first ciphertext observations. Raises [Herr.Fhe_error (Slot_overflow _, _)]
+   when the layout does not fit [slots] — callers treat that as "N too
+   small". *)
 let run_through (backend : Hisa.t) opts circuit ~policy =
 
   let module H = (val backend) in
@@ -155,9 +158,21 @@ let select_params opts circuit ~policy =
       raise (Compilation_failure (Printf.sprintf "no secure N <= %d accommodates this circuit" opts.max_n));
     let attempt =
       try
-        let backend = Shape.make { Shape.slots = n / 2; scheme = analysis_scheme opts ~n } in
+        let scheme = analysis_scheme opts ~n in
+        (* run the analysis under the checked wrapper: a compiler bug that
+           desynchronises scales or levels surfaces here as a typed error
+           instead of propagating garbage into the parameter choice *)
+        let backend =
+          Checked.wrap ~scheme (Shape.make { Shape.slots = n / 2; scheme })
+        in
         Some (run_through backend opts circuit ~policy)
-      with Invalid_argument _ -> None
+      with
+      | Herr.Fhe_error (Herr.Slot_overflow _, _) | Invalid_argument _ ->
+          None (* layout does not fit this SIMD width: grow N *)
+      | Herr.Fhe_error _ as e ->
+          (* the candidate chain is policy-independent, so growing N cannot
+             repair a modulus/scale violation — report it structurally *)
+          raise (Compilation_failure ("parameter analysis failed: " ^ Printexc.to_string e))
     in
     match attempt with
     | None -> iterate (n * 2) tries (* layout does not fit this SIMD width *)
@@ -198,8 +213,10 @@ let estimate_cost opts circuit ~policy ~params =
     Sim.make
       { Sim.n = params_n params; scheme = scheme_of_params opts params; costs = default_cost_model opts }
   in
-  (try ignore (run_through backend opts circuit ~policy)
-   with Invalid_argument msg -> raise (Compilation_failure ("cost analysis failed: " ^ msg)));
+  (try ignore (run_through backend opts circuit ~policy) with
+  | Invalid_argument msg -> raise (Compilation_failure ("cost analysis failed: " ^ msg))
+  | Herr.Fhe_error _ as e ->
+      raise (Compilation_failure ("cost analysis failed: " ^ Printexc.to_string e)));
   clock.Sim.elapsed
 
 (* ------------------------------------------------------------------ *)
@@ -210,8 +227,10 @@ let select_rotations opts circuit ~policy ~params =
   let n = params_n params in
   let shape = Shape.make { Shape.slots = n / 2; scheme = scheme_of_params opts params } in
   let backend, counters = Instrument.wrap shape in
-  (try ignore (run_through backend opts circuit ~policy)
-   with Invalid_argument msg -> raise (Compilation_failure ("rotation analysis failed: " ^ msg)));
+  (try ignore (run_through backend opts circuit ~policy) with
+  | Invalid_argument msg -> raise (Compilation_failure ("rotation analysis failed: " ^ msg))
+  | Herr.Fhe_error _ as e ->
+      raise (Compilation_failure ("rotation analysis failed: " ^ Printexc.to_string e)));
   let rotations =
     Hashtbl.fold (fun amount uses acc -> (amount, uses) :: acc) counters.Instrument.rotation_counts []
     |> List.sort compare
@@ -266,7 +285,7 @@ let pp_compiled fmt c =
 
 type rotation_key_policy = Selected_keys | Power_of_two_keys
 
-let instantiate compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
+let instantiate_with_scheme compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
   let rng = Chet_crypto.Sampling.create ~seed in
   match compiled.params with
   | Rns_params { n; prime_bits; num_primes; _ } ->
@@ -278,8 +297,14 @@ let instantiate compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () 
       | Selected_keys ->
           List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
       | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
-      Chet_hisa.Seal_backend.make
-        { Chet_hisa.Seal_backend.ctx; rng; keys; secret = (if with_secret then Some sk else None) }
+      let backend =
+        Chet_hisa.Seal_backend.make
+          { Chet_hisa.Seal_backend.ctx; rng; keys; secret = (if with_secret then Some sk else None) }
+      in
+      (* the *actual* chain of the instantiated context (the analysis-time
+         candidate chain differs: its largest prime became the special
+         prime), so a checked wrapper validates against deployment truth *)
+      (backend, Hisa.Rns_chain (C.coeff_primes ctx))
   | Pow2_params { n; log_fresh; log_special } ->
       let module C = Chet_crypto.Big_ckks in
       let params = C.default_params ~n ~log_special ~log_fresh () in
@@ -289,5 +314,15 @@ let instantiate compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () 
       | Selected_keys ->
           List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
       | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
-      Chet_hisa.Heaan_backend.make
-        { Chet_hisa.Heaan_backend.ctx; rng; keys; secret = (if with_secret then Some sk else None) }
+      let backend =
+        Chet_hisa.Heaan_backend.make
+          { Chet_hisa.Heaan_backend.ctx; rng; keys; secret = (if with_secret then Some sk else None) }
+      in
+      (backend, Hisa.Pow2_modulus log_fresh)
+
+let instantiate compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
+  fst (instantiate_with_scheme compiled ~seed ~rotation_keys ~with_secret ())
+
+let instantiate_checked compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
+  let backend, scheme = instantiate_with_scheme compiled ~seed ~rotation_keys ~with_secret () in
+  Checked.wrap ~scheme backend

@@ -87,3 +87,19 @@ type rotation_key_policy = Selected_keys | Power_of_two_keys
 
 val instantiate :
   compiled -> seed:int -> ?rotation_keys:rotation_key_policy -> with_secret:bool -> unit -> Hisa.t
+
+val instantiate_with_scheme :
+  compiled -> seed:int -> ?rotation_keys:rotation_key_policy -> with_secret:bool -> unit ->
+  Hisa.t * Hisa.scheme_kind
+(** Like {!instantiate}, but also return the {e actual} scheme description of
+    the instantiated context (its real modulus chain / fresh logQ) — exactly
+    what {!Chet_hisa.Checked_backend.wrap} needs to validate the deployment.
+    Note this differs from {!scheme_of_params}: the analysis-time candidate
+    chain reserves its largest prime as the key-switching special prime. *)
+
+val instantiate_checked :
+  compiled -> seed:int -> ?rotation_keys:rotation_key_policy -> with_secret:bool -> unit -> Hisa.t
+(** {!instantiate_with_scheme} composed with {!Chet_hisa.Checked_backend}:
+    a deployment backend on which every HISA op validates its pre- and
+    postconditions, turning silent corruption into typed
+    [Chet_herr.Herr.Fhe_error]s. *)

@@ -300,7 +300,9 @@ let rotate ctx keys ct r =
     let key =
       match Hashtbl.find_opt keys.rotation g with
       | Some k -> k
-      | None -> raise Not_found
+      | None ->
+          Chet_herr.Herr.raise_err ~backend:"bfv" ~op:"rotate"
+            (Chet_herr.Herr.Missing_rotation_key { amount = r })
     in
     let c0 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c0) ~g in
     let c1 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c1) ~g in

@@ -7,6 +7,9 @@
    ≈ ‖d·e‖/P — small because P ≥ q always. *)
 
 module Bigint = Chet_bigint.Bigint
+module Herr = Chet_herr.Herr
+
+let err ~op e = Herr.raise_err ~backend:"big_ckks" ~op e
 
 type params = { n : int; log_fresh : int; log_special : int; sigma : float }
 
@@ -141,7 +144,7 @@ let decode ctx pt =
 
 let encrypt ctx rng (pk : public_key) pt =
   if pt.pt_logq <> ctx.params.log_fresh then
-    invalid_arg "Big_ckks.encrypt: plaintext must be at the fresh modulus";
+    err ~op:"encrypt" (Herr.Level_mismatch { expected = ctx.params.log_fresh; got = pt.pt_logq });
   let logq = ctx.params.log_fresh in
   let u = Rq_big.of_centered_ints ~logq (Sampling.ternary rng ctx.params.n) in
   let e0 = sample_gaussian_poly ctx rng ~logq in
@@ -158,47 +161,48 @@ let decrypt ctx sk ct =
   { poly = m; pt_logq = ct.logq; pt_scale = ct.scale }
 
 (* kernels equalise scales only approximately (integer mask factors, RNS
-   rescaling drift); 1e-4 relative slack admits value error well below the
-   scheme noise floor *)
-let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+   rescaling drift); [Herr.scale_tolerance] relative slack admits value
+   error well below the scheme noise floor *)
+let scales_compatible = Herr.scales_compatible
 
-let check_binop name a b =
-  if a.logq <> b.logq then invalid_arg (name ^ ": modulus mismatch");
-  if not (scales_compatible a.scale b.scale) then invalid_arg (name ^ ": scale mismatch")
+let check_binop op a b =
+  if a.logq <> b.logq then err ~op (Herr.Level_mismatch { expected = a.logq; got = b.logq });
+  if not (scales_compatible a.scale b.scale) then
+    err ~op (Herr.Scale_mismatch { expected = a.scale; got = b.scale })
 
 let add ctx a b =
   ignore ctx;
-  check_binop "Big_ckks.add" a b;
+  check_binop "add" a b;
   { a with c0 = Rq_big.add ~logq:a.logq a.c0 b.c0; c1 = Rq_big.add ~logq:a.logq a.c1 b.c1 }
 
 let sub ctx a b =
   ignore ctx;
-  check_binop "Big_ckks.sub" a b;
+  check_binop "sub" a b;
   { a with c0 = Rq_big.sub ~logq:a.logq a.c0 b.c0; c1 = Rq_big.sub ~logq:a.logq a.c1 b.c1 }
 
 let negate ctx a =
   ignore ctx;
   { a with c0 = Rq_big.neg ~logq:a.logq a.c0; c1 = Rq_big.neg ~logq:a.logq a.c1 }
 
-let check_plain name (ct : ciphertext) (pt : plaintext) =
-  if ct.logq <> pt.pt_logq then invalid_arg (name ^ ": modulus mismatch")
+let check_plain op (ct : ciphertext) (pt : plaintext) =
+  if ct.logq <> pt.pt_logq then err ~op (Herr.Level_mismatch { expected = ct.logq; got = pt.pt_logq })
 
 let add_plain ctx ct pt =
   ignore ctx;
-  check_plain "Big_ckks.add_plain" ct pt;
+  check_plain "add_plain" ct pt;
   if not (scales_compatible ct.scale pt.pt_scale) then
-    invalid_arg "Big_ckks.add_plain: scale mismatch";
+    err ~op:"add_plain" (Herr.Scale_mismatch { expected = ct.scale; got = pt.pt_scale });
   { ct with c0 = Rq_big.add ~logq:ct.logq ct.c0 pt.poly }
 
 let sub_plain ctx ct pt =
   ignore ctx;
-  check_plain "Big_ckks.sub_plain" ct pt;
+  check_plain "sub_plain" ct pt;
   if not (scales_compatible ct.scale pt.pt_scale) then
-    invalid_arg "Big_ckks.sub_plain: scale mismatch";
+    err ~op:"sub_plain" (Herr.Scale_mismatch { expected = ct.scale; got = pt.pt_scale });
   { ct with c0 = Rq_big.sub ~logq:ct.logq ct.c0 pt.poly }
 
 let mul_plain ctx ct pt =
-  check_plain "Big_ckks.mul_plain" ct pt;
+  check_plain "mul_plain" ct pt;
   {
     ct with
     c0 = Rq_big.mul ctx.rq ~logq:ct.logq ct.c0 pt.poly;
@@ -234,7 +238,7 @@ let keyswitch ctx logq (d : Bigint.t array) (key : kswitch_key) =
   (Rq_big.div_round_pow2 ~logq:logqp ~k:log_p t0, Rq_big.div_round_pow2 ~logq:logqp ~k:log_p t1)
 
 let mul ctx keys a b =
-  if a.logq <> b.logq then invalid_arg "Big_ckks.mul: modulus mismatch";
+  if a.logq <> b.logq then err ~op:"mul" (Herr.Level_mismatch { expected = a.logq; got = b.logq });
   let logq = a.logq in
   let d0 = Rq_big.mul ctx.rq ~logq a.c0 b.c0 in
   let d1 =
@@ -264,9 +268,12 @@ let rescale ctx ct x =
   ignore ctx;
   if x = 1 then ct
   else begin
-    if x land (x - 1) <> 0 then invalid_arg "Big_ckks.rescale: divisor must be a power of two";
+    if x land (x - 1) <> 0 then
+      err ~op:"rescale"
+        (Herr.Illegal_rescale { divisor = x; reason = "divisor must be a power of two" });
     let k = log2_int x in
-    if k >= ct.logq then invalid_arg "Big_ckks.rescale: would consume entire modulus";
+    if k >= ct.logq then
+      err ~op:"rescale" (Herr.Modulus_exhausted { level = ct.logq; requested = k });
     {
       c0 = Rq_big.rescale_pow2 ~logq:ct.logq ~k ct.c0;
       c1 = Rq_big.rescale_pow2 ~logq:ct.logq ~k ct.c1;
@@ -277,7 +284,8 @@ let rescale ctx ct x =
 
 let mod_down ctx ct ~logq =
   ignore ctx;
-  if logq > ct.logq then invalid_arg "Big_ckks.mod_down: cannot grow modulus";
+  if logq > ct.logq then
+    err ~op:"mod_down" (Herr.Level_mismatch { expected = ct.logq; got = logq });
   {
     ct with
     c0 = Rq_big.mod_down ~logq_to:logq ct.c0;
@@ -285,9 +293,11 @@ let mod_down ctx ct ~logq =
     logq;
   }
 
-let apply_galois ctx keys ct g =
+let apply_galois ?(amount = 0) ctx keys ct g =
   let key =
-    match Hashtbl.find_opt keys.rotation g with Some k -> k | None -> raise Not_found
+    match Hashtbl.find_opt keys.rotation g with
+    | Some k -> k
+    | None -> err ~op:"rotate" (Herr.Missing_rotation_key { amount })
   in
   let c0 = Rq_big.automorphism ~logq:ct.logq ~g ct.c0 in
   let c1 = Rq_big.automorphism ~logq:ct.logq ~g ct.c1 in
@@ -300,14 +310,15 @@ let rotate ctx keys ct r =
   if r = 0 then ct
   else begin
     let g = galois_of_rotation ctx r in
-    if Hashtbl.mem keys.rotation g then apply_galois ctx keys ct g
+    if Hashtbl.mem keys.rotation g then apply_galois ~amount:r ctx keys ct g
     else begin
       let ct = ref ct and k = ref 1 and rem = ref r in
       while !rem > 0 do
         if !rem land 1 = 1 then begin
           let g = galois_of_rotation ctx !k in
-          if not (Hashtbl.mem keys.rotation g) then raise Not_found;
-          ct := apply_galois ctx keys !ct g
+          if not (Hashtbl.mem keys.rotation g) then
+            err ~op:"rotate" (Herr.Missing_rotation_key { amount = r });
+          ct := apply_galois ~amount:!k ctx keys !ct g
         end;
         rem := !rem lsr 1;
         k := !k lsl 1

@@ -13,6 +13,9 @@
 
 module Rq = Rq_rns
 module Bigint = Chet_bigint.Bigint
+module Herr = Chet_herr.Herr
+
+let err ~op e = Herr.raise_err ~backend:"rns_ckks" ~op e
 
 type params = { n : int; coeff_modulus_bits : int; num_coeff_primes : int; sigma : float }
 
@@ -152,12 +155,18 @@ let rotation_key_count keys = Hashtbl.length keys.rotation
 (* --- encoding --- *)
 
 let encode ctx ~level ~scale (z : Complexv.t) =
-  if level < 1 || level > ctx.num_coeff then invalid_arg "Rns_ckks.encode: bad level";
+  if level < 1 || level > ctx.num_coeff then
+    err ~op:"encode"
+      (Herr.Invalid_op
+         { reason = Printf.sprintf "level %d outside [1, %d]" level ctx.num_coeff });
   let coeffs = Encoding.encode ctx.enc ~scale ~re:z.Complexv.re ~im:z.Complexv.im in
   let ints =
     Array.map
       (fun c ->
-        if Float.abs c > 4.0e18 then failwith "Rns_ckks.encode: coefficient overflow (scale too large)";
+        if Float.abs c > 4.0e18 then
+          err ~op:"encode"
+            (Herr.Numeric_blowup { slot = -1; value = c })
+            (* coefficient overflow: scale too large for the message *);
         int_of_float (Float.round c))
       coeffs
   in
@@ -175,7 +184,8 @@ let decode ctx pt =
 (* --- encryption --- *)
 
 let encrypt ctx rng (pk : public_key) pt =
-  if pt.pt_level <> ctx.num_coeff then invalid_arg "Rns_ckks.encrypt: plaintext must be at top level";
+  if pt.pt_level <> ctx.num_coeff then
+    err ~op:"encrypt" (Herr.Level_mismatch { expected = ctx.num_coeff; got = pt.pt_level });
   let basis = basis_of_level ctx.num_coeff in
   let u = sample_ternary_ntt ctx rng basis in
   let e0 = sample_gaussian ctx rng basis in
@@ -192,39 +202,43 @@ let decrypt ctx sk ct =
 (* --- arithmetic --- *)
 
 (* kernels equalise scales only approximately (integer mask factors, RNS
-   rescaling drift); 1e-4 relative slack admits value error well below the
-   scheme noise floor *)
-let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+   rescaling drift); [Herr.scale_tolerance] relative slack admits value
+   error well below the scheme noise floor *)
+let scales_compatible = Herr.scales_compatible
 
-let check_binop name a b =
-  if a.level <> b.level then invalid_arg (name ^ ": level mismatch");
-  if not (scales_compatible a.scale b.scale) then invalid_arg (name ^ ": scale mismatch")
+let check_binop op a b =
+  if a.level <> b.level then err ~op (Herr.Level_mismatch { expected = a.level; got = b.level });
+  if not (scales_compatible a.scale b.scale) then
+    err ~op (Herr.Scale_mismatch { expected = a.scale; got = b.scale })
 
 let add ctx a b =
-  check_binop "Rns_ckks.add" a b;
+  check_binop "add" a b;
   { a with c0 = Rq.add ctx.rq a.c0 b.c0; c1 = Rq.add ctx.rq a.c1 b.c1 }
 
 let sub ctx a b =
-  check_binop "Rns_ckks.sub" a b;
+  check_binop "sub" a b;
   { a with c0 = Rq.sub ctx.rq a.c0 b.c0; c1 = Rq.sub ctx.rq a.c1 b.c1 }
 
 let negate ctx a = { a with c0 = Rq.neg ctx.rq a.c0; c1 = Rq.neg ctx.rq a.c1 }
 
-let check_plain name ct pt =
-  if ct.level <> pt.pt_level then invalid_arg (name ^ ": level mismatch")
+let check_plain op ct pt =
+  if ct.level <> pt.pt_level then
+    err ~op (Herr.Level_mismatch { expected = ct.level; got = pt.pt_level })
 
 let add_plain ctx ct pt =
-  check_plain "Rns_ckks.add_plain" ct pt;
-  if not (scales_compatible ct.scale pt.pt_scale) then invalid_arg "Rns_ckks.add_plain: scale mismatch";
+  check_plain "add_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then
+    err ~op:"add_plain" (Herr.Scale_mismatch { expected = ct.scale; got = pt.pt_scale });
   { ct with c0 = Rq.add ctx.rq ct.c0 pt.poly }
 
 let sub_plain ctx ct pt =
-  check_plain "Rns_ckks.sub_plain" ct pt;
-  if not (scales_compatible ct.scale pt.pt_scale) then invalid_arg "Rns_ckks.sub_plain: scale mismatch";
+  check_plain "sub_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then
+    err ~op:"sub_plain" (Herr.Scale_mismatch { expected = ct.scale; got = pt.pt_scale });
   { ct with c0 = Rq.sub ctx.rq ct.c0 pt.poly }
 
 let mul_plain ctx ct pt =
-  check_plain "Rns_ckks.mul_plain" ct pt;
+  check_plain "mul_plain" ct pt;
   {
     ct with
     c0 = Rq.mul ctx.rq ct.c0 pt.poly;
@@ -270,7 +284,7 @@ let keyswitch ctx level (d : Rq.t) (key : kswitch_key) : Rq.t * Rq.t =
   (down !acc0, down !acc1)
 
 let mul ctx keys a b =
-  if a.level <> b.level then invalid_arg "Rns_ckks.mul: level mismatch";
+  if a.level <> b.level then err ~op:"mul" (Herr.Level_mismatch { expected = a.level; got = b.level });
   let d0 = Rq.mul ctx.rq a.c0 b.c0 in
   let d1 = Rq.add ctx.rq (Rq.mul ctx.rq a.c0 b.c1) (Rq.mul ctx.rq a.c1 b.c0) in
   let d2 = Rq.mul ctx.rq a.c1 b.c1 in
@@ -300,9 +314,18 @@ let rescale ctx ct x =
     let primes = Rq.ctx_primes ctx.rq in
     let c0 = ref (Rq.from_ntt ctx.rq ct.c0) and c1 = ref (Rq.from_ntt ctx.rq ct.c1) in
     let level = ref ct.level and x = ref x and scale = ref ct.scale in
+    let requested = !x in
     while !x > 1 do
+      if !level < 1 then
+        err ~op:"rescale" (Herr.Modulus_exhausted { level = ct.level; requested });
       let q = primes.(!level - 1) in
-      if !x mod q <> 0 then invalid_arg "Rns_ckks.rescale: divisor is not a product of next chain primes";
+      if !x mod q <> 0 then
+        err ~op:"rescale"
+          (Herr.Illegal_rescale
+             {
+               divisor = requested;
+               reason = Printf.sprintf "not a product of the next chain primes (next is %d)" q;
+             });
       c0 := Rq.drop_last ctx.rq !c0 ~rounded:true;
       c1 := Rq.drop_last ctx.rq !c1 ~rounded:true;
       decr level;
@@ -313,8 +336,11 @@ let rescale ctx ct x =
   end
 
 let mod_switch_to_level ctx ct target =
-  if target > ct.level then invalid_arg "Rns_ckks.mod_switch_to_level: cannot raise level";
-  if target < 1 then invalid_arg "Rns_ckks.mod_switch_to_level: level must be >= 1";
+  if target > ct.level then
+    err ~op:"mod_switch_to_level" (Herr.Level_mismatch { expected = ct.level; got = target });
+  if target < 1 then
+    err ~op:"mod_switch_to_level"
+      (Herr.Invalid_op { reason = Printf.sprintf "target level must be >= 1, got %d" target });
   if target = ct.level then ct
   else begin
     let c0 = ref (Rq.from_ntt ctx.rq ct.c0) and c1 = ref (Rq.from_ntt ctx.rq ct.c1) in
@@ -327,11 +353,11 @@ let mod_switch_to_level ctx ct target =
 
 (* --- rotation --- *)
 
-let apply_galois ctx keys ct g =
+let apply_galois ?(amount = 0) ctx keys ct g =
   let key =
     match Hashtbl.find_opt keys.rotation g with
     | Some k -> k
-    | None -> raise Not_found
+    | None -> err ~op:"rotate" (Herr.Missing_rotation_key { amount })
   in
   let c0 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c0) ~g in
   let c1 = Rq.automorphism ctx.rq (Rq.from_ntt ctx.rq ct.c1) ~g in
@@ -344,15 +370,16 @@ let rotate ctx keys ct r =
   if r = 0 then ct
   else begin
     let g = galois_of_rotation ctx r in
-    if Hashtbl.mem keys.rotation g then apply_galois ctx keys ct g
+    if Hashtbl.mem keys.rotation g then apply_galois ~amount:r ctx keys ct g
     else begin
       (* fall back to power-of-two decomposition (the scheme default) *)
       let ct = ref ct and k = ref 1 and rem = ref r in
       while !rem > 0 do
         if !rem land 1 = 1 then begin
           let g = galois_of_rotation ctx !k in
-          if not (Hashtbl.mem keys.rotation g) then raise Not_found;
-          ct := apply_galois ctx keys !ct g
+          if not (Hashtbl.mem keys.rotation g) then
+            err ~op:"rotate" (Herr.Missing_rotation_key { amount = r });
+          ct := apply_galois ~amount:!k ctx keys !ct g
         end;
         rem := !rem lsr 1;
         k := !k lsl 1

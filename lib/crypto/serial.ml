@@ -74,6 +74,47 @@ let expect_tag r tag =
   r.pos <- r.pos + 4;
   if got <> tag then raise (Corrupt (Printf.sprintf "expected %s payload, found %s" tag got))
 
+(* --- checksummed frames ---
+
+   Every tagged payload is wrapped in a frame: [tag | length | FNV-1a-64 of
+   the body | body].  The checksum is verified BEFORE the body is parsed, so
+   a flipped bit or a truncated transmission surfaces as a typed [Corrupt]
+   at the frame boundary instead of as a structurally-valid-but-garbage
+   ciphertext deeper in the protocol. *)
+
+let fnv1a64 s ~pos ~len =
+  let h = ref 0xcbf29ce484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) 0x100000001b3L
+  done;
+  !h
+
+let read_hash r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let write_frame w tag body =
+  write_tag w tag;
+  let b = Buffer.create 1024 in
+  body b;
+  let payload = Buffer.contents b in
+  write_int w (String.length payload);
+  Buffer.add_int64_le w (fnv1a64 payload ~pos:0 ~len:(String.length payload));
+  Buffer.add_string w payload
+
+let read_frame r tag payload =
+  expect_tag r tag;
+  let len = read_int r in
+  if len < 0 || len > String.length r.data - r.pos - 8 then raise (Corrupt "truncated frame");
+  let h = read_hash r in
+  if not (Int64.equal h (fnv1a64 r.data ~pos:r.pos ~len)) then raise (Corrupt "checksum mismatch");
+  let stop = r.pos + len in
+  let v = payload r in
+  if r.pos <> stop then raise (Corrupt "frame length mismatch");
+  v
+
 (* --- RNS-CKKS --- *)
 
 let write_rq w (p : Rq_rns.t) =
@@ -101,19 +142,19 @@ let read_rq r ctx =
 
 let write_rns_ciphertext w ctx (ct : Rns_ckks.ciphertext) =
   ignore ctx;
-  write_tag w "RCT1";
-  write_int w ct.Rns_ckks.level;
-  write_float w ct.Rns_ckks.scale;
-  write_rq w ct.Rns_ckks.c0;
-  write_rq w ct.Rns_ckks.c1
+  write_frame w "RCT2" (fun w ->
+      write_int w ct.Rns_ckks.level;
+      write_float w ct.Rns_ckks.scale;
+      write_rq w ct.Rns_ckks.c0;
+      write_rq w ct.Rns_ckks.c1)
 
 let read_rns_ciphertext r ctx =
-  expect_tag r "RCT1";
-  let level = read_int r in
-  let scale = read_float r in
-  let c0 = read_rq r ctx in
-  let c1 = read_rq r ctx in
-  { Rns_ckks.c0; c1; level; scale }
+  read_frame r "RCT2" (fun r ->
+      let level = read_int r in
+      let scale = read_float r in
+      let c0 = read_rq r ctx in
+      let c1 = read_rq r ctx in
+      { Rns_ckks.c0; c1; level; scale })
 
 let write_kswitch w k =
   let pairs = Rns_ckks.kswitch_pairs k in
@@ -135,46 +176,46 @@ let read_kswitch r ctx =
 
 let write_rns_keys w ctx (keys : Rns_ckks.keys) =
   ignore ctx;
-  write_tag w "RKY1";
-  let pk0, pk1 = Rns_ckks.public_key_parts keys.Rns_ckks.public in
-  write_rq w pk0;
-  write_rq w pk1;
-  write_kswitch w keys.Rns_ckks.relin;
-  write_int w (Hashtbl.length keys.Rns_ckks.rotation);
-  Hashtbl.iter
-    (fun galois k ->
-      write_int w galois;
-      write_kswitch w k)
-    keys.Rns_ckks.rotation
+  write_frame w "RKY2" (fun w ->
+      let pk0, pk1 = Rns_ckks.public_key_parts keys.Rns_ckks.public in
+      write_rq w pk0;
+      write_rq w pk1;
+      write_kswitch w keys.Rns_ckks.relin;
+      write_int w (Hashtbl.length keys.Rns_ckks.rotation);
+      Hashtbl.iter
+        (fun galois k ->
+          write_int w galois;
+          write_kswitch w k)
+        keys.Rns_ckks.rotation)
 
 let read_rns_keys r ctx =
-  expect_tag r "RKY1";
-  let pk0 = read_rq r ctx in
-  let pk1 = read_rq r ctx in
-  let relin = read_kswitch r ctx in
-  let count = read_int r in
-  if count < 0 || count > 65536 then raise (Corrupt "bad rotation key count");
-  let rotation = Hashtbl.create (Stdlib.max 1 count) in
-  for _ = 1 to count do
-    let galois = read_int r in
-    Hashtbl.replace rotation galois (read_kswitch r ctx)
-  done;
-  { Rns_ckks.public = Rns_ckks.public_key_of_parts (pk0, pk1); relin; rotation }
+  read_frame r "RKY2" (fun r ->
+      let pk0 = read_rq r ctx in
+      let pk1 = read_rq r ctx in
+      let relin = read_kswitch r ctx in
+      let count = read_int r in
+      if count < 0 || count > 65536 then raise (Corrupt "bad rotation key count");
+      let rotation = Hashtbl.create (Stdlib.max 1 count) in
+      for _ = 1 to count do
+        let galois = read_int r in
+        Hashtbl.replace rotation galois (read_kswitch r ctx)
+      done;
+      { Rns_ckks.public = Rns_ckks.public_key_of_parts (pk0, pk1); relin; rotation })
 
 (* --- power-of-two CKKS --- *)
 
 let write_big_ciphertext w (ct : Big_ckks.ciphertext) =
-  write_tag w "BCT1";
-  write_int w ct.Big_ckks.logq;
-  write_float w ct.Big_ckks.scale;
-  write_bigint_array w ct.Big_ckks.c0;
-  write_bigint_array w ct.Big_ckks.c1
+  write_frame w "BCT2" (fun w ->
+      write_int w ct.Big_ckks.logq;
+      write_float w ct.Big_ckks.scale;
+      write_bigint_array w ct.Big_ckks.c0;
+      write_bigint_array w ct.Big_ckks.c1)
 
 let read_big_ciphertext r =
-  expect_tag r "BCT1";
-  let logq = read_int r in
-  let scale = read_float r in
-  let c0 = read_bigint_array r in
-  let c1 = read_bigint_array r in
-  if Array.length c0 <> Array.length c1 then raise (Corrupt "component length mismatch");
-  { Big_ckks.c0; c1; logq; scale }
+  read_frame r "BCT2" (fun r ->
+      let logq = read_int r in
+      let scale = read_float r in
+      let c0 = read_bigint_array r in
+      let c1 = read_bigint_array r in
+      if Array.length c0 <> Array.length c1 then raise (Corrupt "component length mismatch");
+      { Big_ckks.c0; c1; logq; scale })

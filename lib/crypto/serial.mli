@@ -41,6 +41,26 @@ val write_tag : writer -> string -> unit
 val expect_tag : reader -> string -> unit
 (** @raise Corrupt if the next tag differs. *)
 
+(** {1 Checksummed frames}
+
+    Tagged payloads are wrapped in an integrity frame:
+    [tag | body length | FNV-1a-64 of body | body]. The checksum is verified
+    {e before} the body is parsed, so a flipped bit or truncated transmission
+    is rejected at the frame boundary rather than surfacing as a
+    structurally-valid-but-garbage ciphertext. *)
+
+val fnv1a64 : string -> pos:int -> len:int -> int64
+(** The frame checksum (FNV-1a, 64-bit) over [s.[pos .. pos+len-1]]. *)
+
+val write_frame : writer -> string -> (writer -> unit) -> unit
+(** [write_frame w tag body] serialises [body] into a fresh buffer and emits
+    the framed payload. *)
+
+val read_frame : reader -> string -> (reader -> 'a) -> 'a
+(** [read_frame r tag payload] checks the tag, length and checksum, then runs
+    [payload]; the parser must consume exactly the framed length.
+    @raise Corrupt on any integrity violation. *)
+
 (** {1 RNS-CKKS ciphertexts} *)
 
 val write_rns_ciphertext : writer -> Rq_rns.ctx -> Rns_ckks.ciphertext -> unit

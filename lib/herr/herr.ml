@@ -1,0 +1,132 @@
+(* Typed FHE error taxonomy — the single vocabulary every layer of the stack
+   (crypto schemes, HISA backends, runtime kernels, compiler passes) uses to
+   report a violated invariant.
+
+   CHET's contract is that compiled programs are correct by construction:
+   scales stay consistent, the modulus chain never exhausts, rescale divisors
+   are legal (§5.2 of the paper). When that contract is broken — a compiler
+   bug, a corrupted ciphertext off the wire, a mis-configured deployment —
+   the failure must carry enough structure for the caller to either repair
+   (retry the next candidate configuration) or report (which circuit node,
+   which op, what was expected vs observed). A bare [failwith] can do
+   neither.
+
+   This module lives in its own dependency-free library so that both
+   [Chet_crypto] (below the HISA) and [Chet_hisa]/[Chet_runtime] (above it)
+   can raise the same exception; [Chet_hisa.Herr] re-exports it. *)
+
+type error =
+  | Scale_mismatch of { expected : float; got : float }
+      (** Operands of an add/sub (or ct vs plaintext) disagree on their
+          fixed-point scale, or a backend reported a scale that contradicts
+          the checker's shadow computation. *)
+  | Level_mismatch of { expected : int; got : int }
+      (** Modulus levels (RNS prime count, or logQ bits) disagree: between
+          binary-op operands, or between a backend's report and the
+          checker's prediction. *)
+  | Modulus_exhausted of { level : int; requested : int }
+      (** The modulus chain ran out: [level] is what remains, [requested]
+          what the op needed (primes to drop, bits to consume, or 1 for "any
+          headroom before a multiply"). Recoverable by recompiling with more
+          primes or smaller scales. *)
+  | Slot_overflow of { slots : int; requested : int }
+      (** A vector, layout or rotation does not fit the SIMD width. *)
+  | Illegal_rescale of { divisor : int; reason : string }
+      (** The rescale divisor is not one the scheme can apply (not a product
+          of next chain primes / not a power of two), or the backend failed
+          to apply it (a dropped rescale). *)
+  | Numeric_blowup of { slot : int; value : float }
+      (** A NaN/Inf (or otherwise non-encodable value) appeared in plaintext
+          data entering or leaving the scheme. *)
+  | Corrupt_ciphertext of { reason : string }
+      (** A ciphertext failed an integrity check: use-after-free, decode
+          values outside any plausible message magnitude, checksum failure. *)
+  | Shape_mismatch of { expected : string; got : string }
+      (** Tensor/layout geometry disagreement in the runtime kernels. *)
+  | Missing_node of { node_id : int }
+      (** The executor was asked about a circuit node it has no value or
+          layout assignment for. *)
+  | Missing_rotation_key of { amount : int }
+      (** The evaluator lacks the Galois key for this rotation amount (and
+          could not decompose it into available keys). *)
+  | Invalid_op of { reason : string }
+      (** Structured catch-all for other violated preconditions. *)
+
+type context = {
+  op : string;  (** HISA/kernel operation, e.g. ["mul"], ["conv2d"] *)
+  backend : string;  (** origin layer, e.g. ["rns_ckks"], ["clear"], ["checked"] *)
+  node_id : int option;  (** circuit node, once the executor has attached it *)
+  layer : string option;  (** human description of the circuit layer *)
+}
+
+exception Fhe_error of error * context
+
+let context ?(backend = "") ?node_id ?layer op = { op; backend; node_id; layer }
+
+let raise_err ?backend ?node_id ?layer ~op error =
+  raise (Fhe_error (error, context ?backend ?node_id ?layer op))
+
+let error_name = function
+  | Scale_mismatch _ -> "scale mismatch"
+  | Level_mismatch _ -> "level mismatch"
+  | Modulus_exhausted _ -> "modulus exhausted"
+  | Slot_overflow _ -> "slot overflow"
+  | Illegal_rescale _ -> "illegal rescale"
+  | Numeric_blowup _ -> "numeric blowup"
+  | Corrupt_ciphertext _ -> "corrupt ciphertext"
+  | Shape_mismatch _ -> "shape mismatch"
+  | Missing_node _ -> "missing node"
+  | Missing_rotation_key _ -> "missing rotation key"
+  | Invalid_op _ -> "invalid op"
+
+let error_detail = function
+  | Scale_mismatch { expected; got } -> Printf.sprintf "expected scale %.6g, got %.6g" expected got
+  | Level_mismatch { expected; got } -> Printf.sprintf "expected level %d, got %d" expected got
+  | Modulus_exhausted { level; requested } ->
+      Printf.sprintf "%d level(s)/bit(s) remaining, op needs %d" level requested
+  | Slot_overflow { slots; requested } -> Printf.sprintf "%d slots available, %d requested" slots requested
+  | Illegal_rescale { divisor; reason } -> Printf.sprintf "divisor %d: %s" divisor reason
+  | Numeric_blowup { slot; value } -> Printf.sprintf "slot %d holds %h (%.6g)" slot value value
+  | Corrupt_ciphertext { reason } -> reason
+  | Shape_mismatch { expected; got } -> Printf.sprintf "expected %s, got %s" expected got
+  | Missing_node { node_id } -> Printf.sprintf "no value/assignment for circuit node %d" node_id
+  | Missing_rotation_key { amount } ->
+      Printf.sprintf "no Galois key reaches rotation by %d (regenerate keys or use --power-of-two keys)" amount
+  | Invalid_op { reason } -> reason
+
+(* One line, grep-able, front-loaded with the coordinates a human needs:
+   where (node/layer), what op, which backend, which invariant, details. *)
+let to_string (e, c) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "FHE error: ";
+  Buffer.add_string b (error_name e);
+  (match c.node_id with
+  | Some id -> Buffer.add_string b (Printf.sprintf " at node %d" id)
+  | None -> ());
+  (match c.layer with Some l -> Buffer.add_string b (Printf.sprintf " (%s)" l) | None -> ());
+  if c.op <> "" then Buffer.add_string b (Printf.sprintf " in %s" c.op);
+  if c.backend <> "" then Buffer.add_string b (Printf.sprintf " [%s]" c.backend);
+  Buffer.add_string b ": ";
+  Buffer.add_string b (error_detail e);
+  Buffer.contents b
+
+let pp fmt ec = Format.pp_print_string fmt (to_string ec)
+
+let to_result f = try Ok (f ()) with Fhe_error (e, c) -> Error (e, c)
+
+(* Attach circuit coordinates to errors escaping a per-node computation.
+   Errors that already carry a node id (from a nested executor) pass
+   through untouched. *)
+let with_node ~node_id ~layer f =
+  try f ()
+  with Fhe_error (e, c) when c.node_id = None ->
+    raise (Fhe_error (e, { c with node_id = Some node_id; layer = Some layer }))
+
+(* 1e-4 relative slack: kernels equalise scales only approximately (integer
+   mask factors, RNS rescaling drift); value error stays well below the
+   scheme noise floor. Shared so every layer agrees on "compatible". *)
+let scale_tolerance = 1e-4
+let scales_compatible a b = Float.abs (a -. b) <= scale_tolerance *. Float.max 1.0 (Float.max a b)
+
+let () =
+  Printexc.register_printer (function Fhe_error (e, c) -> Some (to_string (e, c)) | _ -> None)

@@ -27,7 +27,9 @@ let make (cfg : config) : Hisa.t =
 
     let decrypt ct =
       match cfg.secret with
-      | None -> failwith "Bfv_backend.decrypt: no secret key on this side"
+      | None ->
+          Herr.raise_err ~backend:"bfv" ~op:"decrypt"
+            (Herr.Invalid_op { reason = "no secret key on this side" })
       | Some sk ->
           let values = C.decode cfg.ctx (C.decrypt cfg.ctx sk ct) ~scale:(C.scale_of ct) in
           { values; pscale = C.scale_of ct }
@@ -57,7 +59,10 @@ let make (cfg : config) : Hisa.t =
     let max_rescale _ _ = 1
 
     let rescale c x =
-      if x = 1 then c else invalid_arg "Bfv_backend.rescale: BFV does not support rescaling"
+      if x = 1 then c
+      else
+        Herr.raise_err ~backend:"bfv" ~op:"rescale"
+          (Herr.Illegal_rescale { divisor = x; reason = "BFV does not support rescaling" })
 
     let scale_of = C.scale_of
 

@@ -7,8 +7,9 @@ type config = {
   slots : int;
   scheme : Hisa.scheme_kind;
   strict_modulus : bool;
-      (* raise Modulus_exhausted instead of silently computing once the
-         virtual modulus runs out — used by failure-injection tests *)
+      (* raise [Herr.Modulus_exhausted] instead of silently computing once
+         the virtual modulus runs out — used by the scale search and the
+         failure-injection tests *)
   encode_noise : bool;
       (* model the CKKS approximation noise of encoding: rounding the n
          coefficients perturbs each slot by ~N(0, n/12)/scale — except for
@@ -17,9 +18,9 @@ type config = {
          the profile-guided scale search turns it on. *)
 }
 
-exception Modulus_exhausted
-
 type budget = Rns_level of int | Logq of int
+
+let err ~op e = Herr.raise_err ~backend:"clear" ~op e
 
 let initial_budget = function
   | Hisa.Rns_chain primes -> Rns_level (Array.length primes)
@@ -73,61 +74,97 @@ let make (cfg : config) : Hisa.t =
     let rot_right ct k = rot_left ct (-k)
 
     (* kernels equalise scales only approximately (integer mask factors, RNS
-   rescaling drift); 1e-4 relative slack admits value error well below the
-   scheme noise floor *)
-let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+       rescaling drift); [Herr.scale_tolerance] relative slack admits value
+       error well below the scheme noise floor *)
+    let scales_compatible = Herr.scales_compatible
 
     (* binary ops silently modulus-switch to the lower operand, as the real
        backends do *)
-    let budget_min a b =
+    let budget_min ~op a b =
       match (a, b) with
       | Rns_level x, Rns_level y -> Rns_level (Stdlib.min x y)
       | Logq x, Logq y -> Logq (Stdlib.min x y)
-      | _ -> invalid_arg "Clear: mixed scheme budgets"
+      | _ -> err ~op (Herr.Invalid_op { reason = "mixed scheme budgets (RNS vs pow2)" })
 
-    let check2 name a b =
-      if not (scales_compatible a.scale b.scale) then invalid_arg (name ^ ": scale mismatch")
+    let check2 op a b =
+      if not (scales_compatible a.scale b.scale) then
+        err ~op (Herr.Scale_mismatch { expected = a.scale; got = b.scale })
 
     let map2 f a b = Array.init cfg.slots (fun i -> f a.(i) b.(i))
 
     let add a b =
-      check2 "Clear.add" a b;
-      { a with v = map2 ( +. ) a.v b.v; budget = budget_min a.budget b.budget }
+      check2 "add" a b;
+      { a with v = map2 ( +. ) a.v b.v; budget = budget_min ~op:"add" a.budget b.budget }
 
     let sub a b =
-      check2 "Clear.sub" a b;
-      { a with v = map2 ( -. ) a.v b.v; budget = budget_min a.budget b.budget }
+      check2 "sub" a b;
+      { a with v = map2 ( -. ) a.v b.v; budget = budget_min ~op:"sub" a.budget b.budget }
 
     let add_plain c p =
       if not (scales_compatible c.scale p.pscale) then
-        invalid_arg
-          (Printf.sprintf "Clear.add_plain: scale mismatch (ct %.6g vs pt %.6g)" c.scale p.pscale);
+        err ~op:"add_plain" (Herr.Scale_mismatch { expected = c.scale; got = p.pscale });
       { c with v = map2 ( +. ) c.v p.pv }
 
     let sub_plain c p =
-      if not (scales_compatible c.scale p.pscale) then invalid_arg "Clear.sub_plain: scale mismatch";
+      if not (scales_compatible c.scale p.pscale) then
+        err ~op:"sub_plain" (Herr.Scale_mismatch { expected = c.scale; got = p.pscale });
       { c with v = map2 ( -. ) c.v p.pv }
 
     let add_scalar c x = { c with v = Array.map (fun a -> a +. x) c.v }
     let sub_scalar c x = add_scalar c (-.x)
 
-    let check_depth c =
+    let check_depth ~op c =
       if cfg.strict_modulus then begin
         match c.budget with
-        | Rns_level l -> if l < 1 then raise Modulus_exhausted
-        | Logq q -> if q < 1 then raise Modulus_exhausted
+        | Rns_level l -> if l < 1 then err ~op (Herr.Modulus_exhausted { level = l; requested = 1 })
+        | Logq q -> if q < 1 then err ~op (Herr.Modulus_exhausted { level = q; requested = 1 })
+      end
+
+    let log2f x = log x /. log 2.0
+
+    (* Bits of virtual modulus left at this budget. *)
+    let capacity_bits = function
+      | Rns_level l -> (
+          match cfg.scheme with
+          | Hisa.Rns_chain primes ->
+              let b = ref 0.0 in
+              for i = 0 to Stdlib.min l (Array.length primes) - 1 do
+                b := !b +. log2f (float_of_int primes.(i))
+              done;
+              !b
+          | Hisa.Pow2_modulus _ -> 0.0)
+      | Logq q -> float_of_int q
+
+    (* §5.2's actual modulus constraint, enforced in strict mode: the scale
+       (the fixed-point magnitude of the message) must stay below the
+       remaining modulus, or the message wraps. Rescaling never descends
+       below the last prime (as in the real schemes), so on a too-small
+       pinned chain a multiplication backlog genuinely exhausts the budget
+       here — the failure mode the scale search must degrade around. *)
+    let check_capacity ~op budget result_scale =
+      if cfg.strict_modulus then begin
+        let cap = capacity_bits budget in
+        let need = log2f result_scale in
+        if need > cap then
+          err ~op
+            (Herr.Modulus_exhausted
+               { level = int_of_float cap; requested = int_of_float (Float.ceil need) })
       end
 
     let mul a b =
-      check_depth a;
-      { v = map2 ( *. ) a.v b.v; scale = a.scale *. b.scale; budget = budget_min a.budget b.budget }
+      check_depth ~op:"mul" a;
+      let budget = budget_min ~op:"mul" a.budget b.budget in
+      check_capacity ~op:"mul" budget (a.scale *. b.scale);
+      { v = map2 ( *. ) a.v b.v; scale = a.scale *. b.scale; budget }
 
     let mul_plain c p =
-      check_depth c;
+      check_depth ~op:"mul_plain" c;
+      check_capacity ~op:"mul_plain" c.budget (c.scale *. p.pscale);
       { c with v = map2 ( *. ) c.v p.pv; scale = c.scale *. p.pscale }
 
     let mul_scalar c x ~scale =
-      check_depth c;
+      check_depth ~op:"mul_scalar" c;
+      check_capacity ~op:"mul_scalar" c.budget (c.scale *. float_of_int scale);
       (* the runtime multiplies by the *rounded* integer, so the reference
          must quantise identically for bit-faithful comparison *)
       let quantised = Float.round (x *. float_of_int scale) /. float_of_int scale in
@@ -165,17 +202,28 @@ let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.m
         | Hisa.Rns_chain primes, Rns_level level ->
             let l = ref level and rem = ref x in
             while !rem > 1 do
-              if !l < 1 then raise Modulus_exhausted;
+              if !l < 1 then
+                err ~op:"rescale" (Herr.Modulus_exhausted { level; requested = x });
               let q = primes.(!l - 1) in
-              if !rem mod q <> 0 then invalid_arg "Clear.rescale: not a product of next chain primes";
+              if !rem mod q <> 0 then
+                err ~op:"rescale"
+                  (Herr.Illegal_rescale
+                     {
+                       divisor = x;
+                       reason =
+                         Printf.sprintf "not a product of the next chain primes (next is %d)" q;
+                     });
               rem := !rem / q;
               decr l
             done;
             { ct with scale = ct.scale /. float_of_int x; budget = Rns_level !l }
         | Hisa.Pow2_modulus _, Logq logq ->
-            if x land (x - 1) <> 0 then invalid_arg "Clear.rescale: divisor must be a power of two";
+            if x land (x - 1) <> 0 then
+              err ~op:"rescale"
+                (Herr.Illegal_rescale { divisor = x; reason = "divisor must be a power of two" });
             let k = int_of_float (Float.round (log (float_of_int x) /. log 2.0)) in
-            if k >= logq then raise Modulus_exhausted;
+            if k >= logq then
+              err ~op:"rescale" (Herr.Modulus_exhausted { level = logq; requested = k });
             { ct with scale = ct.scale /. float_of_int x; budget = Logq (logq - k) }
         | _ -> assert false
       end

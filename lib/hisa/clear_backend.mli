@@ -8,14 +8,13 @@ type config = {
   slots : int;
   scheme : Hisa.scheme_kind;
   strict_modulus : bool;
-      (** raise {!Modulus_exhausted} on multiplies once the virtual modulus
-          runs out (failure-injection tests) *)
+      (** raise [Herr.Fhe_error (Modulus_exhausted _, _)] on multiplies once
+          the virtual modulus runs out (scale search, failure-injection
+          tests) *)
   encode_noise : bool;
       (** model CKKS encoding noise (~N(0, n/12)/scale per slot) on
           non-constant plaintexts — footnote 3 of the paper *)
 }
-
-exception Modulus_exhausted
 
 type budget = Rns_level of int | Logq of int
 (** Virtual modulus state, shared with the other analysis backends. *)

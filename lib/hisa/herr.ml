@@ -1,0 +1,8 @@
+(* The typed FHE error taxonomy, re-exported at the HISA layer.
+
+   The definitions live in the dependency-free [Chet_herr] library so that
+   [Chet_crypto] (which [Chet_hisa] depends on) can raise the same
+   [Fhe_error]; everything at or above the HISA refers to it as
+   [Chet_hisa.Herr]. See lib/herr/herr.ml for the taxonomy itself. *)
+
+include Chet_herr.Herr

@@ -41,7 +41,9 @@ let make (cfg : config) : Hisa.t =
 
     let decrypt ct =
       match cfg.secret with
-      | None -> failwith "Seal_backend.decrypt: no secret key on this side"
+      | None ->
+          Herr.raise_err ~backend:"seal" ~op:"decrypt"
+            (Herr.Invalid_op { reason = "no secret key on this side" })
       | Some sk ->
           let z = C.decode cfg.ctx (C.decrypt cfg.ctx sk ct) in
           { values = z.Complexv.re; pscale = C.scale_of ct; cache = [] }

@@ -28,33 +28,36 @@ let make (cfg : config) : Hisa.t =
     let rot_left ct _ = ct
     let rot_right ct _ = ct
 
-    let budget_min a b =
+    let err ~op e = Herr.raise_err ~backend:"shape" ~op e
+
+    let budget_min ~op a b =
       match (a, b) with
       | Clear_backend.Rns_level x, Clear_backend.Rns_level y ->
           Clear_backend.Rns_level (Stdlib.min x y)
       | Clear_backend.Logq x, Clear_backend.Logq y -> Clear_backend.Logq (Stdlib.min x y)
-      | _ -> invalid_arg "Shape: mixed scheme budgets"
+      | _ -> err ~op (Herr.Invalid_op { reason = "mixed scheme budgets (RNS vs pow2)" })
 
-    let scales_compatible a b = Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.max a b)
+    let scales_compatible = Herr.scales_compatible
 
-    let check2 name a b =
+    let check2 op a b =
       if not (scales_compatible a.scale b.scale) then
-        invalid_arg (Printf.sprintf "%s: scale mismatch (%.6g vs %.6g)" name a.scale b.scale)
+        err ~op (Herr.Scale_mismatch { expected = a.scale; got = b.scale })
 
     let add a b =
-      check2 "Shape.add" a b;
-      { a with budget = budget_min a.budget b.budget }
+      check2 "add" a b;
+      { a with budget = budget_min ~op:"add" a.budget b.budget }
 
     let sub = add
 
     let add_plain c p =
-      if not (scales_compatible c.scale p.pscale) then invalid_arg "Shape.add_plain: scale mismatch";
+      if not (scales_compatible c.scale p.pscale) then
+        err ~op:"add_plain" (Herr.Scale_mismatch { expected = c.scale; got = p.pscale });
       c
 
     let sub_plain = add_plain
     let add_scalar c _ = c
     let sub_scalar c _ = c
-    let mul a b = { scale = a.scale *. b.scale; budget = budget_min a.budget b.budget }
+    let mul a b = { scale = a.scale *. b.scale; budget = budget_min ~op:"mul" a.budget b.budget }
     let mul_plain c p = { c with scale = c.scale *. p.pscale }
     let mul_scalar c _ ~scale = { c with scale = c.scale *. float_of_int scale }
 
@@ -90,18 +93,28 @@ let make (cfg : config) : Hisa.t =
         | Hisa.Rns_chain primes, Clear_backend.Rns_level level ->
             let l = ref level and rem = ref x in
             while !rem > 1 do
-              if !l < 1 then raise Clear_backend.Modulus_exhausted;
+              if !l < 1 then
+                err ~op:"rescale" (Herr.Modulus_exhausted { level; requested = x });
               let q = primes.(!l - 1) in
               if !rem mod q <> 0 then
-                invalid_arg "Shape.rescale: not a product of next chain primes";
+                err ~op:"rescale"
+                  (Herr.Illegal_rescale
+                     {
+                       divisor = x;
+                       reason =
+                         Printf.sprintf "not a product of the next chain primes (next is %d)" q;
+                     });
               rem := !rem / q;
               decr l
             done;
             { scale = ct.scale /. float_of_int x; budget = Clear_backend.Rns_level !l }
         | Hisa.Pow2_modulus _, Clear_backend.Logq logq ->
-            if x land (x - 1) <> 0 then invalid_arg "Shape.rescale: divisor must be a power of two";
+            if x land (x - 1) <> 0 then
+              err ~op:"rescale"
+                (Herr.Illegal_rescale { divisor = x; reason = "divisor must be a power of two" });
             let k = int_of_float (Float.round (log (float_of_int x) /. log 2.0)) in
-            if k >= logq then raise Clear_backend.Modulus_exhausted;
+            if k >= logq then
+              err ~op:"rescale" (Herr.Modulus_exhausted { level = logq; requested = k });
             { scale = ct.scale /. float_of_int x; budget = Clear_backend.Logq (logq - k) }
         | _ -> assert false
       end

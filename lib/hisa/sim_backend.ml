@@ -52,7 +52,9 @@ let make_over (inner : Hisa.t) (cfg : config) : Hisa.t * clock =
         | Clear_backend.Rns_level x, Clear_backend.Rns_level y ->
             Clear_backend.Rns_level (Stdlib.min x y)
         | Clear_backend.Logq x, Clear_backend.Logq y -> Clear_backend.Logq (Stdlib.min x y)
-        | _ -> invalid_arg "Sim: mixed scheme budgets"
+        | _ ->
+            Herr.raise_err ~backend:"sim" ~op:"binop"
+              (Herr.Invalid_op { reason = "mixed scheme budgets (RNS vs pow2)" })
 
       let tick_rotation budget =
         let cost = cfg.costs.Hisa.cm_rotate (budget_env cfg budget) in

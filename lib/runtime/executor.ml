@@ -4,8 +4,25 @@
    on the fly" (§5.1); deployment calls it with a real scheme backend. *)
 
 module Hisa = Chet_hisa.Hisa
+module Herr = Chet_hisa.Herr
 module Circuit = Chet_nn.Circuit
 module Tensor = Chet_tensor.Tensor
+
+(* Human description of a node for error context ("which layer broke"). *)
+let op_name (node : Circuit.node) =
+  match node.Circuit.op with
+  | Circuit.Input { name; _ } -> Printf.sprintf "input %S" name
+  | Circuit.Conv2d { weights; stride; _ } ->
+      Printf.sprintf "conv2d %dx%d/%d" weights.Tensor.shape.(2) weights.Tensor.shape.(3) stride
+  | Circuit.MatMul { weights; _ } -> Printf.sprintf "matmul ->%d" weights.Tensor.shape.(0)
+  | Circuit.AvgPool { ksize; stride; _ } -> Printf.sprintf "avg_pool %dx%d/%d" ksize ksize stride
+  | Circuit.GlobalAvgPool _ -> "global_avg_pool"
+  | Circuit.PolyAct _ -> "poly_act"
+  | Circuit.Square _ -> "square"
+  | Circuit.BatchNorm _ -> "batch_norm"
+  | Circuit.Flatten _ -> "flatten"
+  | Circuit.Concat _ -> "concat"
+  | Circuit.Residual _ -> "residual"
 
 (* The four pruned layout policies of §5.3. *)
 type layout_policy =
@@ -43,7 +60,15 @@ let assign policy circuit =
       (match node.Circuit.op with Circuit.MatMul _ -> seen_fc := true | _ -> ());
       Hashtbl.replace assignment node.Circuit.id kind)
     (Circuit.topo_order circuit);
-  fun (node : Circuit.node) -> Hashtbl.find assignment node.Circuit.id
+  fun (node : Circuit.node) ->
+    match Hashtbl.find_opt assignment node.Circuit.id with
+    | Some kind -> kind
+    | None ->
+        (* the node is not part of the circuit this assignment was built
+           for — a diagnosable wiring bug, not a bare [Not_found] *)
+        Herr.raise_err ~backend:"executor" ~op:"assign" ~node_id:node.Circuit.id
+          ~layer:(op_name node)
+          (Herr.Missing_node { node_id = node.Circuit.id })
 
 (* Margin needed by the circuit's Same convolutions (border head-room), in
    *input-image pixels*: a Same convolution applied after striding ops needs
@@ -89,45 +114,65 @@ module Make (H : Hisa.S) = struct
     match node.Circuit.shape with
     | [| c; h; w |] ->
         Layout.create ~kind ~slots:H.slots ~channels:c ~height:h ~width:w ~margin ()
-    | _ -> invalid_arg "Executor: input must be [c; h; w]"
+    | shape ->
+        Herr.raise_err ~backend:"executor" ~op:"input_meta" ~node_id:node.Circuit.id
+          ~layer:(op_name node)
+          (Herr.Shape_mismatch
+             {
+               expected = "[c; h; w]";
+               got =
+                 "[" ^ String.concat "; " (Array.to_list (Array.map string_of_int shape)) ^ "]";
+             })
 
   (* Run the circuit on an already-encrypted input tensor with an arbitrary
      per-node layout assignment (the exhaustive-search ablation uses this
      directly; the four pruned policies go through {!run_encrypted}). *)
   let run_encrypted_with cfg circuit ~kind_of (input : K.ct_tensor) =
     let values : (int, K.ct_tensor) Hashtbl.t = Hashtbl.create 64 in
+    let raw_value (node : Circuit.node) =
+      match Hashtbl.find_opt values node.Circuit.id with
+      | Some v -> v
+      | None ->
+          Herr.raise_err ~backend:"executor" ~op:"lookup"
+            (Herr.Missing_node { node_id = node.Circuit.id })
+    in
     let value (node : Circuit.node) ~want =
-      let v = Hashtbl.find values node.Circuit.id in
+      let v = raw_value node in
       if v.K.meta.Layout.kind = want then v else K.convert cfg v ~to_kind:want
     in
     List.iter
       (fun (node : Circuit.node) ->
         let kind = kind_of node in
+        (* every failure below this point carries the circuit node and a
+           human description of the layer that caused it *)
         let result =
-          match node.Circuit.op with
-          | Circuit.Input _ ->
-              if input.K.meta.Layout.kind = kind then input else K.convert cfg input ~to_kind:kind
-          | Circuit.Conv2d { input = src; weights; bias; stride; padding } ->
-              K.conv2d cfg (value src ~want:kind) ~weights ~bias ~stride ~padding
-          | Circuit.MatMul { input = src; weights; bias } ->
-              (* matmul reads any layout directly (the weight plaintexts are
-                 placed by the input's own metadata), and its output is a
-                 dense vector regardless of the assigned kind *)
-              K.matmul cfg (Hashtbl.find values src.Circuit.id) ~weights ~bias
-          | Circuit.AvgPool { input = src; ksize; stride } ->
-              K.avg_pool cfg (value src ~want:kind) ~ksize ~stride
-          | Circuit.GlobalAvgPool src -> K.global_avg_pool cfg (value src ~want:kind)
-          | Circuit.PolyAct { input = src; a; b } -> K.poly_act cfg (value src ~want:kind) ~a ~b
-          | Circuit.Square src -> K.square cfg (value src ~want:kind)
-          | Circuit.BatchNorm { input = src; scale; shift } ->
-              K.batch_norm cfg (value src ~want:kind) ~scale ~shift
-          | Circuit.Flatten src -> K.flatten (value src ~want:kind)
-          | Circuit.Concat srcs -> K.concat cfg (List.map (fun s -> value s ~want:kind) srcs)
-          | Circuit.Residual (a, b) -> K.residual (value a ~want:kind) (value b ~want:kind)
+          Herr.with_node ~node_id:node.Circuit.id ~layer:(op_name node) (fun () ->
+              match node.Circuit.op with
+              | Circuit.Input _ ->
+                  if input.K.meta.Layout.kind = kind then input
+                  else K.convert cfg input ~to_kind:kind
+              | Circuit.Conv2d { input = src; weights; bias; stride; padding } ->
+                  K.conv2d cfg (value src ~want:kind) ~weights ~bias ~stride ~padding
+              | Circuit.MatMul { input = src; weights; bias } ->
+                  (* matmul reads any layout directly (the weight plaintexts
+                     are placed by the input's own metadata), and its output
+                     is a dense vector regardless of the assigned kind *)
+                  K.matmul cfg (raw_value src) ~weights ~bias
+              | Circuit.AvgPool { input = src; ksize; stride } ->
+                  K.avg_pool cfg (value src ~want:kind) ~ksize ~stride
+              | Circuit.GlobalAvgPool src -> K.global_avg_pool cfg (value src ~want:kind)
+              | Circuit.PolyAct { input = src; a; b } ->
+                  K.poly_act cfg (value src ~want:kind) ~a ~b
+              | Circuit.Square src -> K.square cfg (value src ~want:kind)
+              | Circuit.BatchNorm { input = src; scale; shift } ->
+                  K.batch_norm cfg (value src ~want:kind) ~scale ~shift
+              | Circuit.Flatten src -> K.flatten (value src ~want:kind)
+              | Circuit.Concat srcs -> K.concat cfg (List.map (fun s -> value s ~want:kind) srcs)
+              | Circuit.Residual (a, b) -> K.residual (value a ~want:kind) (value b ~want:kind))
         in
         Hashtbl.replace values node.Circuit.id result)
       (Circuit.topo_order circuit);
-    Hashtbl.find values circuit.Circuit.output.Circuit.id
+    raw_value circuit.Circuit.output
 
   let run_encrypted cfg circuit ~policy input =
     run_encrypted_with cfg circuit ~kind_of:(assign policy circuit) input

@@ -13,7 +13,13 @@
      scales and rescaling). *)
 
 module Hisa = Chet_hisa.Hisa
+module Herr = Chet_hisa.Herr
 module Tensor = Chet_tensor.Tensor
+
+let err ~op e = Herr.raise_err ~backend:"kernels" ~op e
+
+let shape_str a = "[" ^ String.concat "; " (Array.to_list (Array.map string_of_int a)) ^ "]"
+let meta_str m = Format.asprintf "%a" Layout.pp m
 
 type scales = {
   pc : int;  (** ciphertext (image) working scale *)
@@ -72,9 +78,12 @@ module Make (H : Hisa.S) = struct
   (* A kernel reading [d] physical slots beyond the image on either side
      needs that much zero head-room; [d = 0] (Valid padding, pooling) reads
      only inside the image and needs none. *)
-  let check_taps meta d =
+  let check_taps ~op meta d =
     if d > 0 && not (Layout.max_rotation_safe meta d) then
-      invalid_arg "Kernels: layout margins too small for this kernel (increase ~margin)"
+      err ~op
+        (Herr.Slot_overflow
+           { slots = meta.Layout.slots; requested = Layout.max_extent meta + d })
+      (* layout margins too small for this kernel's taps: increase ~margin *)
 
   (* sum a ciphertext's slots so that slot 0's block receives the total of
      the [count] blocks spaced [stride] apart; [count] must be a power of
@@ -107,10 +116,16 @@ module Make (H : Hisa.S) = struct
     let meta = t.meta in
     let cout = weights.Tensor.shape.(0) and cin = weights.Tensor.shape.(1) in
     let kh = weights.Tensor.shape.(2) and kw = weights.Tensor.shape.(3) in
-    if cin <> meta.Layout.channels then invalid_arg "Kernels.conv2d: channel mismatch";
+    if cin <> meta.Layout.channels then
+      err ~op:"conv2d"
+        (Herr.Shape_mismatch
+           {
+             expected = Printf.sprintf "weights with %d input channels" meta.Layout.channels;
+             got = Printf.sprintf "weights %s (%d input channels)" (shape_str weights.Tensor.shape) cin;
+           });
     let ph, pw_, out_spatial = conv_geometry meta ~kh ~kw ~stride ~padding in
     let out_meta = Layout.with_channels out_spatial cout in
-    check_taps meta (tap_rotation meta ~dy:ph ~dx:pw_);
+    check_taps ~op:"conv2d" meta (tap_rotation meta ~dy:ph ~dx:pw_);
     let w_at o c dy dx = Tensor.get weights [| o; c; dy; dx |] in
     (* rotated input ciphertexts, shared across output channels *)
     let rotated = Hashtbl.create 64 in
@@ -302,7 +317,15 @@ module Make (H : Hisa.S) = struct
     let out_dim = weights.Tensor.shape.(0) in
     let in_dim = weights.Tensor.shape.(1) in
     if in_dim <> meta.Layout.channels * meta.Layout.height * meta.Layout.width then
-      invalid_arg "Kernels.matmul: dimension mismatch";
+      err ~op:"matmul"
+        (Herr.Shape_mismatch
+           {
+             expected =
+               Printf.sprintf "weights with input dimension %d (= %dx%dx%d)"
+                 (meta.Layout.channels * meta.Layout.height * meta.Layout.width)
+                 meta.Layout.channels meta.Layout.height meta.Layout.width;
+             got = Printf.sprintf "weights %s" (shape_str weights.Tensor.shape);
+           });
     let out_meta = Layout.vector_meta ~slots:H.slots ~length:out_dim in
     let out = ref None in
     for o = 0 to out_dim - 1 do
@@ -342,7 +365,8 @@ module Make (H : Hisa.S) = struct
   (* metadata-only: matmul consumes the layout's own flat indexing *)
 
   let residual t1 t2 =
-    if t1.meta <> t2.meta then invalid_arg "Kernels.residual: layout mismatch";
+    if t1.meta <> t2.meta then
+      err ~op:"residual" (Herr.Shape_mismatch { expected = meta_str t1.meta; got = meta_str t2.meta });
     { t1 with cts = Array.map2 H.add t1.cts t2.cts }
 
   (* concatenate along channels. Fast path: every input's channel count is a
@@ -352,7 +376,7 @@ module Make (H : Hisa.S) = struct
      into place. *)
   let concat cfg ts =
     match List.map (normalize cfg) ts with
-    | [] -> invalid_arg "Kernels.concat: empty"
+    | [] -> err ~op:"concat" (Herr.Invalid_op { reason = "empty input list" })
     | first :: _ as ts ->
         let total_c = List.fold_left (fun acc t -> acc + t.meta.Layout.channels) 0 ts in
         let out_meta = Layout.with_channels first.meta total_c in

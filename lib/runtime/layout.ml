@@ -1,4 +1,7 @@
 module Tensor = Chet_tensor.Tensor
+module Herr = Chet_hisa.Herr
+
+let err ~op e = Herr.raise_err ~backend:"layout" ~op e
 
 type kind = HW | CHW
 
@@ -27,7 +30,7 @@ let create ~kind ~slots ~channels ~height ~width ?(margin = 2) () =
   let row_stride = width + (2 * margin) in
   let ch_stride = channel_extent ~height ~width ~margin ~row_stride in
   let offset = (margin * row_stride) + margin in
-  if ch_stride > slots then invalid_arg "Layout.create: image does not fit the SIMD width";
+  if ch_stride > slots then err ~op:"create" (Herr.Slot_overflow { slots; requested = ch_stride });
   let rec ceil_pow2 p n = if p >= n then p else ceil_pow2 (p * 2) n in
   let ch_per_ct =
     match kind with
@@ -37,7 +40,7 @@ let create ~kind ~slots ~channels ~height ~width ?(margin = 2) () =
   { kind; channels; height; width; offset; col_stride = 1; row_stride; ch_stride; ch_per_ct; slots }
 
 let vector_meta ~slots ~length =
-  if length > slots then invalid_arg "Layout.vector_meta: vector does not fit";
+  if length > slots then err ~op:"vector_meta" (Herr.Slot_overflow { slots; requested = length });
   {
     kind = CHW;
     channels = length;
@@ -71,7 +74,13 @@ let iter_positions meta f =
 
 let pack meta t =
   if t.Tensor.shape <> [| meta.channels; meta.height; meta.width |] && t.Tensor.shape <> [| meta.channels * meta.height * meta.width |] then
-    invalid_arg "Layout.pack: tensor shape does not match layout";
+    err ~op:"pack"
+      (Herr.Shape_mismatch
+         {
+           expected = Printf.sprintf "[%d; %d; %d]" meta.channels meta.height meta.width;
+           got =
+             "[" ^ String.concat "; " (Array.to_list (Array.map string_of_int t.Tensor.shape)) ^ "]";
+         });
   let out = Array.init (num_cts meta) (fun _ -> Array.make meta.slots 0.0) in
   iter_positions meta (fun c h w ->
       let v = t.Tensor.data.(flat_index meta ~c ~h ~w) in
@@ -106,11 +115,19 @@ let valid_mask meta = plains meta (fun _ _ _ -> 1.0)
 
 let with_spatial meta ~height ~width =
   if height > meta.height || width > meta.width then
-    invalid_arg "Layout.with_spatial: can only shrink";
+    err ~op:"with_spatial"
+      (Herr.Invalid_op
+         {
+           reason =
+             Printf.sprintf "can only shrink the spatial extent: %dx%d -> %dx%d" meta.height
+               meta.width height width;
+         });
   { meta with height; width }
 
 let after_stride meta s =
-  if s < 1 then invalid_arg "Layout.after_stride";
+  if s < 1 then
+    err ~op:"after_stride"
+      (Herr.Invalid_op { reason = Printf.sprintf "stride must be >= 1, got %d" s });
   {
     meta with
     height = ((meta.height - 1) / s) + 1;

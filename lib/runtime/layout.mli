@@ -33,7 +33,8 @@ val create : kind:kind -> slots:int -> channels:int -> height:int -> width:int -
 (** [margin] (default 2) is the border head-room in logical pixels on every
     side — it must be at least [⌊k/2⌋] for the largest Same-padding
     convolution applied to this tensor.
-    @raise Invalid_argument if the tensor does not fit in [slots]. *)
+    @raise Chet_herr.Herr.Fhe_error
+      ([Slot_overflow]) if the tensor does not fit in [slots]. *)
 
 val vector_meta : slots:int -> length:int -> meta
 (** Dense vector layout (used for fully-connected outputs): [length]
@@ -75,6 +76,9 @@ val after_stride : meta -> int -> meta
 
 val with_channels : meta -> int -> meta
 (** Same geometry, different channel count (convolution outputs). *)
+
+val max_extent : meta -> int
+(** Largest physical slot index any valid logical position occupies. *)
 
 val max_rotation_safe : meta -> int -> bool
 (** Whether reading a tap at physical distance [d] can neither fall off the

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: full build, the complete test suite, then a smoke run of
+# the example programs (compile-only paths; no --real flags, so it stays
+# fast enough for a gate).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== smoke: examples =="
+dune build @smoke
+
+echo "CI OK"

@@ -1,2 +1,2 @@
 (* Aggregates all test suites; run with [dune runtest]. *)
-let () = Alcotest.run "chet" (List.concat [ Test_bigint.suite; Test_crypto.suite; Test_rns_ckks.suite; Test_big_ckks.suite; Test_tensor_nn.suite; Test_runtime.suite; Test_compiler.suite; Test_dsl.suite; Test_serial.suite; Test_hisa.suite; Test_runtime_prop.suite; Test_rq.suite; Test_compiler_prop.suite; Test_bfv.suite ])
+let () = Alcotest.run "chet" (List.concat [ Test_bigint.suite; Test_crypto.suite; Test_rns_ckks.suite; Test_big_ckks.suite; Test_tensor_nn.suite; Test_runtime.suite; Test_compiler.suite; Test_dsl.suite; Test_serial.suite; Test_hisa.suite; Test_runtime_prop.suite; Test_rq.suite; Test_compiler_prop.suite; Test_bfv.suite; Test_fault.suite ])

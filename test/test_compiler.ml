@@ -146,13 +146,23 @@ let test_scale_search () =
 
 let test_scale_search_rejects_impossible () =
   let images = [ Models.input_for Models.micro ~seed:60 ] in
-  Alcotest.check_raises "impossible tolerance"
-    (Compiler.Compilation_failure
-       "scale search: even the starting scaling factors violate the output tolerance")
-    (fun () ->
-      ignore
-        (Scale_select.search seal_opts micro ~policy:Executor.All_hw ~images ~tolerance:1e-12
-           ~start_exponents:(10, 8, 8, 6) ()))
+  Alcotest.(check bool) "impossible tolerance" true
+    (try
+       ignore
+         (Scale_select.search seal_opts micro ~policy:Executor.All_hw ~images ~tolerance:1e-12
+            ~start_exponents:(10, 8, 8, 6) ());
+       false
+     with Compiler.Compilation_failure msg ->
+       (* the failure message names the structured reason for the last rejection *)
+       String.length msg > 0
+       && String.sub msg 0 12 = "scale search"
+       &&
+       let contains s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       contains msg "tolerance")
 
 let suite =
   [

@@ -3,6 +3,7 @@
 
 open Chet_crypto
 module C = Rns_ckks
+module Herr = Chet_herr.Herr
 
 let n = 256
 let scale = 1073741824.0 (* 2^30, matching the chain prime size as in SEAL *)
@@ -162,7 +163,7 @@ let test_level_mismatch_rejected () =
     (try
        ignore (C.add ctx a b');
        false
-     with Invalid_argument _ -> true)
+     with Herr.Fhe_error (Herr.Level_mismatch _, _) -> true)
 
 let test_scale_mismatch_rejected () =
   let a = encrypt_vec (random_vec 25) in
@@ -171,7 +172,7 @@ let test_scale_mismatch_rejected () =
     (try
        ignore (C.add ctx a b);
        false
-     with Invalid_argument _ -> true)
+     with Herr.Fhe_error (Herr.Scale_mismatch _, _) -> true)
 
 let test_security_params () =
   Alcotest.(check bool) "modulus bits counted" true (C.total_modulus_bits ctx > 0);

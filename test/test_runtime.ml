@@ -64,7 +64,7 @@ let test_layout_too_big_rejected () =
     (try
        ignore (Layout.create ~kind:Layout.HW ~slots:64 ~channels:1 ~height:32 ~width:32 ());
        false
-     with Invalid_argument _ -> true)
+     with Chet_hisa.Herr.Fhe_error (Chet_hisa.Herr.Slot_overflow _, _) -> true)
 
 let test_vector_meta () =
   let meta = Layout.vector_meta ~slots:2048 ~length:10 in

@@ -125,6 +125,99 @@ let test_loopback_protocol () =
   let expected = Complexv.of_real (Array.map (fun x -> x *. x) v) in
   Alcotest.(check bool) "squared through the wire" true (Complexv.max_abs_diff expected got < 1e-2)
 
+(* --- integrity fuzzing: the framed format must reject EVERY mangled
+   payload with [Serial.Corrupt], never crash or silently parse garbage --- *)
+
+let sample_ct_bytes () =
+  let rng = Sampling.create ~seed:8 in
+  let _sk, keys = Rns_ckks.keygen ctx rng in
+  let rq = Rns_ckks.rq_ctx ctx in
+  let v = Array.init (Rns_ckks.slot_count ctx) (fun i -> 0.01 *. float_of_int i) in
+  let w = Serial.writer () in
+  Serial.write_rns_ciphertext w rq
+    (Rns_ckks.encrypt ctx rng keys.Rns_ckks.public
+       (Rns_ckks.encode_real ctx ~level:3 ~scale:1073741824.0 v));
+  (Serial.contents w, rq)
+
+let test_fuzz_truncation_every_offset () =
+  (* every strict prefix of a framed ciphertext must raise Corrupt *)
+  let full, rq = sample_ct_bytes () in
+  for cut = 0 to String.length full - 1 do
+    let r = Serial.reader (String.sub full 0 cut) in
+    match Serial.read_rns_ciphertext r rq with
+    | _ -> Alcotest.failf "truncation at offset %d accepted" cut
+    | exception Serial.Corrupt _ -> ()
+  done
+
+let test_fuzz_bit_flips () =
+  (* seeded single-bit flips anywhere in the frame must raise Corrupt *)
+  let full, rq = sample_ct_bytes () in
+  let nbits = String.length full * 8 in
+  let state = ref 0x2c9277b5 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  for _trial = 1 to 256 do
+    let bit = next () mod nbits in
+    let bytes = Bytes.of_string full in
+    let i = bit / 8 in
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (bit mod 8))));
+    let r = Serial.reader (Bytes.to_string bytes) in
+    match Serial.read_rns_ciphertext r rq with
+    | _ -> Alcotest.failf "bit flip at %d accepted" bit
+    | exception Serial.Corrupt _ -> ()
+  done
+
+let test_fuzz_big_ciphertext () =
+  (* same guarantees for the power-of-two frame format *)
+  let params = Big_ckks.default_params ~n:32 ~log_fresh:120 () in
+  let bctx = Big_ckks.make_context params in
+  let rng = Sampling.create ~seed:9 in
+  let _sk, keys = Big_ckks.keygen bctx rng in
+  let v = Array.init (Big_ckks.slot_count bctx) (fun i -> 0.1 *. float_of_int i) in
+  let w = Serial.writer () in
+  Serial.write_big_ciphertext w
+    (Big_ckks.encrypt bctx rng keys.Big_ckks.public
+       (Big_ckks.encode_real bctx ~logq:120 ~scale:1073741824.0 v));
+  let full = Serial.contents w in
+  for cut = 0 to String.length full - 1 do
+    let r = Serial.reader (String.sub full 0 cut) in
+    match Serial.read_big_ciphertext r with
+    | _ -> Alcotest.failf "truncation at offset %d accepted" cut
+    | exception Serial.Corrupt _ -> ()
+  done;
+  let state = ref 0x1f123bb5 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  for _trial = 1 to 256 do
+    let bit = next () mod (String.length full * 8) in
+    let bytes = Bytes.of_string full in
+    let i = bit / 8 in
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (bit mod 8))));
+    match Serial.read_big_ciphertext (Serial.reader (Bytes.to_string bytes)) with
+    | _ -> Alcotest.failf "bit flip at %d accepted" bit
+    | exception Serial.Corrupt _ -> ()
+  done
+
+let test_trailing_garbage_in_frame_rejected () =
+  (* a frame whose parser does not consume the whole body is corrupt: build
+     one by hand with extra bytes inside the checksummed region *)
+  let w = Serial.writer () in
+  Serial.write_frame w "BCT2" (fun b ->
+      Serial.write_int b 120;
+      Serial.write_float b 1024.0;
+      Serial.write_int b 0 (* empty c0 *);
+      Serial.write_int b 0 (* empty c1 *);
+      Serial.write_int b 99 (* trailing garbage *));
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Serial.read_big_ciphertext (Serial.reader (Serial.contents w)));
+       false
+     with Serial.Corrupt _ -> true)
+
 let test_keys_roundtrip_and_remote_eval () =
   (* the full Figure-3 flow: the client serialises its PUBLIC material (pk,
      relin, selected rotation keys); the server reconstructs the bundle from
@@ -168,6 +261,10 @@ let suite =
         Alcotest.test_case "RNS ciphertext roundtrip" `Quick test_rns_ciphertext_roundtrip;
         Alcotest.test_case "corrupt tag rejected" `Quick test_rns_corrupt_tag;
         Alcotest.test_case "pow2 ciphertext roundtrip" `Quick test_big_ciphertext_roundtrip;
+        Alcotest.test_case "fuzz: truncation at every offset" `Quick test_fuzz_truncation_every_offset;
+        Alcotest.test_case "fuzz: seeded bit flips" `Quick test_fuzz_bit_flips;
+        Alcotest.test_case "fuzz: pow2 frame" `Quick test_fuzz_big_ciphertext;
+        Alcotest.test_case "trailing garbage in frame" `Quick test_trailing_garbage_in_frame_rejected;
         Alcotest.test_case "client/server loopback" `Quick test_loopback_protocol;
         Alcotest.test_case "key bundle + remote evaluation" `Quick test_keys_roundtrip_and_remote_eval;
       ] );
