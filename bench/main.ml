@@ -517,6 +517,37 @@ let ablation () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Serving layer: queue-depth sweep (lib/serve on the clear backend)    *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  print_endline "\n===== Serving layer: queue depth vs tail latency / shed rate =====";
+  let burst = 48 in
+  let points =
+    Workloads.serve_sweep ~domains:2 ~burst ~high_waters:[ 1; 2; 4; 8; 16; burst ] ()
+  in
+  let rows =
+    List.map
+      (fun (p : Workloads.serve_point) ->
+        [
+          string_of_int p.Workloads.sv_high_water;
+          Printf.sprintf "%d/%d" p.Workloads.sv_succeeded p.Workloads.sv_submitted;
+          Printf.sprintf "%.0f%%"
+            (100.0 *. float_of_int p.Workloads.sv_shed /. float_of_int p.Workloads.sv_submitted);
+          Printf.sprintf "%.1f" p.Workloads.sv_p50_ms;
+          Printf.sprintf "%.1f" p.Workloads.sv_p95_ms;
+          Printf.sprintf "%.1f" p.Workloads.sv_p99_ms;
+        ])
+      points
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "%d-request burst, 2 domain workers, micro network on the cleartext backend" burst)
+    ~headers:[ "high-water"; "served"; "shed"; "p50 ms"; "p95 ms"; "p99 ms" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -534,6 +565,7 @@ let () =
     | "--ablation" :: rest -> "abl" :: wanted rest
     | "--sweep" :: rest -> "swp" :: wanted rest
     | "--cryptonets" :: rest -> "cn" :: wanted rest
+    | "--serve" :: rest -> "srv" :: wanted rest
     | _ :: rest -> wanted rest
     | [] -> []
   in
@@ -552,5 +584,6 @@ let () =
   if want "f7" then begin figure7 (); Gc.compact () end;
   if want "swp" then begin depth_sweep (); Gc.compact () end;
   if want "cn" then begin cryptonets_comparison (); Gc.compact () end;
+  if want "srv" then begin serve_bench (); Gc.compact () end;
   if all || List.mem "abl" selected then ablation ();
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,11 +1,14 @@
-(* Command-line driver: compile, inspect and run the bundled networks.
+(* Command-line driver: compile, inspect, run and serve the bundled networks.
 
      chet models
      chet compile  LeNet-5-small  --target seal
      chet run      micro          --target seal  --real
      chet run      SqueezeNet-CIFAR               (simulated)
      chet scales   micro          --tolerance 0.05
-*)
+     chet serve    micro          --requests 24 --domains 2 --fault transient
+
+   Exit codes: 0 ok, 2 usage error, 3 compilation failure, 4 runtime
+   (FHE/serialisation) failure. *)
 
 module Compiler = Chet.Compiler
 module Scale_select = Chet.Scale_select
@@ -15,8 +18,12 @@ module Circuit = Chet_nn.Circuit
 module Opcount = Chet_nn.Opcount
 module Reference = Chet_nn.Reference
 module Sim = Chet_hisa.Sim_backend
+module Clear = Chet_hisa.Clear_backend
+module Checked = Chet_hisa.Checked_backend
+module Fault = Chet_hisa.Fault_backend
 module Hisa = Chet_hisa.Hisa
 module Herr = Chet_hisa.Herr
+module Service = Chet_serve.Service
 module T = Chet_tensor.Tensor
 open Cmdliner
 
@@ -39,11 +46,12 @@ let security_arg =
     ]) (Compiler.Standard Chet_crypto.Security.Bits128)
     & info [ "security" ] ~doc)
 
+(* exit code 2: a usage error, same class as a flag cmdliner rejects *)
 let lookup_model name =
   try Models.find name
   with Not_found ->
     Printf.eprintf "unknown model %s; try `chet models'\n" name;
-    exit 1
+    exit 2
 
 let models_cmd =
   let run () =
@@ -148,20 +156,160 @@ let scales_cmd =
   Cmd.v (Cmd.info "scales" ~doc:"Profile-guided fixed-point scale search (§5.5)")
     Term.(const run $ model_arg $ target_arg $ tol_arg)
 
+(* --- chet serve: the resilient inference service on a scripted trace --- *)
+
+let serve_cmd =
+  let requests_arg =
+    Arg.(value & opt int 24 & info [ "requests" ] ~doc:"Number of requests in the scripted trace.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker pool width (OCaml 5 domains).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 8 & info [ "queue" ] ~doc:"Queue high-water mark (requests shed above it).")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30000.0 & info [ "deadline-ms" ] ~doc:"Per-request deadline budget.")
+  in
+  let tight_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tight-every" ]
+          ~doc:"Give every k-th request a 1 ms deadline (0 = off) to exercise deadline expiry.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("transient", `Transient); ("persistent", `Persistent) ]) `None
+      & info [ "fault" ]
+          ~doc:
+            "Inject NaN-poison faults into the primary deployment: 'transient' corrupts only the \
+             first attempt of each request (retries recover), 'persistent' corrupts every attempt \
+             (the circuit breaker trips and traffic degrades to the fallback rung).")
+  in
+  let real_arg =
+    Arg.(
+      value & flag
+      & info [ "real" ] ~doc:"Serve on the real instantiated scheme ladder instead of cleartext.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Key-generation seed (--real).") in
+  let run model target requests domains queue_hw deadline_ms tight_every fault real seed =
+    let spec = lookup_model model in
+    let circuit = spec.Models.build () in
+    let opts = Compiler.default_options ~target () in
+    let compiled = Compiler.compile opts circuit in
+    Format.printf "%a@." Compiler.pp_compiled compiled;
+    let scheme = Compiler.scheme_of_params opts compiled.Compiler.params in
+    let slots = Compiler.params_n compiled.Compiler.params / 2 in
+    let clear () =
+      Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false }
+    in
+    let ladder =
+      if real then Service.ladder_of_compiled compiled ~seed ~with_secret:true ()
+      else begin
+        (* cleartext twin of the deployment ladder: same circuit, policy and
+           scales, with seeded fault injection on the primary rung so the
+           retry/breaker machinery has something to push against *)
+        let primary_backend ~req_seed ~attempt =
+          let armed =
+            match fault with
+            | `None -> None
+            | `Transient -> if attempt = 0 then Some Fault.Nan_poison else None
+            | `Persistent -> Some Fault.Nan_poison
+          in
+          match armed with
+          | None -> clear ()
+          | Some f ->
+              let faulty, _log = Fault.wrap (Fault.default_config ~seed:req_seed (Some f)) (clear ()) in
+              Checked.wrap ~scheme faulty
+        in
+        [
+          {
+            Service.dep_label = "primary";
+            dep_degraded = false;
+            dep_scales = opts.Compiler.scales;
+            dep_policy = compiled.Compiler.policy;
+            dep_backend = primary_backend;
+          };
+          {
+            Service.dep_label = "clear-fallback";
+            dep_degraded = true;
+            dep_scales = opts.Compiler.scales;
+            dep_policy = compiled.Compiler.policy;
+            dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
+          };
+        ]
+      end
+    in
+    let cfg =
+      {
+        (Service.default_config ~domains ()) with
+        Service.high_water = queue_hw;
+        breaker_threshold = 3;
+        breaker_cooldown_ms = 500.0;
+        backoff_base_ms = 1.0;
+        backoff_cap_ms = 10.0;
+        default_deadline_ms = deadline_ms;
+      }
+    in
+    let svc = Service.create cfg ~circuit ~ladder in
+    (* scripted trace: one burst — bigger than the queue can hold if
+       [requests] outruns [queue + domains], which is the point *)
+    let tickets =
+      List.init requests (fun i ->
+          let deadline_ms =
+            if tight_every > 0 && (i + 1) mod tight_every = 0 then 1.0 else deadline_ms
+          in
+          Service.submit svc ~deadline_ms (Models.input_for spec ~seed:(100 + i)))
+    in
+    let outcomes = List.map (Service.await svc) tickets in
+    Service.shutdown svc;
+    List.iter
+      (fun (o : Service.outcome) ->
+        match o.Service.out_result with
+        | Ok t ->
+            Printf.printf "req %02d: ok    class=%d via %s%s (%d attempt%s, %.1f ms)\n"
+              o.Service.out_id (T.argmax t) o.Service.out_served_by
+              (if o.Service.out_degraded then " [degraded]" else "")
+              o.Service.out_attempts
+              (if o.Service.out_attempts = 1 then "" else "s")
+              o.Service.out_total_ms
+        | Error (e, _) ->
+            Printf.printf "req %02d: %-5s %s\n" o.Service.out_id "ERR" (Herr.error_name e))
+      outcomes;
+    Format.printf "%a@." Service.pp_stats (Service.stats svc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the supervised inference service on a scripted request trace (deadlines, retries, \
+          load shedding, circuit-breaker degradation) and print a stats summary")
+    Term.(
+      const run $ model_arg $ target_arg $ requests_arg $ domains_arg $ queue_arg $ deadline_arg
+      $ tight_arg $ fault_arg $ real_arg $ seed_arg)
+
 let () =
   let info = Cmd.info "chet" ~doc:"CHET: an optimizing compiler for FHE neural-network inference" in
   let code =
-    (* render the typed failure modes as structured one-liners instead of a
-       raw OCaml backtrace *)
-    try Cmd.eval ~catch:false (Cmd.group info [ models_cmd; compile_cmd; run_cmd; scales_cmd ]) with
+    (* top-level handler: every typed failure mode renders its full context
+       as a structured one-liner (never a raw backtrace) and maps to a
+       distinct exit code — 2 usage, 3 compile, 4 runtime *)
+    try
+      match
+        Cmd.eval ~catch:false
+          (Cmd.group info [ models_cmd; compile_cmd; run_cmd; scales_cmd; serve_cmd ])
+      with
+      | c when c = Cmd.Exit.cli_error -> 2 (* cmdliner usage error *)
+      | c -> c
+    with
     | Herr.Fhe_error (e, c) ->
         Printf.eprintf "chet: %s\n" (Herr.to_string (e, c));
-        3
+        4
     | Compiler.Compilation_failure msg ->
         Printf.eprintf "chet: compilation failed: %s\n" msg;
         3
     | Chet_crypto.Serial.Corrupt msg ->
         Printf.eprintf "chet: corrupt payload: %s\n" msg;
-        3
+        4
   in
   exit code

@@ -11,6 +11,7 @@ module Executor = Chet_runtime.Executor
 module Models = Chet_nn.Models
 module Reference = Chet_nn.Reference
 module Hisa = Chet_hisa.Hisa
+module Herr = Chet_hisa.Herr
 module T = Chet_tensor.Tensor
 
 let () =
@@ -30,15 +31,25 @@ let () =
   let module E = Executor.Make (H) in
   let batch = 3 in
   let correct = ref 0 in
+  let failed = ref 0 in
   let t0 = Unix.gettimeofday () in
+  (* per-image failure isolation — the serving layer's semantics in
+     miniature: one corrupt or over-budget inference is a typed, countable
+     event in the batch report, never an abort of the whole stream *)
   for i = 1 to batch do
     let image = Models.input_for spec ~seed:(100 + i) in
-    let got = E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image in
-    if T.argmax got = T.argmax (Reference.eval circuit image) then incr correct
+    match E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image with
+    | got -> if T.argmax got = T.argmax (Reference.eval circuit image) then incr correct
+    | exception Herr.Fhe_error (e, c) ->
+        incr failed;
+        Printf.eprintf "image %d failed: %s\n%!" i (Herr.to_string (e, c))
   done;
   let t_infer = Unix.gettimeofday () -. t0 in
+  let ok = batch - !failed in
   Printf.printf
-    "compile: %.1f s (once)\nkeygen:  %.1f s (once)\ninference: %.1f s / image over %d images (%d/%d classes match cleartext)\n"
+    "compile: %.1f s (once)\n\
+     keygen:  %.1f s (once)\n\
+     inference: %.1f s / image over %d images (%d ok, %d failed; %d/%d classes match cleartext)\n"
     t_compile t_keygen
-    (t_infer /. float_of_int batch)
-    batch !correct batch
+    (t_infer /. float_of_int (Stdlib.max 1 ok))
+    batch ok !failed !correct ok

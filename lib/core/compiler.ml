@@ -323,6 +323,67 @@ let instantiate_with_scheme compiled ~seed ?(rotation_keys = Selected_keys) ~wit
 let instantiate compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
   fst (instantiate_with_scheme compiled ~seed ~rotation_keys ~with_secret ())
 
+(* Derive a per-request RNG seed from the deployment seed: requests must not
+   share an encryption-randomness stream (their results would then depend on
+   scheduling order), and distinct requests must not collide. An odd
+   multiplier keeps the map injective over the integers. *)
+let request_seed ~seed ~req_seed = seed lxor (0x2545F4914F6CDD1D * ((2 * req_seed) + 1))
+
+type backend_factory = req_seed:int -> Hisa.t
+
+(* Deployment for a *stream* of requests (the serving layer): key generation
+   happens once here, then every [factory ~req_seed] call is a cheap backend
+   view sharing the immutable context/keys but drawing encryption randomness
+   from its own seeded stream. Contexts and key tables are read-only after
+   this function returns (rotation keys are pre-generated), so the views are
+   safe to use from concurrent domains, and a request's ciphertexts are a
+   pure function of (inputs, req_seed) — independent of which worker runs it
+   or in what order. *)
+let instantiate_factory compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () :
+    backend_factory * Hisa.scheme_kind =
+  let rng = Chet_crypto.Sampling.create ~seed in
+  match compiled.params with
+  | Rns_params { n; prime_bits; num_primes; _ } ->
+      let module C = Chet_crypto.Rns_ckks in
+      let params = C.default_params ~n ~bits:prime_bits ~num_coeff_primes:num_primes () in
+      let ctx = C.make_context params in
+      let sk, keys = C.keygen ctx rng in
+      (match rotation_keys with
+      | Selected_keys ->
+          List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
+      | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
+      let secret = if with_secret then Some sk else None in
+      let factory ~req_seed =
+        Chet_hisa.Seal_backend.make
+          {
+            Chet_hisa.Seal_backend.ctx;
+            rng = Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed);
+            keys;
+            secret;
+          }
+      in
+      (factory, Hisa.Rns_chain (C.coeff_primes ctx))
+  | Pow2_params { n; log_fresh; log_special } ->
+      let module C = Chet_crypto.Big_ckks in
+      let params = C.default_params ~n ~log_special ~log_fresh () in
+      let ctx = C.make_context params in
+      let sk, keys = C.keygen ctx rng in
+      (match rotation_keys with
+      | Selected_keys ->
+          List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
+      | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
+      let secret = if with_secret then Some sk else None in
+      let factory ~req_seed =
+        Chet_hisa.Heaan_backend.make
+          {
+            Chet_hisa.Heaan_backend.ctx;
+            rng = Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed);
+            keys;
+            secret;
+          }
+      in
+      (factory, Hisa.Pow2_modulus log_fresh)
+
 let instantiate_checked compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
   let backend, scheme = instantiate_with_scheme compiled ~seed ~rotation_keys ~with_secret () in
   Checked.wrap ~scheme backend

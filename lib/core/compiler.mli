@@ -103,3 +103,17 @@ val instantiate_checked :
     a deployment backend on which every HISA op validates its pre- and
     postconditions, turning silent corruption into typed
     [Chet_herr.Herr.Fhe_error]s. *)
+
+type backend_factory = req_seed:int -> Hisa.t
+(** A deployed keyset serving a stream of requests: each call is a cheap
+    backend view over the shared (immutable, domain-safe) context and keys,
+    with encryption randomness derived from [req_seed] alone — so a
+    request's ciphertexts do not depend on scheduling order. *)
+
+val instantiate_factory :
+  compiled -> seed:int -> ?rotation_keys:rotation_key_policy -> with_secret:bool -> unit ->
+  backend_factory * Hisa.scheme_kind
+(** Key generation once, then per-request backend views. This is the
+    deployment primitive behind {!Chet_serve.Service}'s degradation ladder;
+    the returned scheme describes the instantiated context, as in
+    {!instantiate_with_scheme}. *)

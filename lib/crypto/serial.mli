@@ -59,7 +59,9 @@ val write_frame : writer -> string -> (writer -> unit) -> unit
 val read_frame : reader -> string -> (reader -> 'a) -> 'a
 (** [read_frame r tag payload] checks the tag, length and checksum, then runs
     [payload]; the parser must consume exactly the framed length.
-    @raise Corrupt on any integrity violation. *)
+    @raise Corrupt on any integrity violation. The message always names the
+    frame tag (e.g. ["RKY2: checksum mismatch"]), so a rejection escaping a
+    multi-payload protocol identifies which wire object was mangled. *)
 
 (** {1 RNS-CKKS ciphertexts} *)
 

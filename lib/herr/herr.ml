@@ -51,6 +51,19 @@ type error =
           could not decompose it into available keys). *)
   | Invalid_op of { reason : string }
       (** Structured catch-all for other violated preconditions. *)
+  | Overloaded of { queue_depth : int; high_water : int }
+      (** The serving layer shed this request: the job queue was at or past
+          its high-water mark when it arrived. The request was never
+          enqueued; retrying later (client-side backoff) is safe. *)
+  | Deadline_exceeded of { budget_ms : float; elapsed_ms : float }
+      (** The request's deadline passed before a result was produced —
+          either while queued (the pool never started it) or mid-inference
+          (the caller abandoned the in-flight attempt). *)
+  | Worker_crashed of { worker : int; reason : string }
+      (** A pool worker caught a non-FHE exception escaping an inference
+          (a backend bug, not a typed invariant violation). The worker
+          itself survives; the request is reported failed with the
+          captured reason. *)
 
 type context = {
   op : string;  (** HISA/kernel operation, e.g. ["mul"], ["conv2d"] *)
@@ -78,6 +91,9 @@ let error_name = function
   | Missing_node _ -> "missing node"
   | Missing_rotation_key _ -> "missing rotation key"
   | Invalid_op _ -> "invalid op"
+  | Overloaded _ -> "overloaded"
+  | Deadline_exceeded _ -> "deadline exceeded"
+  | Worker_crashed _ -> "worker crashed"
 
 let error_detail = function
   | Scale_mismatch { expected; got } -> Printf.sprintf "expected scale %.6g, got %.6g" expected got
@@ -93,6 +109,11 @@ let error_detail = function
   | Missing_rotation_key { amount } ->
       Printf.sprintf "no Galois key reaches rotation by %d (regenerate keys or use --power-of-two keys)" amount
   | Invalid_op { reason } -> reason
+  | Overloaded { queue_depth; high_water } ->
+      Printf.sprintf "queue depth %d at/above high-water mark %d; request shed" queue_depth high_water
+  | Deadline_exceeded { budget_ms; elapsed_ms } ->
+      Printf.sprintf "deadline %.1f ms, %.1f ms elapsed" budget_ms elapsed_ms
+  | Worker_crashed { worker; reason } -> Printf.sprintf "worker %d: %s" worker reason
 
 (* One line, grep-able, front-loaded with the coordinates a human needs:
    where (node/layer), what op, which backend, which invariant, details. *)

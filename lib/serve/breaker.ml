@@ -1,0 +1,95 @@
+(* Per-deployment circuit breaker (DESIGN.md §9).
+
+   Each rung of the degradation ladder owns one of these. The service records
+   a *failure* when a request exhausts its retries on (or hard-fails out of)
+   that rung, and a *success* when the rung answers. After [threshold]
+   consecutive failures the breaker trips [Open]: the rung is skipped
+   entirely — no point burning a worker's time (and the request's deadline)
+   on a deployment that has exhausted its modulus chain or whose checked
+   backend keeps tripping. After [cooldown] seconds the breaker half-opens
+   and admits a bounded number of probe requests; one probe success closes it
+   again, a probe failure re-opens it for another cooldown.
+
+   The clock is injected so tests can drive the state machine without
+   sleeping. Thread-safe: the service consults breakers from many domains. *)
+
+type state = Closed | Open | Half_open
+
+let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half-open"
+
+type t = {
+  mutex : Mutex.t;
+  threshold : int;  (** consecutive failures that trip the breaker *)
+  cooldown : float;  (** seconds [Open] before probing again *)
+  probes : int;  (** concurrent probe budget while [Half_open] *)
+  now : unit -> float;
+  mutable st : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable probes_in_flight : int;
+  mutable trips : int;  (** lifetime Closed/Half_open -> Open transitions *)
+}
+
+let create ?(threshold = 3) ?(cooldown = 30.0) ?(probes = 1) ?(now = Unix.gettimeofday) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  {
+    mutex = Mutex.create ();
+    threshold;
+    cooldown;
+    probes;
+    now;
+    st = Closed;
+    consecutive_failures = 0;
+    opened_at = neg_infinity;
+    probes_in_flight = 0;
+    trips = 0;
+  }
+
+let with_lock b f =
+  Mutex.lock b.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock b.mutex) f
+
+let state b = with_lock b (fun () -> b.st)
+let trip_count b = with_lock b (fun () -> b.trips)
+
+let trip b =
+  b.st <- Open;
+  b.opened_at <- b.now ();
+  b.probes_in_flight <- 0;
+  b.trips <- b.trips + 1
+
+(* May this request use the guarded deployment? Also the place where an
+   [Open] breaker past its cooldown transitions to [Half_open]: admission is
+   the only event that needs to observe the timeout. *)
+let allow b =
+  with_lock b (fun () ->
+      match b.st with
+      | Closed -> true
+      | Open when b.now () -. b.opened_at >= b.cooldown ->
+          b.st <- Half_open;
+          b.probes_in_flight <- 1;
+          true
+      | Open -> false
+      | Half_open when b.probes_in_flight < b.probes ->
+          b.probes_in_flight <- b.probes_in_flight + 1;
+          true
+      | Half_open -> false)
+
+let record_success b =
+  with_lock b (fun () ->
+      b.consecutive_failures <- 0;
+      match b.st with
+      | Half_open | Open ->
+          (* a probe (or straggler from before the trip) came back healthy *)
+          b.st <- Closed;
+          b.probes_in_flight <- 0
+      | Closed -> ())
+
+let record_failure b =
+  with_lock b (fun () ->
+      match b.st with
+      | Half_open -> trip b (* failed probe: back to cooldown *)
+      | Open -> () (* straggler failure while already open *)
+      | Closed ->
+          b.consecutive_failures <- b.consecutive_failures + 1;
+          if b.consecutive_failures >= b.threshold then trip b)

@@ -1,0 +1,103 @@
+(* Bounded multi-producer / multi-consumer job queue — the admission-control
+   half of the serving layer (DESIGN.md §9).
+
+   Producers never block: a push against a queue at or past its high-water
+   mark is *shed* immediately (the caller turns that into a typed
+   [Herr.Overloaded] rejection), because in an FHE serving system queueing an
+   inference the pool cannot reach before its deadline only converts an
+   honest fast rejection into a slow one. Consumers block on a condition
+   variable until work or shutdown.
+
+   All counters are folded under the one mutex; this queue moves whole
+   encrypted-inference jobs (tens of milliseconds to minutes each), so lock
+   traffic is noise. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  items : 'a Stdlib.Queue.t;
+  high_water : int;  (** shed pushes once [length >= high_water] *)
+  mutable closed : bool;
+  (* statistics, all under [mutex] *)
+  mutable pushed : int;
+  mutable shed : int;
+  mutable popped : int;
+  mutable max_depth : int;
+}
+
+type stats = { q_pushed : int; q_shed : int; q_popped : int; q_max_depth : int }
+
+let create ~high_water () =
+  if high_water < 1 then invalid_arg "Queue.create: high_water must be >= 1";
+  {
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    items = Stdlib.Queue.create ();
+    high_water;
+    closed = false;
+    pushed = 0;
+    shed = 0;
+    popped = 0;
+    max_depth = 0;
+  }
+
+let with_lock q f =
+  Mutex.lock q.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.mutex) f
+
+let high_water q = q.high_water
+
+let length q = with_lock q (fun () -> Stdlib.Queue.length q.items)
+
+(* [push q x] admits [x] unless the queue is closed or at its high-water
+   mark. Returns [Error depth] (the depth observed at rejection time) when
+   shedding so the caller can report a structured [Overloaded]. *)
+let push q x =
+  with_lock q (fun () ->
+      if q.closed then begin
+        (* a push against a closed queue is a rejection like any other shed *)
+        q.shed <- q.shed + 1;
+        Error (Stdlib.Queue.length q.items)
+      end
+      else begin
+        let depth = Stdlib.Queue.length q.items in
+        if depth >= q.high_water then begin
+          q.shed <- q.shed + 1;
+          Error depth
+        end
+        else begin
+          Stdlib.Queue.push x q.items;
+          q.pushed <- q.pushed + 1;
+          q.max_depth <- Stdlib.max q.max_depth (depth + 1);
+          Condition.signal q.not_empty;
+          Ok ()
+        end
+      end)
+
+(* Blocking pop; [None] once the queue is closed *and* drained, which is the
+   worker-shutdown signal. *)
+let pop q =
+  with_lock q (fun () ->
+      let rec wait () =
+        if not (Stdlib.Queue.is_empty q.items) then begin
+          q.popped <- q.popped + 1;
+          Some (Stdlib.Queue.pop q.items)
+        end
+        else if q.closed then None
+        else begin
+          Condition.wait q.not_empty q.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+(* Close the queue: pending items still drain, new pushes are rejected, and
+   every blocked consumer wakes up (to observe [None] once drained). *)
+let close q =
+  with_lock q (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.not_empty)
+
+let stats q =
+  with_lock q (fun () ->
+      { q_pushed = q.pushed; q_shed = q.shed; q_popped = q.popped; q_max_depth = q.max_depth })

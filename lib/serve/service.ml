@@ -1,0 +1,527 @@
+(* The supervised encrypted-inference service: bounded queue -> domain pool
+   -> degradation ladder, with deadlines, retries and circuit breakers.
+   Interface documentation in service.mli; architecture in DESIGN.md §9. *)
+
+module Herr = Chet_hisa.Herr
+module Hisa = Chet_hisa.Hisa
+module Clear = Chet_hisa.Clear_backend
+module Kernels = Chet_runtime.Kernels
+module Executor = Chet_runtime.Executor
+module Circuit = Chet_nn.Circuit
+module Tensor = Chet_tensor.Tensor
+module Compiler = Chet.Compiler
+
+(* ------------------------------------------------------------------ *)
+(* Deployments                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type deployment = {
+  dep_label : string;
+  dep_degraded : bool;
+  dep_scales : Kernels.scales;
+  dep_policy : Executor.layout_policy;
+  dep_backend : req_seed:int -> attempt:int -> Hisa.t;
+}
+
+(* Shrink the scale exponents the way Scale_select's fallback ladder does:
+   rung k costs the image scale 2k bits and each weight/mask scale k bits,
+   preserving the kernels' pw*pm = pu*pm = pc rescale invariant. *)
+let reduced_scales (s : Kernels.scales) k =
+  let e v = Stdlib.max 1 (int_of_float (Float.round (log (float_of_int v) /. log 2.0))) in
+  {
+    Kernels.pc = 1 lsl Stdlib.max 8 (e s.Kernels.pc - (2 * k));
+    pw = 1 lsl Stdlib.max 6 (e s.Kernels.pw - k);
+    pu = 1 lsl Stdlib.max 6 (e s.Kernels.pu - k);
+    pm = 1 lsl Stdlib.max 6 (e s.Kernels.pm - k);
+  }
+
+let ladder_of_compiled compiled ~seed ?rotation_keys ?(reduced_rungs = 1) ?(clear_fallback = true)
+    ~with_secret () =
+  let factory, _scheme =
+    Compiler.instantiate_factory compiled ~seed ?rotation_keys ~with_secret ()
+  in
+  let scales = compiled.Compiler.opts.Compiler.scales in
+  let policy = compiled.Compiler.policy in
+  (* different attempts of one request must not replay the identical
+     encryption randomness (a deterministic corruption would simply recur),
+     so the attempt index perturbs the per-request seed *)
+  let backend ~req_seed ~attempt = factory ~req_seed:(req_seed + (attempt * 7919)) in
+  let primary =
+    { dep_label = "primary"; dep_degraded = false; dep_scales = scales; dep_policy = policy;
+      dep_backend = backend }
+  in
+  let reduced =
+    List.init reduced_rungs (fun i ->
+        let k = i + 1 in
+        {
+          dep_label = Printf.sprintf "reduced-scale-%d" k;
+          dep_degraded = true;
+          dep_scales = reduced_scales scales k;
+          dep_policy = policy;
+          dep_backend = backend;
+        })
+  in
+  let clear =
+    if not clear_fallback then []
+    else begin
+      let n = Compiler.params_n compiled.Compiler.params in
+      let scheme = Compiler.scheme_of_params compiled.Compiler.opts compiled.Compiler.params in
+      [
+        {
+          dep_label = "clear-sim";
+          dep_degraded = true;
+          dep_scales = scales;
+          dep_policy = policy;
+          dep_backend =
+            (fun ~req_seed:_ ~attempt:_ ->
+              Clear.make
+                { Clear.slots = n / 2; scheme; strict_modulus = false; encode_noise = false });
+        };
+      ]
+    end
+  in
+  (primary :: reduced) @ clear
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  domains : int;
+  high_water : int;
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  backoff_jitter : float;
+  breaker_threshold : int;
+  breaker_cooldown_ms : float;
+  default_deadline_ms : float;
+  now : unit -> float;
+  sleep_ms : float -> unit;
+}
+
+let default_config ?domains () =
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Stdlib.max 1 (Stdlib.min 4 (Domain.recommended_domain_count () - 1))
+  in
+  {
+    domains;
+    high_water = 64;
+    max_retries = 2;
+    backoff_base_ms = 5.0;
+    backoff_cap_ms = 100.0;
+    backoff_jitter = 0.2;
+    breaker_threshold = 3;
+    breaker_cooldown_ms = 1000.0;
+    default_deadline_ms = 300_000.0;
+    now = Unix.gettimeofday;
+    sleep_ms = (fun ms -> if ms > 0.0 then Unix.sleepf (ms /. 1000.0));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Requests and outcomes                                                *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  out_id : int;
+  out_result : (Tensor.t, Herr.error * Herr.context) result;
+  out_served_by : string;
+  out_degraded : bool;
+  out_attempts : int;
+  out_queue_ms : float;
+  out_total_ms : float;
+}
+
+(* The rendezvous between the submitting caller and the worker. No timed
+   condition-variable wait exists in the stdlib, so [await] polls the cell
+   under its mutex on the injected clock — a few microseconds of lock
+   traffic per poll against inferences measured in milliseconds. *)
+type cell = { cm : Mutex.t; mutable result : outcome option; mutable abandoned : bool }
+
+type ticket = {
+  req_id : int;
+  req_image : Tensor.t;
+  req_seed : int;
+  req_budget_ms : float;
+  req_deadline : float;  (* absolute, on the service clock *)
+  req_submitted : float;
+  cell : cell;
+}
+
+type mutable_stats = {
+  sm : Mutex.t;
+  mutable submitted : int;
+  mutable succeeded : int;
+  mutable failed : int;
+  mutable shed : int;
+  mutable deadline : int;
+  mutable degraded : int;
+  mutable retries : int;
+  mutable worker_crashes : int;
+  mutable late_results : int;
+  mutable latencies : float list;
+}
+
+type stats = {
+  s_submitted : int;
+  s_succeeded : int;
+  s_failed : int;
+  s_shed : int;
+  s_deadline : int;
+  s_degraded : int;
+  s_retries : int;
+  s_breaker_trips : int;
+  s_worker_crashes : int;
+  s_late_results : int;
+  s_queue : Queue.stats;
+  s_latencies_ms : float array;
+}
+
+type t = {
+  cfg : config;
+  circuit : Circuit.t;
+  ladder : (deployment * Breaker.t) array;
+  queue : Pool.job Queue.t;
+  pool : Pool.t;
+  next_id : int Atomic.t;
+  jitter_rng : Random.State.t;  (* guarded by [jm] *)
+  jm : Mutex.t;
+  ms : mutable_stats;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let transient_error = function
+  | Herr.Scale_mismatch _ | Herr.Level_mismatch _ | Herr.Illegal_rescale _
+  | Herr.Numeric_blowup _ | Herr.Corrupt_ciphertext _ ->
+      true
+  | Herr.Modulus_exhausted _ | Herr.Slot_overflow _ | Herr.Shape_mismatch _ | Herr.Missing_node _
+  | Herr.Missing_rotation_key _ | Herr.Invalid_op _ | Herr.Overloaded _
+  | Herr.Deadline_exceeded _ | Herr.Worker_crashed _ ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_attempt t dep req ~attempt ~worker =
+  try
+    let backend = dep.dep_backend ~req_seed:req.req_seed ~attempt in
+    let module H = (val backend : Hisa.S) in
+    let module E = Executor.Make (H) in
+    Ok (E.run dep.dep_scales t.circuit ~policy:dep.dep_policy req.req_image)
+  with
+  | Herr.Fhe_error (e, c) -> Error (e, c)
+  | exn ->
+      (* a non-FHE exception is a backend bug: convert it to the typed
+         taxonomy so it flows through retry/breaker/outcome like any other
+         failure — and never takes the worker domain down *)
+      with_lock t.ms.sm (fun () -> t.ms.worker_crashes <- t.ms.worker_crashes + 1);
+      Error
+        ( Herr.Worker_crashed { worker; reason = Printexc.to_string exn },
+          Herr.context ~backend:dep.dep_label "infer" )
+
+let backoff t req ~attempt =
+  let base = t.cfg.backoff_base_ms *. (2.0 ** float_of_int attempt) in
+  let d = Float.min t.cfg.backoff_cap_ms base in
+  let jit =
+    with_lock t.jm (fun () -> d *. t.cfg.backoff_jitter *. (Random.State.float t.jitter_rng 2.0 -. 1.0))
+  in
+  let remaining_ms = (req.req_deadline -. t.cfg.now ()) *. 1000.0 in
+  let d = Float.min (Float.max 0.0 (d +. jit)) (Float.max 0.0 remaining_ms) in
+  if d > 0.0 then t.cfg.sleep_ms d
+
+let deadline_error req ~elapsed_ms ~op =
+  ( Herr.Deadline_exceeded { budget_ms = req.req_budget_ms; elapsed_ms },
+    Herr.context ~backend:"serve" op )
+
+(* Hand the outcome to the caller — unless the caller already gave up, in
+   which case the computed result is discarded (and counted: a late result
+   is wasted work the deadline was supposed to prevent). *)
+let deliver t req out =
+  let late = with_lock req.cell.cm (fun () ->
+      if req.cell.abandoned then true
+      else begin
+        (if req.cell.result = None then req.cell.result <- Some out);
+        false
+      end)
+  in
+  with_lock t.ms.sm (fun () ->
+      if late then t.ms.late_results <- t.ms.late_results + 1
+      else begin
+        t.ms.retries <- t.ms.retries + Stdlib.max 0 (out.out_attempts - 1);
+        t.ms.latencies <- out.out_total_ms :: t.ms.latencies;
+        match out.out_result with
+        | Ok _ ->
+            t.ms.succeeded <- t.ms.succeeded + 1;
+            if out.out_degraded then t.ms.degraded <- t.ms.degraded + 1
+        | Error (Herr.Deadline_exceeded _, _) -> t.ms.deadline <- t.ms.deadline + 1
+        | Error _ -> t.ms.failed <- t.ms.failed + 1
+      end)
+
+let abandoned req = with_lock req.cell.cm (fun () -> req.cell.abandoned)
+
+let process t req ~worker =
+  let pickup = t.cfg.now () in
+  let queue_ms = (pickup -. req.req_submitted) *. 1000.0 in
+  let mk ?(served_by = "") ?(degraded = false) ~attempts result =
+    {
+      out_id = req.req_id;
+      out_result = result;
+      out_served_by = served_by;
+      out_degraded = degraded;
+      out_attempts = attempts;
+      out_queue_ms = queue_ms;
+      out_total_ms = (t.cfg.now () -. req.req_submitted) *. 1000.0;
+    }
+  in
+  if pickup >= req.req_deadline || abandoned req then
+    (* expired while queued: never start work the caller no longer wants *)
+    deliver t req (mk ~attempts:0 (Error (deadline_error req ~elapsed_ms:queue_ms ~op:"dequeue")))
+  else begin
+    let attempts = ref 0 in
+    let last_err = ref None in
+    let served = ref None in
+    let rungs = t.ladder in
+    let stop = ref false in
+    let i = ref 0 in
+    while (not !stop) && !served = None && !i < Array.length rungs do
+      let dep, brk = rungs.(!i) in
+      if Breaker.allow brk then begin
+        (* retry loop on this rung *)
+        let rung_done = ref false in
+        let attempt = ref 0 in
+        while not !rung_done do
+          if t.cfg.now () >= req.req_deadline || abandoned req then begin
+            let elapsed_ms = (t.cfg.now () -. req.req_submitted) *. 1000.0 in
+            last_err := Some (deadline_error req ~elapsed_ms ~op:"infer");
+            rung_done := true;
+            stop := true
+          end
+          else begin
+            incr attempts;
+            match run_attempt t dep req ~attempt:!attempt ~worker with
+            | Ok tensor ->
+                Breaker.record_success brk;
+                served := Some (dep, tensor);
+                rung_done := true
+            | Error (e, c) ->
+                last_err := Some (e, c);
+                if transient_error e && !attempt < t.cfg.max_retries then begin
+                  backoff t req ~attempt:!attempt;
+                  incr attempt
+                end
+                else begin
+                  (* retries exhausted, or a hard failure: this rung failed
+                     the request — feed its breaker and degrade *)
+                  Breaker.record_failure brk;
+                  rung_done := true
+                end
+          end
+        done
+      end;
+      incr i
+    done;
+    let out =
+      match !served with
+      | Some (dep, tensor) ->
+          mk ~served_by:dep.dep_label ~degraded:dep.dep_degraded ~attempts:!attempts (Ok tensor)
+      | None ->
+          let e, c =
+            match !last_err with
+            | Some ec -> ec
+            | None ->
+                ( Herr.Invalid_op { reason = "no deployment available (all circuit breakers open)" },
+                  Herr.context ~backend:"serve" "infer" )
+          in
+          mk ~attempts:!attempts (Error (e, c))
+    in
+    deliver t req out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create cfg ~circuit ~ladder =
+  if ladder = [] then invalid_arg "Service.create: empty deployment ladder";
+  let queue = Queue.create ~high_water:cfg.high_water () in
+  let ms =
+    {
+      sm = Mutex.create ();
+      submitted = 0;
+      succeeded = 0;
+      failed = 0;
+      shed = 0;
+      deadline = 0;
+      degraded = 0;
+      retries = 0;
+      worker_crashes = 0;
+      late_results = 0;
+      latencies = [];
+    }
+  in
+  let pool =
+    Pool.create ~domains:cfg.domains queue
+      ~on_crash:(fun ~worker:_ _exn ->
+        (* [process] converts everything to typed outcomes; anything landing
+           here is a harness bug — count it, keep serving *)
+        with_lock ms.sm (fun () -> ms.worker_crashes <- ms.worker_crashes + 1))
+  in
+  let breakers =
+    List.map
+      (fun dep ->
+        ( dep,
+          Breaker.create ~threshold:cfg.breaker_threshold
+            ~cooldown:(cfg.breaker_cooldown_ms /. 1000.0) ~now:cfg.now () ))
+      ladder
+  in
+  {
+    cfg;
+    circuit;
+    ladder = Array.of_list breakers;
+    queue;
+    pool;
+    next_id = Atomic.make 0;
+    jitter_rng = Random.State.make [| 0x5e12e; cfg.domains |];
+    jm = Mutex.create ();
+    ms;
+  }
+
+let submit t ?deadline_ms ?seed image =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let budget_ms = Option.value deadline_ms ~default:t.cfg.default_deadline_ms in
+  let submitted = t.cfg.now () in
+  let req =
+    {
+      req_id = id;
+      req_image = image;
+      req_seed = Option.value seed ~default:id;
+      req_budget_ms = budget_ms;
+      req_deadline = submitted +. (budget_ms /. 1000.0);
+      req_submitted = submitted;
+      cell = { cm = Mutex.create (); result = None; abandoned = false };
+    }
+  in
+  with_lock t.ms.sm (fun () -> t.ms.submitted <- t.ms.submitted + 1);
+  (match Queue.push t.queue (fun ~worker -> process t req ~worker) with
+  | Ok () -> ()
+  | Error depth ->
+      (* shed at admission: the typed rejection is the response *)
+      with_lock t.ms.sm (fun () -> t.ms.shed <- t.ms.shed + 1);
+      let out =
+        {
+          out_id = id;
+          out_result =
+            Error
+              ( Herr.Overloaded { queue_depth = depth; high_water = Queue.high_water t.queue },
+                Herr.context ~backend:"serve" "submit" );
+          out_served_by = "";
+          out_degraded = false;
+          out_attempts = 0;
+          out_queue_ms = 0.0;
+          out_total_ms = 0.0;
+        }
+      in
+      with_lock req.cell.cm (fun () -> req.cell.result <- Some out));
+  req
+
+let await t (req : ticket) =
+  let poll_ms = 1.0 in
+  let rec loop () =
+    let ready = with_lock req.cell.cm (fun () -> req.cell.result) in
+    match ready with
+    | Some o -> o
+    | None ->
+        let now = t.cfg.now () in
+        if now >= req.req_deadline then begin
+          (* give up: mark the request abandoned (checked again under the
+             cell lock so a just-delivered result wins the race) *)
+          let raced =
+            with_lock req.cell.cm (fun () ->
+                match req.cell.result with
+                | Some o -> Some o
+                | None ->
+                    req.cell.abandoned <- true;
+                    None)
+          in
+          match raced with
+          | Some o -> o
+          | None ->
+              let elapsed_ms = (now -. req.req_submitted) *. 1000.0 in
+              let out =
+                {
+                  out_id = req.req_id;
+                  out_result = Error (deadline_error req ~elapsed_ms ~op:"await");
+                  out_served_by = "";
+                  out_degraded = false;
+                  out_attempts = 0;
+                  out_queue_ms = 0.0;
+                  out_total_ms = elapsed_ms;
+                }
+              in
+              with_lock t.ms.sm (fun () ->
+                  t.ms.deadline <- t.ms.deadline + 1;
+                  t.ms.latencies <- elapsed_ms :: t.ms.latencies);
+              out
+        end
+        else begin
+          t.cfg.sleep_ms poll_ms;
+          loop ()
+        end
+  in
+  loop ()
+
+let infer t ?deadline_ms ?seed image = await t (submit t ?deadline_ms ?seed image)
+let shutdown t = Pool.shutdown t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_states t =
+  Array.to_list (Array.map (fun (dep, brk) -> (dep.dep_label, Breaker.state brk)) t.ladder)
+
+let stats t =
+  let trips = Array.fold_left (fun acc (_, brk) -> acc + Breaker.trip_count brk) 0 t.ladder in
+  with_lock t.ms.sm (fun () ->
+      {
+        s_submitted = t.ms.submitted;
+        s_succeeded = t.ms.succeeded;
+        s_failed = t.ms.failed;
+        s_shed = t.ms.shed;
+        s_deadline = t.ms.deadline;
+        s_degraded = t.ms.degraded;
+        s_retries = t.ms.retries;
+        s_breaker_trips = trips;
+        s_worker_crashes = t.ms.worker_crashes;
+        s_late_results = t.ms.late_results;
+        s_queue = Queue.stats t.queue;
+        s_latencies_ms = Array.of_list (List.rev t.ms.latencies);
+      })
+
+(* Nearest-rank percentile on a sorted copy. *)
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    s.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+  end
+
+let pp_stats fmt s =
+  let pct p = percentile s.s_latencies_ms p in
+  Format.fprintf fmt
+    "@[<v>requests: %d submitted, %d ok (%d degraded), %d failed, %d shed, %d deadline-expired@,\
+     retries: %d; breaker trips: %d; worker crashes: %d; late results: %d@,\
+     queue: %d admitted, %d shed, max depth %d@,\
+     latency ms: p50 %.1f  p95 %.1f  p99 %.1f@]"
+    s.s_submitted s.s_succeeded s.s_degraded s.s_failed s.s_shed s.s_deadline s.s_retries
+    s.s_breaker_trips s.s_worker_crashes s.s_late_results s.s_queue.Queue.q_pushed
+    s.s_queue.Queue.q_shed s.s_queue.Queue.q_max_depth (pct 50.0) (pct 95.0) (pct 99.0)

@@ -1,0 +1,160 @@
+(** Supervised encrypted-inference service (DESIGN.md §9).
+
+    CHET's deployment model is compile-once / infer-many (§3.2): parameter
+    and layout selection, key generation and scale search happen offline,
+    then one fixed deployment answers a stream of encrypted requests. This
+    module is the serving substrate around that stream: a bounded job queue
+    feeding a pool of OCaml 5 domain workers, with
+
+    - {b deadlines}: every request carries a latency budget; a request whose
+      deadline passes while queued is never started, and a caller whose
+      deadline passes mid-inference gets a typed [Deadline_exceeded] while
+      the abandoned attempt finishes in the background (workers cannot be
+      interrupted mid-homomorphic-op, but the pool is never wedged — at
+      worst one worker finishes a stale result and moves on);
+    - {b retries}: transient typed failures ([Numeric_blowup],
+      [Corrupt_ciphertext], and the other checked-backend detections) are
+      retried with capped exponential backoff + jitter, within the deadline;
+    - {b load shedding}: once the queue reaches its high-water mark, new
+      requests are rejected immediately with a typed [Overloaded] — an
+      honest fast "try again later" instead of a slow deadline miss;
+    - {b graceful degradation}: the service owns a {e ladder} of deployments
+      (full-precision first, reduced-scale rungs after, optionally a
+      cleartext simulation as last resort). A per-rung circuit breaker trips
+      after consecutive hard failures ([Modulus_exhausted], exhausted
+      retries) and routes traffic to the next rung — with the response
+      carrying an explicit [degraded : true] — then half-opens and probes
+      its way back.
+
+    Determinism: a request's answer is a pure function of (image, request
+    seed, serving rung) — each attempt builds its backend through
+    [dep_backend ~req_seed ~attempt], so N concurrent domains produce
+    results bit-identical to sequential execution (asserted by
+    test/test_serve.ml). *)
+
+module Herr = Chet_hisa.Herr
+module Hisa = Chet_hisa.Hisa
+module Kernels = Chet_runtime.Kernels
+module Executor = Chet_runtime.Executor
+module Circuit = Chet_nn.Circuit
+module Tensor = Chet_tensor.Tensor
+module Compiler = Chet.Compiler
+
+(** {1 Deployments and the degradation ladder} *)
+
+type deployment = {
+  dep_label : string;  (** e.g. ["primary"], ["reduced-scale-1"], ["clear-sim"] *)
+  dep_degraded : bool;  (** surfaced as [degraded] on every response it serves *)
+  dep_scales : Kernels.scales;
+  dep_policy : Executor.layout_policy;
+  dep_backend : req_seed:int -> attempt:int -> Hisa.t;
+      (** Fresh backend view per attempt. Implementations share the heavy
+          immutable state (context, evaluation keys) and derive only the
+          encryption randomness from [req_seed] — which is what makes
+          concurrent execution bit-identical to sequential. *)
+}
+
+val ladder_of_compiled :
+  Compiler.compiled ->
+  seed:int ->
+  ?rotation_keys:Compiler.rotation_key_policy ->
+  ?reduced_rungs:int ->
+  ?clear_fallback:bool ->
+  with_secret:bool ->
+  unit ->
+  deployment list
+(** Build the default degradation ladder from a compiled circuit: rung 0 is
+    the full deployment at the compiled parameters ({!Compiler.instantiate_factory}
+    — shared keys, per-request randomness); each of the [reduced_rungs]
+    (default 1) reuses the same instantiated context with scale exponents
+    shrunk along the {!Chet.Scale_select} fallback ladder (lower precision,
+    more modulus headroom, marked degraded); if [clear_fallback] (default
+    true) the last rung executes on the cleartext {!Chet_hisa.Clear_backend}
+    with the same virtual scheme — an availability-over-confidentiality last
+    resort that callers can veto. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  domains : int;  (** pool width *)
+  high_water : int;  (** queue depth beyond which requests are shed *)
+  max_retries : int;  (** per-rung retry budget for transient failures *)
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  backoff_jitter : float;  (** fraction of the delay randomised, in [0,1] *)
+  breaker_threshold : int;  (** consecutive rung failures before it trips *)
+  breaker_cooldown_ms : float;
+  default_deadline_ms : float;
+  now : unit -> float;  (** injectable clock, seconds *)
+  sleep_ms : float -> unit;  (** injectable sleep (backoff, await polling) *)
+}
+
+val default_config : ?domains:int -> unit -> config
+
+(** {1 Requests and outcomes} *)
+
+type outcome = {
+  out_id : int;
+  out_result : (Tensor.t, Herr.error * Herr.context) result;
+  out_served_by : string;  (** label of the rung that answered ([""] if none ran) *)
+  out_degraded : bool;  (** the explicit degraded flag of the response *)
+  out_attempts : int;  (** inference attempts across all rungs *)
+  out_queue_ms : float;  (** submission -> worker pickup *)
+  out_total_ms : float;  (** submission -> outcome *)
+}
+
+type ticket
+
+type t
+
+val create : config -> circuit:Circuit.t -> ladder:deployment list -> t
+(** @raise Invalid_argument on an empty ladder. *)
+
+val submit : t -> ?deadline_ms:float -> ?seed:int -> Tensor.t -> ticket
+(** Non-blocking admission. A request arriving over the high-water mark is
+    shed: its ticket already holds an [Overloaded] outcome. [seed] defaults
+    to the request id. *)
+
+val await : t -> ticket -> outcome
+(** Block (polling on the injected clock) until the outcome is ready or the
+    request's deadline passes — in which case the in-flight attempt is
+    abandoned and a [Deadline_exceeded] outcome returned. *)
+
+val infer : t -> ?deadline_ms:float -> ?seed:int -> Tensor.t -> outcome
+(** [submit] composed with [await]. *)
+
+val shutdown : t -> unit
+(** Close the queue, drain in-flight work, join the worker domains. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  s_submitted : int;
+  s_succeeded : int;
+  s_failed : int;  (** typed failure other than shed/deadline *)
+  s_shed : int;
+  s_deadline : int;
+  s_degraded : int;  (** successes served by a degraded rung *)
+  s_retries : int;  (** attempts beyond the first, summed over requests *)
+  s_breaker_trips : int;  (** summed over rungs *)
+  s_worker_crashes : int;  (** non-FHE exceptions converted to [Worker_crashed] *)
+  s_late_results : int;  (** attempts that finished after their caller gave up *)
+  s_queue : Queue.stats;
+  s_latencies_ms : float array;  (** total latency of every finished outcome *)
+}
+
+val stats : t -> stats
+val breaker_states : t -> (string * Breaker.state) list
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; nearest-rank on a sorted copy;
+    [nan] on empty input. *)
+
+val transient_error : Herr.error -> bool
+(** The retry classification: checked-backend detections that a fresh
+    attempt can plausibly clear (scale/level lies, corrupt decode, NaN
+    poison, dropped rescale). Hard failures — [Modulus_exhausted],
+    structural shape/key errors, [Worker_crashed] — skip the retry budget
+    and count toward the rung's breaker immediately. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -16,4 +16,10 @@ dune runtest
 echo "== smoke: examples =="
 dune build @smoke
 
+echo "== smoke: serve =="
+# The serving layer runs domain workers with deadlines and retries; a hang
+# here (wedged pool, lost wakeup) would otherwise stall CI forever, so the
+# smoke run sits under a hard wall-clock timeout.
+timeout 120 dune build @serve-smoke
+
 echo "CI OK"

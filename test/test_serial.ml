@@ -202,6 +202,72 @@ let test_fuzz_big_ciphertext () =
     | exception Serial.Corrupt _ -> ()
   done
 
+(* --- key-bundle (RKY2: public + relin + Galois/rotation keys) fuzz ---
+   the rotation-key frames ride the same integrity envelope as ciphertexts;
+   every mangling must surface as a typed [Serial.Corrupt] whose message
+   names the frame tag (the Corrupt_ciphertext-family contract: the caller
+   can tell *which* wire object — here the key bundle — was mangled) *)
+
+let sample_key_bytes () =
+  let rng = Sampling.create ~seed:11 in
+  let sk, keys = Rns_ckks.keygen ctx rng in
+  (* two Galois keys so the rotation table is non-trivially framed *)
+  Rns_ckks.add_rotation_key ctx rng sk keys 1;
+  Rns_ckks.add_rotation_key ctx rng sk keys 4;
+  let rq = Rns_ckks.rq_ctx ctx in
+  let w = Serial.writer () in
+  Serial.write_rns_keys w rq keys;
+  (Serial.contents w, rq)
+
+let check_corrupt_carries_tag what msg =
+  let contains s sub =
+    let n = String.length s and k = String.length sub in
+    let rec scan i = i + k <= n && (String.sub s i k = sub || scan (i + 1)) in
+    scan 0
+  in
+  if not (contains msg "RKY2") then
+    Alcotest.failf "%s: Corrupt message %S does not carry the RKY2 frame tag" what msg
+
+let test_fuzz_keys_truncation_every_offset () =
+  let full, rq = sample_key_bytes () in
+  for cut = 0 to String.length full - 1 do
+    let r = Serial.reader (String.sub full 0 cut) in
+    match Serial.read_rns_keys r rq with
+    | _ -> Alcotest.failf "key-bundle truncation at offset %d accepted" cut
+    | exception Serial.Corrupt msg ->
+        check_corrupt_carries_tag (Printf.sprintf "truncation at %d" cut) msg
+  done
+
+let test_fuzz_keys_bit_flips () =
+  let full, rq = sample_key_bytes () in
+  let nbits = String.length full * 8 in
+  let state = ref 0x3d8f2a11 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  for _trial = 1 to 256 do
+    let bit = next () mod nbits in
+    let bytes = Bytes.of_string full in
+    let i = bit / 8 in
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (bit mod 8))));
+    let r = Serial.reader (Bytes.to_string bytes) in
+    match Serial.read_rns_keys r rq with
+    | _ -> Alcotest.failf "key-bundle bit flip at %d accepted" bit
+    | exception Serial.Corrupt msg ->
+        check_corrupt_carries_tag (Printf.sprintf "bit flip at %d" bit) msg
+  done
+
+let test_ciphertext_corrupt_carries_tag () =
+  (* the ciphertext frame family reports its own tag the same way *)
+  let full, rq = sample_ct_bytes () in
+  let r = Serial.reader (String.sub full 0 (String.length full - 1)) in
+  (match Serial.read_rns_ciphertext r rq with
+  | _ -> Alcotest.fail "truncated RCT2 accepted"
+  | exception Serial.Corrupt msg ->
+      if not (String.length msg >= 4 && String.sub msg 0 4 = "RCT2") then
+        Alcotest.failf "RCT2 Corrupt message %S does not carry its frame tag" msg)
+
 let test_trailing_garbage_in_frame_rejected () =
   (* a frame whose parser does not consume the whole body is corrupt: build
      one by hand with extra bytes inside the checksummed region *)
@@ -264,6 +330,11 @@ let suite =
         Alcotest.test_case "fuzz: truncation at every offset" `Quick test_fuzz_truncation_every_offset;
         Alcotest.test_case "fuzz: seeded bit flips" `Quick test_fuzz_bit_flips;
         Alcotest.test_case "fuzz: pow2 frame" `Quick test_fuzz_big_ciphertext;
+        Alcotest.test_case "fuzz: key bundle truncation (RKY2)" `Quick
+          test_fuzz_keys_truncation_every_offset;
+        Alcotest.test_case "fuzz: key bundle bit flips (RKY2)" `Quick test_fuzz_keys_bit_flips;
+        Alcotest.test_case "ciphertext Corrupt carries frame tag" `Quick
+          test_ciphertext_corrupt_carries_tag;
         Alcotest.test_case "trailing garbage in frame" `Quick test_trailing_garbage_in_frame_rejected;
         Alcotest.test_case "client/server loopback" `Quick test_loopback_protocol;
         Alcotest.test_case "key bundle + remote evaluation" `Quick test_keys_roundtrip_and_remote_eval;

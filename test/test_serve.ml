@@ -1,0 +1,346 @@
+(* The serving layer's robustness contract, proven on Fault_backend-wrapped
+   deployments (ISSUE acceptance criteria):
+
+     (a) a transient injected fault is retried and the final answer matches
+         the clean run bit-for-bit;
+     (b) a persistent fault trips the circuit breaker and subsequent
+         requests succeed via the degraded fallback with [degraded:true];
+     (c) an over-deadline request returns [Deadline_exceeded] while the
+         pool keeps serving later requests;
+     (d) queue overflow yields [Overloaded] with zero worker crashes;
+     (e) N concurrent domains produce results bit-identical to sequential
+         execution.
+
+   All tests run on the cleartext backend (the reference engine) at the
+   compiled parameters of the micro network — deterministic and fast — with
+   Fault_backend + Checked_backend layered on top exactly as a corrupted
+   real deployment would surface. *)
+
+module Compiler = Chet.Compiler
+module Executor = Chet_runtime.Executor
+module Models = Chet_nn.Models
+module Hisa = Chet_hisa.Hisa
+module Herr = Chet_hisa.Herr
+module Clear = Chet_hisa.Clear_backend
+module Checked = Chet_hisa.Checked_backend
+module Fault = Chet_hisa.Fault_backend
+module Service = Chet_serve.Service
+module Breaker = Chet_serve.Breaker
+module Squeue = Chet_serve.Queue
+module T = Chet_tensor.Tensor
+
+let seal_opts = Compiler.default_options ~target:Compiler.Seal ()
+let micro = Models.micro.Models.build ()
+let compiled = lazy (Compiler.compile seal_opts micro)
+let image i = Models.input_for Models.micro ~seed:(500 + i)
+
+let scheme () = Compiler.scheme_of_params seal_opts (Lazy.force compiled).Compiler.params
+let policy () = (Lazy.force compiled).Compiler.policy
+
+let clear_backend () =
+  Clear.make
+    {
+      Clear.slots = Compiler.params_n (Lazy.force compiled).Compiler.params / 2;
+      scheme = scheme ();
+      strict_modulus = false;
+      encode_noise = false;
+    }
+
+let dep ?(label = "primary") ?(degraded = false) backend =
+  {
+    Service.dep_label = label;
+    dep_degraded = degraded;
+    dep_scales = seal_opts.Compiler.scales;
+    dep_policy = policy ();
+    dep_backend = backend;
+  }
+
+let clean_dep ?label ?degraded () = dep ?label ?degraded (fun ~req_seed:_ ~attempt:_ -> clear_backend ())
+
+(* NaN-poison the decode path, detected by the checked wrapper as a typed
+   [Numeric_blowup] — the transient class the retry policy targets. *)
+let poisoned_backend ~req_seed =
+  let faulty, _log =
+    Fault.wrap (Fault.default_config ~seed:req_seed (Some Fault.Nan_poison)) (clear_backend ())
+  in
+  Checked.wrap ~scheme:(scheme ()) faulty
+
+let transient_fault_dep () =
+  dep (fun ~req_seed ~attempt -> if attempt = 0 then poisoned_backend ~req_seed else clear_backend ())
+
+let persistent_fault_dep () = dep (fun ~req_seed ~attempt:_ -> poisoned_backend ~req_seed)
+
+let quick_cfg ?(domains = 2) ?(high_water = 16) ?(max_retries = 2) () =
+  {
+    (Service.default_config ~domains ()) with
+    Service.high_water;
+    max_retries;
+    backoff_base_ms = 1.0;
+    backoff_cap_ms = 5.0;
+    breaker_threshold = 3;
+    breaker_cooldown_ms = 60_000.0 (* effectively never half-opens within a test *);
+    default_deadline_ms = 60_000.0;
+  }
+
+let with_service cfg ladder f =
+  let svc = Service.create cfg ~circuit:micro ~ladder in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
+
+let direct_clean_run img =
+  let backend = clear_backend () in
+  let module H = (val backend : Hisa.S) in
+  let module E = Executor.Make (H) in
+  E.run seal_opts.Compiler.scales micro ~policy:(policy ()) img
+
+let ok_tensor name (o : Service.outcome) =
+  match o.Service.out_result with
+  | Ok t -> t
+  | Error (e, c) -> Alcotest.failf "%s: unexpected failure: %s" name (Herr.to_string (e, c))
+
+(* --- (a) transient fault: retried to a bit-identical answer --------- *)
+
+let test_transient_fault_retried () =
+  with_service (quick_cfg ()) [ transient_fault_dep (); clean_dep ~label:"fallback" ~degraded:true () ]
+    (fun svc ->
+      let o = Service.infer svc ~seed:7 (image 1) in
+      let got = ok_tensor "transient" o in
+      Alcotest.(check string) "served by the primary rung" "primary" o.Service.out_served_by;
+      Alcotest.(check bool) "not degraded" false o.Service.out_degraded;
+      Alcotest.(check bool) "was retried" true (o.Service.out_attempts >= 2);
+      let expected = direct_clean_run (image 1) in
+      Alcotest.(check (float 0.0))
+        "bit-identical to the clean run" 0.0
+        (T.max_abs_diff (T.flatten expected) (T.flatten got));
+      let s = Service.stats svc in
+      Alcotest.(check bool) "retry counted" true (s.Service.s_retries >= 1);
+      Alcotest.(check int) "no worker crashes" 0 s.Service.s_worker_crashes)
+
+(* --- (b) persistent fault: breaker trips, degraded fallback serves -- *)
+
+let test_persistent_fault_degrades () =
+  let cfg = quick_cfg ~domains:1 ~max_retries:1 () in
+  with_service cfg [ persistent_fault_dep (); clean_dep ~label:"fallback" ~degraded:true () ]
+    (fun svc ->
+      let outcomes = List.init 5 (fun i -> Service.infer svc ~seed:i (image i)) in
+      List.iteri
+        (fun i o ->
+          let _ = ok_tensor (Printf.sprintf "persistent req %d" i) o in
+          Alcotest.(check bool)
+            (Printf.sprintf "req %d degraded flag" i)
+            true o.Service.out_degraded;
+          Alcotest.(check string)
+            (Printf.sprintf "req %d served by fallback" i)
+            "fallback" o.Service.out_served_by)
+        outcomes;
+      (* threshold 3: the first three requests each burn the retry budget on
+         the primary (2 attempts) before falling back; from the fourth on
+         the open breaker routes straight to the fallback (1 attempt) *)
+      let early = List.nth outcomes 0 and late = List.nth outcomes 4 in
+      Alcotest.(check int) "pre-trip attempts (primary retries + fallback)" 3 early.Service.out_attempts;
+      Alcotest.(check int) "post-trip attempts (fallback only)" 1 late.Service.out_attempts;
+      (match List.assoc "primary" (Service.breaker_states svc) with
+      | Breaker.Open -> ()
+      | st -> Alcotest.failf "primary breaker should be open, is %s" (Breaker.state_name st));
+      let s = Service.stats svc in
+      Alcotest.(check bool) "breaker trip recorded" true (s.Service.s_breaker_trips >= 1);
+      Alcotest.(check int) "all five succeeded degraded" 5 s.Service.s_degraded)
+
+(* breaker state machine in isolation, on a fake clock *)
+let test_breaker_lifecycle () =
+  let t = ref 0.0 in
+  let b = Breaker.create ~threshold:2 ~cooldown:10.0 ~now:(fun () -> !t) () in
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check bool) "tripped open" true (Breaker.state b = Breaker.Open);
+  Alcotest.(check bool) "open rejects" false (Breaker.allow b);
+  t := 10.5;
+  Alcotest.(check bool) "half-open admits a probe" true (Breaker.allow b);
+  Alcotest.(check bool) "only one probe" false (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "failed probe re-opens" true (Breaker.state b = Breaker.Open);
+  t := 21.0;
+  Alcotest.(check bool) "probes again after cooldown" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check bool) "successful probe closes" true (Breaker.state b = Breaker.Closed);
+  Alcotest.(check int) "two trips recorded" 2 (Breaker.trip_count b)
+
+(* --- (c) deadlines fire; the pool keeps serving -------------------- *)
+
+let test_deadline_fires () =
+  let slow_dep =
+    dep ~label:"slow" (fun ~req_seed:_ ~attempt:_ ->
+        Unix.sleepf 0.15;
+        clear_backend ())
+  in
+  with_service (quick_cfg ~domains:1 ()) [ slow_dep ] (fun svc ->
+      let late = Service.infer svc ~deadline_ms:20.0 ~seed:1 (image 2) in
+      (match late.Service.out_result with
+      | Error (Herr.Deadline_exceeded { budget_ms; _ }, _) ->
+          Alcotest.(check (float 0.01)) "budget reported" 20.0 budget_ms
+      | Ok _ -> Alcotest.fail "over-deadline request should not succeed"
+      | Error (e, c) -> Alcotest.failf "wrong error: %s" (Herr.to_string (e, c)));
+      (* the pool is not wedged: a later, generously-budgeted request lands *)
+      let fine = Service.infer svc ~deadline_ms:10_000.0 ~seed:2 (image 3) in
+      ignore (ok_tensor "post-deadline request" fine);
+      let s = Service.stats svc in
+      Alcotest.(check bool) "deadline expiry counted" true (s.Service.s_deadline >= 1);
+      Alcotest.(check int) "no worker crashes" 0 s.Service.s_worker_crashes)
+
+let test_deadline_expires_in_queue () =
+  (* one blocked worker; the queued request's deadline passes before pickup,
+     so the worker abandons it at dequeue without running the circuit *)
+  let gate = Atomic.make false in
+  let gated_dep =
+    dep ~label:"gated" (fun ~req_seed:_ ~attempt:_ ->
+        while not (Atomic.get gate) do
+          Unix.sleepf 0.002
+        done;
+        clear_backend ())
+  in
+  with_service (quick_cfg ~domains:1 ()) [ gated_dep ] (fun svc ->
+      let blocker = Service.submit svc ~seed:1 (image 1) in
+      let doomed = Service.submit svc ~deadline_ms:30.0 ~seed:2 (image 2) in
+      let doomed_out = Service.await svc doomed in
+      (match doomed_out.Service.out_result with
+      | Error (Herr.Deadline_exceeded _, _) -> ()
+      | _ -> Alcotest.fail "queued request should have expired");
+      Atomic.set gate true;
+      ignore (ok_tensor "blocker eventually lands" (Service.await svc blocker));
+      Alcotest.(check int) "no crashes" 0 (Service.stats svc).Service.s_worker_crashes)
+
+(* --- (d) queue overflow: typed Overloaded, zero crashes ------------- *)
+
+let test_overload_sheds () =
+  let gate = Atomic.make false in
+  let gated_dep =
+    dep ~label:"gated" (fun ~req_seed:_ ~attempt:_ ->
+        while not (Atomic.get gate) do
+          Unix.sleepf 0.002
+        done;
+        clear_backend ())
+  in
+  let cfg = quick_cfg ~domains:1 ~high_water:2 () in
+  with_service cfg [ gated_dep ] (fun svc ->
+      let first = Service.submit svc ~seed:0 (image 0) in
+      (* wait until the single (gated) worker has dequeued the first job, so
+         the queue depth is deterministic for the rest of the burst *)
+      let rec spin n =
+        if (Service.stats svc).Service.s_queue.Squeue.q_popped < 1 then
+          if n > 5000 then Alcotest.fail "worker never picked up first job"
+          else begin
+            Unix.sleepf 0.002;
+            spin (n + 1)
+          end
+      in
+      spin 0;
+      (* 1 in flight + 2 queued = saturation; the rest of the burst must shed *)
+      let queued = List.init 2 (fun i -> Service.submit svc ~seed:(1 + i) (image (1 + i))) in
+      let extra = List.init 4 (fun i -> Service.submit svc ~seed:(10 + i) (image i)) in
+      Atomic.set gate true;
+      let shed =
+        List.filter
+          (fun tk ->
+            match (Service.await svc tk).Service.out_result with
+            | Error (Herr.Overloaded { queue_depth; high_water }, _) ->
+                Alcotest.(check int) "high-water reported" 2 high_water;
+                Alcotest.(check bool) "depth at/above mark" true (queue_depth >= high_water);
+                true
+            | _ -> false)
+          extra
+      in
+      Alcotest.(check int) "entire burst shed" 4 (List.length shed);
+      List.iter
+        (fun tk -> ignore (ok_tensor "admitted request" (Service.await svc tk)))
+        (first :: queued);
+      let s = Service.stats svc in
+      Alcotest.(check bool) "shed counted" true (s.Service.s_shed >= 4);
+      Alcotest.(check int) "zero worker crashes" 0 s.Service.s_worker_crashes)
+
+(* --- worker crash containment --------------------------------------- *)
+
+let test_worker_crash_is_typed_and_contained () =
+  let crashing_dep =
+    dep ~label:"buggy" (fun ~req_seed:_ ~attempt:_ -> failwith "segfault in backend glue")
+  in
+  with_service (quick_cfg ~domains:1 ())
+    [ crashing_dep; clean_dep ~label:"fallback" ~degraded:true () ]
+    (fun svc ->
+      let o = Service.infer svc ~seed:3 (image 4) in
+      ignore (ok_tensor "fallback covers the crash" o);
+      Alcotest.(check bool) "degraded response" true o.Service.out_degraded;
+      let s = Service.stats svc in
+      Alcotest.(check bool) "crash converted and counted" true (s.Service.s_worker_crashes >= 1);
+      (* and with no fallback, the typed Worker_crashed surfaces *)
+      ());
+  with_service (quick_cfg ~domains:1 ()) [ crashing_dep ] (fun svc ->
+      let o = Service.infer svc ~seed:4 (image 4) in
+      match o.Service.out_result with
+      | Error (Herr.Worker_crashed { reason; _ }, _) ->
+          Alcotest.(check bool) "reason captured" true (String.length reason > 0)
+      | _ -> Alcotest.fail "expected a typed Worker_crashed failure")
+
+(* --- (e) concurrent == sequential, bit for bit ---------------------- *)
+
+let test_concurrent_matches_sequential () =
+  let n = 8 in
+  let run ~domains =
+    with_service (quick_cfg ~domains ()) [ clean_dep () ] (fun svc ->
+        let tickets = List.init n (fun i -> Service.submit svc ~seed:i (image i)) in
+        List.mapi (fun i tk -> ok_tensor (Printf.sprintf "req %d" i) (Service.await svc tk)) tickets)
+  in
+  let concurrent = run ~domains:4 in
+  let sequential = run ~domains:1 in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "request %d identical under 4 domains vs 1" i)
+        0.0
+        (T.max_abs_diff (T.flatten a) (T.flatten b));
+      (* and identical to a bare executor run outside the service *)
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "request %d identical to direct run" i)
+        0.0
+        (T.max_abs_diff (T.flatten a) (T.flatten (direct_clean_run (image i)))))
+    (List.combine concurrent sequential)
+
+(* --- queue unit semantics ------------------------------------------- *)
+
+let test_queue_shed_and_close () =
+  let q = Squeue.create ~high_water:2 () in
+  Alcotest.(check bool) "push 1" true (Squeue.push q 1 = Ok ());
+  Alcotest.(check bool) "push 2" true (Squeue.push q 2 = Ok ());
+  (match Squeue.push q 3 with
+  | Error depth -> Alcotest.(check int) "shed at depth" 2 depth
+  | Ok () -> Alcotest.fail "push above high-water accepted");
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Squeue.pop q);
+  Alcotest.(check bool) "push after drain" true (Squeue.push q 3 = Ok ());
+  Squeue.close q;
+  Alcotest.(check bool) "push after close shed" true (Result.is_error (Squeue.push q 4));
+  Alcotest.(check (option int)) "drains after close" (Some 2) (Squeue.pop q);
+  Alcotest.(check (option int)) "drains after close (2)" (Some 3) (Squeue.pop q);
+  Alcotest.(check (option int)) "closed and drained" None (Squeue.pop q);
+  let s = Squeue.stats q in
+  Alcotest.(check int) "shed stat" 2 s.Squeue.q_shed;
+  Alcotest.(check int) "max depth stat" 2 s.Squeue.q_max_depth
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "queue: shed + close semantics" `Quick test_queue_shed_and_close;
+        Alcotest.test_case "breaker: trip / half-open / close" `Quick test_breaker_lifecycle;
+        Alcotest.test_case "(a) transient fault retried, bit-identical" `Quick
+          test_transient_fault_retried;
+        Alcotest.test_case "(b) persistent fault trips breaker, degraded serve" `Quick
+          test_persistent_fault_degrades;
+        Alcotest.test_case "(c) deadline fires, pool keeps serving" `Quick test_deadline_fires;
+        Alcotest.test_case "(c') deadline expires while queued" `Quick
+          test_deadline_expires_in_queue;
+        Alcotest.test_case "(d) overload sheds with typed Overloaded" `Quick test_overload_sheds;
+        Alcotest.test_case "worker crash typed + contained" `Quick
+          test_worker_crash_is_typed_and_contained;
+        Alcotest.test_case "(e) concurrent bit-identical to sequential" `Quick
+          test_concurrent_matches_sequential;
+      ] );
+  ]
