@@ -93,3 +93,28 @@ let pow2_rotation_count ~slots amount =
   in
   let a = ((amount mod slots) + slots) mod slots in
   if a = 0 then 0 else Stdlib.min (popcount a) (popcount (slots - a))
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json: machine-readable artifact                               *)
+(* ------------------------------------------------------------------ *)
+
+module Jsonx = Chet_obs.Jsonx
+
+(* Sections accumulate as their drivers run; the main driver writes the file
+   once at the end, so a partial selection (--table 5) still yields a valid
+   artifact containing just what ran. *)
+let json_sections : (string * Jsonx.t) list ref = ref []
+let add_json name j = json_sections := (name, j) :: !json_sections
+
+let write_bench_json path ~fast ~total_s =
+  let doc =
+    Jsonx.Obj
+      ([
+         ("version", Jsonx.Num 1.0);
+         ("fast", Jsonx.Bool fast);
+         ("total_seconds", Jsonx.Num total_s);
+       ]
+      @ List.rev !json_sections)
+  in
+  Jsonx.to_file path doc;
+  Printf.printf "wrote %s (%d sections)\n" path (List.length !json_sections)

@@ -98,6 +98,21 @@ let table1 () =
   print_table ~title:"CKKS (our HEAAN-v1.0 stand-in)"
     ~headers:[ "(N, logQ)"; "op"; "time" ]
     (rows heaan (fun (n, lq) -> Printf.sprintf "(%d, %d)" n lq));
+  let op_points label2 measured =
+    Jsonx.Arr
+      (List.map
+         (fun ((n, x), op, ns) ->
+           Jsonx.Obj
+             [
+               ("n", Jsonx.Num (float_of_int n));
+               (label2, Jsonx.Num (float_of_int x));
+               ("op", Jsonx.Str op);
+               ("ns_per_run", Jsonx.Num ns);
+             ])
+         measured)
+  in
+  add_json "table1"
+    (Jsonx.Obj [ ("rns", op_points "r" rns); ("heaan", op_points "log_q" heaan) ]);
   (* scaling sanity: ciphertext mul should grow superlinearly in r; add
      roughly linearly — the shape Table 1 predicts *)
   let find sz op l = List.find_opt (fun (s, o, _) -> s = sz && o = op) l in
@@ -282,12 +297,22 @@ let table6 () =
 
 let figure5 () =
   print_endline "\n===== Figure 5: average inference latency (s) =====";
+  let points = ref [] in
   let rows =
     List.map
       (fun spec ->
         let seal = Workloads.best_policy_latency Compiler.Seal spec in
         let heaan = Workloads.best_policy_latency Compiler.Heaan spec in
         let manual = Workloads.manual_heaan_latency spec in
+        points :=
+          Jsonx.Obj
+            [
+              ("network", Jsonx.Str spec.Models.model_name);
+              ("chet_seal_s", Jsonx.Num seal);
+              ("chet_heaan_s", Jsonx.Num heaan);
+              ("manual_heaan_s", Jsonx.Num manual);
+            ]
+          :: !points;
         [
           spec.Models.model_name;
           fmt_seconds seal;
@@ -297,6 +322,7 @@ let figure5 () =
         ])
       (networks ())
   in
+  add_json "figure5" (Jsonx.Arr (List.rev !points));
   print_table ~title:"simulated latencies (calibrated clock)"
     ~headers:[ "Network"; "CHET-SEAL"; "CHET-HEAAN"; "Manual-HEAAN"; "manual/CHET" ]
     rows
@@ -309,7 +335,11 @@ let figure6 () =
   print_endline "\n===== Figure 6: estimated cost vs observed latency =====";
   (* estimated: the compiler's *uncalibrated* asymptotic model (§5.3);
      observed: the calibrated simulation clock. These use different constants
-     per op class, so agreement is informative. *)
+     per op class, so agreement is informative. With --cost-file, every
+     point is additionally estimated under the machine's profiled constants
+     — a useful calibration correlates at least as well as the frozen
+     asymptotic baseline. *)
+  let with_cal = !Workloads.loaded_calibration <> None in
   let points = ref [] in
   List.iter
     (fun target ->
@@ -318,36 +348,72 @@ let figure6 () =
           let compiled = Workloads.compiled_for target spec in
           List.iter
             (fun report ->
-              let estimated =
-                Workloads.sim_latency ~kind:Workloads.Theory target spec
-                  ~policy:report.Compiler.pr_policy ~params:report.Compiler.pr_params
-              in
-              let observed =
-                Workloads.sim_latency target spec ~policy:report.Compiler.pr_policy
+              let lat kind =
+                Workloads.sim_latency ~kind target spec ~policy:report.Compiler.pr_policy
                   ~params:report.Compiler.pr_params
               in
-              points := (spec.Models.model_name, target, estimated, observed) :: !points)
+              let estimated = lat Workloads.Theory in
+              let est_cal = if with_cal then Some (lat Workloads.Loaded) else None in
+              let observed = lat Workloads.Calibrated in
+              points := (spec.Models.model_name, target, estimated, est_cal, observed) :: !points)
             compiled.Compiler.reports)
         (networks ()))
     [ Compiler.Seal; Compiler.Heaan ];
+  let pts = List.rev !points in
   let rows =
     List.map
-      (fun (name, target, est, obs) ->
+      (fun (name, target, est, est_cal, obs) ->
         [
           name;
           (match target with Compiler.Seal -> "SEAL" | Compiler.Heaan -> "HEAAN");
           Printf.sprintf "%.3g" est;
+          (match est_cal with Some e -> fmt_seconds e | None -> "-");
           fmt_seconds obs;
         ])
-      (List.rev !points)
+      pts
   in
   print_table ~title:"per (network, scheme, layout) point"
-    ~headers:[ "Network"; "scheme"; "estimated cost"; "observed (s)" ]
+    ~headers:[ "Network"; "scheme"; "estimated cost"; "est. calibrated (s)"; "observed (s)" ]
     rows;
-  let est = Array.of_list (List.rev_map (fun (_, _, e, _) -> log e) !points) in
-  let obs = Array.of_list (List.rev_map (fun (_, _, _, o) -> log o) !points) in
-  Printf.printf "\nlog-log Pearson r = %.3f, Spearman rho = %.3f over %d points\n" (pearson est obs)
-    (spearman est obs) (Array.length est)
+  let arr f = Array.of_list (List.map f pts) in
+  let obs = arr (fun (_, _, _, _, o) -> log o) in
+  let est = arr (fun (_, _, e, _, _) -> log e) in
+  let r_theory = pearson est obs and rho_theory = spearman est obs in
+  Printf.printf "\nlog-log Pearson r = %.3f, Spearman rho = %.3f over %d points\n" r_theory
+    rho_theory (Array.length est);
+  let cal_stats =
+    if not with_cal then []
+    else begin
+      let est_c = arr (fun (_, _, _, ec, _) -> log (Option.get ec)) in
+      let r_cal = pearson est_c obs and rho_cal = spearman est_c obs in
+      Printf.printf
+        "calibrated estimates: Pearson r = %.3f, Spearman rho = %.3f (baseline r = %.3f)\n" r_cal
+        rho_cal r_theory;
+      [ ("pearson_calibrated", Jsonx.Num r_cal); ("spearman_calibrated", Jsonx.Num rho_cal) ]
+    end
+  in
+  let json_points =
+    List.map
+      (fun (name, target, e, ec, o) ->
+        Jsonx.Obj
+          ([
+             ("network", Jsonx.Str name);
+             ( "scheme",
+               Jsonx.Str (match target with Compiler.Seal -> "seal" | Compiler.Heaan -> "heaan") );
+             ("estimated", Jsonx.Num e);
+             ("observed_s", Jsonx.Num o);
+           ]
+          @ match ec with Some e -> [ ("estimated_calibrated_s", Jsonx.Num e) ] | None -> []))
+      pts
+  in
+  add_json "figure6"
+    (Jsonx.Obj
+       ([
+          ("points", Jsonx.Arr json_points);
+          ("pearson_log_log", Jsonx.Num r_theory);
+          ("spearman", Jsonx.Num rho_theory);
+        ]
+       @ cal_stats))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: rotation-keys selection speedup                            *)
@@ -545,7 +611,24 @@ let serve_bench () =
       (Printf.sprintf
          "%d-request burst, 2 domain workers, micro network on the cleartext backend" burst)
     ~headers:[ "high-water"; "served"; "shed"; "p50 ms"; "p95 ms"; "p99 ms" ]
-    rows
+    rows;
+  add_json "serve_sweep"
+    (Jsonx.Arr
+       (List.map
+          (fun (p : Workloads.serve_point) ->
+            Jsonx.Obj
+              [
+                ("high_water", Jsonx.Num (float_of_int p.Workloads.sv_high_water));
+                ("submitted", Jsonx.Num (float_of_int p.Workloads.sv_submitted));
+                ("succeeded", Jsonx.Num (float_of_int p.Workloads.sv_succeeded));
+                ("shed", Jsonx.Num (float_of_int p.Workloads.sv_shed));
+                ( "shed_rate",
+                  Jsonx.Num (float_of_int p.Workloads.sv_shed /. float_of_int p.Workloads.sv_submitted) );
+                ("p50_ms", Jsonx.Num p.Workloads.sv_p50_ms);
+                ("p95_ms", Jsonx.Num p.Workloads.sv_p95_ms);
+                ("p99_ms", Jsonx.Num p.Workloads.sv_p99_ms);
+              ])
+          points))
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -558,6 +641,18 @@ let () =
   Gc.set { (Gc.get ()) with Gc.space_overhead = 40 };
   let args = Array.to_list Sys.argv in
   fast := List.mem "--fast" args;
+  (* --cost-file: profiled constants from `chet profile`; feeds the Loaded
+     cost kind (figure 6's calibrated column) *)
+  let rec cost_file = function
+    | "--cost-file" :: path :: _ -> Some path
+    | _ :: rest -> cost_file rest
+    | [] -> None
+  in
+  (match cost_file args with
+  | None -> ()
+  | Some path ->
+      Workloads.loaded_calibration := Some (Chet.Cost_model.load_calibration path);
+      Printf.printf "loaded cost-model calibration from %s\n" path);
   let rec wanted = function
     | "--table" :: n :: rest -> ("t" ^ n) :: wanted rest
     | "--figure" :: n :: rest -> ("f" ^ n) :: wanted rest
@@ -586,4 +681,6 @@ let () =
   if want "cn" then begin cryptonets_comparison (); Gc.compact () end;
   if want "srv" then begin serve_bench (); Gc.compact () end;
   if all || List.mem "abl" selected then ablation ();
-  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal bench time: %.1f s\n" total;
+  write_bench_json "BENCH.json" ~fast:!fast ~total_s:total

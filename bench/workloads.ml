@@ -23,7 +23,16 @@ let compiled_for target (spec : Models.spec) =
       c
 
 type key_config = Selected | Pow2_only
-type cost_kind = Calibrated | Theory  (** measured constants vs raw Table-1 asymptotics *)
+
+type cost_kind =
+  | Calibrated  (** the shipped measured constants *)
+  | Theory  (** raw Table-1 asymptotics, constant 1 per op class *)
+  | Loaded  (** constants from a --cost-file calibration (this machine) *)
+
+(* Set once at startup from --cost-file, before any cached run — [Loaded] is
+   part of the run-cache key, so a late mutation would poison nothing but
+   still be confusing. *)
+let loaded_calibration : Cost_model.calibration option ref = ref None
 
 type sim_run = {
   base_latency : float;
@@ -42,6 +51,9 @@ let costs_for kind target =
   | Calibrated, Compiler.Heaan -> Cost_model.heaan ()
   | Theory, Compiler.Seal -> Hisa.rns_cost_model ()
   | Theory, Compiler.Heaan -> Hisa.ckks_cost_model ()
+  | Loaded, t ->
+      let cal = Option.value !loaded_calibration ~default:Cost_model.default_calibration in
+      Cost_model.model_for (match t with Compiler.Seal -> `Seal | Compiler.Heaan -> `Heaan) cal
 
 (* One simulated inference under [policy] with the given parameters. *)
 let sim_run ?(kind = Calibrated) target (spec : Models.spec) ~policy ~params =

@@ -25,6 +25,15 @@ module Hisa = Chet_hisa.Hisa
 module Herr = Chet_hisa.Herr
 module Service = Chet_serve.Service
 module T = Chet_tensor.Tensor
+module Cost_model = Chet.Cost_model
+module Timed_backend = Chet_hisa.Timed_backend
+module Tracer = Chet_obs.Tracer
+module Jsonx = Chet_obs.Jsonx
+module Rns = Chet_crypto.Rns_ckks
+module Big = Chet_crypto.Big_ckks
+module Sampling = Chet_crypto.Sampling
+module Seal_backend = Chet_hisa.Seal_backend
+module Heaan_backend = Chet_hisa.Heaan_backend
 open Cmdliner
 
 let model_arg =
@@ -46,6 +55,36 @@ let security_arg =
     ]) (Compiler.Standard Chet_crypto.Security.Bits128)
     & info [ "security" ] ~doc)
 
+let cost_file_arg =
+  let doc =
+    "Load cost-model constants from a calibration JSON file written by `chet profile'; the \
+     layout-selection pass then ranks candidates under the measured constants of this machine \
+     instead of the shipped defaults."
+  in
+  Arg.(value & opt (some string) None & info [ "cost-file" ] ~docv:"FILE" ~doc)
+
+(* calibration-file failures are runtime/serialisation failures: exit 4,
+   like any other corrupt payload *)
+let load_calibration_or_exit path =
+  try Cost_model.load_calibration path
+  with
+  | Jsonx.Parse_error msg ->
+      Printf.eprintf "chet: %s: bad calibration JSON: %s\n" path msg;
+      exit 4
+  | Failure msg ->
+      Printf.eprintf "chet: %s: %s\n" path msg;
+      exit 4
+  | Sys_error msg ->
+      Printf.eprintf "chet: %s\n" msg;
+      exit 4
+
+let apply_cost_file opts target = function
+  | None -> opts
+  | Some path ->
+      let cal = load_calibration_or_exit path in
+      let scheme = match target with Compiler.Seal -> `Seal | Compiler.Heaan -> `Heaan in
+      { opts with Compiler.cost = Some (Cost_model.model_for scheme cal) }
+
 (* exit code 2: a usage error, same class as a flag cmdliner rejects *)
 let lookup_model name =
   try Models.find name
@@ -66,14 +105,15 @@ let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"List bundled networks") Term.(const run $ const ())
 
 let compile_cmd =
-  let run model target security =
+  let run model target security cost_file =
     let spec = lookup_model model in
     let opts = { (Compiler.default_options ~target ()) with Compiler.security } in
+    let opts = apply_cost_file opts target cost_file in
     let compiled = Compiler.compile opts (spec.Models.build ()) in
     Format.printf "%a@." Compiler.pp_compiled compiled
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network and report the chosen configuration")
-    Term.(const run $ model_arg $ target_arg $ security_arg)
+    Term.(const run $ model_arg $ target_arg $ security_arg $ cost_file_arg)
 
 let run_cmd =
   let real_arg =
@@ -89,58 +129,88 @@ let run_cmd =
              typed FHE error instead of a garbage prediction.")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Synthetic image seed.") in
-  let run model target real checked seed =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a Chrome trace_event JSON trace of the run — one span per circuit node \
+             (node id, layer, layout, HISA op count, result scale/level) — and write it to \
+             $(docv); open in chrome://tracing or Perfetto.")
+  in
+  let run model target real checked seed trace cost_file =
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
-    let opts = Compiler.default_options ~target () in
+    let opts = apply_cost_file (Compiler.default_options ~target ()) target cost_file in
     let compiled = Compiler.compile opts circuit in
     Format.printf "%a@." Compiler.pp_compiled compiled;
     let image = Models.input_for spec ~seed in
     let expected = Reference.eval circuit image in
+    (* --trace: ambient tracer for executor node spans, plus the timed
+       interceptor around the backend so spans can attribute HISA op counts *)
+    let tracer = Option.map (fun _ -> Tracer.create ()) trace in
+    let timer = Timed_backend.create () in
+    Tracer.set_global tracer;
+    let wrap b = if trace = None then b else Timed_backend.wrap timer b in
     let run_with (backend : Hisa.t) =
-      let module H = (val backend) in
+      let module H = (val wrap backend) in
       let module E = Executor.Make (H) in
       E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image
     in
+    let finally () = Tracer.set_global None in
     let got, latency =
-      if real then begin
-        let backend =
-          if checked then Compiler.instantiate_checked compiled ~seed:42 ~with_secret:true ()
-          else Compiler.instantiate compiled ~seed:42 ~with_secret:true ()
-        in
-        let t0 = Unix.gettimeofday () in
-        let r = run_with backend in
-        (r, Unix.gettimeofday () -. t0)
-      end
-      else begin
-        let backend, clock =
-          Sim.make_with_values
-            {
-              Sim.n = Compiler.params_n compiled.Compiler.params;
-              scheme = Compiler.scheme_of_params opts compiled.Compiler.params;
-              costs =
-                (match target with
-                | Compiler.Seal -> Chet.Cost_model.seal ()
-                | Compiler.Heaan -> Chet.Cost_model.heaan ());
-            }
-        in
-        (run_with backend, clock.Sim.elapsed)
-      end
+      Fun.protect ~finally (fun () ->
+          if real then begin
+            let backend =
+              if checked then Compiler.instantiate_checked compiled ~seed:42 ~with_secret:true ()
+              else Compiler.instantiate compiled ~seed:42 ~with_secret:true ()
+            in
+            let t0 = Unix.gettimeofday () in
+            let r = run_with backend in
+            (r, Unix.gettimeofday () -. t0)
+          end
+          else begin
+            let backend, clock =
+              Sim.make_with_values
+                {
+                  Sim.n = Compiler.params_n compiled.Compiler.params;
+                  scheme = Compiler.scheme_of_params opts compiled.Compiler.params;
+                  costs =
+                    (match opts.Compiler.cost with
+                    | Some m -> m
+                    | None -> (
+                        match target with
+                        | Compiler.Seal -> Cost_model.seal ()
+                        | Compiler.Heaan -> Cost_model.heaan ()));
+                }
+            in
+            (run_with backend, clock.Sim.elapsed)
+          end)
     in
+    (match trace, tracer with
+    | Some path, Some tr ->
+        Tracer.export_chrome tr path;
+        Printf.printf "trace: %d spans (%d dropped), %d timed HISA ops -> %s\n"
+          (List.length (Tracer.events tr))
+          (Tracer.dropped tr) (Timed_backend.total_ops timer) path
+    | _ -> ());
     Printf.printf "%s latency: %.2f s; class=%d (clear %d); max |err|=%.5f\n"
       (if real then "measured" else "simulated")
       latency (T.argmax got) (T.argmax expected)
       (T.max_abs_diff (T.flatten expected) (T.flatten got))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one encrypted inference")
-    Term.(const run $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg)
+    Term.(
+      const run $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg $ trace_arg
+      $ cost_file_arg)
 
 let scales_cmd =
   let tol_arg = Arg.(value & opt float 0.05 & info [ "tolerance" ] ~doc:"Output tolerance.") in
-  let run model target tolerance =
+  let run model target tolerance cost_file =
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
-    let opts = Compiler.default_options ~target () in
+    let opts = apply_cost_file (Compiler.default_options ~target ()) target cost_file in
     let images = List.init 3 (fun i -> Models.input_for spec ~seed:(100 + i)) in
     let result =
       Scale_select.search
@@ -154,7 +224,150 @@ let scales_cmd =
       (List.length result.Scale_select.rejections)
   in
   Cmd.v (Cmd.info "scales" ~doc:"Profile-guided fixed-point scale search (§5.5)")
-    Term.(const run $ model_arg $ target_arg $ tol_arg)
+    Term.(const run $ model_arg $ target_arg $ tol_arg $ cost_file_arg)
+
+(* --- chet profile: calibrate the cost model on this machine ------------- *)
+
+(* Exercise every Table-1 op of a (timed) backend at each reachable level,
+   descending the modulus chain by squaring + rescaling, so the calibrator
+   sees samples across the (N, r)/(N, logQ) grid it fits against. *)
+let profile_backend timer backend ~reps =
+  let module H = (val Timed_backend.wrap timer backend : Hisa.S) in
+  let scale = 1 lsl 30 in
+  let v = Array.init H.slots (fun i -> 0.001 *. float_of_int (i mod 97)) in
+  let pt = H.encode v ~scale in
+  let a = ref (H.encrypt pt) in
+  let b = ref (H.encrypt pt) in
+  (try
+     let continue = ref true in
+     while !continue do
+       for _ = 1 to reps do
+         ignore (H.add !a !b);
+         ignore (H.add_plain !a pt);
+         ignore (H.add_scalar !a 0.5);
+         ignore (H.mul_scalar !a 1.5 ~scale);
+         ignore (H.mul_plain !a pt);
+         ignore (H.mul !a !b);
+         ignore (H.rot_left !a 1)
+       done;
+       (* descend one rung: square, rescale back towards the working scale *)
+       let m = H.mul !a !b in
+       let d = H.max_rescale m scale in
+       if d > 1 then begin
+         let m' = H.rescale m d in
+         a := m';
+         b := H.copy m'
+       end
+       else continue := false
+     done
+   with Herr.Fhe_error _ -> (* bottom of the chain: profiling is done *) ());
+  ignore (H.decode (H.decrypt !a))
+
+let profile_cmd =
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer ring sizes and repetitions (CI smoke).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "chet-calibration.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the calibration JSON.")
+  in
+  let run quick out =
+    let reps = if quick then 3 else 12 in
+    let seal_timer = Timed_backend.create () in
+    let seal_sizes = if quick then [ (2048, 3) ] else [ (2048, 4); (4096, 4); (4096, 8) ] in
+    List.iter
+      (fun (n, primes) ->
+        Printf.eprintf "profiling seal   n=%-5d primes=%d\n%!" n primes;
+        let params = Rns.default_params ~n ~bits:30 ~num_coeff_primes:primes () in
+        let ctx = Rns.make_context params in
+        let rng = Sampling.create ~seed:1 in
+        let sk, keys = Rns.keygen ctx rng in
+        Rns.add_rotation_key ctx rng sk keys 1;
+        profile_backend seal_timer
+          (Seal_backend.make { Seal_backend.ctx; rng; keys; secret = Some sk })
+          ~reps)
+      seal_sizes;
+    let heaan_timer = Timed_backend.create () in
+    let heaan_sizes = if quick then [ (1024, 120) ] else [ (1024, 120); (2048, 120); (2048, 240) ] in
+    List.iter
+      (fun (n, log_fresh) ->
+        Printf.eprintf "profiling heaan  n=%-5d logQ=%d\n%!" n log_fresh;
+        let params = Big.default_params ~n ~log_fresh () in
+        let ctx = Big.make_context params in
+        let rng = Sampling.create ~seed:2 in
+        let sk, keys = Big.keygen ctx rng in
+        Big.add_rotation_key ctx rng sk keys 1;
+        profile_backend heaan_timer
+          (Heaan_backend.make { Heaan_backend.ctx; rng; keys; secret = Some sk })
+          ~reps)
+      heaan_sizes;
+    let seal_c = Cost_model.calibrate_from ~scheme:`Seal (Timed_backend.cells seal_timer) in
+    let heaan_c = Cost_model.calibrate_from ~scheme:`Heaan (Timed_backend.cells heaan_timer) in
+    let cal = { Cost_model.seal_c; heaan_c } in
+    Cost_model.save_calibration out cal;
+    let pr name (c : Cost_model.constants) =
+      Printf.printf "%-6s k_add=%.3g k_scalar_mul=%.3g k_plain_mul=%.3g k_cipher_mul=%.3g k_rotate=%.3g k_rescale=%.3g\n"
+        name c.Cost_model.k_add c.Cost_model.k_scalar_mul c.Cost_model.k_plain_mul
+        c.Cost_model.k_cipher_mul c.Cost_model.k_rotate c.Cost_model.k_rescale
+    in
+    pr "seal" seal_c;
+    pr "heaan" heaan_c;
+    Printf.printf "%d seal + %d heaan timed ops -> %s\n"
+      (Timed_backend.total_ops seal_timer)
+      (Timed_backend.total_ops heaan_timer)
+      out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Microbenchmark this machine's scheme implementations through the timed HISA \
+          interceptor, fit Table-1 cost-model constants from the measurements, and write a \
+          calibration JSON that `compile', `run', `scales' and the benches accept via \
+          --cost-file")
+    Term.(const run $ quick_arg $ out_arg)
+
+(* --- chet trace: validate an exported Chrome trace ---------------------- *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace JSON file.")
+  in
+  let run file =
+    let j =
+      try Jsonx.of_file file
+      with
+      | Jsonx.Parse_error msg ->
+          Printf.eprintf "chet: %s: bad trace JSON: %s\n" file msg;
+          exit 4
+      | Sys_error msg ->
+          Printf.eprintf "chet: %s\n" msg;
+          exit 4
+    in
+    match Jsonx.member "traceEvents" j with
+    | Some (Jsonx.Arr evs) ->
+        let well_formed e =
+          Jsonx.str_member "ph" e <> None
+          && Jsonx.str_member "name" e <> None
+          && Jsonx.num_member "ts" e <> None
+          && Jsonx.num_member "pid" e <> None
+          && Jsonx.num_member "tid" e <> None
+        in
+        let bad = List.filter (fun e -> not (well_formed e)) evs in
+        if bad <> [] then begin
+          Printf.eprintf "chet: %s: %d trace events missing ph/name/ts/pid/tid\n" file
+            (List.length bad);
+          exit 4
+        end;
+        Printf.printf "%s: valid Chrome trace, %d events\n" file (List.length evs)
+    | _ ->
+        Printf.eprintf "chet: %s: not a Chrome trace (no \"traceEvents\" array)\n" file;
+        exit 4
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Validate a Chrome trace_event JSON file written by `chet run --trace'")
+    Term.(const run $ file_arg)
 
 (* --- chet serve: the resilient inference service on a scripted trace --- *)
 
@@ -193,7 +406,16 @@ let serve_cmd =
       & info [ "real" ] ~doc:"Serve on the real instantiated scheme ladder instead of cleartext.")
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Key-generation seed (--real).") in
-  let run model target requests domains queue_hw deadline_ms tight_every fault real seed =
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics-dump" ]
+          ~doc:
+            "After the trace, print the service's metrics registry in Prometheus text \
+             exposition format (request counters, latency histogram, breaker-state gauges).")
+  in
+  let run model target requests domains queue_hw deadline_ms tight_every fault real seed
+      metrics_dump =
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
     let opts = Compiler.default_options ~target () in
@@ -277,7 +499,8 @@ let serve_cmd =
         | Error (e, _) ->
             Printf.printf "req %02d: %-5s %s\n" o.Service.out_id "ERR" (Herr.error_name e))
       outcomes;
-    Format.printf "%a@." Service.pp_stats (Service.stats svc)
+    Format.printf "%a@." Service.pp_stats (Service.stats svc);
+    if metrics_dump then print_string (Service.metrics_snapshot svc)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -286,7 +509,7 @@ let serve_cmd =
           load shedding, circuit-breaker degradation) and print a stats summary")
     Term.(
       const run $ model_arg $ target_arg $ requests_arg $ domains_arg $ queue_arg $ deadline_arg
-      $ tight_arg $ fault_arg $ real_arg $ seed_arg)
+      $ tight_arg $ fault_arg $ real_arg $ seed_arg $ metrics_arg)
 
 let () =
   let info = Cmd.info "chet" ~doc:"CHET: an optimizing compiler for FHE neural-network inference" in
@@ -297,7 +520,8 @@ let () =
     try
       match
         Cmd.eval ~catch:false
-          (Cmd.group info [ models_cmd; compile_cmd; run_cmd; scales_cmd; serve_cmd ])
+          (Cmd.group info
+             [ models_cmd; compile_cmd; run_cmd; scales_cmd; serve_cmd; profile_cmd; trace_cmd ])
       with
       | c when c = Cmd.Exit.cli_error -> 2 (* cmdliner usage error *)
       | c -> c

@@ -73,3 +73,167 @@ let fit_constant term samples =
   let num = List.fold_left (fun acc (env, t) -> acc +. (t *. term env)) 0.0 samples in
   let den = List.fold_left (fun acc (env, _) -> acc +. (term env *. term env)) 0.0 samples in
   if den = 0.0 then 0.0 else num /. den
+
+(* Weighted variant: each sample carries how many timed operations it
+   averages over, so heavily exercised (op, env) cells pull the fit harder
+   than cells observed once. *)
+let fit_constant_weighted term samples =
+  let num =
+    List.fold_left (fun acc (env, t, w) -> acc +. (w *. t *. term env)) 0.0 samples
+  in
+  let den =
+    List.fold_left (fun acc (env, _, w) -> acc +. (w *. term env *. term env)) 0.0 samples
+  in
+  if den = 0.0 then 0.0 else num /. den
+
+(* ---- Profile-driven calibration (the `chet profile` path) ---------------- *)
+
+type scheme = [ `Seal | `Heaan ]
+
+(* Cost-model op class for a timed HISA op name, or [None] for ops outside
+   Table 1 (encode / encrypt / decrypt / decode are client-side). *)
+type op_class = Add | Scalar_mul | Plain_mul | Cipher_mul | Rotate | Rescale
+
+let class_of_op = function
+  | "add" | "sub" | "add_plain" | "sub_plain" | "add_scalar" | "sub_scalar" -> Some Add
+  | "mul_scalar" -> Some Scalar_mul
+  | "mul_plain" -> Some Plain_mul
+  | "mul" -> Some Cipher_mul
+  | "rot_left" | "rot_right" -> Some Rotate
+  | "rescale" -> Some Rescale
+  | _ -> None
+
+(* The asymptotic term of each (scheme, class) pair — the model bodies above
+   without their constants. *)
+let term_of scheme cls =
+  let n e = float_of_int e.Hisa.env_n in
+  let r e = float_of_int (Stdlib.max 1 e.Hisa.env_r) in
+  let lq e = float_of_int (Stdlib.max 1 e.Hisa.env_log_q) in
+  let m_q e = lq e ** 1.58 /. 64.0 in
+  match scheme with
+  | `Seal -> begin
+      match cls with
+      | Add -> fun e -> n e *. r e
+      | Scalar_mul -> fun e -> n e *. r e
+      | Plain_mul -> fun e -> n e *. r e
+      | Cipher_mul -> fun e -> n e *. logf e.Hisa.env_n *. r e *. r e
+      | Rotate -> fun e -> n e *. logf e.Hisa.env_n *. r e *. r e
+      | Rescale -> fun e -> n e *. logf e.Hisa.env_n *. r e
+    end
+  | `Heaan -> begin
+      match cls with
+      | Add -> fun e -> n e *. lq e
+      | Scalar_mul -> fun e -> n e *. m_q e
+      | Plain_mul -> fun e -> n e *. logf e.Hisa.env_n *. m_q e
+      | Cipher_mul -> fun e -> n e *. logf e.Hisa.env_n *. m_q e
+      | Rotate -> fun e -> n e *. logf e.Hisa.env_n *. m_q e
+      | Rescale -> fun e -> n e *. lq e
+    end
+
+let defaults_of = function `Seal -> seal_defaults | `Heaan -> heaan_defaults
+
+(* Fit Table-1 constants from timed-backend cells
+   [(op, env, count, mean_seconds)]. Classes with no samples keep the
+   scheme's shipped defaults, so a partial profile still yields a usable
+   model. *)
+let calibrate_from ~scheme cells =
+  let samples_of cls =
+    List.filter_map
+      (fun (op, env, count, mean_s) ->
+        match class_of_op op with
+        | Some c when c = cls && count > 0 && mean_s > 0.0 ->
+            Some (env, mean_s, float_of_int count)
+        | _ -> None)
+      cells
+  in
+  let d = defaults_of scheme in
+  let fit cls fallback =
+    match samples_of cls with
+    | [] -> fallback
+    | samples ->
+        let k = fit_constant_weighted (term_of scheme cls) samples in
+        if k > 0.0 then k else fallback
+  in
+  {
+    k_add = fit Add d.k_add;
+    k_scalar_mul = fit Scalar_mul d.k_scalar_mul;
+    k_plain_mul = fit Plain_mul d.k_plain_mul;
+    k_cipher_mul = fit Cipher_mul d.k_cipher_mul;
+    k_rotate = fit Rotate d.k_rotate;
+    k_rescale = fit Rescale d.k_rescale;
+  }
+
+(* ---- Persistence ---------------------------------------------------------
+   {"version": 1,
+    "constants": {"seal": {"k_add": ..., ...}, "heaan": {...}}} *)
+
+module Jsonx = Chet_obs.Jsonx
+
+type calibration = { seal_c : constants; heaan_c : constants }
+
+let default_calibration = { seal_c = seal_defaults; heaan_c = heaan_defaults }
+
+let constants_to_json c =
+  Jsonx.Obj
+    [
+      ("k_add", Jsonx.Num c.k_add);
+      ("k_scalar_mul", Jsonx.Num c.k_scalar_mul);
+      ("k_plain_mul", Jsonx.Num c.k_plain_mul);
+      ("k_cipher_mul", Jsonx.Num c.k_cipher_mul);
+      ("k_rotate", Jsonx.Num c.k_rotate);
+      ("k_rescale", Jsonx.Num c.k_rescale);
+    ]
+
+let constants_of_json j =
+  let f name =
+    match Jsonx.num_member name j with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "calibration file: missing constant %S" name)
+  in
+  {
+    k_add = f "k_add";
+    k_scalar_mul = f "k_scalar_mul";
+    k_plain_mul = f "k_plain_mul";
+    k_cipher_mul = f "k_cipher_mul";
+    k_rotate = f "k_rotate";
+    k_rescale = f "k_rescale";
+  }
+
+let calibration_to_json cal =
+  Jsonx.Obj
+    [
+      ("version", Jsonx.Num 1.0);
+      ( "constants",
+        Jsonx.Obj
+          [
+            ("seal", constants_to_json cal.seal_c);
+            ("heaan", constants_to_json cal.heaan_c);
+          ] );
+    ]
+
+let calibration_of_json j =
+  (match Jsonx.member "version" j with
+  | Some (Jsonx.Num v) when v = 1.0 -> ()
+  | Some (Jsonx.Num v) ->
+      failwith (Printf.sprintf "unsupported calibration version %g (expected 1)" v)
+  | _ -> failwith "calibration file: missing \"version\"");
+  match Jsonx.member "constants" j with
+  | None -> failwith "calibration file: missing \"constants\""
+  | Some consts ->
+      let section name fallback =
+        match Jsonx.member name consts with
+        | None -> fallback
+        | Some s -> constants_of_json s
+      in
+      {
+        seal_c = section "seal" seal_defaults;
+        heaan_c = section "heaan" heaan_defaults;
+      }
+
+let save_calibration path cal = Jsonx.to_file path (calibration_to_json cal)
+let load_calibration path = calibration_of_json (Jsonx.of_file path)
+
+let model_for scheme cal =
+  match scheme with
+  | `Seal -> seal ~c:cal.seal_c ()
+  | `Heaan -> heaan ~c:cal.heaan_c ()

@@ -26,3 +26,50 @@ val heaan : ?c:constants -> unit -> Hisa.cost_model
 val fit_constant : (Hisa.op_env -> float) -> (Hisa.op_env * float) list -> float
 (** Least-squares constant for one op given (env, measured seconds) samples
     and the op's asymptotic term. *)
+
+val fit_constant_weighted :
+  (Hisa.op_env -> float) -> (Hisa.op_env * float * float) list -> float
+(** Like {!fit_constant} but each sample is [(env, seconds, weight)]; the
+    profile path weights by the number of timed operations behind a mean. *)
+
+(** {2 Profile-driven calibration}
+
+    [chet profile] times real scheme operations through
+    [Chet_hisa.Timed_backend], fits Table-1 constants from the resulting
+    cells, and persists them as JSON
+    ([{"version":1,"constants":{"seal":{...},"heaan":{...}}}]). The
+    compiler's layout search and the Figure-6 bench load the same file. *)
+
+type scheme = [ `Seal | `Heaan ]
+
+type op_class = Add | Scalar_mul | Plain_mul | Cipher_mul | Rotate | Rescale
+
+val class_of_op : string -> op_class option
+(** Cost-model class for a timed HISA op name; [None] for client-side ops
+    (encode/encrypt/decrypt/decode) outside Table 1. *)
+
+val term_of : scheme -> op_class -> Hisa.op_env -> float
+(** The asymptotic Table-1 term of a (scheme, class) pair, sans constant. *)
+
+val calibrate_from :
+  scheme:scheme -> (string * Hisa.op_env * int * float) list -> constants
+(** Fit constants from timed cells [(op, env, count, mean_seconds)] — the
+    shape returned by [Chet_hisa.Timed_backend.cells]. Classes with no
+    samples keep the scheme's shipped defaults. *)
+
+type calibration = { seal_c : constants; heaan_c : constants }
+
+val default_calibration : calibration
+
+val calibration_to_json : calibration -> Chet_obs.Jsonx.t
+val calibration_of_json : Chet_obs.Jsonx.t -> calibration
+(** @raise Failure on missing/unsupported version or malformed constants. *)
+
+val save_calibration : string -> calibration -> unit
+
+val load_calibration : string -> calibration
+(** @raise Chet_obs.Jsonx.Parse_error on malformed JSON, [Failure] on a
+    structurally wrong file, [Sys_error] if unreadable. *)
+
+val model_for : scheme -> calibration -> Hisa.cost_model
+(** The scheme's cost model under a calibration's constants. *)

@@ -5,6 +5,7 @@
 
 type counters = {
   mutable encodes : int;
+  mutable decodes : int;
   mutable encrypts : int;
   mutable decrypts : int;
   mutable adds : int;
@@ -20,6 +21,7 @@ type counters = {
 let fresh_counters () =
   {
     encodes = 0;
+    decodes = 0;
     encrypts = 0;
     decrypts = 0;
     adds = 0;
@@ -32,8 +34,26 @@ let fresh_counters () =
     rotation_counts = Hashtbl.create 32;
   }
 
-let distinct_rotations c = Hashtbl.fold (fun k _ acc -> k :: acc) c.rotation_counts []
+(* Sorted so op-count reports and rotation-key listings are deterministic
+   regardless of hash-table iteration order. *)
+let distinct_rotations c =
+  Hashtbl.fold (fun k _ acc -> k :: acc) c.rotation_counts [] |> List.sort compare
+
 let total_rotations c = Hashtbl.fold (fun _ n acc -> acc + n) c.rotation_counts 0
+
+let reset c =
+  c.encodes <- 0;
+  c.decodes <- 0;
+  c.encrypts <- 0;
+  c.decrypts <- 0;
+  c.adds <- 0;
+  c.plain_adds <- 0;
+  c.scalar_adds <- 0;
+  c.ct_muls <- 0;
+  c.plain_muls <- 0;
+  c.scalar_muls <- 0;
+  c.rescales <- 0;
+  Hashtbl.reset c.rotation_counts
 
 let wrap (backend : Hisa.t) : Hisa.t * counters =
   let c = fresh_counters () in
@@ -56,7 +76,9 @@ let wrap (backend : Hisa.t) : Hisa.t * counters =
         c.encodes <- c.encodes + 1;
         B.encode v ~scale
 
-      let decode = B.decode
+      let decode p =
+        c.decodes <- c.decodes + 1;
+        B.decode p
 
       let encrypt p =
         c.encrypts <- c.encrypts + 1;

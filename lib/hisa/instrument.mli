@@ -5,6 +5,7 @@
 
 type counters = {
   mutable encodes : int;
+  mutable decodes : int;
   mutable encrypts : int;
   mutable decrypts : int;
   mutable adds : int;
@@ -18,6 +19,14 @@ type counters = {
 }
 
 val fresh_counters : unit -> counters
+
 val distinct_rotations : counters -> int list
+(** Sorted ascending, for deterministic reports. *)
+
 val total_rotations : counters -> int
+
+val reset : counters -> unit
+(** Zero every counter and clear the rotation multiset, so one recorder can
+    be reused across phases (e.g. per-layer op deltas). *)
+
 val wrap : Hisa.t -> Hisa.t * counters

@@ -1,0 +1,11 @@
+(* Monotonic clock for the observability subsystem (and for every internal
+   deadline/cooldown computation in lib/serve): wall-clock time jumps under
+   NTP slew and steps, which turns deadlines and breaker cooldowns into
+   lies. The C stub behind [Monotonic_clock] reads CLOCK_MONOTONIC. *)
+
+let now_ns : unit -> int64 = Monotonic_clock.now
+
+(* Seconds on the monotonic clock. The epoch is arbitrary (boot time);
+   only differences are meaningful — which is all the serving layer's
+   deadline and cooldown arithmetic ever computes. *)
+let now_s () = Int64.to_float (now_ns ()) /. 1e9

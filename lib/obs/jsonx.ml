@@ -1,0 +1,259 @@
+(* Minimal JSON: a value type, a writer, and a recursive-descent parser.
+   Shared by the Chrome trace exporter, the cost-model calibration files and
+   the bench harness's BENCH.json artifact. No external dependency (the
+   container has no yojson); the subset implemented is full RFC 8259 minus
+   surrogate-pair \u escapes (BMP-only, which is all we ever emit). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/Infinity: map non-finite numbers to null rather than
+   emitting a file Chrome/Perfetto refuses to load. *)
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> if Float.is_finite f then Buffer.add_string buf (num_to_string f) else Buffer.add_string buf "null"
+  | Str s -> escape_to buf s
+  | Arr vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  write buf v;
+  Buffer.contents buf
+
+let to_channel oc v = output_string oc (to_string v)
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      to_channel oc v;
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur =
+  let c = cur.s.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  c
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> cur.pos <- cur.pos + 1
+  | _ -> fail cur (Printf.sprintf "expected '%c'" c)
+
+let literal cur word v =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.s && String.sub cur.s cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if cur.pos >= String.length cur.s then fail cur "unterminated string";
+    match advance cur with
+    | '"' -> Buffer.contents buf
+    | '\\' -> begin
+        if cur.pos >= String.length cur.s then fail cur "unterminated escape";
+        (match advance cur with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            if cur.pos + 4 > String.length cur.s then fail cur "truncated \\u escape";
+            let hex = String.sub cur.s cur.pos 4 in
+            cur.pos <- cur.pos + 4;
+            let cp = try int_of_string ("0x" ^ hex) with _ -> fail cur "bad \\u escape" in
+            (* encode the BMP codepoint as UTF-8 *)
+            if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+            else if cp < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+        | c -> fail cur (Printf.sprintf "bad escape '\\%c'" c));
+        loop ()
+      end
+    | c -> Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (match peek cur with Some c when is_num_char c -> true | _ -> false) do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail cur "expected number";
+  match float_of_string_opt (String.sub cur.s start (cur.pos - start)) with
+  | Some f -> Num f
+  | None -> fail cur "malformed number"
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '"' -> Str (parse_string cur)
+  | Some '{' -> parse_obj cur
+  | Some '[' -> parse_arr cur
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some _ -> parse_number cur
+
+and parse_arr cur =
+  expect cur '[';
+  skip_ws cur;
+  if peek cur = Some ']' then begin
+    cur.pos <- cur.pos + 1;
+    Arr []
+  end
+  else begin
+    let rec items acc =
+      let v = parse_value cur in
+      skip_ws cur;
+      match peek cur with
+      | Some ',' ->
+          cur.pos <- cur.pos + 1;
+          items (v :: acc)
+      | Some ']' ->
+          cur.pos <- cur.pos + 1;
+          Arr (List.rev (v :: acc))
+      | _ -> fail cur "expected ',' or ']'"
+    in
+    items []
+  end
+
+and parse_obj cur =
+  expect cur '{';
+  skip_ws cur;
+  if peek cur = Some '}' then begin
+    cur.pos <- cur.pos + 1;
+    Obj []
+  end
+  else begin
+    let rec pairs acc =
+      skip_ws cur;
+      let k = parse_string cur in
+      skip_ws cur;
+      expect cur ':';
+      let v = parse_value cur in
+      skip_ws cur;
+      match peek cur with
+      | Some ',' ->
+          cur.pos <- cur.pos + 1;
+          pairs ((k, v) :: acc)
+      | Some '}' ->
+          cur.pos <- cur.pos + 1;
+          Obj (List.rev ((k, v) :: acc))
+      | _ -> fail cur "expected ',' or '}'"
+    in
+    pairs []
+  end
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string s
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_num = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_arr = function Arr vs -> Some vs | _ -> None
+
+let num_member k v = Option.bind (member k v) to_num
+let str_member k v = Option.bind (member k v) to_str

@@ -1,0 +1,227 @@
+(* Metrics registry: named counters, gauges and log-bucketed histograms,
+   safe under OCaml 5 domains, with a Prometheus-style text exposition.
+
+   Concurrency model: metric *creation* takes the registry mutex (rare);
+   metric *updates* are lock-free — counters and histogram buckets are
+   [Atomic.t] cells, float accumulators use a CAS retry loop. No update can
+   tear or be lost, which test/test_obs.ml asserts with 4 hammering domains. *)
+
+type labels = (string * string) list
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : float Atomic.t }
+
+type histogram = {
+  h_lo : float;  (** upper bound of the first bucket *)
+  h_growth : float;
+  h_buckets : int Atomic.t array;  (** last bucket is the +Inf overflow *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
+  h_max : float Atomic.t;
+}
+
+type data = C of counter | G of gauge | H of histogram
+type metric = { m_name : string; m_help : string; m_labels : labels; m_data : data }
+type t = { mutable metrics : metric list; rm : Mutex.t }
+
+let create () = { metrics = []; rm = Mutex.create () }
+
+let with_lock reg f =
+  Mutex.lock reg.rm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.rm) f
+
+let same_kind a b =
+  match (a, b) with C _, C _ | G _, G _ | H _, H _ -> true | _ -> false
+
+(* Idempotent get-or-create: per-(op, level) histograms are registered
+   lazily from hot paths, so re-registration must return the existing
+   metric instead of duplicating the series. *)
+let get_or_create reg ~name ~help ~labels mk =
+  with_lock reg (fun () ->
+      match
+        List.find_opt (fun m -> m.m_name = name && m.m_labels = labels) reg.metrics
+      with
+      | Some m ->
+          let fresh = mk () in
+          if not (same_kind m.m_data fresh) then
+            invalid_arg (Printf.sprintf "Metrics: %s re-registered with a different kind" name);
+          m.m_data
+      | None ->
+          let m = { m_name = name; m_help = help; m_labels = labels; m_data = mk () } in
+          reg.metrics <- m :: reg.metrics;
+          m.m_data)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter reg ?(help = "") ?(labels = []) name =
+  match get_or_create reg ~name ~help ~labels (fun () -> C { c_value = Atomic.make 0 }) with
+  | C c -> c
+  | _ -> assert false
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_value by)
+let counter_value c = Atomic.get c.c_value
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gauge reg ?(help = "") ?(labels = []) name =
+  match get_or_create reg ~name ~help ~labels (fun () -> G { g_value = Atomic.make 0.0 }) with
+  | G g -> g
+  | _ -> assert false
+
+let set_gauge g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let rec atomic_max_float a x =
+  let old = Atomic.get a in
+  if x > old && not (Atomic.compare_and_set a old x) then atomic_max_float a x
+
+(* Default buckets: log-spaced from 1 µs doubling 40 times (~3 days) — wide
+   enough for both per-op ns latencies expressed in seconds and multi-second
+   FHE inferences. *)
+let histogram reg ?(help = "") ?(labels = []) ?(lo = 1e-6) ?(growth = 2.0) ?(buckets = 40) name =
+  if lo <= 0.0 || growth <= 1.0 || buckets < 2 then invalid_arg "Metrics.histogram";
+  match
+    get_or_create reg ~name ~help ~labels (fun () ->
+        H
+          {
+            h_lo = lo;
+            h_growth = growth;
+            h_buckets = Array.init buckets (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0.0;
+            h_count = Atomic.make 0;
+            h_max = Atomic.make neg_infinity;
+          })
+  with
+  | H h -> h
+  | _ -> assert false
+
+let bucket_bound h i =
+  (* bucket i holds values <= h_lo * growth^i; the last bucket is +Inf *)
+  if i >= Array.length h.h_buckets - 1 then infinity
+  else h.h_lo *. (h.h_growth ** float_of_int i)
+
+let bucket_index h v =
+  if v <= h.h_lo then 0
+  else begin
+    let i = int_of_float (Float.ceil (log (v /. h.h_lo) /. log h.h_growth)) in
+    Stdlib.max 0 (Stdlib.min (Array.length h.h_buckets - 1) i)
+  end
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index h v) 1);
+  atomic_add_float h.h_sum v;
+  atomic_max_float h.h_max v;
+  ignore (Atomic.fetch_and_add h.h_count 1)
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = Atomic.get h.h_sum
+
+(* Quantile by linear interpolation inside the containing log bucket.
+   [q] in [0,1]; nan on an empty histogram. *)
+let quantile h q =
+  let total = hist_count h in
+  if total = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int total in
+    let n = Array.length h.h_buckets in
+    let rec walk i cum =
+      if i >= n then Atomic.get h.h_max
+      else begin
+        let c = Atomic.get h.h_buckets.(i) in
+        let cum' = cum +. float_of_int c in
+        if cum' >= target && c > 0 then begin
+          let upper =
+            if i = n - 1 then Atomic.get h.h_max (* overflow bucket: cap at max seen *)
+            else bucket_bound h i
+          in
+          let lower = if i = 0 then 0.0 else bucket_bound h (i - 1) in
+          let frac = (target -. cum) /. float_of_int c in
+          lower +. ((upper -. lower) *. Float.max 0.0 (Float.min 1.0 frac))
+        end
+        else walk (i + 1) cum'
+      end
+    in
+    walk 0 0.0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_value f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let fmt_labels = function
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+      ^ "}"
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let expose reg =
+  let metrics =
+    with_lock reg (fun () ->
+        List.sort
+          (fun a b ->
+            match compare a.m_name b.m_name with 0 -> compare a.m_labels b.m_labels | c -> c)
+          reg.metrics)
+  in
+  let buf = Buffer.create 1024 in
+  let last_name = ref "" in
+  List.iter
+    (fun m ->
+      if m.m_name <> !last_name then begin
+        last_name := m.m_name;
+        if m.m_help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.m_name m.m_help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_name m.m_data))
+      end;
+      match m.m_data with
+      | C c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" m.m_name (fmt_labels m.m_labels) (counter_value c))
+      | G g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.m_name (fmt_labels m.m_labels) (fmt_value (gauge_value g)))
+      | H h ->
+          (* cumulative buckets; empty buckets are elided (the histograms
+             here have 40 log buckets and most are empty), +Inf always out *)
+          let cum = ref 0 in
+          Array.iteri
+            (fun i b ->
+              let c = Atomic.get b in
+              cum := !cum + c;
+              if c > 0 && i < Array.length h.h_buckets - 1 then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+                     (fmt_labels (m.m_labels @ [ ("le", fmt_value (bucket_bound h i)) ]))
+                     !cum))
+            h.h_buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+               (fmt_labels (m.m_labels @ [ ("le", "+Inf") ]))
+               !cum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" m.m_name (fmt_labels m.m_labels) (fmt_value (hist_sum h)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.m_name (fmt_labels m.m_labels) (hist_count h)))
+    metrics;
+  Buffer.contents buf
+
+(* A process-wide default registry for components without an obvious owner
+   (the timed HISA interceptor's per-op histograms when none is supplied). *)
+let default = create ()

@@ -1,0 +1,67 @@
+(** Metrics registry (DESIGN.md §10): named counters, gauges and log-bucketed
+    latency histograms, safe under OCaml 5 domains, with a Prometheus-style
+    text exposition.
+
+    Updates are lock-free ([Atomic] cells; CAS loops for float accumulators)
+    so hot paths never contend; creation takes the registry mutex and is
+    idempotent per (name, labels). *)
+
+type t
+type labels = (string * string) list
+
+val create : unit -> t
+
+val default : t
+(** Process-wide registry for components without an obvious owner. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> ?help:string -> ?labels:labels -> string -> counter
+(** Get-or-create. @raise Invalid_argument if (name, labels) already exists
+    with a different metric kind. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> ?help:string -> ?labels:labels -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:labels ->
+  ?lo:float ->
+  ?growth:float ->
+  ?buckets:int ->
+  string ->
+  histogram
+(** Log-bucketed: bucket [i] holds values [<= lo * growth^i], the last is
+    the +Inf overflow. Defaults ([lo]=1e-6, [growth]=2, [buckets]=40) cover
+    1 µs to days in seconds units. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] with [q] in [0,1]: linear interpolation inside the
+    containing log bucket (the overflow bucket is capped at the maximum
+    observed value); [nan] when empty. *)
+
+(** {1 Exposition} *)
+
+val expose : t -> string
+(** Prometheus text format, deterministically sorted by (name, labels).
+    Histograms render cumulative [_bucket{le=...}] lines (empty buckets
+    elided), [_sum] and [_count]. *)

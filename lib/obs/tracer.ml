@@ -1,0 +1,200 @@
+(* Span tracer: nestable timed spans with key/value attrs, a per-domain ring
+   buffer, and Chrome trace_event JSON export (loadable in chrome://tracing
+   or Perfetto).
+
+   Concurrency model ("lock-free enough"): each domain appends to its own
+   ring buffer — registered once per (tracer, domain) under the tracer mutex,
+   then written without any synchronisation. Export happens after the traced
+   work has settled, so the benign read race on ring contents is harmless.
+   A full ring overwrites its oldest events and counts them as dropped.
+
+   The ambient *global* tracer is what the executor and kernels consult: a
+   single atomic load on the fast path when tracing is disabled, which is
+   what keeps the disabled-tracing overhead under the bench harness's noise
+   floor. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_tid : int;  (** domain id *)
+  ev_ts_ns : int64;  (** span start, monotonic *)
+  ev_dur_ns : int64;
+  ev_attrs : (string * attr) list;
+}
+
+type ring = { r_cap : int; r_buf : event option array; mutable r_written : int }
+
+type t = {
+  id : int;
+  cap : int;
+  mutable rings : ring list;  (** guarded by [rm]; one per domain that traced *)
+  rm : Mutex.t;
+}
+
+let next_id = Atomic.make 0
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity must be >= 1";
+  { id = Atomic.fetch_and_add next_id 1; cap = capacity; rings = []; rm = Mutex.create () }
+
+(* Domain-local state: the ring of each tracer this domain has written to,
+   the stack of open spans, and the HISA op tick counter. *)
+type dls = {
+  mutable d_rings : (int * ring) list;  (** tracer id -> this domain's ring *)
+  mutable d_stack : span list;
+  mutable d_ops : int;
+}
+
+and span = {
+  sp_tracer : t;
+  sp_name : string;
+  sp_cat : string;
+  sp_start : int64;
+  mutable sp_attrs : (string * attr) list;
+}
+
+let dls_key = Domain.DLS.new_key (fun () -> { d_rings = []; d_stack = []; d_ops = 0 })
+
+let ring_for t =
+  let d = Domain.DLS.get dls_key in
+  match List.assoc_opt t.id d.d_rings with
+  | Some r -> r
+  | None ->
+      let r = { r_cap = t.cap; r_buf = Array.make t.cap None; r_written = 0 } in
+      d.d_rings <- (t.id, r) :: d.d_rings;
+      Mutex.lock t.rm;
+      t.rings <- r :: t.rings;
+      Mutex.unlock t.rm;
+      r
+
+let record t ev =
+  let r = ring_for t in
+  r.r_buf.(r.r_written mod r.r_cap) <- Some ev;
+  r.r_written <- r.r_written + 1
+
+(* ------------------------------------------------------------------ *)
+(* The ambient global tracer                                           *)
+(* ------------------------------------------------------------------ *)
+
+let global : t option Atomic.t = Atomic.make None
+let set_global o = Atomic.set global o
+let enabled () = Atomic.get global <> None
+
+let with_span ?(cat = "chet") ?(attrs = []) name f =
+  match Atomic.get global with
+  | None -> f ()
+  | Some t ->
+      let d = Domain.DLS.get dls_key in
+      let sp =
+        { sp_tracer = t; sp_name = name; sp_cat = cat; sp_start = Clock.now_ns (); sp_attrs = attrs }
+      in
+      d.d_stack <- sp :: d.d_stack;
+      Fun.protect
+        ~finally:(fun () ->
+          (match d.d_stack with _ :: rest -> d.d_stack <- rest | [] -> ());
+          record t
+            {
+              ev_name = sp.sp_name;
+              ev_cat = sp.sp_cat;
+              ev_tid = (Domain.self () :> int);
+              ev_ts_ns = sp.sp_start;
+              ev_dur_ns = Int64.sub (Clock.now_ns ()) sp.sp_start;
+              ev_attrs = List.rev sp.sp_attrs;
+            })
+        f
+
+(* Attach an attr to the innermost open span of this domain (no-op when
+   tracing is off or no span is open): how the executor annotates a node
+   span with facts only known after the node ran (result scale, op count). *)
+let annotate k v =
+  match (Domain.DLS.get dls_key).d_stack with
+  | sp :: _ -> sp.sp_attrs <- (k, v) :: sp.sp_attrs
+  | [] -> ()
+
+(* Zero-duration marker event. *)
+let instant ?(cat = "chet") ?(attrs = []) name =
+  match Atomic.get global with
+  | None -> ()
+  | Some t ->
+      record t
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_tid = (Domain.self () :> int);
+          ev_ts_ns = Clock.now_ns ();
+          ev_dur_ns = 0L;
+          ev_attrs = attrs;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* HISA op ticks (per-domain, torn-write-free by construction)         *)
+(* ------------------------------------------------------------------ *)
+
+let tick_op () =
+  let d = Domain.DLS.get dls_key in
+  d.d_ops <- d.d_ops + 1
+
+let op_count () = (Domain.DLS.get dls_key).d_ops
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ring_events r =
+  let n = Stdlib.min r.r_written r.r_cap in
+  let start = if r.r_written <= r.r_cap then 0 else r.r_written mod r.r_cap in
+  List.init n (fun i ->
+      match r.r_buf.((start + i) mod r.r_cap) with Some e -> e | None -> assert false)
+
+let events t =
+  Mutex.lock t.rm;
+  let rings = t.rings in
+  Mutex.unlock t.rm;
+  List.concat_map ring_events rings
+  |> List.sort (fun a b ->
+         match Int64.compare a.ev_ts_ns b.ev_ts_ns with
+         | 0 -> compare (a.ev_tid, a.ev_name) (b.ev_tid, b.ev_name)
+         | c -> c)
+
+let dropped t =
+  Mutex.lock t.rm;
+  let rings = t.rings in
+  Mutex.unlock t.rm;
+  List.fold_left (fun acc r -> acc + Stdlib.max 0 (r.r_written - r.r_cap)) 0 rings
+
+let attr_json = function
+  | Int i -> Jsonx.Num (float_of_int i)
+  | Float f -> Jsonx.Num f
+  | Str s -> Jsonx.Str s
+  | Bool b -> Jsonx.Bool b
+
+(* Chrome trace_event format: one "X" (complete) event per span, timestamps
+   in microseconds relative to the earliest span so the viewer opens at t=0.
+   tid = OCaml domain id, which renders each domain as its own track. *)
+let chrome_json t =
+  let evs = events t in
+  let t0 = match evs with [] -> 0L | e :: _ -> e.ev_ts_ns in
+  let us ns = Int64.to_float ns /. 1e3 in
+  let event_json e =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.Str e.ev_name);
+        ("cat", Jsonx.Str e.ev_cat);
+        ("ph", Jsonx.Str "X");
+        ("ts", Jsonx.Num (us (Int64.sub e.ev_ts_ns t0)));
+        ("dur", Jsonx.Num (us e.ev_dur_ns));
+        ("pid", Jsonx.Num 1.0);
+        ("tid", Jsonx.Num (float_of_int e.ev_tid));
+        ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, attr_json v)) e.ev_attrs));
+      ]
+  in
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.Arr (List.map event_json evs));
+      ("displayTimeUnit", Jsonx.Str "ms");
+      ("otherData", Jsonx.Obj [ ("dropped_events", Jsonx.Num (float_of_int (dropped t))) ]);
+    ]
+
+let export_chrome t path = Jsonx.to_file path (chrome_json t)

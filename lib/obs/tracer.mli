@@ -1,0 +1,58 @@
+(** Span tracer (DESIGN.md §10): nestable timed spans with key/value attrs,
+    per-domain ring buffers, and Chrome [trace_event] JSON export — load the
+    file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Recording goes through an ambient {e global} tracer so instrumentation
+    points (executor nodes, HISA interceptors) cost one atomic load when
+    tracing is off. Each domain owns a private ring buffer; a full ring
+    overwrites oldest events and counts them as {!dropped}. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_tid : int;  (** OCaml domain id — one Chrome track per domain *)
+  ev_ts_ns : int64;  (** span start on the monotonic clock *)
+  ev_dur_ns : int64;
+  ev_attrs : (string * attr) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is the per-domain ring size (default 65536 events). *)
+
+val set_global : t option -> unit
+val enabled : unit -> bool
+
+val with_span : ?cat:string -> ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a timed span on the global tracer; a plain call
+    when tracing is disabled. Spans nest per domain; the event is recorded
+    when the span closes (exceptions included). *)
+
+val annotate : string -> attr -> unit
+(** Attach an attr to the innermost open span of this domain (no-op when
+    none) — for facts only known after the work ran, e.g. a node's result
+    scale. *)
+
+val instant : ?cat:string -> ?attrs:(string * attr) list -> string -> unit
+(** Zero-duration marker event. *)
+
+(** {1 HISA op ticks} — a per-domain counter the timed interceptor bumps per
+    homomorphic op, letting the executor attribute op counts to node spans
+    without threading the interceptor through every call site. *)
+
+val tick_op : unit -> unit
+val op_count : unit -> int
+
+(** {1 Export} *)
+
+val events : t -> event list
+(** All surviving events across domains, sorted by start time. *)
+
+val dropped : t -> int
+
+val chrome_json : t -> Jsonx.t
+val export_chrome : t -> string -> unit
+(** Write the Chrome trace_event JSON to [path]. *)

@@ -7,6 +7,7 @@ module Hisa = Chet_hisa.Hisa
 module Herr = Chet_hisa.Herr
 module Circuit = Chet_nn.Circuit
 module Tensor = Chet_tensor.Tensor
+module Tracer = Chet_obs.Tracer
 
 (* Human description of a node for error context ("which layer broke"). *)
 let op_name (node : Circuit.node) =
@@ -145,7 +146,7 @@ module Make (H : Hisa.S) = struct
         let kind = kind_of node in
         (* every failure below this point carries the circuit node and a
            human description of the layer that caused it *)
-        let result =
+        let compute () =
           Herr.with_node ~node_id:node.Circuit.id ~layer:(op_name node) (fun () ->
               match node.Circuit.op with
               | Circuit.Input _ ->
@@ -169,6 +170,35 @@ module Make (H : Hisa.S) = struct
               | Circuit.Flatten src -> K.flatten (value src ~want:kind)
               | Circuit.Concat srcs -> K.concat cfg (List.map (fun s -> value s ~want:kind) srcs)
               | Circuit.Residual (a, b) -> K.residual (value a ~want:kind) (value b ~want:kind))
+        in
+        let result =
+          (* one span per circuit node when tracing is on: node id, layer
+             description, layout, and — annotated after the node ran — the
+             HISA op count attributable to it plus the result's scale and
+             remaining modulus level. Disabled tracing costs one atomic
+             load per node. *)
+          if not (Tracer.enabled ()) then compute ()
+          else
+            Tracer.with_span ~cat:"executor"
+              ~attrs:
+                [
+                  ("node_id", Tracer.Int node.Circuit.id);
+                  ("layer", Tracer.Str (op_name node));
+                  ("layout", Tracer.Str (match kind with Layout.HW -> "HW" | Layout.CHW -> "CHW"));
+                ]
+              (op_name node)
+              (fun () ->
+                let ops0 = Tracer.op_count () in
+                let r = compute () in
+                Tracer.annotate "ops" (Tracer.Int (Tracer.op_count () - ops0));
+                if Array.length r.K.cts > 0 then begin
+                  Tracer.annotate "scale" (Tracer.Float (H.scale_of r.K.cts.(0)));
+                  let env = H.env_of r.K.cts.(0) in
+                  Tracer.annotate "level"
+                    (Tracer.Int
+                       (if env.Hisa.env_r > 0 then env.Hisa.env_r else env.Hisa.env_log_q))
+                end;
+                r)
         in
         Hashtbl.replace values node.Circuit.id result)
       (Circuit.topo_order circuit);

@@ -30,7 +30,10 @@ type t = {
   mutable trips : int;  (** lifetime Closed/Half_open -> Open transitions *)
 }
 
-let create ?(threshold = 3) ?(cooldown = 30.0) ?(probes = 1) ?(now = Unix.gettimeofday) () =
+(* Default clock is monotonic (Chet_obs.Clock): a wall-clock step (NTP slew,
+   manual adjustment) must not spuriously hold a breaker open or snap it
+   half-open early. Tests still inject their own [now]. *)
+let create ?(threshold = 3) ?(cooldown = 30.0) ?(probes = 1) ?(now = Chet_obs.Clock.now_s) () =
   if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
   {
     mutex = Mutex.create ();

@@ -10,6 +10,7 @@ module Executor = Chet_runtime.Executor
 module Circuit = Chet_nn.Circuit
 module Tensor = Chet_tensor.Tensor
 module Compiler = Chet.Compiler
+module Metrics = Chet_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Deployments                                                          *)
@@ -116,7 +117,9 @@ let default_config ?domains () =
     breaker_threshold = 3;
     breaker_cooldown_ms = 1000.0;
     default_deadline_ms = 300_000.0;
-    now = Unix.gettimeofday;
+    (* monotonic by default — deadlines and breaker cooldowns must not move
+       with wall-clock adjustments; tests inject a manual clock instead *)
+    now = Chet_obs.Clock.now_s;
     sleep_ms = (fun ms -> if ms > 0.0 then Unix.sleepf (ms /. 1000.0));
   }
 
@@ -164,6 +167,43 @@ type mutable_stats = {
   mutable latencies : float list;
 }
 
+(* Prometheus-facing mirror of [mutable_stats]: a per-service registry (so
+   concurrent services — and tests — never share state) updated on the same
+   code paths, plus an end-to-end latency histogram. [metrics_snapshot]
+   renders it as text exposition. *)
+type metric_handles = {
+  registry : Metrics.t;
+  mx_submitted : Metrics.counter;
+  mx_succeeded : Metrics.counter;
+  mx_failed : Metrics.counter;
+  mx_shed : Metrics.counter;
+  mx_deadline : Metrics.counter;
+  mx_degraded : Metrics.counter;
+  mx_retries : Metrics.counter;
+  mx_worker_crashes : Metrics.counter;
+  mx_late : Metrics.counter;
+  mx_latency : Metrics.histogram;
+}
+
+let make_metrics () =
+  let registry = Metrics.create () in
+  let c name help = Metrics.counter registry ~help name in
+  {
+    registry;
+    mx_submitted = c "chet_serve_requests_submitted_total" "requests admitted or shed at submit";
+    mx_succeeded = c "chet_serve_requests_succeeded_total" "requests answered with a tensor";
+    mx_failed = c "chet_serve_requests_failed_total" "typed failures other than shed/deadline";
+    mx_shed = c "chet_serve_requests_shed_total" "requests rejected at the high-water mark";
+    mx_deadline = c "chet_serve_requests_deadline_total" "requests that exceeded their deadline";
+    mx_degraded = c "chet_serve_requests_degraded_total" "successes served by a degraded rung";
+    mx_retries = c "chet_serve_retries_total" "inference attempts beyond the first";
+    mx_worker_crashes = c "chet_serve_worker_crashes_total" "non-FHE exceptions in workers";
+    mx_late = c "chet_serve_late_results_total" "results finished after the caller gave up";
+    mx_latency =
+      Metrics.histogram registry ~help:"end-to-end request latency" ~lo:1e-4 ~growth:2.0
+        ~buckets:28 "chet_serve_latency_seconds";
+  }
+
 type stats = {
   s_submitted : int;
   s_succeeded : int;
@@ -189,6 +229,7 @@ type t = {
   jitter_rng : Random.State.t;  (* guarded by [jm] *)
   jm : Mutex.t;
   ms : mutable_stats;
+  mx : metric_handles;
 }
 
 let with_lock m f =
@@ -221,6 +262,7 @@ let run_attempt t dep req ~attempt ~worker =
          taxonomy so it flows through retry/breaker/outcome like any other
          failure — and never takes the worker domain down *)
       with_lock t.ms.sm (fun () -> t.ms.worker_crashes <- t.ms.worker_crashes + 1);
+      Metrics.incr t.mx.mx_worker_crashes;
       Error
         ( Herr.Worker_crashed { worker; reason = Printexc.to_string exn },
           Herr.context ~backend:dep.dep_label "infer" )
@@ -261,7 +303,18 @@ let deliver t req out =
             if out.out_degraded then t.ms.degraded <- t.ms.degraded + 1
         | Error (Herr.Deadline_exceeded _, _) -> t.ms.deadline <- t.ms.deadline + 1
         | Error _ -> t.ms.failed <- t.ms.failed + 1
-      end)
+      end);
+  if late then Metrics.incr t.mx.mx_late
+  else begin
+    Metrics.incr ~by:(Stdlib.max 0 (out.out_attempts - 1)) t.mx.mx_retries;
+    Metrics.observe t.mx.mx_latency (out.out_total_ms /. 1000.0);
+    match out.out_result with
+    | Ok _ ->
+        Metrics.incr t.mx.mx_succeeded;
+        if out.out_degraded then Metrics.incr t.mx.mx_degraded
+    | Error (Herr.Deadline_exceeded _, _) -> Metrics.incr t.mx.mx_deadline
+    | Error _ -> Metrics.incr t.mx.mx_failed
+  end
 
 let abandoned req = with_lock req.cell.cm (fun () -> req.cell.abandoned)
 
@@ -365,12 +418,14 @@ let create cfg ~circuit ~ladder =
       latencies = [];
     }
   in
+  let mx = make_metrics () in
   let pool =
     Pool.create ~domains:cfg.domains queue
       ~on_crash:(fun ~worker:_ _exn ->
         (* [process] converts everything to typed outcomes; anything landing
            here is a harness bug — count it, keep serving *)
-        with_lock ms.sm (fun () -> ms.worker_crashes <- ms.worker_crashes + 1))
+        with_lock ms.sm (fun () -> ms.worker_crashes <- ms.worker_crashes + 1);
+        Metrics.incr mx.mx_worker_crashes)
   in
   let breakers =
     List.map
@@ -390,6 +445,7 @@ let create cfg ~circuit ~ladder =
     jitter_rng = Random.State.make [| 0x5e12e; cfg.domains |];
     jm = Mutex.create ();
     ms;
+    mx;
   }
 
 let submit t ?deadline_ms ?seed image =
@@ -408,11 +464,13 @@ let submit t ?deadline_ms ?seed image =
     }
   in
   with_lock t.ms.sm (fun () -> t.ms.submitted <- t.ms.submitted + 1);
+  Metrics.incr t.mx.mx_submitted;
   (match Queue.push t.queue (fun ~worker -> process t req ~worker) with
   | Ok () -> ()
   | Error depth ->
       (* shed at admission: the typed rejection is the response *)
       with_lock t.ms.sm (fun () -> t.ms.shed <- t.ms.shed + 1);
+      Metrics.incr t.mx.mx_shed;
       let out =
         {
           out_id = id;
@@ -467,6 +525,8 @@ let await t (req : ticket) =
               with_lock t.ms.sm (fun () ->
                   t.ms.deadline <- t.ms.deadline + 1;
                   t.ms.latencies <- elapsed_ms :: t.ms.latencies);
+              Metrics.incr t.mx.mx_deadline;
+              Metrics.observe t.mx.mx_latency (elapsed_ms /. 1000.0);
               out
         end
         else begin
@@ -514,6 +574,38 @@ let percentile xs p =
     let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
     s.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
   end
+
+(* Prometheus text exposition of the service registry. Point-in-time state
+   (breaker per rung, queue depths) is refreshed into gauges here rather
+   than on the hot path — the counters and the latency histogram were
+   updated live. *)
+let metrics_snapshot t =
+  Array.iter
+    (fun (dep, brk) ->
+      let g =
+        Metrics.gauge t.mx.registry
+          ~help:"0 = closed, 1 = half-open, 2 = open"
+          ~labels:[ ("rung", dep.dep_label) ]
+          "chet_serve_breaker_state"
+      in
+      Metrics.set_gauge g
+        (match Breaker.state brk with Breaker.Closed -> 0.0 | Breaker.Half_open -> 1.0
+        | Breaker.Open -> 2.0);
+      let trips =
+        Metrics.gauge t.mx.registry ~help:"lifetime breaker trips"
+          ~labels:[ ("rung", dep.dep_label) ]
+          "chet_serve_breaker_trips"
+      in
+      Metrics.set_gauge trips (float_of_int (Breaker.trip_count brk)))
+    t.ladder;
+  let q = Queue.stats t.queue in
+  let qg name help v =
+    Metrics.set_gauge (Metrics.gauge t.mx.registry ~help name) (float_of_int v)
+  in
+  qg "chet_serve_queue_pushed" "jobs admitted to the queue" q.Queue.q_pushed;
+  qg "chet_serve_queue_shed" "jobs shed at the high-water mark" q.Queue.q_shed;
+  qg "chet_serve_queue_max_depth" "deepest queue occupancy seen" q.Queue.q_max_depth;
+  Metrics.expose t.mx.registry
 
 let pp_stats fmt s =
   let pct p = percentile s.s_latencies_ms p in

@@ -146,6 +146,14 @@ type stats = {
 val stats : t -> stats
 val breaker_states : t -> (string * Breaker.state) list
 
+val metrics_snapshot : t -> string
+(** Prometheus text exposition of the service's private
+    {!Chet_obs.Metrics} registry: request counters
+    ([chet_serve_requests_*_total]), retry/crash/late counters, the
+    [chet_serve_latency_seconds] histogram, and point-in-time gauges for
+    per-rung breaker state and queue depths (refreshed at snapshot time).
+    [chet serve --metrics-dump] prints this after its demo run. *)
+
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100]; nearest-rank on a sorted copy;
     [nan] on empty input. *)

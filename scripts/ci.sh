@@ -22,4 +22,9 @@ echo "== smoke: serve =="
 # smoke run sits under a hard wall-clock timeout.
 timeout 120 dune build @serve-smoke
 
+echo "== smoke: obs =="
+# Traced run -> Chrome-JSON validation -> quick profile -> calibrated
+# compile. The profile loops real lattice ops, so it too gets a hard cap.
+timeout 300 dune build @obs-smoke
+
 echo "CI OK"
