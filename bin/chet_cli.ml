@@ -34,6 +34,8 @@ module Big = Chet_crypto.Big_ckks
 module Sampling = Chet_crypto.Sampling
 module Seal_backend = Chet_hisa.Seal_backend
 module Heaan_backend = Chet_hisa.Heaan_backend
+module Store = Chet_store.Store
+module Bundle = Chet_store.Bundle
 open Cmdliner
 
 let model_arg =
@@ -85,6 +87,35 @@ let apply_cost_file opts target = function
       let scheme = match target with Compiler.Seal -> `Seal | Compiler.Heaan -> `Heaan in
       { opts with Compiler.cost = Some (Cost_model.model_for scheme cal) }
 
+let state_dir_arg =
+  let doc =
+    "Durable deployment store directory (created if absent). `compile' saves the deployment \
+     bundle there; `serve' warm-restarts from it — skipping compilation and key generation — \
+     and persists its breaker state on clean shutdown. Inspect with `chet store'."
+  in
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
+(* Opening a store runs crash recovery; narrate what it found — quarantined
+   generations keep their typed reason, uncommitted debris is just counted. *)
+let open_store_verbose ?keep dir =
+  let store, report = Store.open_ ?keep dir in
+  List.iter
+    (fun (name, e) ->
+      Printf.eprintf "chet: store: quarantined %s/%s (%s: %s)\n" dir name (Herr.error_name e)
+        (Herr.error_detail e))
+    report.Store.r_quarantined;
+  if report.Store.r_removed_tmp > 0 then
+    Printf.eprintf "chet: store: removed %d uncommitted *.tmp entries\n" report.Store.r_removed_tmp;
+  (store, report)
+
+let save_bundle_verbose store bundle =
+  let files = Bundle.files bundle in
+  let bytes = List.fold_left (fun acc (_, b) -> acc + String.length b) 0 files in
+  let gen = Store.save store ~files in
+  Printf.printf "saved deployment bundle: generation %d, %d files, %d bytes -> %s\n" gen
+    (List.length files) bytes (Store.root store);
+  gen
+
 (* exit code 2: a usage error, same class as a flag cmdliner rejects *)
 let lookup_model name =
   try Models.find name
@@ -105,15 +136,45 @@ let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"List bundled networks") Term.(const run $ const ())
 
 let compile_cmd =
-  let run model target security cost_file =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Deployment key-generation seed recorded in the bundle (--state-dir).")
+  in
+  let no_keys_arg =
+    Arg.(
+      value & flag
+      & info [ "no-keys" ]
+          ~doc:
+            "With --state-dir: skip exporting the public evaluation keys into the bundle. \
+             A warm restart then re-derives all key material from the seed (cheap for \
+             cleartext serving; one keygen for real deployments).")
+  in
+  let run model target security cost_file state_dir seed no_keys =
     let spec = lookup_model model in
     let opts = { (Compiler.default_options ~target ()) with Compiler.security } in
-    let opts = apply_cost_file opts target cost_file in
+    let calibration = Option.map load_calibration_or_exit cost_file in
+    let opts =
+      match calibration with
+      | None -> opts
+      | Some cal ->
+          let scheme = match target with Compiler.Seal -> `Seal | Compiler.Heaan -> `Heaan in
+          { opts with Compiler.cost = Some (Cost_model.model_for scheme cal) }
+    in
     let compiled = Compiler.compile opts (spec.Models.build ()) in
-    Format.printf "%a@." Compiler.pp_compiled compiled
+    Format.printf "%a@." Compiler.pp_compiled compiled;
+    match state_dir with
+    | None -> ()
+    | Some dir ->
+        let store, _report = open_store_verbose dir in
+        let bundle = Bundle.build ?calibration ~with_keys:(not no_keys) compiled ~seed () in
+        ignore (save_bundle_verbose store bundle)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network and report the chosen configuration")
-    Term.(const run $ model_arg $ target_arg $ security_arg $ cost_file_arg)
+    Term.(
+      const run $ model_arg $ target_arg $ security_arg $ cost_file_arg $ state_dir_arg $ seed_arg
+      $ no_keys_arg)
 
 let run_cmd =
   let real_arg =
@@ -414,20 +475,90 @@ let serve_cmd =
             "After the trace, print the service's metrics registry in Prometheus text \
              exposition format (request counters, latency histogram, breaker-state gauges).")
   in
+  let interarrival_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "interarrival-ms" ]
+          ~doc:
+            "Pace the scripted trace: sleep this many ms between submissions (0 = one burst). \
+             Pacing gives SIGINT/SIGTERM a window to land mid-run and exercise graceful \
+             shutdown.")
+  in
   let run model target requests domains queue_hw deadline_ms tight_every fault real seed
-      metrics_dump =
+      metrics_dump state_dir interarrival_ms =
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
-    let opts = Compiler.default_options ~target () in
-    let compiled = Compiler.compile opts circuit in
+    let store = Option.map (fun d -> fst (open_store_verbose d)) state_dir in
+    (* warm restart: adopt the newest valid bundle; a bundle that passes the
+       store's checksums but fails schema parsing is reported (typed) and
+       treated like an empty store — cold compile, then save for next time *)
+    let restored =
+      match store with
+      | None -> None
+      | Some st ->
+          let tracer = Tracer.create () in
+          Tracer.set_global (Some tracer);
+          let t0 = Unix.gettimeofday () in
+          let loaded =
+            Fun.protect
+              ~finally:(fun () -> Tracer.set_global None)
+              (fun () ->
+                Tracer.with_span ~cat:"store" "restore" (fun () ->
+                    try
+                      let l = Bundle.load st ~circuit in
+                      Option.iter
+                        (fun l ->
+                          Tracer.annotate "generation" (Tracer.Int l.Bundle.l_generation);
+                          Tracer.annotate "bytes" (Tracer.Int l.Bundle.l_bytes))
+                        l;
+                      l
+                    with Herr.Fhe_error ((Herr.Corrupt_bundle _ as e), _) ->
+                      Printf.eprintf "chet: store: %s: %s; falling back to cold compile\n"
+                        (Herr.error_name e) (Herr.error_detail e);
+                      None))
+          in
+          Option.iter
+            (fun l ->
+              Printf.printf
+                "warm restart: generation %d, %d bytes restored in %.1f ms (compile%s skipped)\n"
+                l.Bundle.l_generation l.Bundle.l_bytes
+                ((Unix.gettimeofday () -. t0) *. 1000.0)
+                (if l.Bundle.l_bundle.Bundle.b_keys <> None then " and keygen" else ""))
+            loaded;
+          loaded
+    in
+    let compiled =
+      match restored with
+      | Some l -> l.Bundle.l_bundle.Bundle.b_compiled
+      | None ->
+          let opts = Compiler.default_options ~target () in
+          let compiled = Compiler.compile opts circuit in
+          (* first boot against this store: persist the bundle so the next
+             start is warm (keys only for real deployments) *)
+          Option.iter
+            (fun st ->
+              ignore (save_bundle_verbose st (Bundle.build ~with_keys:real compiled ~seed ())))
+            store;
+          compiled
+    in
     Format.printf "%a@." Compiler.pp_compiled compiled;
+    let opts = compiled.Compiler.opts in
     let scheme = Compiler.scheme_of_params opts compiled.Compiler.params in
     let slots = Compiler.params_n compiled.Compiler.params / 2 in
     let clear () =
       Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false }
     in
     let ladder =
-      if real then Service.ladder_of_compiled compiled ~seed ~with_secret:true ()
+      if real then
+        match restored with
+        | Some l ->
+            (* the bundle's seed governs: the restored deployment must be
+               bit-identical to the one that wrote it *)
+            let factory, _scheme =
+              Bundle.restore_factory l.Bundle.l_bundle ~with_secret:true
+            in
+            Service.ladder_of_factory compiled ~factory ()
+        | None -> Service.ladder_of_compiled compiled ~seed ~with_secret:true ()
       else begin
         (* cleartext twin of the deployment ladder: same circuit, policy and
            scales, with seeded fault injection on the primary rung so the
@@ -475,16 +606,56 @@ let serve_cmd =
       }
     in
     let svc = Service.create cfg ~circuit ~ladder in
-    (* scripted trace: one burst — bigger than the queue can hold if
-       [requests] outruns [queue + domains], which is the point *)
-    let tickets =
-      List.init requests (fun i ->
-          let deadline_ms =
-            if tight_every > 0 && (i + 1) mod tight_every = 0 then 1.0 else deadline_ms
-          in
-          Service.submit svc ~deadline_ms (Models.input_for spec ~seed:(100 + i)))
+    (* the serving layer's learned state survives clean restarts: a rung
+       whose breaker was open before the restart stays open after it *)
+    Option.iter
+      (fun st ->
+        match Store.load_state st ~name:"service.state" with
+        | None -> ()
+        | Some (Ok s) -> (
+            match Service.restore_state svc s with
+            | Ok n -> if n > 0 then Printf.printf "restored breaker state for %d rung(s)\n" n
+            | Error e ->
+                Printf.eprintf "chet: store: service state ignored (%s: %s)\n" (Herr.error_name e)
+                  (Herr.error_detail e))
+        | Some (Error e) ->
+            Printf.eprintf "chet: store: quarantined corrupt service state (%s)\n"
+              (Herr.error_detail e))
+      store;
+    (* graceful shutdown: on SIGINT/SIGTERM stop admitting (remaining
+       scripted requests are refused with the typed Overloaded vocabulary),
+       drain what is in flight within its deadlines, persist state, exit 0 *)
+    let stopping = Atomic.make false in
+    let install sg =
+      try Sys.set_signal sg (Sys.Signal_handle (fun _ -> Atomic.set stopping true))
+      with Invalid_argument _ | Sys_error _ -> ()
     in
-    let outcomes = List.map (Service.await svc) tickets in
+    install Sys.sigint;
+    install Sys.sigterm;
+    (* scripted trace: a burst by default — bigger than the queue can hold
+       if [requests] outruns [queue + domains], which is the point — or
+       paced with --interarrival-ms *)
+    let tickets = ref [] in
+    let refused = ref 0 in
+    for i = 0 to requests - 1 do
+      if Atomic.get stopping then incr refused
+      else begin
+        let deadline_ms =
+          if tight_every > 0 && (i + 1) mod tight_every = 0 then 1.0 else deadline_ms
+        in
+        tickets := Service.submit svc ~deadline_ms (Models.input_for spec ~seed:(100 + i)) :: !tickets;
+        if interarrival_ms > 0.0 && i < requests - 1 && not (Atomic.get stopping) then
+          Unix.sleepf (interarrival_ms /. 1000.0)
+      end
+    done;
+    let outcomes = List.rev_map (Service.await svc) !tickets in
+    for i = requests - !refused to requests - 1 do
+      Printf.printf "req %02d: %-5s %s (shutting down)\n" i "ERR"
+        (Herr.error_name (Herr.Overloaded { queue_depth = 0; high_water = queue_hw }))
+    done;
+    Option.iter
+      (fun st -> Store.save_state st ~name:"service.state" (Service.state_to_string svc))
+      store;
     Service.shutdown svc;
     List.iter
       (fun (o : Service.outcome) ->
@@ -500,7 +671,13 @@ let serve_cmd =
             Printf.printf "req %02d: %-5s %s\n" o.Service.out_id "ERR" (Herr.error_name e))
       outcomes;
     Format.printf "%a@." Service.pp_stats (Service.stats svc);
-    if metrics_dump then print_string (Service.metrics_snapshot svc)
+    if metrics_dump then print_string (Service.metrics_snapshot svc);
+    if Atomic.get stopping then begin
+      Printf.printf "graceful shutdown: drained %d in-flight, refused %d, state %s\n"
+        (List.length outcomes) !refused
+        (if Option.is_some store then "persisted" else "not persisted (no --state-dir)");
+      exit 0
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -509,7 +686,85 @@ let serve_cmd =
           load shedding, circuit-breaker degradation) and print a stats summary")
     Term.(
       const run $ model_arg $ target_arg $ requests_arg $ domains_arg $ queue_arg $ deadline_arg
-      $ tight_arg $ fault_arg $ real_arg $ seed_arg $ metrics_arg)
+      $ tight_arg $ fault_arg $ real_arg $ seed_arg $ metrics_arg $ state_dir_arg
+      $ interarrival_arg)
+
+(* --- chet store: inspect and maintain a deployment store ---------------- *)
+
+let store_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  (* generation metadata for display; any damage here just degrades the
+     listing (verification already vouched for the bytes) *)
+  let peek_gen store id =
+    let path = Filename.concat (Store.root store) (Printf.sprintf "gen-%06d/meta.chet" id) in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | bytes -> ( try Some (Bundle.peek_meta bytes) with Chet_crypto.Serial.Corrupt _ -> None)
+    | exception Sys_error _ -> None
+  in
+  let print_statuses store statuses =
+    List.iter
+      (fun (s : Store.status) ->
+        match s.Store.g_result with
+        | Ok bytes ->
+            let desc =
+              match peek_gen store s.Store.g_id with
+              | Some (name, seed) -> Printf.sprintf "model=%s seed=%d" name seed
+              | None -> "(no bundle metadata)"
+            in
+            Printf.printf "gen %06d: ok       %8d bytes  %s\n" s.Store.g_id bytes desc
+        | Error e ->
+            Printf.printf "gen %06d: CORRUPT  %s: %s\n" s.Store.g_id (Herr.error_name e)
+              (Herr.error_detail e))
+      statuses
+  in
+  let ls_run dir =
+    let store, report = open_store_verbose dir in
+    (match report.Store.r_active with
+    | Some id ->
+        Printf.printf "active: generation %d (%d bytes verified)\n" id
+          report.Store.r_verified_bytes
+    | None -> Printf.printf "active: none (store empty or all generations damaged)\n");
+    print_statuses store (Store.verify store)
+  in
+  let verify_run dir =
+    let store, report = open_store_verbose dir in
+    let statuses = Store.verify store in
+    let bad = List.length (List.filter (fun s -> Result.is_error s.Store.g_result) statuses) in
+    print_statuses store statuses;
+    let quarantined = List.length report.Store.r_quarantined in
+    Printf.printf "%d generation(s) ok, %d corrupt, %d quarantined on open\n"
+      (List.length statuses - bad) bad quarantined;
+    if bad > 0 || quarantined > 0 then exit 4
+  in
+  let keep_arg =
+    Arg.(value & opt int 3 & info [ "keep" ] ~doc:"How many newest generations to retain.")
+  in
+  let gc_run dir keep =
+    if keep < 1 then begin
+      Printf.eprintf "chet: store gc: --keep must be >= 1\n";
+      exit 2
+    end;
+    let store, _report = open_store_verbose ~keep dir in
+    let removed = Store.gc store ~keep in
+    List.iter (fun name -> Printf.printf "removed %s\n" name) removed;
+    Printf.printf "%d removed, %d generation(s) kept\n" (List.length removed)
+      (List.length (Store.generations store))
+  in
+  Cmd.group (Cmd.info "store" ~doc:"Inspect and maintain a durable deployment store")
+    [
+      Cmd.v
+        (Cmd.info "ls" ~doc:"List generations with integrity status and bundle metadata")
+        Term.(const ls_run $ dir_arg);
+      Cmd.v
+        (Cmd.info "verify"
+           ~doc:"Re-verify every generation's manifest and checksums; exit 4 on any damage")
+        Term.(const verify_run $ dir_arg);
+      Cmd.v
+        (Cmd.info "gc" ~doc:"Remove generations beyond --keep and cap quarantine debris")
+        Term.(const gc_run $ dir_arg $ keep_arg);
+    ]
 
 let () =
   let info = Cmd.info "chet" ~doc:"CHET: an optimizing compiler for FHE neural-network inference" in
@@ -521,7 +776,10 @@ let () =
       match
         Cmd.eval ~catch:false
           (Cmd.group info
-             [ models_cmd; compile_cmd; run_cmd; scales_cmd; serve_cmd; profile_cmd; trace_cmd ])
+             [
+               models_cmd; compile_cmd; run_cmd; scales_cmd; serve_cmd; profile_cmd; trace_cmd;
+               store_cmd;
+             ])
       with
       | c when c = Cmd.Exit.cli_error -> 2 (* cmdliner usage error *)
       | c -> c
@@ -534,6 +792,13 @@ let () =
         3
     | Chet_crypto.Serial.Corrupt msg ->
         Printf.eprintf "chet: corrupt payload: %s\n" msg;
+        4
+    | Unix.Unix_error (e, fn, arg) ->
+        (* e.g. --state-dir pointing at a regular file, or no permission *)
+        Printf.eprintf "chet: %s: %s (%s)\n" arg (Unix.error_message e) fn;
+        4
+    | Sys_error msg ->
+        Printf.eprintf "chet: %s\n" msg;
         4
   in
   exit code

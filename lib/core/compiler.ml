@@ -387,3 +387,236 @@ let instantiate_factory compiled ~seed ?(rotation_keys = Selected_keys) ~with_se
 let instantiate_checked compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
   let backend, scheme = instantiate_with_scheme compiled ~seed ~rotation_keys ~with_secret () in
   Checked.wrap ~scheme backend
+
+(* ------------------------------------------------------------------ *)
+(* Durable deployments: compiled-metadata and key persistence           *)
+(* ------------------------------------------------------------------ *)
+
+module Serial = Chet_crypto.Serial
+
+(* The CMPD frame: the full compile result minus the circuit (stored by
+   name; the caller re-supplies the circuit and the reader verifies the
+   name). Bumping the layout bumps [compiled_version] — an old frame then
+   surfaces as a typed [Serial.Corrupt], never a misparse. *)
+let compiled_version = 1
+
+let int_of_policy = function
+  | Executor.All_hw -> 0
+  | Executor.All_chw -> 1
+  | Executor.Hw_conv_chw_rest -> 2
+  | Executor.Chw_fc_hw_before -> 3
+
+let policy_of_int = function
+  | 0 -> Executor.All_hw
+  | 1 -> Executor.All_chw
+  | 2 -> Executor.Hw_conv_chw_rest
+  | 3 -> Executor.Chw_fc_hw_before
+  | n -> raise (Serial.Corrupt (Printf.sprintf "bad layout policy %d" n))
+
+let write_params w = function
+  | Rns_params { n; prime_bits; num_primes; log_q } ->
+      Serial.write_int w 0;
+      Serial.write_int w n;
+      Serial.write_int w prime_bits;
+      Serial.write_int w num_primes;
+      Serial.write_int w log_q
+  | Pow2_params { n; log_fresh; log_special } ->
+      Serial.write_int w 1;
+      Serial.write_int w n;
+      Serial.write_int w log_fresh;
+      Serial.write_int w log_special
+
+let read_params r =
+  match Serial.read_int r with
+  | 0 ->
+      let n = Serial.read_int r in
+      let prime_bits = Serial.read_int r in
+      let num_primes = Serial.read_int r in
+      let log_q = Serial.read_int r in
+      if n < 2 || n land (n - 1) <> 0 || prime_bits < 2 || num_primes < 1 then
+        raise (Serial.Corrupt "implausible RNS parameters");
+      Rns_params { n; prime_bits; num_primes; log_q }
+  | 1 ->
+      let n = Serial.read_int r in
+      let log_fresh = Serial.read_int r in
+      let log_special = Serial.read_int r in
+      if n < 2 || n land (n - 1) <> 0 || log_fresh < 1 then
+        raise (Serial.Corrupt "implausible pow2 parameters");
+      Pow2_params { n; log_fresh; log_special }
+  | k -> raise (Serial.Corrupt (Printf.sprintf "bad params kind %d" k))
+
+let write_counted_pairs w pairs =
+  Serial.write_int w (List.length pairs);
+  List.iter
+    (fun (a, b) ->
+      Serial.write_int w a;
+      Serial.write_int w b)
+    pairs
+
+let read_counted_pairs r =
+  let n = Serial.read_int r in
+  if n < 0 || n > 1 lsl 20 then raise (Serial.Corrupt "bad pair count");
+  List.init n (fun _ ->
+      let a = Serial.read_int r in
+      let b = Serial.read_int r in
+      (a, b))
+
+let write_compiled w c =
+  Serial.write_frame w "CMPD" (fun w ->
+      Serial.write_int w compiled_version;
+      Serial.write_string w c.circuit.Circuit.name;
+      Serial.write_int w (match c.opts.target with Seal -> 0 | Heaan -> 1);
+      Serial.write_int w
+        (match c.opts.security with
+        | Standard Security.Bits128 -> 0
+        | Standard Security.Bits192 -> 1
+        | Standard Security.Bits256 -> 2
+        | Legacy_heaan -> 3);
+      Serial.write_int w c.opts.prime_bits;
+      Serial.write_int w c.opts.value_headroom_bits;
+      Serial.write_int w c.opts.scales.Kernels.pc;
+      Serial.write_int w c.opts.scales.Kernels.pw;
+      Serial.write_int w c.opts.scales.Kernels.pu;
+      Serial.write_int w c.opts.scales.Kernels.pm;
+      Serial.write_int w c.opts.max_n;
+      Serial.write_int w (int_of_policy c.policy);
+      write_params w c.params;
+      write_counted_pairs w c.rotations;
+      let k = c.op_counters in
+      List.iter (Serial.write_int w)
+        Instrument.
+          [
+            k.encodes; k.decodes; k.encrypts; k.decrypts; k.adds; k.plain_adds; k.scalar_adds;
+            k.ct_muls; k.plain_muls; k.scalar_muls; k.rescales;
+          ];
+      write_counted_pairs w
+        (Hashtbl.fold (fun a u acc -> (a, u) :: acc) c.op_counters.Instrument.rotation_counts []
+        |> List.sort compare);
+      Serial.write_int w (List.length c.reports);
+      List.iter
+        (fun rp ->
+          Serial.write_int w (int_of_policy rp.pr_policy);
+          write_params w rp.pr_params;
+          Serial.write_float w rp.pr_cost)
+        c.reports)
+
+let read_compiled ~circuit r =
+  Serial.read_frame r "CMPD" (fun r ->
+      let v = Serial.read_int r in
+      if v <> compiled_version then
+        raise (Serial.Corrupt (Printf.sprintf "unsupported compiled version %d" v));
+      let name = Serial.read_string r in
+      if name <> circuit.Circuit.name then
+        raise
+          (Serial.Corrupt
+             (Printf.sprintf "compiled for circuit %S, asked to restore %S" name
+                circuit.Circuit.name));
+      let target =
+        match Serial.read_int r with
+        | 0 -> Seal
+        | 1 -> Heaan
+        | k -> raise (Serial.Corrupt (Printf.sprintf "bad target %d" k))
+      in
+      let security =
+        match Serial.read_int r with
+        | 0 -> Standard Security.Bits128
+        | 1 -> Standard Security.Bits192
+        | 2 -> Standard Security.Bits256
+        | 3 -> Legacy_heaan
+        | k -> raise (Serial.Corrupt (Printf.sprintf "bad security level %d" k))
+      in
+      let prime_bits = Serial.read_int r in
+      let value_headroom_bits = Serial.read_int r in
+      let pc = Serial.read_int r in
+      let pw = Serial.read_int r in
+      let pu = Serial.read_int r in
+      let pm = Serial.read_int r in
+      if pc < 1 || pw < 1 || pu < 1 || pm < 1 then raise (Serial.Corrupt "bad scales");
+      let max_n = Serial.read_int r in
+      let opts =
+        {
+          target;
+          security;
+          prime_bits;
+          value_headroom_bits;
+          scales = { Kernels.pc; pw; pu; pm };
+          cost = None;
+          max_n;
+        }
+      in
+      let policy = policy_of_int (Serial.read_int r) in
+      let params = read_params r in
+      let rotations = read_counted_pairs r in
+      let k = Instrument.fresh_counters () in
+      k.Instrument.encodes <- Serial.read_int r;
+      k.Instrument.decodes <- Serial.read_int r;
+      k.Instrument.encrypts <- Serial.read_int r;
+      k.Instrument.decrypts <- Serial.read_int r;
+      k.Instrument.adds <- Serial.read_int r;
+      k.Instrument.plain_adds <- Serial.read_int r;
+      k.Instrument.scalar_adds <- Serial.read_int r;
+      k.Instrument.ct_muls <- Serial.read_int r;
+      k.Instrument.plain_muls <- Serial.read_int r;
+      k.Instrument.scalar_muls <- Serial.read_int r;
+      k.Instrument.rescales <- Serial.read_int r;
+      List.iter (fun (a, u) -> Hashtbl.replace k.Instrument.rotation_counts a u)
+        (read_counted_pairs r);
+      let nreports = Serial.read_int r in
+      if nreports < 0 || nreports > 64 then raise (Serial.Corrupt "bad report count");
+      let reports =
+        List.init nreports (fun _ ->
+            let pr_policy = policy_of_int (Serial.read_int r) in
+            let pr_params = read_params r in
+            let pr_cost = Serial.read_float r in
+            { pr_policy; pr_params; pr_cost })
+      in
+      { circuit; opts; policy; params; rotations; op_counters = k; reports })
+
+(* Public evaluation material for the compiled deployment, as the RKY2 wire
+   frame. Runs the same deterministic keygen as [instantiate_factory] —
+   including the rotation-key selection — and serialises everything except
+   the secret key, which a restore re-derives from the seed instead of ever
+   touching disk. *)
+let export_keys compiled ~seed ?(rotation_keys = Selected_keys) () =
+  let rng = Chet_crypto.Sampling.create ~seed in
+  match compiled.params with
+  | Rns_params { n; prime_bits; num_primes; _ } ->
+      let module C = Chet_crypto.Rns_ckks in
+      let params = C.default_params ~n ~bits:prime_bits ~num_coeff_primes:num_primes () in
+      let ctx = C.make_context params in
+      let sk, keys = C.keygen ctx rng in
+      (match rotation_keys with
+      | Selected_keys ->
+          List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
+      | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
+      let w = Serial.writer () in
+      Serial.write_rns_keys w (C.rq_ctx ctx) keys;
+      Some (Serial.contents w)
+  | Pow2_params _ -> None
+
+let instantiate_factory_restored compiled ~seed ?(rotation_keys = Selected_keys) ~keys:keys_bytes
+    ~with_secret () =
+  match (compiled.params, keys_bytes) with
+  | Rns_params { n; prime_bits; num_primes; _ }, Some bytes ->
+      let module C = Chet_crypto.Rns_ckks in
+      let params = C.default_params ~n ~bits:prime_bits ~num_coeff_primes:num_primes () in
+      let ctx = C.make_context params in
+      let rng = Chet_crypto.Sampling.create ~seed in
+      (* base keygen re-derives the secret key from the deployment seed (it
+         is never persisted); the generated public material is discarded in
+         favour of the stored bundle, and rotation-key generation — the
+         expensive part — is skipped entirely *)
+      let sk, _regenerated = C.keygen ctx rng in
+      let keys = Serial.read_rns_keys (Serial.reader bytes) (C.rq_ctx ctx) in
+      let secret = if with_secret then Some sk else None in
+      let factory ~req_seed =
+        Chet_hisa.Seal_backend.make
+          {
+            Chet_hisa.Seal_backend.ctx;
+            rng = Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed);
+            keys;
+            secret;
+          }
+      in
+      (factory, Hisa.Rns_chain (C.coeff_primes ctx))
+  | _, _ -> instantiate_factory compiled ~seed ~rotation_keys ~with_secret ()

@@ -117,3 +117,44 @@ val instantiate_factory :
     deployment primitive behind {!Chet_serve.Service}'s degradation ladder;
     the returned scheme describes the instantiated context, as in
     {!instantiate_with_scheme}. *)
+
+(** {1 Durable deployments}
+
+    Compile-once / infer-many (§3.2) made persistent: the offline artifacts
+    — the compiled configuration and the public evaluation keys — serialise
+    through {!Chet_crypto.Serial}'s checksummed frames so a deployment
+    survives a process restart without repeating parameter selection,
+    layout search or (for RNS targets) rotation-key generation.
+    {!Chet_store.Bundle} composes these into an on-disk bundle. *)
+
+val write_compiled : Chet_crypto.Serial.writer -> compiled -> unit
+(** Everything in {!compiled} except the circuit itself (stored by name),
+    as a [CMPD] integrity frame: options, chosen policy and parameters,
+    rotation selection, op counters and the per-policy reports. The cost
+    model override ([opts.cost]) is not persisted — reattach a calibration
+    via {!Cost_model.model_for} after restore. *)
+
+val read_compiled : circuit:Circuit.t -> Chet_crypto.Serial.reader -> compiled
+(** @raise Chet_crypto.Serial.Corrupt on any integrity or structural
+    violation, including a frame compiled for a different circuit name. *)
+
+val export_keys : compiled -> seed:int -> ?rotation_keys:rotation_key_policy -> unit -> string option
+(** Run key generation for this deployment and serialise the {e public}
+    evaluation material (public + relin + selected rotation keys) as an
+    [RKY2] frame. The secret key is deliberately never exported — a durable
+    deployment re-derives it from [seed] at restore time. [None] for
+    power-of-two (HEAAN) targets, whose key material has no wire format;
+    those deployments re-run keygen from [seed] on restore. *)
+
+val instantiate_factory_restored :
+  compiled -> seed:int -> ?rotation_keys:rotation_key_policy -> keys:string option ->
+  with_secret:bool -> unit -> backend_factory * Hisa.scheme_kind
+(** {!instantiate_factory}, but loading the evaluation keys from a
+    {!export_keys} payload instead of regenerating them — the warm-restart
+    path. The (cheap, deterministic) base keygen still runs to re-derive
+    the secret key from [seed]; the rotation-key bulk comes off the wire.
+    With [keys = None] this degrades to {!instantiate_factory}. The
+    restored deployment is bit-identical to the one {!export_keys} saw:
+    same keys, and per-request randomness derived from [seed]/[req_seed]
+    exactly as before.
+    @raise Chet_crypto.Serial.Corrupt if the key payload is damaged. *)

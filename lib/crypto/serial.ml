@@ -64,6 +64,14 @@ let read_bigint_array r =
   if len < 0 || len > String.length r.data - r.pos then raise (Corrupt "bad array length");
   Array.init len (fun _ -> read_bigint r)
 
+let write_raw_int64 w v = Buffer.add_int64_le w v
+
+let read_raw_int64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
 let write_tag w tag =
   assert (String.length tag = 4);
   Buffer.add_string w tag
@@ -125,6 +133,20 @@ let read_frame r tag payload =
      let stop = r.pos + len in
      let v = payload r in
      if r.pos <> stop then raise (Corrupt "frame length mismatch");
+     v
+   with Corrupt msg -> corrupt_in tag msg)
+
+let read_frame_prefix r tag payload =
+  (try expect_tag r tag with Corrupt msg -> corrupt_in tag msg);
+  (try
+     let len = read_int r in
+     if len < 0 || len > String.length r.data - r.pos - 8 then raise (Corrupt "truncated frame");
+     let h = read_hash r in
+     if not (Int64.equal h (fnv1a64 r.data ~pos:r.pos ~len)) then raise (Corrupt "checksum mismatch");
+     let stop = r.pos + len in
+     let v = payload r in
+     if r.pos > stop then raise (Corrupt "frame length mismatch");
+     r.pos <- stop;
      v
    with Corrupt msg -> corrupt_in tag msg)
 

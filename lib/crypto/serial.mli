@@ -33,6 +33,12 @@ val read_bigint : reader -> Bigint.t
 val write_bigint_array : writer -> Bigint.t array -> unit
 val read_bigint_array : reader -> Bigint.t array
 
+val write_raw_int64 : writer -> int64 -> unit
+val read_raw_int64 : reader -> int64
+(** Full-width 64-bit values (checksums). [write_int]/[read_int] go through
+    OCaml's 63-bit [int] and would silently fold the top bit of an FNV-1a-64
+    digest; manifests store their per-file hashes through these instead. *)
+
 (** {1 Tagged payloads} *)
 
 val write_tag : writer -> string -> unit
@@ -62,6 +68,11 @@ val read_frame : reader -> string -> (reader -> 'a) -> 'a
     @raise Corrupt on any integrity violation. The message always names the
     frame tag (e.g. ["RKY2: checksum mismatch"]), so a rejection escaping a
     multi-payload protocol identifies which wire object was mangled. *)
+
+val read_frame_prefix : reader -> string -> (reader -> 'a) -> 'a
+(** Like {!read_frame}, but the parser may consume only a prefix of the
+    body; the (already checksummed) remainder is skipped. For peeking at a
+    frame's leading fields without parsing the whole payload. *)
 
 (** {1 RNS-CKKS ciphertexts} *)
 

@@ -64,6 +64,12 @@ type error =
           (a backend bug, not a typed invariant violation). The worker
           itself survives; the request is reported failed with the
           captured reason. *)
+  | Corrupt_bundle of { path : string; reason : string }
+      (** A persisted deployment-store entry (generation, manifest or
+          sidecar state file) failed its integrity check: missing file,
+          length or checksum mismatch, unparseable manifest. The store
+          quarantines the entry and serves the previous generation; this
+          error reports what was damaged and why. *)
 
 type context = {
   op : string;  (** HISA/kernel operation, e.g. ["mul"], ["conv2d"] *)
@@ -94,6 +100,7 @@ let error_name = function
   | Overloaded _ -> "overloaded"
   | Deadline_exceeded _ -> "deadline exceeded"
   | Worker_crashed _ -> "worker crashed"
+  | Corrupt_bundle _ -> "corrupt bundle"
 
 let error_detail = function
   | Scale_mismatch { expected; got } -> Printf.sprintf "expected scale %.6g, got %.6g" expected got
@@ -114,6 +121,7 @@ let error_detail = function
   | Deadline_exceeded { budget_ms; elapsed_ms } ->
       Printf.sprintf "deadline %.1f ms, %.1f ms elapsed" budget_ms elapsed_ms
   | Worker_crashed { worker; reason } -> Printf.sprintf "worker %d: %s" worker reason
+  | Corrupt_bundle { path; reason } -> Printf.sprintf "%s: %s" path reason
 
 (* One line, grep-able, front-loaded with the coordinates a human needs:
    where (node/layer), what op, which backend, which invariant, details. *)

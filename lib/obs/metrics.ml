@@ -164,11 +164,28 @@ let fmt_value f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+(* Prometheus label-value escaping: exactly backslash, double-quote and
+   newline (the exposition-format spec's list). OCaml's [%S] is close but
+   not conformant — it octal-escapes other control bytes and non-ASCII,
+   which Prometheus parsers take literally. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '"' -> Buffer.add_string buf {|\"|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let fmt_labels = function
   | [] -> ""
   | kvs ->
       "{"
-      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) kvs)
       ^ "}"
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"

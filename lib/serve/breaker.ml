@@ -88,6 +88,50 @@ let record_success b =
           b.probes_in_flight <- 0
       | Closed -> ())
 
+(* --- persistence (DESIGN.md §11) ---
+
+   A breaker's memory should survive a clean restart: a rung that had
+   exhausted its modulus chain before the restart is still broken after it,
+   and re-learning that costs [threshold] real requests. The snapshot is
+   clock-free — [Open] carries its *remaining* cooldown, not an absolute
+   timestamp, because the monotonic clock restarts with the process. *)
+
+type snapshot = {
+  sn_state : state;
+  sn_consecutive_failures : int;
+  sn_trips : int;
+  sn_cooldown_remaining : float;  (** seconds left before probing; 0 unless [Open] *)
+}
+
+let snapshot b =
+  with_lock b (fun () ->
+      {
+        sn_state = b.st;
+        sn_consecutive_failures = b.consecutive_failures;
+        sn_trips = b.trips;
+        sn_cooldown_remaining =
+          (match b.st with
+          | Open -> Float.max 0.0 (b.cooldown -. (b.now () -. b.opened_at))
+          | Closed | Half_open -> 0.0);
+      })
+
+let restore b sn =
+  with_lock b (fun () ->
+      b.consecutive_failures <- Stdlib.max 0 sn.sn_consecutive_failures;
+      b.trips <- Stdlib.max 0 sn.sn_trips;
+      b.probes_in_flight <- 0;
+      match sn.sn_state with
+      | Closed -> b.st <- Closed
+      | Half_open ->
+          (* in-flight probes died with the old process: re-open with the
+             cooldown already elapsed, so the next admission probes at once *)
+          b.st <- Open;
+          b.opened_at <- b.now () -. b.cooldown
+      | Open ->
+          b.st <- Open;
+          b.opened_at <-
+            b.now () -. (b.cooldown -. Float.min b.cooldown (Float.max 0.0 sn.sn_cooldown_remaining)))
+
 let record_failure b =
   with_lock b (fun () ->
       match b.st with

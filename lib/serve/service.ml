@@ -36,11 +36,8 @@ let reduced_scales (s : Kernels.scales) k =
     pm = 1 lsl Stdlib.max 6 (e s.Kernels.pm - k);
   }
 
-let ladder_of_compiled compiled ~seed ?rotation_keys ?(reduced_rungs = 1) ?(clear_fallback = true)
-    ~with_secret () =
-  let factory, _scheme =
-    Compiler.instantiate_factory compiled ~seed ?rotation_keys ~with_secret ()
-  in
+let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_rungs = 1)
+    ?(clear_fallback = true) () =
   let scales = compiled.Compiler.opts.Compiler.scales in
   let policy = compiled.Compiler.policy in
   (* different attempts of one request must not replay the identical
@@ -82,6 +79,13 @@ let ladder_of_compiled compiled ~seed ?rotation_keys ?(reduced_rungs = 1) ?(clea
     end
   in
   (primary :: reduced) @ clear
+
+let ladder_of_compiled compiled ~seed ?rotation_keys ?reduced_rungs ?clear_fallback ~with_secret ()
+    =
+  let factory, _scheme =
+    Compiler.instantiate_factory compiled ~seed ?rotation_keys ~with_secret ()
+  in
+  ladder_of_factory compiled ~factory ?reduced_rungs ?clear_fallback ()
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                        *)
@@ -226,8 +230,6 @@ type t = {
   queue : Pool.job Queue.t;
   pool : Pool.t;
   next_id : int Atomic.t;
-  jitter_rng : Random.State.t;  (* guarded by [jm] *)
-  jm : Mutex.t;
   ms : mutable_stats;
   mx : metric_handles;
 }
@@ -242,7 +244,7 @@ let transient_error = function
       true
   | Herr.Modulus_exhausted _ | Herr.Slot_overflow _ | Herr.Shape_mismatch _ | Herr.Missing_node _
   | Herr.Missing_rotation_key _ | Herr.Invalid_op _ | Herr.Overloaded _
-  | Herr.Deadline_exceeded _ | Herr.Worker_crashed _ ->
+  | Herr.Deadline_exceeded _ | Herr.Worker_crashed _ | Herr.Corrupt_bundle _ ->
       false
 
 (* ------------------------------------------------------------------ *)
@@ -267,11 +269,15 @@ let run_attempt t dep req ~attempt ~worker =
         ( Herr.Worker_crashed { worker; reason = Printexc.to_string exn },
           Herr.context ~backend:dep.dep_label "infer" )
 
+(* Jitter is seeded from (req_seed, attempt) alone — not a shared RNG behind
+   a mutex — so a request's backoff schedule is a pure function of the
+   request, independent of scheduling order, like its answer. *)
 let backoff t req ~attempt =
   let base = t.cfg.backoff_base_ms *. (2.0 ** float_of_int attempt) in
   let d = Float.min t.cfg.backoff_cap_ms base in
   let jit =
-    with_lock t.jm (fun () -> d *. t.cfg.backoff_jitter *. (Random.State.float t.jitter_rng 2.0 -. 1.0))
+    let rng = Random.State.make [| 0x5e12e; req.req_seed; attempt |] in
+    d *. t.cfg.backoff_jitter *. (Random.State.float rng 2.0 -. 1.0)
   in
   let remaining_ms = (req.req_deadline -. t.cfg.now ()) *. 1000.0 in
   let d = Float.min (Float.max 0.0 (d +. jit)) (Float.max 0.0 remaining_ms) in
@@ -442,8 +448,6 @@ let create cfg ~circuit ~ladder =
     queue;
     pool;
     next_id = Atomic.make 0;
-    jitter_rng = Random.State.make [| 0x5e12e; cfg.domains |];
-    jm = Mutex.create ();
     ms;
     mx;
   }
@@ -606,6 +610,88 @@ let metrics_snapshot t =
   qg "chet_serve_queue_shed" "jobs shed at the high-water mark" q.Queue.q_shed;
   qg "chet_serve_queue_max_depth" "deepest queue occupancy seen" q.Queue.q_max_depth;
   Metrics.expose t.mx.registry
+
+(* ------------------------------------------------------------------ *)
+(* State persistence (DESIGN.md §11)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving layer's learned state — per-rung breaker memory — as an SRVC
+   checksum frame, keyed by rung label so a restart with a different ladder
+   shape restores what still matches and ignores the rest. *)
+
+module Serial = Chet_crypto.Serial
+
+let service_state_version = 1
+
+let int_of_breaker_state = function
+  | Breaker.Closed -> 0
+  | Breaker.Open -> 1
+  | Breaker.Half_open -> 2
+
+let breaker_state_of_int = function
+  | 0 -> Breaker.Closed
+  | 1 -> Breaker.Open
+  | 2 -> Breaker.Half_open
+  | k -> raise (Serial.Corrupt (Printf.sprintf "SRVC: unknown breaker state %d" k))
+
+let state_to_string t =
+  let w = Serial.writer () in
+  Serial.write_frame w "SRVC" (fun w ->
+      Serial.write_int w service_state_version;
+      Serial.write_int w (Array.length t.ladder);
+      Array.iter
+        (fun (dep, brk) ->
+          let sn = Breaker.snapshot brk in
+          Serial.write_string w dep.dep_label;
+          Serial.write_int w (int_of_breaker_state sn.Breaker.sn_state);
+          Serial.write_int w sn.Breaker.sn_consecutive_failures;
+          Serial.write_int w sn.Breaker.sn_trips;
+          Serial.write_float w sn.Breaker.sn_cooldown_remaining)
+        t.ladder);
+  Serial.contents w
+
+let restore_state t bytes =
+  match
+    let r = Serial.reader bytes in
+    let v =
+      Serial.read_frame r "SRVC" (fun r ->
+          let version = Serial.read_int r in
+          if version <> service_state_version then
+            raise (Serial.Corrupt (Printf.sprintf "SRVC: unsupported version %d" version));
+          let count = Serial.read_int r in
+          if count < 0 || count > 1024 then raise (Serial.Corrupt "SRVC: bad rung count");
+          List.init count (fun _ ->
+              let label = Serial.read_string r in
+              let st = breaker_state_of_int (Serial.read_int r) in
+              let fails = Serial.read_int r in
+              let trips = Serial.read_int r in
+              let remaining = Serial.read_float r in
+              if fails < 0 || trips < 0 || not (Float.is_finite remaining) then
+                raise (Serial.Corrupt "SRVC: implausible breaker snapshot");
+              ( label,
+                {
+                  Breaker.sn_state = st;
+                  sn_consecutive_failures = fails;
+                  sn_trips = trips;
+                  sn_cooldown_remaining = remaining;
+                } )))
+    in
+    if not (Serial.reader_eof r) then raise (Serial.Corrupt "SRVC: trailing bytes");
+    v
+  with
+  | exception Serial.Corrupt reason ->
+      Error (Herr.Corrupt_bundle { path = "service-state"; reason })
+  | snapshots ->
+      let restored = ref 0 in
+      Array.iter
+        (fun (dep, brk) ->
+          match List.assoc_opt dep.dep_label snapshots with
+          | Some sn ->
+              Breaker.restore brk sn;
+              incr restored
+          | None -> ())
+        t.ladder;
+      Ok !restored
 
 let pp_stats fmt s =
   let pct p = percentile s.s_latencies_ms p in

@@ -73,6 +73,18 @@ val ladder_of_compiled :
     with the same virtual scheme — an availability-over-confidentiality last
     resort that callers can veto. *)
 
+val ladder_of_factory :
+  Compiler.compiled ->
+  factory:Compiler.backend_factory ->
+  ?reduced_rungs:int ->
+  ?clear_fallback:bool ->
+  unit ->
+  deployment list
+(** {!ladder_of_compiled} around an already-instantiated deployment —
+    what a warm restart hands over after
+    {!Compiler.instantiate_factory_restored} rebuilt the keyset from a
+    stored bundle instead of regenerating it. *)
+
 (** {1 Configuration} *)
 
 type config = {
@@ -166,3 +178,21 @@ val transient_error : Herr.error -> bool
     and count toward the rung's breaker immediately. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 State persistence}
+
+    The serving layer's learned state — each rung's circuit-breaker memory —
+    survives a clean restart (DESIGN.md §11): [chet serve --state-dir]
+    persists it as a store sidecar on graceful shutdown and restores it on
+    boot, so a rung that was known-broken before the restart stays tripped
+    instead of costing [breaker_threshold] fresh failures to re-learn. *)
+
+val state_to_string : t -> string
+(** The per-rung breaker snapshots as an [SRVC] checksum frame, keyed by
+    rung label. Clock-free: open breakers record {e remaining} cooldown. *)
+
+val restore_state : t -> string -> (int, Herr.error) result
+(** Apply a {!state_to_string} payload: rungs are matched by label (unknown
+    labels are ignored — the ladder may have changed shape across the
+    restart); returns how many rungs were restored. [Error] carries a typed
+    {!Herr.Corrupt_bundle} if the payload fails its integrity check. *)

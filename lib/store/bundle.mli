@@ -1,0 +1,78 @@
+(** Deployment bundles: the compile-once / infer-many artifacts (§3.2) as a
+    {!Store} generation.
+
+    A bundle is everything the serving layer needs to come back after a
+    process restart without repeating the offline pipeline: the compiled
+    configuration (parameters, layout policy, rotation selection — a [CMPD]
+    frame inside [meta.chet]'s [BNDL] frame), the public evaluation keys
+    ([keys.rky2], an [RKY2] frame; absent for power-of-two targets, which
+    re-derive keys from the seed), the scale-search outcome, and optionally
+    the cost-model calibration in force at compile time
+    ([calibration.json]). The secret key is {e never} part of a bundle — it
+    is re-derived deterministically from the deployment seed at restore. *)
+
+module Compiler = Chet.Compiler
+module Cost_model = Chet.Cost_model
+module Circuit = Chet_nn.Circuit
+module Hisa = Chet_hisa.Hisa
+module Herr = Chet_herr.Herr
+
+type scale_summary = {
+  ss_exponents : int * int * int * int;  (** (log2 Pc, log2 Pw, log2 Pu, log2 Pm) *)
+  ss_evaluations : int;
+  ss_rejections : int;
+}
+
+val summary_of_search : Chet.Scale_select.result -> scale_summary
+
+type t = {
+  b_seed : int;  (** deployment seed: keygen and per-request randomness root *)
+  b_rotation_policy : Compiler.rotation_key_policy;
+  b_compiled : Compiler.compiled;
+  b_keys : string option;  (** [RKY2] public evaluation material; [None] for HEAAN *)
+  b_scale : scale_summary option;
+  b_calibration : Cost_model.calibration option;
+}
+
+val circuit_name : t -> string
+
+val build :
+  ?scale:scale_summary -> ?calibration:Cost_model.calibration -> ?with_keys:bool ->
+  Compiler.compiled -> seed:int -> ?rotation_keys:Compiler.rotation_key_policy -> unit -> t
+(** Assemble a bundle from a compile, running key generation once to export
+    the public material (see {!Compiler.export_keys}). [with_keys:false]
+    (default true) skips the export — for cleartext deployments, or when
+    the restart is allowed to re-derive everything from the seed. *)
+
+val files : t -> (string * string) list
+(** The payload files ({!Store.save} input): [meta.chet], and when present
+    [keys.rky2] / [calibration.json]. *)
+
+val save : Store.t -> t -> int
+(** {!files} written as a fresh store generation; returns the generation id. *)
+
+type loaded = {
+  l_generation : int;
+  l_bytes : int;  (** total verified payload bytes (the restore span's size) *)
+  l_bundle : t;
+}
+
+val load : Store.t -> circuit:Circuit.t -> loaded option
+(** Read back the newest store generation that passes checksum verification
+    and parse it against [circuit]. [None] when the store holds no valid
+    generation.
+    @raise Herr.Fhe_error with {!Herr.Corrupt_bundle} when a generation
+    passes the store's checksums but its schema is damaged or it was
+    compiled for a different circuit — callers (the CLI) treat this like an
+    empty store and fall back to a cold compile. *)
+
+val peek_meta : string -> string * int
+(** [(circuit name, seed)] from a [meta.chet] payload without needing the
+    circuit — what [chet store ls] prints per generation.
+    @raise Chet_crypto.Serial.Corrupt on damage. *)
+
+val restore_factory :
+  t -> with_secret:bool -> Compiler.backend_factory * Hisa.scheme_kind
+(** The warm-restart deployment: {!Compiler.instantiate_factory_restored}
+    with the bundle's seed, policy and stored keys — bit-identical to the
+    deployment that produced the bundle. *)

@@ -27,4 +27,11 @@ echo "== smoke: obs =="
 # compile. The profile loops real lattice ops, so it too gets a hard cap.
 timeout 300 dune build @obs-smoke
 
+echo "== smoke: store =="
+# Durable deployments end to end: compile --state-dir, SIGKILL a serve
+# mid-run, verify the store, warm-restart, and diff the answers against a
+# cold start. Hard cap so a wedged warm restart fails CI instead of
+# hanging it.
+timeout 120 scripts/store_smoke.sh
+
 echo "CI OK"

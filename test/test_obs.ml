@@ -293,6 +293,25 @@ let test_expose_format () =
   in
   Alcotest.(check bool) "sorted by name" true (idx "a_gauge" < idx "z_total")
 
+(* Prometheus exposition-format escaping: label values containing the three
+   characters the spec escapes — backslash, double quote, newline — must
+   render as backslash-backslash, backslash-quote and backslash-n (and
+   nothing else may be altered). *)
+let test_expose_label_escaping () =
+  let reg = Metrics.create () in
+  Metrics.incr
+    (Metrics.counter reg "esc_total" ~labels:[ ("path", "a\\b\"c\nd") ]);
+  let text = Metrics.expose reg in
+  let expected = "esc_total{path=\"a\\\\b\\\"c\\nd\"} 1" in
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped label value" true (has expected);
+  (* no raw newline may survive inside the sample line *)
+  Alcotest.(check bool) "no raw newline in value" false (has "c\nd")
+
 (* ------------------------------------------------------------------ *)
 (* Timed interceptor + Instrument satellite                             *)
 (* ------------------------------------------------------------------ *)
@@ -503,6 +522,7 @@ let suite =
         Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
         Alcotest.test_case "metrics exact under 4 domains" `Quick test_metrics_concurrent_domains;
         Alcotest.test_case "prometheus exposition" `Quick test_expose_format;
+        Alcotest.test_case "prometheus label escaping" `Quick test_expose_label_escaping;
         Alcotest.test_case "timed backend cells" `Quick test_timed_backend_cells;
         Alcotest.test_case "instrument decode + reset" `Quick test_instrument_decode_and_reset;
         Alcotest.test_case "calibrate round trip" `Quick test_calibrate_roundtrip;

@@ -324,6 +324,80 @@ let test_queue_shed_and_close () =
   Alcotest.(check int) "shed stat" 2 s.Squeue.q_shed;
   Alcotest.(check int) "max depth stat" 2 s.Squeue.q_max_depth
 
+(* --- breaker + service state survive a process restart -------------- *)
+
+(* A snapshot taken mid-cooldown restores onto a fresh breaker whose
+   monotonic clock has an unrelated origin (a new process): the remaining
+   cooldown — not the absolute trip time — is what carries over. *)
+let test_breaker_snapshot_restore () =
+  let t = ref 0.0 in
+  let b = Breaker.create ~threshold:2 ~cooldown:10.0 ~now:(fun () -> !t) () in
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check bool) "tripped" true (Breaker.state b = Breaker.Open);
+  t := 4.0;
+  let sn = Breaker.snapshot b in
+  Alcotest.(check (float 1e-9)) "remaining cooldown captured" 6.0 sn.Breaker.sn_cooldown_remaining;
+  let t2 = ref 1000.0 in
+  let b2 = Breaker.create ~threshold:2 ~cooldown:10.0 ~now:(fun () -> !t2) () in
+  Breaker.restore b2 sn;
+  Alcotest.(check bool) "restored open" true (Breaker.state b2 = Breaker.Open);
+  Alcotest.(check bool) "still cooling down" false (Breaker.allow b2);
+  t2 := 1005.9;
+  Alcotest.(check bool) "remaining cooldown honoured" false (Breaker.allow b2);
+  t2 := 1006.1;
+  Alcotest.(check bool) "probes once remaining elapses" true (Breaker.allow b2);
+  Alcotest.(check int) "trip count carried over" 1 (Breaker.trip_count b2);
+  (* a snapshot of a half-open breaker restores as Open with the cooldown
+     already elapsed: the new process probes immediately *)
+  let sn_half = Breaker.snapshot b2 in
+  Alcotest.(check bool) "half-open captured" true (sn_half.Breaker.sn_state = Breaker.Half_open);
+  let t3 = ref 0.0 in
+  let b3 = Breaker.create ~threshold:2 ~cooldown:10.0 ~now:(fun () -> !t3) () in
+  Breaker.restore b3 sn_half;
+  Alcotest.(check bool) "restored half-open probes immediately" true (Breaker.allow b3)
+
+let test_service_state_roundtrip () =
+  let cfg = quick_cfg ~domains:1 ~max_retries:1 () in
+  let ladder () = [ persistent_fault_dep (); clean_dep ~label:"fallback" ~degraded:true () ] in
+  (* first process: trip the primary, persist on shutdown *)
+  let state =
+    with_service cfg (ladder ()) (fun svc ->
+        for i = 0 to 3 do
+          ignore (Service.infer svc ~seed:i (image i))
+        done;
+        Alcotest.(check bool) "primary tripped before shutdown" true
+          (List.assoc "primary" (Service.breaker_states svc) = Breaker.Open);
+        Service.state_to_string svc)
+  in
+  (* second process: same ladder shape, state restored *)
+  with_service cfg (ladder ()) (fun svc2 ->
+      (match Service.restore_state svc2 state with
+      | Ok n -> Alcotest.(check int) "both rungs restored" 2 n
+      | Error e -> Alcotest.failf "restore failed: %s" (Herr.error_name e));
+      Alcotest.(check bool) "primary still open after restart" true
+        (List.assoc "primary" (Service.breaker_states svc2) = Breaker.Open);
+      (* the restored-open breaker routes straight to the fallback: no
+         doomed primary attempt is repeated after the restart *)
+      let o = Service.infer svc2 ~seed:9 (image 9) in
+      ignore (ok_tensor "post-restore request" o);
+      Alcotest.(check string) "served degraded" "fallback" o.Service.out_served_by;
+      Alcotest.(check int) "no primary attempt" 1 o.Service.out_attempts);
+  (* unknown rung labels are skipped, not fatal (ladder shape may change) *)
+  with_service cfg [ clean_dep ~label:"renamed" () ] (fun svc3 ->
+      match Service.restore_state svc3 state with
+      | Ok n -> Alcotest.(check int) "no matching rungs" 0 n
+      | Error e -> Alcotest.failf "shape change should not fail: %s" (Herr.error_name e));
+  (* a damaged payload is a typed report, not a crash *)
+  let mangled = Bytes.of_string state in
+  let last = Bytes.length mangled - 1 in
+  Bytes.set mangled last (Char.chr (Char.code (Bytes.get mangled last) lxor 1));
+  with_service cfg (ladder ()) (fun svc4 ->
+      match Service.restore_state svc4 (Bytes.to_string mangled) with
+      | Ok _ -> Alcotest.fail "corrupt state accepted"
+      | Error (Herr.Corrupt_bundle _) -> ()
+      | Error e -> Alcotest.failf "wrong error class: %s" (Herr.error_name e))
+
 let suite =
   [
     ( "serve",
@@ -342,5 +416,9 @@ let suite =
           test_worker_crash_is_typed_and_contained;
         Alcotest.test_case "(e) concurrent bit-identical to sequential" `Quick
           test_concurrent_matches_sequential;
+        Alcotest.test_case "breaker snapshot/restore across clock origins" `Quick
+          test_breaker_snapshot_restore;
+        Alcotest.test_case "service state persists across restart" `Quick
+          test_service_state_roundtrip;
       ] );
   ]
