@@ -766,6 +766,342 @@ let store_cmd =
         Term.(const gc_run $ dir_arg $ keep_arg);
     ]
 
+(* --- chet shard-worker / supervise / loadgen: networked serving ---------- *)
+
+module Wire = Chet_net.Wire
+module Net_server = Chet_net.Server
+module Supervisor = Chet_net.Supervisor
+module Loadgen = Chet_net.Loadgen
+
+let addr_arg name ~doc =
+  let doc = doc ^ " (unix:PATH or tcp:HOST:PORT)" in
+  Arg.(required & opt (some string) None & info [ name ] ~docv:"ADDR" ~doc)
+
+let parse_addr s =
+  try Wire.addr_of_string s
+  with Invalid_argument msg ->
+    Printf.eprintf "chet: %s\n" msg;
+    exit 2
+
+let target_name = function Compiler.Seal -> "seal" | Compiler.Heaan -> "heaan"
+
+let net_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Determinism seed (requests, jitter, faults).")
+
+(* One shard process: a Service behind a socket. The supervisor forks these;
+   `chet shard-worker` is also runnable by hand for a single-shard server. *)
+let shard_worker_cmd =
+  let listen_arg = addr_arg "listen" ~doc:"Address to serve REQ1/HLTH frames on" in
+  let shard_arg = Arg.(value & opt int 0 & info [ "shard" ] ~doc:"Shard id stamped into responses.") in
+  let domains_arg = Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker pool width.") in
+  let queue_arg = Arg.(value & opt int 8 & info [ "queue" ] ~doc:"Queue high-water mark.") in
+  let inflight_arg =
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~doc:"Socket-level concurrent request cap.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("transient", `Transient); ("persistent", `Persistent) ]) `None
+      & info [ "fault" ] ~doc:"Inject NaN-poison faults into the primary rung (as `chet serve').")
+  in
+  let run model target listen shard domains queue_hw max_inflight fault state_dir seed =
+    let addr = parse_addr listen in
+    let spec = lookup_model model in
+    let circuit = spec.Models.build () in
+    let store = Option.map (fun d -> fst (open_store_verbose d)) state_dir in
+    (* warm restart from the shard's own bundle (DESIGN.md §11): a corrupt or
+       empty store means cold compile, then persist for the next restart —
+       which is exactly what a SIGKILLed-and-respawned worker does *)
+    let restored =
+      match store with
+      | None -> None
+      | Some st -> (
+          try Bundle.load st ~circuit
+          with Herr.Fhe_error ((Herr.Corrupt_bundle _ as e), _) ->
+            Printf.eprintf "chet: shard %d: store: %s: %s; cold compile\n" shard
+              (Herr.error_name e) (Herr.error_detail e);
+            None)
+    in
+    let compiled =
+      match restored with
+      | Some l -> l.Bundle.l_bundle.Bundle.b_compiled
+      | None ->
+          let compiled = Compiler.compile (Compiler.default_options ~target ()) circuit in
+          Option.iter
+            (fun st ->
+              ignore (save_bundle_verbose st (Bundle.build ~with_keys:false compiled ~seed ())))
+            store;
+          compiled
+    in
+    let opts = compiled.Compiler.opts in
+    let scheme = Compiler.scheme_of_params opts compiled.Compiler.params in
+    let slots = Compiler.params_n compiled.Compiler.params / 2 in
+    let clear () =
+      Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false }
+    in
+    let primary_backend ~req_seed ~attempt =
+      let armed =
+        match fault with
+        | `None -> None
+        | `Transient -> if attempt = 0 then Some Fault.Nan_poison else None
+        | `Persistent -> Some Fault.Nan_poison
+      in
+      match armed with
+      | None -> clear ()
+      | Some f ->
+          let faulty, _log = Fault.wrap (Fault.default_config ~seed:req_seed (Some f)) (clear ()) in
+          Checked.wrap ~scheme faulty
+    in
+    let ladder =
+      [
+        {
+          Service.dep_label = "primary";
+          dep_degraded = false;
+          dep_scales = opts.Compiler.scales;
+          dep_policy = compiled.Compiler.policy;
+          dep_backend = primary_backend;
+        };
+        {
+          Service.dep_label = "clear-fallback";
+          dep_degraded = true;
+          dep_scales = opts.Compiler.scales;
+          dep_policy = compiled.Compiler.policy;
+          dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
+        };
+      ]
+    in
+    let cfg =
+      {
+        (Service.default_config ~domains ()) with
+        Service.high_water = queue_hw;
+        breaker_threshold = 3;
+        breaker_cooldown_ms = 500.0;
+        backoff_base_ms = 1.0;
+        backoff_cap_ms = 10.0;
+      }
+    in
+    let svc = Service.create cfg ~circuit ~ladder in
+    Option.iter
+      (fun st ->
+        match Store.load_state st ~name:"service.state" with
+        | Some (Ok s) -> ignore (Service.restore_state svc s)
+        | Some (Error e) ->
+            Printf.eprintf "chet: shard %d: corrupt service state ignored (%s)\n" shard
+              (Herr.error_detail e)
+        | None -> ())
+      store;
+    let srv_cfg =
+      {
+        (Net_server.default_config ~shard addr) with
+        Net_server.srv_max_inflight = max_inflight;
+      }
+    in
+    let server = Net_server.start srv_cfg svc in
+    let stopping = Atomic.make false in
+    let install sg =
+      try Sys.set_signal sg (Sys.Signal_handle (fun _ -> Atomic.set stopping true))
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    install Sys.sigint;
+    install Sys.sigterm;
+    Printf.printf "shard %d: pid %d serving %s on %s%s\n%!" shard (Unix.getpid ()) model listen
+      (match restored with Some l -> Printf.sprintf " (warm, gen %d)" l.Bundle.l_generation | None -> " (cold)");
+    while not (Atomic.get stopping) do
+      Thread.delay 0.05
+    done;
+    (* graceful drain (DESIGN.md §12): finish what was admitted, answer
+       everything new with typed Overloaded, persist learned state, exit 0 *)
+    Service.begin_drain svc;
+    let drained = Service.drain svc ~timeout_ms:10_000.0 in
+    Option.iter
+      (fun st -> Store.save_state st ~name:"service.state" (Service.state_to_string svc))
+      store;
+    Net_server.stop server;
+    Service.shutdown svc;
+    let st = Net_server.stats server in
+    Printf.printf "shard %d: graceful shutdown: drained=%b served=%d rejected=%d (corrupt=%d)\n%!"
+      shard drained st.Net_server.srv_served st.Net_server.srv_rejected st.Net_server.srv_corrupt;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "shard-worker"
+       ~doc:
+         "Serve one model shard over a socket: REQ1 inference frames in, RSP1 answers (or typed \
+          errors) out, HLTH pings for the supervisor. SIGTERM drains gracefully and persists \
+          state; meant to be forked by `chet supervise' but runnable by hand")
+    Term.(
+      const run $ model_arg $ target_arg $ listen_arg $ shard_arg $ domains_arg $ queue_arg
+      $ inflight_arg $ fault_arg $ state_dir_arg $ net_seed_arg)
+
+let supervise_cmd =
+  let front_arg = addr_arg "front" ~doc:"Front-door address (REQ1 proxy + HLTH control)" in
+  let shards_arg = Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Worker processes to fork.") in
+  let sock_dir_arg =
+    Arg.(
+      value & opt string "/tmp/chet-shards"
+      & info [ "sock-dir" ] ~doc:"Directory for the per-shard unix sockets (created if absent).")
+  in
+  let domains_arg = Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Pool width per shard.") in
+  let queue_arg = Arg.(value & opt int 8 & info [ "queue" ] ~doc:"Queue high-water per shard.") in
+  let duration_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration-s" ] ~doc:"Exit cleanly after this many seconds (0 = until SIGTERM).")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", "none"); ("transient", "transient"); ("persistent", "persistent") ])
+          "none"
+      & info [ "fault" ] ~doc:"Fault mode passed through to every shard worker.")
+  in
+  let run model target front shards sock_dir domains queue_hw duration_s fault state_dir seed =
+    let front_addr = parse_addr front in
+    (try Unix.mkdir sock_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let shard_addr i = Wire.Unix_sock (Filename.concat sock_dir (Printf.sprintf "shard-%d.sock" i)) in
+    let argv_for ~shard ~addr =
+      let base =
+        [
+          "chet"; "shard-worker"; model;
+          "--listen"; Wire.addr_to_string addr;
+          "--shard"; string_of_int shard;
+          "--target"; target_name target;
+          "--domains"; string_of_int domains;
+          "--queue"; string_of_int queue_hw;
+          "--fault"; fault;
+          "--seed"; string_of_int seed;
+        ]
+      in
+      let with_store =
+        match state_dir with
+        | None -> base
+        | Some d ->
+            base @ [ "--state-dir"; Filename.concat d (Printf.sprintf "shard-%d" shard) ]
+      in
+      Array.of_list with_store
+    in
+    let cfg = Supervisor.default_config ~shards ~shard_addr ~front_addr in
+    let sup = Supervisor.start ~spawn:(Supervisor.exec_spawn ~argv_for) cfg in
+    if not (Supervisor.await_ready sup ~timeout_s:60.0 ()) then
+      Printf.eprintf "chet: supervisor: not all shards became ready within 60s; serving anyway\n";
+    Printf.printf "supervisor: pid %d, %d shard(s), front %s, sockets in %s\n%!" (Unix.getpid ())
+      shards front sock_dir;
+    let stopping = Atomic.make false in
+    let install sg =
+      try Sys.set_signal sg (Sys.Signal_handle (fun _ -> Atomic.set stopping true))
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    install Sys.sigint;
+    install Sys.sigterm;
+    let started = Unix.gettimeofday () in
+    while
+      (not (Atomic.get stopping))
+      && (duration_s <= 0.0 || Unix.gettimeofday () -. started < duration_s)
+    do
+      Thread.delay 0.1
+    done;
+    Supervisor.stop sup;
+    print_string (Supervisor.metrics_snapshot sup);
+    Printf.printf "supervisor: clean shutdown\n%!";
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Fork N `shard-worker' processes (each warm-restarting from its own store bundle), \
+          health-check them, restart crashes with capped backoff, and proxy REQ1 traffic around \
+          down shards. The front door also answers HLTH control frames (ping / report / kill N)")
+    Term.(
+      const run $ model_arg $ target_arg $ front_arg $ shards_arg $ sock_dir_arg $ domains_arg
+      $ queue_arg $ duration_arg $ fault_arg $ state_dir_arg $ net_seed_arg)
+
+let loadgen_cmd =
+  let addr_arg = addr_arg "addr" ~doc:"Target address (a shard, or the supervisor front door)" in
+  let requests_arg = Arg.(value & opt int 50 & info [ "requests" ] ~doc:"Total requests.") in
+  let concurrency_arg =
+    Arg.(value & opt int 4 & info [ "concurrency" ] ~doc:"Concurrent client threads.")
+  in
+  let fault_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-every" ]
+          ~doc:
+            "Mangle every k-th request on the wire, rotating truncated frame / bit flip / \
+             stalled send (0 = off). Mangled attempts must come back as typed errors and \
+             succeed on retry.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30000.0 & info [ "deadline-ms" ] ~doc:"Per-request deadline budget.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 5 & info [ "retries" ] ~doc:"Client retry budget per request.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "kill-after" ]
+          ~doc:"After this many completions, SIGKILL --kill-shard via --control (chaos drill).")
+  in
+  let kill_shard_arg =
+    Arg.(value & opt int 0 & info [ "kill-shard" ] ~doc:"Shard id for --kill-after.")
+  in
+  let control_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "control" ] ~docv:"ADDR" ~doc:"Supervisor control address for --kill-after.")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:"Merge throughput and p50/p95/p99 latency under the `loadgen' key of this BENCH.json.")
+  in
+  let run model addr requests concurrency fault_every deadline_ms retries kill_after kill_shard
+      control bench_out seed =
+    let spec = lookup_model model in
+    let shape = (Models.input_for spec ~seed:0).T.shape in
+    let kill_at =
+      match (kill_after, control) with
+      | Some after, Some c -> Some (parse_addr c, after, kill_shard)
+      | Some _, None ->
+          Printf.eprintf "chet: loadgen: --kill-after needs --control\n";
+          exit 2
+      | None, _ -> None
+    in
+    let cfg =
+      {
+        (Loadgen.default_config ~addr:(parse_addr addr) ~shape) with
+        Loadgen.lg_total = requests;
+        lg_concurrency = concurrency;
+        lg_deadline_ms = deadline_ms;
+        lg_seed = seed;
+        lg_retries = retries;
+        lg_fault_every = fault_every;
+        lg_kill_at = kill_at;
+      }
+    in
+    let r = Loadgen.run cfg in
+    Format.printf "%a" Loadgen.pp r;
+    Option.iter
+      (fun path ->
+        Loadgen.write_bench ~path r;
+        Printf.printf "wrote %s\n" path)
+      bench_out;
+    (* every request must have gotten *an* answer by construction; zero
+       successes against a live target is still a failed drill *)
+    if r.Loadgen.r_ok = 0 then exit 4
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive concurrent REQ1 traffic at a shard or supervisor, optionally mangling frames on \
+          the wire and SIGKILLing a shard mid-run, and report typed-error counts, throughput and \
+          latency percentiles")
+    Term.(
+      const run $ model_arg $ addr_arg $ requests_arg $ concurrency_arg $ fault_every_arg
+      $ deadline_arg $ retries_arg $ kill_after_arg $ kill_shard_arg $ control_arg $ bench_arg
+      $ net_seed_arg)
+
 let () =
   let info = Cmd.info "chet" ~doc:"CHET: an optimizing compiler for FHE neural-network inference" in
   let code =
@@ -778,7 +1114,7 @@ let () =
           (Cmd.group info
              [
                models_cmd; compile_cmd; run_cmd; scales_cmd; serve_cmd; profile_cmd; trace_cmd;
-               store_cmd;
+               store_cmd; shard_worker_cmd; supervise_cmd; loadgen_cmd;
              ])
       with
       | c when c = Cmd.Exit.cli_error -> 2 (* cmdliner usage error *)

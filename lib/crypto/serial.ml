@@ -49,6 +49,15 @@ let read_int_array r =
   if len < 0 || len > (String.length r.data - r.pos) / 8 then raise (Corrupt "bad array length");
   Array.init len (fun _ -> read_int r)
 
+let write_float_array w a =
+  write_int w (Array.length a);
+  Array.iter (write_float w) a
+
+let read_float_array r =
+  let len = read_int r in
+  if len < 0 || len > (String.length r.data - r.pos) / 8 then raise (Corrupt "bad array length");
+  Array.init len (fun _ -> read_float r)
+
 let write_bigint w v = write_string w (Bigint.to_string v)
 
 let read_bigint r =
@@ -123,11 +132,21 @@ let contains_tag msg tag =
 
 let corrupt_in tag msg = raise (Corrupt (if contains_tag msg tag then msg else tag ^ ": " ^ msg))
 
+(* The length sits in the frame header, OUTSIDE checksum coverage, so it must
+   be validated at full 64-bit width: [read_int] narrows through
+   [Int64.to_int], which would silently drop a flipped top bit and let a
+   mangled header parse as if pristine. *)
+let read_frame_len r =
+  let len64 = read_raw_int64 r in
+  if Int64.compare len64 0L < 0 || Int64.compare len64 (Int64.of_int max_int) > 0 then
+    raise (Corrupt "bad frame length");
+  Int64.to_int len64
+
 let read_frame r tag payload =
   (try expect_tag r tag with Corrupt msg -> corrupt_in tag msg);
   (try
-     let len = read_int r in
-     if len < 0 || len > String.length r.data - r.pos - 8 then raise (Corrupt "truncated frame");
+     let len = read_frame_len r in
+     if len > String.length r.data - r.pos - 8 then raise (Corrupt "truncated frame");
      let h = read_hash r in
      if not (Int64.equal h (fnv1a64 r.data ~pos:r.pos ~len)) then raise (Corrupt "checksum mismatch");
      let stop = r.pos + len in
@@ -139,8 +158,8 @@ let read_frame r tag payload =
 let read_frame_prefix r tag payload =
   (try expect_tag r tag with Corrupt msg -> corrupt_in tag msg);
   (try
-     let len = read_int r in
-     if len < 0 || len > String.length r.data - r.pos - 8 then raise (Corrupt "truncated frame");
+     let len = read_frame_len r in
+     if len > String.length r.data - r.pos - 8 then raise (Corrupt "truncated frame");
      let h = read_hash r in
      if not (Int64.equal h (fnv1a64 r.data ~pos:r.pos ~len)) then raise (Corrupt "checksum mismatch");
      let stop = r.pos + len in
@@ -254,3 +273,348 @@ let read_big_ciphertext r =
       let c1 = read_bigint_array r in
       if Array.length c0 <> Array.length c1 then raise (Corrupt "component length mismatch");
       { Big_ckks.c0; c1; logq; scale })
+
+(* --- networked serving frames (DESIGN.md §12) ---
+
+   The client/server protocol of Figure 3 carried over sockets: REQ1 is one
+   inference request, RSP1 its answer (a tensor, or the full typed error
+   taxonomy round-tripped so the client sees the *same* [Herr.error] the
+   server raised), HLTH the supervisor's health/control channel. All three
+   ride the same FNV-1a checksum frame discipline as the ciphertext and key
+   payloads, so a torn or bit-flipped transmission is a typed rejection at
+   the frame boundary — never a hang, never garbage parsed as a tensor. *)
+
+module Herr = Chet_herr.Herr
+
+let wire_version = 1
+
+type wire_request = {
+  rq_id : int;
+  rq_seed : int;  (** drives per-request encryption randomness in the shard *)
+  rq_deadline_ms : float;
+  rq_shape : int array;
+  rq_image : float array;
+}
+
+type wire_response = {
+  rs_id : int;
+  rs_shard : int;  (** shard that answered; -1 = the front end itself *)
+  rs_served_by : string;
+  rs_degraded : bool;
+  rs_attempts : int;
+  rs_result : (int array * float array, Herr.error * Herr.context) result;
+}
+
+type shard_report = {
+  hs_shard : int;
+  hs_pid : int;
+  hs_up : bool;
+  hs_restarts : int;
+  hs_last_error : string;  (** "" when healthy *)
+}
+
+type wire_health =
+  | Health_ping
+  | Health_kill of int  (** supervisor kill endpoint: SIGKILL this shard *)
+  | Health_report of { hr_uptime_s : float; hr_shards : shard_report list }
+  | Health_ack of { ha_ok : bool; ha_detail : string }
+
+(* Full bijective codec for the error taxonomy: the client must receive the
+   same typed value the server raised, not a stringified shadow of it. *)
+
+let write_herr_error w (e : Herr.error) =
+  match e with
+  | Herr.Scale_mismatch { expected; got } ->
+      write_int w 0;
+      write_float w expected;
+      write_float w got
+  | Herr.Level_mismatch { expected; got } ->
+      write_int w 1;
+      write_int w expected;
+      write_int w got
+  | Herr.Modulus_exhausted { level; requested } ->
+      write_int w 2;
+      write_int w level;
+      write_int w requested
+  | Herr.Slot_overflow { slots; requested } ->
+      write_int w 3;
+      write_int w slots;
+      write_int w requested
+  | Herr.Illegal_rescale { divisor; reason } ->
+      write_int w 4;
+      write_int w divisor;
+      write_string w reason
+  | Herr.Numeric_blowup { slot; value } ->
+      write_int w 5;
+      write_int w slot;
+      write_float w value
+  | Herr.Corrupt_ciphertext { reason } ->
+      write_int w 6;
+      write_string w reason
+  | Herr.Shape_mismatch { expected; got } ->
+      write_int w 7;
+      write_string w expected;
+      write_string w got
+  | Herr.Missing_node { node_id } ->
+      write_int w 8;
+      write_int w node_id
+  | Herr.Missing_rotation_key { amount } ->
+      write_int w 9;
+      write_int w amount
+  | Herr.Invalid_op { reason } ->
+      write_int w 10;
+      write_string w reason
+  | Herr.Overloaded { queue_depth; high_water } ->
+      write_int w 11;
+      write_int w queue_depth;
+      write_int w high_water
+  | Herr.Deadline_exceeded { budget_ms; elapsed_ms } ->
+      write_int w 12;
+      write_float w budget_ms;
+      write_float w elapsed_ms
+  | Herr.Worker_crashed { worker; reason } ->
+      write_int w 13;
+      write_int w worker;
+      write_string w reason
+  | Herr.Corrupt_bundle { path; reason } ->
+      write_int w 14;
+      write_string w path;
+      write_string w reason
+  | Herr.Corrupt_frame { frame; reason } ->
+      write_int w 15;
+      write_string w frame;
+      write_string w reason
+
+let read_herr_error r : Herr.error =
+  match read_int r with
+  | 0 ->
+      let expected = read_float r in
+      let got = read_float r in
+      Herr.Scale_mismatch { expected; got }
+  | 1 ->
+      let expected = read_int r in
+      let got = read_int r in
+      Herr.Level_mismatch { expected; got }
+  | 2 ->
+      let level = read_int r in
+      let requested = read_int r in
+      Herr.Modulus_exhausted { level; requested }
+  | 3 ->
+      let slots = read_int r in
+      let requested = read_int r in
+      Herr.Slot_overflow { slots; requested }
+  | 4 ->
+      let divisor = read_int r in
+      let reason = read_string r in
+      Herr.Illegal_rescale { divisor; reason }
+  | 5 ->
+      let slot = read_int r in
+      let value = read_float r in
+      Herr.Numeric_blowup { slot; value }
+  | 6 -> Herr.Corrupt_ciphertext { reason = read_string r }
+  | 7 ->
+      let expected = read_string r in
+      let got = read_string r in
+      Herr.Shape_mismatch { expected; got }
+  | 8 -> Herr.Missing_node { node_id = read_int r }
+  | 9 -> Herr.Missing_rotation_key { amount = read_int r }
+  | 10 -> Herr.Invalid_op { reason = read_string r }
+  | 11 ->
+      let queue_depth = read_int r in
+      let high_water = read_int r in
+      Herr.Overloaded { queue_depth; high_water }
+  | 12 ->
+      let budget_ms = read_float r in
+      let elapsed_ms = read_float r in
+      Herr.Deadline_exceeded { budget_ms; elapsed_ms }
+  | 13 ->
+      let worker = read_int r in
+      let reason = read_string r in
+      Herr.Worker_crashed { worker; reason }
+  | 14 ->
+      let path = read_string r in
+      let reason = read_string r in
+      Herr.Corrupt_bundle { path; reason }
+  | 15 ->
+      let frame = read_string r in
+      let reason = read_string r in
+      Herr.Corrupt_frame { frame; reason }
+  | k -> raise (Corrupt (Printf.sprintf "unknown error code %d" k))
+
+let write_herr_context w (c : Herr.context) =
+  write_string w c.Herr.op;
+  write_string w c.Herr.backend;
+  (match c.Herr.node_id with
+  | None -> write_int w 0
+  | Some id ->
+      write_int w 1;
+      write_int w id);
+  match c.Herr.layer with
+  | None -> write_int w 0
+  | Some l ->
+      write_int w 1;
+      write_string w l
+
+let read_herr_context r : Herr.context =
+  let op = read_string r in
+  let backend = read_string r in
+  let node_id =
+    match read_int r with
+    | 0 -> None
+    | 1 -> Some (read_int r)
+    | k -> raise (Corrupt (Printf.sprintf "bad node-id flag %d" k))
+  in
+  let layer =
+    match read_int r with
+    | 0 -> None
+    | 1 -> Some (read_string r)
+    | k -> raise (Corrupt (Printf.sprintf "bad layer flag %d" k))
+  in
+  { Herr.op; backend; node_id; layer }
+
+(* Tensor geometry rides as shape + flat data; the check that they agree
+   happens at parse time so a mangled-but-checksum-colliding frame (or a
+   malicious client) cannot make the runtime index out of bounds. *)
+let write_tensor_parts w shape data =
+  write_int_array w shape;
+  write_float_array w data
+
+let read_tensor_parts r =
+  let shape = read_int_array r in
+  if Array.length shape > 8 then raise (Corrupt "tensor rank too large");
+  let numel =
+    Array.fold_left
+      (fun acc d ->
+        if d < 0 || d > 1 lsl 24 then raise (Corrupt "bad tensor dimension");
+        acc * d)
+      1 shape
+  in
+  let data = read_float_array r in
+  if Array.length data <> numel then raise (Corrupt "tensor shape/data mismatch");
+  (shape, data)
+
+let write_request w (q : wire_request) =
+  write_frame w "REQ1" (fun w ->
+      write_int w wire_version;
+      write_int w q.rq_id;
+      write_int w q.rq_seed;
+      write_float w q.rq_deadline_ms;
+      write_tensor_parts w q.rq_shape q.rq_image)
+
+let read_request r =
+  read_frame r "REQ1" (fun r ->
+      let version = read_int r in
+      if version <> wire_version then
+        raise (Corrupt (Printf.sprintf "unsupported wire version %d" version));
+      let rq_id = read_int r in
+      let rq_seed = read_int r in
+      let rq_deadline_ms = read_float r in
+      if not (Float.is_finite rq_deadline_ms) || rq_deadline_ms < 0.0 then
+        raise (Corrupt "implausible deadline");
+      let rq_shape, rq_image = read_tensor_parts r in
+      { rq_id; rq_seed; rq_deadline_ms; rq_shape; rq_image })
+
+let write_response w (s : wire_response) =
+  write_frame w "RSP1" (fun w ->
+      write_int w wire_version;
+      write_int w s.rs_id;
+      write_int w s.rs_shard;
+      write_string w s.rs_served_by;
+      write_int w (if s.rs_degraded then 1 else 0);
+      write_int w s.rs_attempts;
+      match s.rs_result with
+      | Ok (shape, data) ->
+          write_int w 0;
+          write_tensor_parts w shape data
+      | Error (e, c) ->
+          write_int w 1;
+          write_herr_error w e;
+          write_herr_context w c)
+
+let read_response r =
+  read_frame r "RSP1" (fun r ->
+      let version = read_int r in
+      if version <> wire_version then
+        raise (Corrupt (Printf.sprintf "unsupported wire version %d" version));
+      let rs_id = read_int r in
+      let rs_shard = read_int r in
+      let rs_served_by = read_string r in
+      let rs_degraded =
+        match read_int r with
+        | 0 -> false
+        | 1 -> true
+        | k -> raise (Corrupt (Printf.sprintf "bad degraded flag %d" k))
+      in
+      let rs_attempts = read_int r in
+      let rs_result =
+        match read_int r with
+        | 0 -> Ok (read_tensor_parts r)
+        | 1 ->
+            let e = read_herr_error r in
+            let c = read_herr_context r in
+            Error (e, c)
+        | k -> raise (Corrupt (Printf.sprintf "bad result flag %d" k))
+      in
+      { rs_id; rs_shard; rs_served_by; rs_degraded; rs_attempts; rs_result })
+
+let write_health w (h : wire_health) =
+  write_frame w "HLTH" (fun w ->
+      write_int w wire_version;
+      match h with
+      | Health_ping -> write_int w 0
+      | Health_kill shard ->
+          write_int w 1;
+          write_int w shard
+      | Health_report { hr_uptime_s; hr_shards } ->
+          write_int w 2;
+          write_float w hr_uptime_s;
+          write_int w (List.length hr_shards);
+          List.iter
+            (fun s ->
+              write_int w s.hs_shard;
+              write_int w s.hs_pid;
+              write_int w (if s.hs_up then 1 else 0);
+              write_int w s.hs_restarts;
+              write_string w s.hs_last_error)
+            hr_shards
+      | Health_ack { ha_ok; ha_detail } ->
+          write_int w 3;
+          write_int w (if ha_ok then 1 else 0);
+          write_string w ha_detail)
+
+let read_health r =
+  read_frame r "HLTH" (fun r ->
+      let version = read_int r in
+      if version <> wire_version then
+        raise (Corrupt (Printf.sprintf "unsupported wire version %d" version));
+      match read_int r with
+      | 0 -> Health_ping
+      | 1 -> Health_kill (read_int r)
+      | 2 ->
+          let hr_uptime_s = read_float r in
+          let count = read_int r in
+          if count < 0 || count > 4096 then raise (Corrupt "bad shard count");
+          let hr_shards =
+            List.init count (fun _ ->
+                let hs_shard = read_int r in
+                let hs_pid = read_int r in
+                let hs_up =
+                  match read_int r with
+                  | 0 -> false
+                  | 1 -> true
+                  | k -> raise (Corrupt (Printf.sprintf "bad up flag %d" k))
+                in
+                let hs_restarts = read_int r in
+                let hs_last_error = read_string r in
+                { hs_shard; hs_pid; hs_up; hs_restarts; hs_last_error })
+          in
+          Health_report { hr_uptime_s; hr_shards }
+      | 3 ->
+          let ha_ok =
+            match read_int r with
+            | 0 -> false
+            | 1 -> true
+            | k -> raise (Corrupt (Printf.sprintf "bad ack flag %d" k))
+          in
+          Health_ack { ha_ok; ha_detail = read_string r }
+      | k -> raise (Corrupt (Printf.sprintf "unknown health kind %d" k)))

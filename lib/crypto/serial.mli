@@ -28,6 +28,8 @@ val write_string : writer -> string -> unit
 val read_string : reader -> string
 val write_int_array : writer -> int array -> unit
 val read_int_array : reader -> int array
+val write_float_array : writer -> float array -> unit
+val read_float_array : reader -> float array
 val write_bigint : writer -> Bigint.t -> unit
 val read_bigint : reader -> Bigint.t
 val write_bigint_array : writer -> Bigint.t array -> unit
@@ -91,3 +93,63 @@ val read_rns_keys : reader -> Rq_rns.ctx -> Rns_ckks.keys
 
 val write_big_ciphertext : writer -> Big_ckks.ciphertext -> unit
 val read_big_ciphertext : reader -> Big_ckks.ciphertext
+
+(** {1 Networked serving frames (DESIGN.md §12)}
+
+    The Figure 3 client/server protocol on sockets: [REQ1] carries one
+    inference request, [RSP1] its answer (a tensor or the full typed
+    {!Chet_herr.Herr.error} taxonomy, round-tripped bijectively), [HLTH]
+    the supervisor's health/control channel. Same checksummed frame
+    discipline as the ciphertext payloads: every mangled transmission is a
+    typed [Corrupt] at the frame boundary. *)
+
+module Herr = Chet_herr.Herr
+
+val wire_version : int
+
+type wire_request = {
+  rq_id : int;
+  rq_seed : int;  (** drives the shard's per-request encryption randomness *)
+  rq_deadline_ms : float;
+  rq_shape : int array;
+  rq_image : float array;
+}
+
+type wire_response = {
+  rs_id : int;
+  rs_shard : int;  (** shard that answered; [-1] = the front end itself *)
+  rs_served_by : string;
+  rs_degraded : bool;
+  rs_attempts : int;
+  rs_result : (int array * float array, Herr.error * Herr.context) result;
+}
+
+type shard_report = {
+  hs_shard : int;
+  hs_pid : int;
+  hs_up : bool;
+  hs_restarts : int;
+  hs_last_error : string;  (** [""] when healthy *)
+}
+
+type wire_health =
+  | Health_ping
+  | Health_kill of int  (** supervisor kill endpoint: SIGKILL this shard *)
+  | Health_report of { hr_uptime_s : float; hr_shards : shard_report list }
+  | Health_ack of { ha_ok : bool; ha_detail : string }
+
+val write_herr_error : writer -> Herr.error -> unit
+val read_herr_error : reader -> Herr.error
+val write_herr_context : writer -> Herr.context -> unit
+val read_herr_context : reader -> Herr.context
+
+val write_request : writer -> wire_request -> unit
+val read_request : reader -> wire_request
+(** @raise Corrupt on integrity or schema damage — including a tensor whose
+    shape and data length disagree, which would otherwise become an
+    out-of-bounds index deep in the runtime. *)
+
+val write_response : writer -> wire_response -> unit
+val read_response : reader -> wire_response
+val write_health : writer -> wire_health -> unit
+val read_health : reader -> wire_health

@@ -70,6 +70,13 @@ type error =
           length or checksum mismatch, unparseable manifest. The store
           quarantines the entry and serves the previous generation; this
           error reports what was damaged and why. *)
+  | Corrupt_frame of { frame : string; reason : string }
+      (** A wire frame (REQ1 request, RSP1 response, HLTH health probe, or
+          any other Serial frame arriving over a socket) failed its
+          integrity check: bad tag, implausible length, checksum mismatch,
+          or a truncated/torn transmission. The connection's byte stream
+          can no longer be trusted to be in sync, so the peer answers with
+          this typed rejection and closes — never hangs or parses on. *)
 
 type context = {
   op : string;  (** HISA/kernel operation, e.g. ["mul"], ["conv2d"] *)
@@ -101,6 +108,7 @@ let error_name = function
   | Deadline_exceeded _ -> "deadline exceeded"
   | Worker_crashed _ -> "worker crashed"
   | Corrupt_bundle _ -> "corrupt bundle"
+  | Corrupt_frame _ -> "corrupt frame"
 
 let error_detail = function
   | Scale_mismatch { expected; got } -> Printf.sprintf "expected scale %.6g, got %.6g" expected got
@@ -122,6 +130,7 @@ let error_detail = function
       Printf.sprintf "deadline %.1f ms, %.1f ms elapsed" budget_ms elapsed_ms
   | Worker_crashed { worker; reason } -> Printf.sprintf "worker %d: %s" worker reason
   | Corrupt_bundle { path; reason } -> Printf.sprintf "%s: %s" path reason
+  | Corrupt_frame { frame; reason } -> Printf.sprintf "%s: %s" frame reason
 
 (* One line, grep-able, front-loaded with the coordinates a human needs:
    where (node/layer), what op, which backend, which invariant, details. *)

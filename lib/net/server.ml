@@ -1,0 +1,260 @@
+(* Shard server: the socket front of one Chet_serve.Service (DESIGN.md §12).
+
+   Thread-per-connection over blocking sockets: an accept thread hands each
+   connection to a systhread that loops { recv REQ1 -> submit -> await ->
+   send RSP1 }. The service's domain pool does the homomorphic work; the
+   connection threads only shuttle frames, so plain threads (which interleave
+   on one domain) are the right tool.
+
+   Rejections are *answers*, not dropped connections:
+   - over [max_inflight] admitted-but-unanswered requests, or a service
+     draining/shedding -> typed [Overloaded] RSP1;
+   - a frame that fails its checksum or schema -> typed [Corrupt_frame] RSP1
+     (the outer length prefix kept the stream in sync, so the connection
+     lives on);
+   - only transport faults — peer gone, a read stalled past the connection
+     deadline, an oversized length prefix — close the connection, because
+     after those the byte stream has no trustworthy boundary. *)
+
+module Serial = Chet_crypto.Serial
+module Herr = Chet_herr.Herr
+module Service = Chet_serve.Service
+module Tensor = Chet_tensor.Tensor
+
+type config = {
+  srv_addr : Wire.addr;
+  srv_shard : int;  (** stamped into every RSP1 this server answers *)
+  srv_max_frame : int;
+  srv_max_inflight : int;  (** concurrent requests admitted past the socket *)
+  srv_read_deadline_s : float;  (** per-frame receive budget (also idle timeout) *)
+  srv_write_deadline_s : float;
+}
+
+let default_config ?(shard = 0) addr =
+  {
+    srv_addr = addr;
+    srv_shard = shard;
+    srv_max_frame = Wire.default_max_frame;
+    srv_max_inflight = 64;
+    srv_read_deadline_s = 30.0;
+    srv_write_deadline_s = 10.0;
+  }
+
+type stats = {
+  srv_accepted : int;  (** connections accepted *)
+  srv_served : int;  (** RSP1 answers carrying [Ok] *)
+  srv_rejected : int;  (** RSP1 answers carrying a typed error *)
+  srv_corrupt : int;  (** of those, [Corrupt_frame] rejections *)
+}
+
+type t = {
+  cfg : config;
+  service : Service.t;
+  health : Serial.wire_health -> Serial.wire_health;
+  listen_fd : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  inflight : int Atomic.t;
+  accepted : int Atomic.t;
+  served : int Atomic.t;
+  rejected : int Atomic.t;
+  corrupt : int Atomic.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable accept_thread : Thread.t option;
+}
+
+let stats t =
+  {
+    srv_accepted = Atomic.get t.accepted;
+    srv_served = Atomic.get t.served;
+    srv_rejected = Atomic.get t.rejected;
+    srv_corrupt = Atomic.get t.corrupt;
+  }
+
+let track t fd = Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns fd ())
+let untrack t fd = Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns fd)
+
+let default_health = function
+  | Serial.Health_ping -> Serial.Health_ack { ha_ok = true; ha_detail = "shard" }
+  | Serial.Health_kill _ | Serial.Health_report _ | Serial.Health_ack _ ->
+      Serial.Health_ack { ha_ok = false; ha_detail = "not a supervisor" }
+
+let error_response t ~id (err : Herr.error) reason =
+  Atomic.incr t.rejected;
+  (match err with Herr.Corrupt_frame _ -> Atomic.incr t.corrupt | _ -> ());
+  {
+    Serial.rs_id = id;
+    rs_shard = t.cfg.srv_shard;
+    rs_served_by = "";
+    rs_degraded = false;
+    rs_attempts = 0;
+    rs_result = Error (err, Herr.context ~backend:"net" reason);
+  }
+
+let response_of_outcome t ~id (out : Service.outcome) =
+  let rs_result =
+    match out.Service.out_result with
+    | Ok tensor ->
+        Atomic.incr t.served;
+        Ok (tensor.Tensor.shape, tensor.Tensor.data)
+    | Error (err, ctx) ->
+        Atomic.incr t.rejected;
+        Error (err, ctx)
+  in
+  {
+    Serial.rs_id = id;
+    rs_shard = t.cfg.srv_shard;
+    rs_served_by = out.Service.out_served_by;
+    rs_degraded = out.Service.out_degraded;
+    rs_attempts = out.Service.out_attempts;
+    rs_result;
+  }
+
+let handle_request t (rq : Serial.wire_request) =
+  if Atomic.get t.inflight >= t.cfg.srv_max_inflight then
+    error_response t ~id:rq.Serial.rq_id
+      (Herr.Overloaded
+         { queue_depth = Atomic.get t.inflight; high_water = t.cfg.srv_max_inflight })
+      "inflight cap"
+  else begin
+    Atomic.incr t.inflight;
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.inflight)
+      (fun () ->
+        let image = Tensor.of_array rq.Serial.rq_shape rq.Serial.rq_image in
+        let out =
+          Service.infer t.service ~deadline_ms:rq.Serial.rq_deadline_ms ~seed:rq.Serial.rq_seed
+            image
+        in
+        response_of_outcome t ~id:rq.Serial.rq_id out)
+  end
+
+(* One received frame -> one frame to send back, or None to close. *)
+let answer t payload : string option =
+  let reply_response rsp =
+    let w = Serial.writer () in
+    Serial.write_response w rsp;
+    Some (Serial.contents w)
+  in
+  match Wire.frame_tag payload with
+  | "REQ1" -> (
+      match Serial.read_request (Serial.reader payload) with
+      | rq -> (
+          match handle_request t rq with
+          | rsp -> reply_response rsp
+          | exception e ->
+              (* a bug in the serving path must still answer the wire *)
+              reply_response
+                (error_response t ~id:rq.Serial.rq_id
+                   (Herr.Worker_crashed { worker = t.cfg.srv_shard; reason = Printexc.to_string e })
+                   "serve"))
+      | exception Serial.Corrupt reason ->
+          reply_response
+            (error_response t ~id:(-1) (Herr.Corrupt_frame { frame = "REQ1"; reason }) "recv")
+      | exception Invalid_argument reason ->
+          reply_response
+            (error_response t ~id:(-1) (Herr.Corrupt_frame { frame = "REQ1"; reason }) "recv"))
+  | "HLTH" -> (
+      match Serial.read_health (Serial.reader payload) with
+      | h ->
+          let w = Serial.writer () in
+          Serial.write_health w (t.health h);
+          Some (Serial.contents w)
+      | exception Serial.Corrupt reason ->
+          reply_response
+            (error_response t ~id:(-1) (Herr.Corrupt_frame { frame = "HLTH"; reason }) "recv"))
+  | tag ->
+      reply_response
+        (error_response t ~id:(-1)
+           (Herr.Corrupt_frame { frame = (if tag = "" then "????" else tag); reason = "unknown tag" })
+           "recv")
+
+let conn_loop t fd =
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else
+      match
+        Wire.recv_frame ~max_frame:t.cfg.srv_max_frame fd
+          ~deadline:(Wire.now () +. t.cfg.srv_read_deadline_s)
+      with
+      | Error Wire.Closed -> ()
+      | Error ((Wire.Stalled | Wire.Oversized _ | Wire.Io _) as fault) ->
+          (* best-effort typed goodbye; the stream is no longer in sync *)
+          let err =
+            match fault with
+            | Wire.Stalled ->
+                Herr.Deadline_exceeded
+                  { budget_ms = t.cfg.srv_read_deadline_s *. 1000.0; elapsed_ms = t.cfg.srv_read_deadline_s *. 1000.0 }
+            | fault -> Herr.Corrupt_frame { frame = "????"; reason = Wire.fault_name fault }
+          in
+          let w = Serial.writer () in
+          Serial.write_response w (error_response t ~id:(-1) err "recv");
+          ignore
+            (Wire.send_frame fd (Serial.contents w)
+               ~deadline:(Wire.now () +. t.cfg.srv_write_deadline_s))
+      | Ok payload -> (
+          match answer t payload with
+          | None -> ()
+          | Some reply -> (
+              match
+                Wire.send_frame fd reply ~deadline:(Wire.now () +. t.cfg.srv_write_deadline_s)
+              with
+              | Ok () -> loop ()
+              | Error _ -> ()))
+  in
+  (try loop () with _ -> ());
+  untrack t fd;
+  Wire.close_noerr fd
+
+(* Poll-then-accept: a thread parked inside [Unix.accept] is NOT woken when
+   another thread closes the listen fd (the close just orphans it), so
+   blocking straight on accept would leave [stop] joining forever. The
+   select bounds how long the loop can go without observing [stop_flag]. *)
+let accept_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+            Atomic.incr t.accepted;
+            track t fd;
+            ignore (Thread.create (conn_loop t) fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> Atomic.set t.stop_flag true)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        (* listen socket closed by [stop] (or fatally broken): exit *)
+        Atomic.set t.stop_flag true
+  done
+
+let start ?(health = default_health) cfg service =
+  let listen_fd = Wire.listen cfg.srv_addr in
+  let t =
+    {
+      cfg;
+      service;
+      health;
+      listen_fd;
+      stop_flag = Atomic.make false;
+      inflight = Atomic.make 0;
+      accepted = Atomic.make 0;
+      served = Atomic.make 0;
+      rejected = Atomic.make 0;
+      corrupt = Atomic.make 0;
+      conns = Hashtbl.create 16;
+      conns_mutex = Mutex.create ();
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Wire.close_noerr t.listen_fd;
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* connection threads wake on their closed fds and exit on their own *)
+  Mutex.protect t.conns_mutex (fun () ->
+      Hashtbl.iter (fun fd () -> (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())) t.conns;
+      Hashtbl.reset t.conns)

@@ -1,0 +1,465 @@
+(* Shard supervisor: fork N workers, watch them, restart them, route around
+   them (DESIGN.md §12).
+
+   The supervisor owns no FHE state. Each worker process rebuilds its
+   deployment from the durable store bundle (warm restart, DESIGN.md §11),
+   which is what makes SIGKILL survivable: the supervisor's only jobs are
+   (a) noticing death — waitpid for crashes, health pings for hangs —
+   (b) restarting with capped exponential backoff so a crash-looping shard
+   cannot monopolise the machine, and (c) keeping the front door honest
+   while a shard is down: requests route to live shards through a
+   per-shard circuit breaker, and when nothing is routable the client gets
+   a typed [Overloaded], never a hang.
+
+   Process management is injected ([spawn] returns pid/kill/poll closures)
+   so the state machine is testable in-process with fake "processes"
+   (threads serving the same protocol); the real fork/exec drill runs in
+   scripts/net_smoke.sh. *)
+
+module Serial = Chet_crypto.Serial
+module Herr = Chet_herr.Herr
+module Breaker = Chet_serve.Breaker
+module Metrics = Chet_obs.Metrics
+
+type spawned = {
+  sp_pid : int;
+  sp_kill : int -> unit;  (** deliver this signal *)
+  sp_poll : unit -> Unix.process_status option;  (** [None] while running *)
+}
+
+type spawn = shard:int -> addr:Wire.addr -> spawned
+
+(* The production spawn: fork/exec this very binary as [chet shard-worker].
+   [argv_for] closes over model/state-dir/tuning flags at the CLI layer. *)
+let exec_spawn ~argv_for : spawn =
+ fun ~shard ~addr ->
+  let argv = argv_for ~shard ~addr in
+  let pid = Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout Unix.stderr in
+  {
+    sp_pid = pid;
+    sp_kill = (fun signal -> try Unix.kill pid signal with Unix.Unix_error _ -> ());
+    sp_poll =
+      (fun () ->
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> None
+        | _, status -> Some status
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Some (Unix.WEXITED 127));
+  }
+
+type config = {
+  sup_shards : int;
+  sup_shard_addr : int -> Wire.addr;
+  sup_front_addr : Wire.addr;  (** REQ1 proxy + HLTH control socket *)
+  sup_backoff_base_ms : float;
+  sup_backoff_cap_ms : float;
+  sup_health_interval_s : float;  (** ping cadence; also the monitor tick *)
+  sup_ping_deadline_s : float;
+  sup_hang_pings : int;  (** consecutive failed pings before SIGKILL *)
+  sup_forward_deadline_s : float;  (** transport budget per forwarded request *)
+  sup_breaker_threshold : int;
+  sup_breaker_cooldown_s : float;
+}
+
+let default_config ~shards ~shard_addr ~front_addr =
+  {
+    sup_shards = shards;
+    sup_shard_addr = shard_addr;
+    sup_front_addr = front_addr;
+    sup_backoff_base_ms = 100.0;
+    sup_backoff_cap_ms = 5000.0;
+    sup_health_interval_s = 0.25;
+    sup_ping_deadline_s = 2.0;
+    sup_hang_pings = 8;
+    sup_forward_deadline_s = 30.0;
+    sup_breaker_threshold = 3;
+    sup_breaker_cooldown_s = 1.0;
+  }
+
+type shard = {
+  sh_id : int;
+  sh_addr : Wire.addr;
+  sh_breaker : Breaker.t;
+  sh_restart_counter : Metrics.counter;
+  mutable sh_proc : spawned option;
+  mutable sh_up : bool;  (** process alive and last ping answered *)
+  mutable sh_restarts : int;
+  mutable sh_last_error : string;
+  mutable sh_backoff_ms : float;
+  mutable sh_restart_at : float;  (** no respawn before this instant *)
+  mutable sh_ping_failures : int;
+}
+
+type t = {
+  cfg : config;
+  spawn : spawn;
+  shards : shard array;
+  lock : Mutex.t;  (** guards every mutable shard field *)
+  stop_flag : bool Atomic.t;
+  started_at : float;
+  rr : int Atomic.t;  (** round-robin routing cursor *)
+  listen_fd : Unix.file_descr;
+  registry : Metrics.t;
+  forwarded : Metrics.counter;
+  routed_errors : Metrics.counter;
+  unroutable : Metrics.counter;
+  mutable threads : Thread.t list;
+}
+
+let status_to_string = function
+  | Unix.WEXITED 0 -> "exit 0"
+  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+  | Unix.WSIGNALED sg -> Printf.sprintf "killed by signal %d" sg
+  | Unix.WSTOPPED sg -> Printf.sprintf "stopped by signal %d" sg
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- lifecycle: spawn / death / backoff-restart ---- *)
+
+let spawn_shard t sh ~first =
+  let proc = t.spawn ~shard:sh.sh_id ~addr:sh.sh_addr in
+  sh.sh_proc <- Some proc;
+  sh.sh_ping_failures <- 0;
+  if not first then begin
+    sh.sh_restarts <- sh.sh_restarts + 1;
+    Metrics.incr sh.sh_restart_counter
+  end
+
+let note_death t sh status =
+  sh.sh_proc <- None;
+  sh.sh_up <- false;
+  sh.sh_last_error <- status_to_string status;
+  sh.sh_restart_at <- Wire.now () +. (sh.sh_backoff_ms /. 1000.0);
+  sh.sh_backoff_ms <- Float.min t.cfg.sup_backoff_cap_ms (sh.sh_backoff_ms *. 2.0);
+  Breaker.record_failure sh.sh_breaker
+
+let monitor_tick t =
+  Array.iter
+    (fun sh ->
+      with_lock t (fun () ->
+          match sh.sh_proc with
+          | Some proc -> (
+              match proc.sp_poll () with
+              | Some status -> note_death t sh status
+              | None -> ())
+          | None -> if Wire.now () >= sh.sh_restart_at then spawn_shard t sh ~first:false))
+    t.shards
+
+let health_tick t =
+  Array.iter
+    (fun sh ->
+      let probe = with_lock t (fun () -> Option.map (fun _ -> sh.sh_addr) sh.sh_proc) in
+      match probe with
+      | None -> ()
+      | Some addr -> (
+          match Client.ping ~deadline_s:t.cfg.sup_ping_deadline_s addr with
+          | Ok (Serial.Health_ack { ha_ok = true; _ }) ->
+              with_lock t (fun () ->
+                  sh.sh_up <- true;
+                  sh.sh_ping_failures <- 0;
+                  (* a shard that answers pings has earned its backoff back *)
+                  sh.sh_backoff_ms <- t.cfg.sup_backoff_base_ms;
+                  if sh.sh_last_error <> "" then sh.sh_last_error <- "")
+          | Ok _ | Error _ ->
+              with_lock t (fun () ->
+                  sh.sh_up <- false;
+                  sh.sh_ping_failures <- sh.sh_ping_failures + 1;
+                  if sh.sh_ping_failures >= t.cfg.sup_hang_pings then begin
+                    (* alive but unresponsive: treat as hung, make it a crash *)
+                    sh.sh_last_error <-
+                      Printf.sprintf "hung (%d failed pings)" sh.sh_ping_failures;
+                    match sh.sh_proc with
+                    | Some proc -> proc.sp_kill Sys.sigkill
+                    | None -> ()
+                  end)))
+    t.shards
+
+let monitor_loop t =
+  while not (Atomic.get t.stop_flag) do
+    monitor_tick t;
+    health_tick t;
+    Thread.delay t.cfg.sup_health_interval_s
+  done
+
+(* ---- routing ---- *)
+
+(* Next live shard whose breaker admits, round-robin from the cursor; the
+   breaker slot is held by the caller (release on transport failure). *)
+let route t : shard option =
+  let n = Array.length t.shards in
+  let start = Atomic.fetch_and_add t.rr 1 in
+  let rec probe i =
+    if i >= n then None
+    else
+      let sh = t.shards.((start + i) mod n) in
+      let candidate = with_lock t (fun () -> sh.sh_up) in
+      if candidate && Breaker.allow sh.sh_breaker then Some sh else probe (i + 1)
+  in
+  probe 0
+
+let reject ~id err op =
+  {
+    Serial.rs_id = id;
+    rs_shard = -1;
+    rs_served_by = "";
+    rs_degraded = false;
+    rs_attempts = 0;
+    rs_result = Error (err, Herr.context ~backend:"supervisor" op);
+  }
+
+let forward_once t sh (rq : Serial.wire_request) =
+  let cl =
+    {
+      (Client.default_config sh.sh_addr) with
+      Client.cl_io_deadline_s = t.cfg.sup_forward_deadline_s;
+      cl_retries = 0;
+      cl_seed = rq.Serial.rq_seed;
+    }
+  in
+  (Client.request cl rq).Client.rm_response
+
+let handle_request t (rq : Serial.wire_request) : Serial.wire_response =
+  (* try each routable shard once; a shard that answers — even with a typed
+     FHE error — ends the search (that is the system's answer), while a
+     transport fault or shard-side shed moves on to the next shard *)
+  let rec go tried =
+    if tried >= Array.length t.shards then begin
+      Metrics.incr t.unroutable;
+      reject ~id:rq.Serial.rq_id
+        (Herr.Overloaded { queue_depth = 0; high_water = 0 })
+        "no routable shard"
+    end
+    else
+      match route t with
+      | None ->
+          Metrics.incr t.unroutable;
+          reject ~id:rq.Serial.rq_id
+            (Herr.Overloaded { queue_depth = 0; high_water = 0 })
+            "no routable shard"
+      | Some sh -> (
+          match forward_once t sh rq with
+          | Ok rsp ->
+              let shard_failed =
+                match rsp.Serial.rs_result with
+                | Error ((Herr.Overloaded _ | Herr.Corrupt_frame _), _) -> true
+                | Ok _ | Error _ -> false
+              in
+              if shard_failed then begin
+                Breaker.record_failure sh.sh_breaker;
+                Metrics.incr t.routed_errors;
+                go (tried + 1)
+              end
+              else begin
+                Breaker.record_success sh.sh_breaker;
+                Metrics.incr t.forwarded;
+                { rsp with Serial.rs_shard = sh.sh_id }
+              end
+          | Error _ ->
+              (* transport fault: the shard may be mid-crash; let the
+                 monitor sort it out and try the next one *)
+              Breaker.record_failure sh.sh_breaker;
+              with_lock t (fun () -> sh.sh_up <- false);
+              Metrics.incr t.routed_errors;
+              go (tried + 1))
+  in
+  go 0
+
+(* ---- control plane ---- *)
+
+let report t =
+  let shards =
+    Array.to_list
+      (Array.map
+         (fun sh ->
+           with_lock t (fun () ->
+               {
+                 Serial.hs_shard = sh.sh_id;
+                 hs_pid = (match sh.sh_proc with Some p -> p.sp_pid | None -> -1);
+                 hs_up = sh.sh_up;
+                 hs_restarts = sh.sh_restarts;
+                 hs_last_error = sh.sh_last_error;
+               }))
+         t.shards)
+  in
+  Serial.Health_report { hr_uptime_s = Wire.now () -. t.started_at; hr_shards = shards }
+
+let handle_health t : Serial.wire_health -> Serial.wire_health = function
+  | Serial.Health_ping -> Serial.Health_ack { ha_ok = true; ha_detail = "supervisor" }
+  | Serial.Health_report _ -> report t
+  | Serial.Health_kill id -> (
+      if id < 0 || id >= Array.length t.shards then
+        Serial.Health_ack { ha_ok = false; ha_detail = Printf.sprintf "no shard %d" id }
+      else
+        let sh = t.shards.(id) in
+        match with_lock t (fun () -> sh.sh_proc) with
+        | None -> Serial.Health_ack { ha_ok = false; ha_detail = "shard already down" }
+        | Some proc ->
+            proc.sp_kill Sys.sigkill;
+            Serial.Health_ack { ha_ok = true; ha_detail = Printf.sprintf "SIGKILL shard %d" id })
+  | Serial.Health_ack _ -> Serial.Health_ack { ha_ok = false; ha_detail = "unexpected ack" }
+
+(* ---- front-door socket (REQ1 proxy + HLTH control) ---- *)
+
+let answer t payload : string option =
+  let reply f =
+    let w = Serial.writer () in
+    f w;
+    Some (Serial.contents w)
+  in
+  match Wire.frame_tag payload with
+  | "REQ1" -> (
+      match Serial.read_request (Serial.reader payload) with
+      | rq -> reply (fun w -> Serial.write_response w (handle_request t rq))
+      | exception Serial.Corrupt reason ->
+          reply (fun w ->
+              Serial.write_response w
+                (reject ~id:(-1) (Herr.Corrupt_frame { frame = "REQ1"; reason }) "recv"))
+      | exception Invalid_argument reason ->
+          reply (fun w ->
+              Serial.write_response w
+                (reject ~id:(-1) (Herr.Corrupt_frame { frame = "REQ1"; reason }) "recv")))
+  | "HLTH" -> (
+      match Serial.read_health (Serial.reader payload) with
+      | h -> reply (fun w -> Serial.write_health w (handle_health t h))
+      | exception Serial.Corrupt reason ->
+          reply (fun w ->
+              Serial.write_response w
+                (reject ~id:(-1) (Herr.Corrupt_frame { frame = "HLTH"; reason }) "recv")))
+  | tag ->
+      reply (fun w ->
+          Serial.write_response w
+            (reject ~id:(-1)
+               (Herr.Corrupt_frame
+                  { frame = (if tag = "" then "????" else tag); reason = "unknown tag" })
+               "recv"))
+
+let conn_loop t fd =
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else
+      match Wire.recv_frame fd ~deadline:(Wire.now () +. 30.0) with
+      | Error _ -> ()
+      | Ok payload -> (
+          match answer t payload with
+          | None -> ()
+          | Some rsp -> (
+              match Wire.send_frame fd rsp ~deadline:(Wire.now () +. 10.0) with
+              | Ok () -> loop ()
+              | Error _ -> ()))
+  in
+  (try loop () with _ -> ());
+  Wire.close_noerr fd
+
+(* Poll-then-accept for the same reason as Server.accept_loop: closing the
+   listen fd does not wake a thread already parked in [Unix.accept]. *)
+let accept_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ -> ignore (Thread.create (conn_loop t) fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> Atomic.set t.stop_flag true)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> Atomic.set t.stop_flag true
+  done
+
+(* ---- assembly ---- *)
+
+let start ~(spawn : spawn) cfg =
+  if cfg.sup_shards < 1 then invalid_arg "Supervisor.start: need at least one shard";
+  let registry = Metrics.create () in
+  let shards =
+    Array.init cfg.sup_shards (fun i ->
+        {
+          sh_id = i;
+          sh_addr = cfg.sup_shard_addr i;
+          sh_breaker =
+            Breaker.create ~threshold:cfg.sup_breaker_threshold
+              ~cooldown:cfg.sup_breaker_cooldown_s ();
+          sh_restart_counter =
+            Metrics.counter registry ~help:"worker restarts"
+              ~labels:[ ("shard", string_of_int i) ]
+              "chet_sup_restarts_total";
+          sh_proc = None;
+          sh_up = false;
+          sh_restarts = 0;
+          sh_last_error = "";
+          sh_backoff_ms = cfg.sup_backoff_base_ms;
+          sh_restart_at = neg_infinity;
+          sh_ping_failures = 0;
+        })
+  in
+  let listen_fd = Wire.listen cfg.sup_front_addr in
+  let t =
+    {
+      cfg;
+      spawn;
+      shards;
+      lock = Mutex.create ();
+      stop_flag = Atomic.make false;
+      started_at = Wire.now ();
+      rr = Atomic.make 0;
+      listen_fd;
+      registry;
+      forwarded =
+        Metrics.counter registry ~help:"requests answered by a shard" "chet_sup_forwarded_total";
+      routed_errors =
+        Metrics.counter registry ~help:"forwards that failed over to another shard"
+          "chet_sup_route_failovers_total";
+      unroutable =
+        Metrics.counter registry ~help:"requests rejected: no routable shard"
+          "chet_sup_unroutable_total";
+      threads = [];
+    }
+  in
+  Array.iter (fun sh -> with_lock t (fun () -> spawn_shard t sh ~first:true)) t.shards;
+  t.threads <- [ Thread.create monitor_loop t; Thread.create accept_loop t ];
+  t
+
+(* Block until at least [n] shards answer pings, or [timeout_s] elapses. *)
+let await_ready t ?(n = Array.length t.shards) ~timeout_s () =
+  let deadline = Wire.now () +. timeout_s in
+  let rec poll () =
+    let up = with_lock t (fun () -> Array.fold_left (fun a sh -> if sh.sh_up then a + 1 else a) 0 t.shards) in
+    if up >= n then true
+    else if Wire.now () >= deadline then false
+    else begin
+      Thread.delay 0.05;
+      poll ()
+    end
+  in
+  poll ()
+
+let metrics_snapshot t = Metrics.expose t.registry
+
+let stop ?(kill_workers = true) t =
+  Atomic.set t.stop_flag true;
+  Wire.close_noerr t.listen_fd;
+  List.iter Thread.join t.threads;
+  if kill_workers then
+    Array.iter
+      (fun sh ->
+        match with_lock t (fun () -> sh.sh_proc) with
+        | Some proc ->
+            proc.sp_kill Sys.sigterm;
+            (* give a graceful drain a moment, then insist *)
+            let deadline = Wire.now () +. 5.0 in
+            let rec reap () =
+              match proc.sp_poll () with
+              | Some _ -> ()
+              | None ->
+                  if Wire.now () >= deadline then begin
+                    proc.sp_kill Sys.sigkill;
+                    ignore (proc.sp_poll ())
+                  end
+                  else begin
+                    Thread.delay 0.05;
+                    reap ()
+                  end
+            in
+            reap ()
+        | None -> ())
+      t.shards

@@ -160,8 +160,15 @@ let quantile h q =
 (* Prometheus text exposition                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Prometheus value rendering. The exposition format spells the non-finite
+   values ["+Inf"], ["-Inf"] and ["NaN"] — [%g]'s ["inf"]/["nan"] are
+   rejected by conformant scrapers, and a gauge that legitimately reaches
+   infinity (an unbounded [le], a division blowup) must still parse. *)
 let fmt_value f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
 (* Prometheus label-value escaping: exactly backslash, double-quote and

@@ -63,7 +63,16 @@ let trip b =
 
 (* May this request use the guarded deployment? Also the place where an
    [Open] breaker past its cooldown transitions to [Half_open]: admission is
-   the only event that needs to observe the timeout. *)
+   the only event that needs to observe the timeout.
+
+   Exactly-one-probe invariant: while [Half_open], at most [probes]
+   (default 1) admissions may be outstanding at any instant — the
+   Open->Half_open transition *is* the first admission, and every further
+   [allow] is refused until that probe resolves ([record_success],
+   [record_failure]) or hands its slot back ([release]). Concurrent callers
+   race on the mutex, never on the state: whichever domain takes the
+   transition gets the probe, the loser observes [Half_open] with the
+   budget spent. test/test_serve.ml hammers this from 2 domains. *)
 let allow b =
   with_lock b (fun () ->
       match b.st with
@@ -77,6 +86,16 @@ let allow b =
           b.probes_in_flight <- b.probes_in_flight + 1;
           true
       | Half_open -> false)
+
+(* An admitted probe that reaches no verdict — its request's deadline fired
+   (or the caller abandoned it) before any attempt produced a success or
+   failure — must return its slot, or the breaker would sit [Half_open] with
+   a phantom probe forever and the rung could never be probed again. *)
+let release b =
+  with_lock b (fun () ->
+      match b.st with
+      | Half_open -> b.probes_in_flight <- Stdlib.max 0 (b.probes_in_flight - 1)
+      | Open | Closed -> ())
 
 let record_success b =
   with_lock b (fun () ->

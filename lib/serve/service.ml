@@ -232,6 +232,12 @@ type t = {
   next_id : int Atomic.t;
   ms : mutable_stats;
   mx : metric_handles;
+  (* graceful drain (DESIGN.md §12): once [draining], new admissions are
+     refused with a typed [Overloaded] while everything already admitted
+     runs to its outcome; [inflight_count] tracks admitted-but-undelivered
+     requests so [drain] knows when the pipe is empty. *)
+  draining : bool Atomic.t;
+  inflight_count : int Atomic.t;
 }
 
 let with_lock m f =
@@ -240,7 +246,10 @@ let with_lock m f =
 
 let transient_error = function
   | Herr.Scale_mismatch _ | Herr.Level_mismatch _ | Herr.Illegal_rescale _
-  | Herr.Numeric_blowup _ | Herr.Corrupt_ciphertext _ ->
+  | Herr.Numeric_blowup _ | Herr.Corrupt_ciphertext _
+  (* a torn/bit-flipped wire frame is the network twin of a corrupt
+     ciphertext: a fresh attempt over a fresh connection can clear it *)
+  | Herr.Corrupt_frame _ ->
       true
   | Herr.Modulus_exhausted _ | Herr.Slot_overflow _ | Herr.Shape_mismatch _ | Herr.Missing_node _
   | Herr.Missing_rotation_key _ | Herr.Invalid_op _ | Herr.Overloaded _
@@ -291,6 +300,7 @@ let deadline_error req ~elapsed_ms ~op =
    which case the computed result is discarded (and counted: a late result
    is wasted work the deadline was supposed to prevent). *)
 let deliver t req out =
+  Atomic.decr t.inflight_count;
   let late = with_lock req.cell.cm (fun () ->
       if req.cell.abandoned then true
       else begin
@@ -351,7 +361,11 @@ let process t req ~worker =
     while (not !stop) && !served = None && !i < Array.length rungs do
       let dep, brk = rungs.(!i) in
       if Breaker.allow brk then begin
-        (* retry loop on this rung *)
+        (* retry loop on this rung. [verdict] tracks whether the admission
+           (possibly a half-open probe) was resolved against the breaker;
+           an exit with no verdict — deadline fired, caller abandoned —
+           must hand the probe slot back or the breaker wedges Half_open. *)
+        let verdict = ref false in
         let rung_done = ref false in
         let attempt = ref 0 in
         while not !rung_done do
@@ -366,6 +380,7 @@ let process t req ~worker =
             match run_attempt t dep req ~attempt:!attempt ~worker with
             | Ok tensor ->
                 Breaker.record_success brk;
+                verdict := true;
                 served := Some (dep, tensor);
                 rung_done := true
             | Error (e, c) ->
@@ -378,10 +393,12 @@ let process t req ~worker =
                   (* retries exhausted, or a hard failure: this rung failed
                      the request — feed its breaker and degrade *)
                   Breaker.record_failure brk;
+                  verdict := true;
                   rung_done := true
                 end
           end
-        done
+        done;
+        if not !verdict then Breaker.release brk
       end;
       incr i
     done;
@@ -450,6 +467,8 @@ let create cfg ~circuit ~ladder =
     next_id = Atomic.make 0;
     ms;
     mx;
+    draining = Atomic.make false;
+    inflight_count = Atomic.make 0;
   }
 
 let submit t ?deadline_ms ?seed image =
@@ -469,7 +488,21 @@ let submit t ?deadline_ms ?seed image =
   in
   with_lock t.ms.sm (fun () -> t.ms.submitted <- t.ms.submitted + 1);
   Metrics.incr t.mx.mx_submitted;
-  (match Queue.push t.queue (fun ~worker -> process t req ~worker) with
+  let admit () =
+    if Atomic.get t.draining then
+      (* draining: the typed refusal clients already understand — retry
+         against another instance, this one is on its way down *)
+      Error (Queue.length t.queue)
+    else begin
+      Atomic.incr t.inflight_count;
+      match Queue.push t.queue (fun ~worker -> process t req ~worker) with
+      | Ok () -> Ok ()
+      | Error depth ->
+          Atomic.decr t.inflight_count;
+          Error depth
+    end
+  in
+  (match admit () with
   | Ok () -> ()
   | Error depth ->
       (* shed at admission: the typed rejection is the response *)
@@ -542,6 +575,30 @@ let await t (req : ticket) =
 
 let infer t ?deadline_ms ?seed image = await t (submit t ?deadline_ms ?seed image)
 let shutdown t = Pool.shutdown t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain (DESIGN.md §12)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let begin_drain t = Atomic.set t.draining true
+let is_draining t = Atomic.get t.draining
+let inflight t = Atomic.get t.inflight_count
+
+(* Wait (on the injected clock) for every admitted request to reach its
+   outcome. In-flight work completes within its own deadlines, so a bounded
+   wait suffices: [true] = fully drained, [false] = timed out with work
+   still in flight (the caller decides whether to hard-stop anyway). *)
+let drain t ~timeout_ms =
+  let deadline = t.cfg.now () +. (timeout_ms /. 1000.0) in
+  let rec loop () =
+    if Atomic.get t.inflight_count = 0 then true
+    else if t.cfg.now () >= deadline then false
+    else begin
+      t.cfg.sleep_ms 1.0;
+      loop ()
+    end
+  in
+  loop ()
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                        *)

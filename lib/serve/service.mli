@@ -138,6 +138,27 @@ val infer : t -> ?deadline_ms:float -> ?seed:int -> Tensor.t -> outcome
 val shutdown : t -> unit
 (** Close the queue, drain in-flight work, join the worker domains. *)
 
+(** {1 Graceful drain}
+
+    The SIGTERM protocol (DESIGN.md §12): {!begin_drain} flips the service
+    into refuse-new-admits mode — every subsequent {!submit} is shed with a
+    typed [Overloaded] — while requests already admitted run to their
+    outcomes; {!drain} then waits for the in-flight count to reach zero.
+    The networked shard worker composes these as
+    [begin_drain; drain; persist state; exit 0]. *)
+
+val begin_drain : t -> unit
+(** Stop admitting. Idempotent; already-admitted requests are unaffected. *)
+
+val is_draining : t -> bool
+
+val inflight : t -> int
+(** Requests admitted but not yet delivered an outcome. *)
+
+val drain : t -> timeout_ms:float -> bool
+(** Block (polling the injected clock) until {!inflight} reaches zero;
+    [false] if [timeout_ms] elapsed first. *)
+
 (** {1 Introspection} *)
 
 type stats = {

@@ -34,4 +34,11 @@ echo "== smoke: store =="
 # hanging it.
 timeout 120 scripts/store_smoke.sh
 
+echo "== smoke: net =="
+# The fork/exec chaos drill: supervisor + 2 shard processes, loadgen with
+# wire faults, SIGKILL a shard mid-run. Everything in it is deadline-bounded
+# by design; the hard cap turns any regression back into a hang into a CI
+# failure instead of a stall.
+timeout 300 scripts/net_smoke.sh
+
 echo "CI OK"

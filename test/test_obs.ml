@@ -312,6 +312,33 @@ let test_expose_label_escaping () =
   (* no raw newline may survive inside the sample line *)
   Alcotest.(check bool) "no raw newline in value" false (has "c\nd")
 
+(* Golden-file pin of the full exposition (ISSUE 6 satellite): cumulative
+   histogram buckets, the +Inf overflow bucket, _sum/_count companions,
+   quoted le labels, and the spec's spellings of non-finite sample values
+   (+Inf / -Inf / NaN — %g's "inf"/"nan" are rejected by conformant
+   scrapers). Frozen byte-for-byte so a formatting regression shows up as a
+   readable diff instead of a production scrape failure. *)
+let test_expose_golden () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:5
+    (Metrics.counter reg "req_total" ~help:"requests served" ~labels:[ ("shard", "0") ]);
+  Metrics.set_gauge (Metrics.gauge reg "headroom_gauge" ~help:"worst-case headroom") Float.infinity;
+  Metrics.set_gauge (Metrics.gauge reg "debt_gauge") Float.neg_infinity;
+  Metrics.set_gauge (Metrics.gauge reg "ratio_gauge") Float.nan;
+  let h =
+    Metrics.histogram reg "lat_seconds" ~help:"latency" ~lo:0.001 ~growth:10.0 ~buckets:4
+  in
+  Metrics.observe h 0.0005;
+  Metrics.observe h 0.05;
+  Metrics.observe h 2.0;
+  let actual = Metrics.expose reg in
+  let golden =
+    In_channel.with_open_bin "data/metrics_exposition.golden" In_channel.input_all
+  in
+  if actual <> golden then
+    Alcotest.failf "exposition drifted from golden:\n--- actual ---\n%s--- golden ---\n%s" actual
+      golden
+
 (* ------------------------------------------------------------------ *)
 (* Timed interceptor + Instrument satellite                             *)
 (* ------------------------------------------------------------------ *)
@@ -523,6 +550,7 @@ let suite =
         Alcotest.test_case "metrics exact under 4 domains" `Quick test_metrics_concurrent_domains;
         Alcotest.test_case "prometheus exposition" `Quick test_expose_format;
         Alcotest.test_case "prometheus label escaping" `Quick test_expose_label_escaping;
+        Alcotest.test_case "prometheus exposition golden file" `Quick test_expose_golden;
         Alcotest.test_case "timed backend cells" `Quick test_timed_backend_cells;
         Alcotest.test_case "instrument decode + reset" `Quick test_instrument_decode_and_reset;
         Alcotest.test_case "calibrate round trip" `Quick test_calibrate_roundtrip;

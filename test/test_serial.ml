@@ -317,6 +317,158 @@ let test_keys_roundtrip_and_remote_eval () =
   in
   Alcotest.(check bool) "rotated square" true (Complexv.max_abs_diff expected got < 1e-2)
 
+(* --- networked serving frames (REQ1 / RSP1 / HLTH, DESIGN.md §12) ---
+   the socket protocol rides the same integrity envelope as the ciphertext
+   frames, so it inherits the same obligations: bijective roundtrips for
+   every payload (including the full typed error taxonomy), and a typed
+   [Serial.Corrupt] — never an escaping exception or garbage parse — for
+   every truncation and every flipped bit. *)
+
+module Herr = Chet_herr.Herr
+
+let sample_request =
+  {
+    Serial.rq_id = 7;
+    rq_seed = 1234;
+    rq_deadline_ms = 2500.0;
+    rq_shape = [| 1; 4; 4 |];
+    rq_image = Array.init 16 (fun i -> (float_of_int i /. 8.0) -. 1.0);
+  }
+
+let sample_errors : Herr.error list =
+  [
+    Herr.Scale_mismatch { expected = 1024.0; got = 2048.0 };
+    Herr.Level_mismatch { expected = 3; got = 1 };
+    Herr.Modulus_exhausted { level = 0; requested = 1 };
+    Herr.Slot_overflow { slots = 8; requested = 16 };
+    Herr.Illegal_rescale { divisor = 3; reason = "not a chain prime" };
+    Herr.Numeric_blowup { slot = 5; value = 1e30 };
+    Herr.Corrupt_ciphertext { reason = "decode magnitude" };
+    Herr.Shape_mismatch { expected = "[1;4;4]"; got = "[1;2;2]" };
+    Herr.Missing_node { node_id = 12 };
+    Herr.Missing_rotation_key { amount = -3 };
+    Herr.Invalid_op { reason = "conv stride 0" };
+    Herr.Overloaded { queue_depth = 9; high_water = 8 };
+    Herr.Deadline_exceeded { budget_ms = 10.0; elapsed_ms = 11.5 };
+    Herr.Worker_crashed { worker = 1; reason = "Stack_overflow" };
+    Herr.Corrupt_bundle { path = "gen-000001/meta"; reason = "checksum" };
+    Herr.Corrupt_frame { frame = "REQ1"; reason = "truncated" };
+  ]
+
+let sample_response_ok =
+  {
+    Serial.rs_id = 7;
+    rs_shard = 1;
+    rs_served_by = "primary";
+    rs_degraded = false;
+    rs_attempts = 2;
+    rs_result = Ok ([| 1; 10 |], Array.init 10 (fun i -> float_of_int i *. 0.5));
+  }
+
+let sample_response_err err =
+  {
+    Serial.rs_id = 8;
+    rs_shard = 0;
+    rs_served_by = "";
+    rs_degraded = true;
+    rs_attempts = 3;
+    rs_result =
+      Error (err, { Herr.op = "mul"; backend = "checked"; node_id = Some 4; layer = Some "conv1" });
+  }
+
+let sample_health =
+  Serial.Health_report
+    {
+      hr_uptime_s = 12.5;
+      hr_shards =
+        [
+          { Serial.hs_shard = 0; hs_pid = 100; hs_up = true; hs_restarts = 0; hs_last_error = "" };
+          {
+            Serial.hs_shard = 1;
+            hs_pid = 101;
+            hs_up = false;
+            hs_restarts = 3;
+            hs_last_error = "killed by signal 9";
+          };
+        ];
+    }
+
+let frame_bytes write v =
+  let w = Serial.writer () in
+  write w v;
+  Serial.contents w
+
+let test_wire_request_roundtrip () =
+  let back = Serial.read_request (Serial.reader (frame_bytes Serial.write_request sample_request)) in
+  Alcotest.(check bool) "request roundtrip" true (back = sample_request)
+
+let test_wire_response_roundtrip () =
+  let back =
+    Serial.read_response (Serial.reader (frame_bytes Serial.write_response sample_response_ok))
+  in
+  Alcotest.(check bool) "ok response roundtrip" true (back = sample_response_ok);
+  (* the error codec must be bijective across the ENTIRE taxonomy: a client
+     must receive exactly the typed error the shard raised *)
+  List.iter
+    (fun err ->
+      let rsp = sample_response_err err in
+      let back = Serial.read_response (Serial.reader (frame_bytes Serial.write_response rsp)) in
+      if back <> rsp then
+        Alcotest.failf "error variant %s did not roundtrip" (Herr.error_name err))
+    sample_errors
+
+let test_wire_health_roundtrip () =
+  List.iter
+    (fun h ->
+      let back = Serial.read_health (Serial.reader (frame_bytes Serial.write_health h)) in
+      Alcotest.(check bool) "health roundtrip" true (back = h))
+    [
+      Serial.Health_ping;
+      Serial.Health_kill 1;
+      sample_health;
+      Serial.Health_ack { ha_ok = false; ha_detail = "no shard 9" };
+    ]
+
+let fuzz_frame name full read_back =
+  for cut = 0 to String.length full - 1 do
+    match read_back (String.sub full 0 cut) with
+    | _ -> Alcotest.failf "%s: truncation at offset %d accepted" name cut
+    | exception Serial.Corrupt _ -> ()
+  done;
+  let state = ref 0x5eed1234 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  for _trial = 1 to 256 do
+    let bit = next () mod (String.length full * 8) in
+    let bytes = Bytes.of_string full in
+    let i = bit / 8 in
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (bit mod 8))));
+    match read_back (Bytes.to_string bytes) with
+    | _ -> Alcotest.failf "%s: bit flip at %d accepted" name bit
+    | exception Serial.Corrupt _ -> ()
+  done
+
+let test_fuzz_wire_request () =
+  fuzz_frame "REQ1"
+    (frame_bytes Serial.write_request sample_request)
+    (fun s -> Serial.read_request (Serial.reader s))
+
+let test_fuzz_wire_response () =
+  fuzz_frame "RSP1"
+    (frame_bytes Serial.write_response sample_response_ok)
+    (fun s -> Serial.read_response (Serial.reader s));
+  fuzz_frame "RSP1-err"
+    (frame_bytes Serial.write_response
+       (sample_response_err (Herr.Deadline_exceeded { budget_ms = 1.0; elapsed_ms = 2.0 })))
+    (fun s -> Serial.read_response (Serial.reader s))
+
+let test_fuzz_wire_health () =
+  fuzz_frame "HLTH"
+    (frame_bytes Serial.write_health sample_health)
+    (fun s -> Serial.read_health (Serial.reader s))
+
 let suite =
   [
     ( "serial",
@@ -338,5 +490,12 @@ let suite =
         Alcotest.test_case "trailing garbage in frame" `Quick test_trailing_garbage_in_frame_rejected;
         Alcotest.test_case "client/server loopback" `Quick test_loopback_protocol;
         Alcotest.test_case "key bundle + remote evaluation" `Quick test_keys_roundtrip_and_remote_eval;
+        Alcotest.test_case "wire request roundtrip (REQ1)" `Quick test_wire_request_roundtrip;
+        Alcotest.test_case "wire response + full error taxonomy (RSP1)" `Quick
+          test_wire_response_roundtrip;
+        Alcotest.test_case "wire health roundtrip (HLTH)" `Quick test_wire_health_roundtrip;
+        Alcotest.test_case "fuzz: REQ1 truncation + bit flips" `Quick test_fuzz_wire_request;
+        Alcotest.test_case "fuzz: RSP1 truncation + bit flips" `Quick test_fuzz_wire_response;
+        Alcotest.test_case "fuzz: HLTH truncation + bit flips" `Quick test_fuzz_wire_health;
       ] );
   ]

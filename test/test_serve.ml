@@ -398,6 +398,98 @@ let test_service_state_roundtrip () =
       | Error (Herr.Corrupt_bundle _) -> ()
       | Error e -> Alcotest.failf "wrong error class: %s" (Herr.error_name e))
 
+(* --- half-open probe discipline (DESIGN.md §12 / ISSUE 6 satellite) ----
+   While [Half_open], at most one probe may be outstanding — two concurrent
+   admissions would double-tap a deployment that just demonstrated failure.
+   Hammered from 2 domains racing on the Open->Half_open transition. *)
+
+let test_breaker_half_open_single_probe_2domains () =
+  for _round = 1 to 100 do
+    let t = ref 0.0 in
+    let b = Breaker.create ~threshold:1 ~cooldown:1.0 ~now:(fun () -> !t) () in
+    Breaker.record_failure b;
+    Alcotest.(check bool) "tripped" true (Breaker.state b = Breaker.Open);
+    t := 2.0 (* past cooldown: the next allow() transitions to Half_open *);
+    let ready = Atomic.make 0 in
+    let admitted = Atomic.make 0 in
+    let racer () =
+      Atomic.incr ready;
+      while Atomic.get ready < 2 do
+        Domain.cpu_relax ()
+      done;
+      if Breaker.allow b then Atomic.incr admitted
+    in
+    let d1 = Domain.spawn racer in
+    let d2 = Domain.spawn racer in
+    Domain.join d1;
+    Domain.join d2;
+    Alcotest.(check int) "exactly one probe admitted" 1 (Atomic.get admitted);
+    Alcotest.(check bool) "loser observes Half_open" true (Breaker.state b = Breaker.Half_open);
+    Alcotest.(check bool) "budget spent until a verdict" false (Breaker.allow b)
+  done
+
+let test_breaker_probe_release () =
+  let t = ref 0.0 in
+  let b = Breaker.create ~threshold:1 ~cooldown:1.0 ~now:(fun () -> !t) () in
+  Breaker.record_failure b;
+  t := 2.0;
+  Alcotest.(check bool) "probe admitted" true (Breaker.allow b);
+  Alcotest.(check bool) "second refused" false (Breaker.allow b);
+  (* the probe reached no verdict (its request's deadline fired before any
+     attempt finished): without release the rung could never be probed again *)
+  Breaker.release b;
+  Alcotest.(check bool) "slot returned, next probe admitted" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check bool) "healthy probe closes" true (Breaker.state b = Breaker.Closed);
+  (* release outside Half_open is a no-op, not an underflow *)
+  Breaker.release b;
+  Alcotest.(check bool) "closed still allows" true (Breaker.allow b)
+
+(* --- graceful drain (SIGTERM protocol, automated) ----------------------
+   The four assertions of the shutdown contract, previously only exercised
+   end-to-end by scripts: in-flight requests complete, new submissions are
+   refused with a typed [Overloaded], the learned state persists, and drain
+   reports completion (the worker's cue to exit 0). *)
+
+let test_graceful_drain () =
+  let gate = Atomic.make false in
+  let gated_dep =
+    dep (fun ~req_seed:_ ~attempt:_ ->
+        while not (Atomic.get gate) do
+          Unix.sleepf 0.001
+        done;
+        clear_backend ())
+  in
+  let cfg = quick_cfg ~domains:2 () in
+  with_service cfg [ gated_dep ] (fun svc ->
+      let t1 = Service.submit svc ~seed:1 (image 1) in
+      let t2 = Service.submit svc ~seed:2 (image 2) in
+      Alcotest.(check int) "both admitted" 2 (Service.inflight svc);
+      Service.begin_drain svc;
+      Alcotest.(check bool) "draining" true (Service.is_draining svc);
+      (* (2) new admissions are refused with the typed shed vocabulary *)
+      let refused = Service.infer svc ~seed:3 (image 3) in
+      (match refused.Service.out_result with
+      | Error (Herr.Overloaded _, _) -> ()
+      | Ok _ -> Alcotest.fail "admission during drain"
+      | Error (e, _) -> Alcotest.failf "wrong refusal class: %s" (Herr.error_name e));
+      (* with the gate still down nothing can finish: drain must time out *)
+      Alcotest.(check bool) "drain honest about live work" false
+        (Service.drain svc ~timeout_ms:50.0);
+      Atomic.set gate true;
+      (* (4) ... and report completion once the in-flight work lands *)
+      Alcotest.(check bool) "drain completes" true (Service.drain svc ~timeout_ms:10_000.0);
+      Alcotest.(check int) "nothing in flight" 0 (Service.inflight svc);
+      (* (1) the admitted requests ran to real outcomes *)
+      ignore (ok_tensor "in-flight #1 completed" (Service.await svc t1));
+      ignore (ok_tensor "in-flight #2 completed" (Service.await svc t2));
+      (* (3) state persists at exactly this point, as the worker would *)
+      let state = Service.state_to_string svc in
+      with_service cfg [ clean_dep () ] (fun svc2 ->
+          match Service.restore_state svc2 state with
+          | Ok n -> Alcotest.(check int) "state restorable" 1 n
+          | Error e -> Alcotest.failf "persisted state rejected: %s" (Herr.error_name e)))
+
 let suite =
   [
     ( "serve",
@@ -420,5 +512,11 @@ let suite =
           test_breaker_snapshot_restore;
         Alcotest.test_case "service state persists across restart" `Quick
           test_service_state_roundtrip;
+        Alcotest.test_case "breaker: half-open admits exactly one probe (2 domains)" `Quick
+          test_breaker_half_open_single_probe_2domains;
+        Alcotest.test_case "breaker: abandoned probe releases its slot" `Quick
+          test_breaker_probe_release;
+        Alcotest.test_case "graceful drain: finish, refuse typed, persist" `Quick
+          test_graceful_drain;
       ] );
   ]
