@@ -163,6 +163,7 @@ let serve_sweep ?(domains = 2) ?(burst = 48) ~high_waters () =
       dep_degraded = false;
       dep_scales = opts.Compiler.scales;
       dep_policy = compiled.Compiler.policy;
+      dep_cost_ms = None;
       dep_backend =
         (fun ~req_seed:_ ~attempt:_ ->
           Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false });

@@ -557,8 +557,8 @@ let serve_cmd =
             let factory, _scheme =
               Bundle.restore_factory l.Bundle.l_bundle ~with_secret:true
             in
-            Service.ladder_of_factory compiled ~factory ()
-        | None -> Service.ladder_of_compiled compiled ~seed ~with_secret:true ()
+            Service.ladder_of_factory compiled ~factory ~predict_cost:true ()
+        | None -> Service.ladder_of_compiled compiled ~seed ~with_secret:true ~predict_cost:true ()
       else begin
         (* cleartext twin of the deployment ladder: same circuit, policy and
            scales, with seeded fault injection on the primary rung so the
@@ -582,6 +582,7 @@ let serve_cmd =
             dep_degraded = false;
             dep_scales = opts.Compiler.scales;
             dep_policy = compiled.Compiler.policy;
+            dep_cost_ms = None;
             dep_backend = primary_backend;
           };
           {
@@ -589,6 +590,7 @@ let serve_cmd =
             dep_degraded = true;
             dep_scales = opts.Compiler.scales;
             dep_policy = compiled.Compiler.policy;
+            dep_cost_ms = None;
             dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
           };
         ]
@@ -804,7 +806,15 @@ let shard_worker_cmd =
       & opt (enum [ ("none", `None); ("transient", `Transient); ("persistent", `Persistent) ]) `None
       & info [ "fault" ] ~doc:"Inject NaN-poison faults into the primary rung (as `chet serve').")
   in
-  let run model target listen shard domains queue_hw max_inflight fault state_dir seed =
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slow-ms" ]
+          ~doc:
+            "Artificially sleep this long inside every primary-rung attempt — makes this shard a \
+             predictable straggler for hedging demos (scripts/hedge_smoke.sh).")
+  in
+  let run model target listen shard domains queue_hw max_inflight fault slow_ms state_dir seed =
     let addr = parse_addr listen in
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
@@ -840,6 +850,7 @@ let shard_worker_cmd =
       Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false }
     in
     let primary_backend ~req_seed ~attempt =
+      if slow_ms > 0.0 then Unix.sleepf (slow_ms /. 1000.0);
       let armed =
         match fault with
         | `None -> None
@@ -859,6 +870,7 @@ let shard_worker_cmd =
           dep_degraded = false;
           dep_scales = opts.Compiler.scales;
           dep_policy = compiled.Compiler.policy;
+          dep_cost_ms = None;
           dep_backend = primary_backend;
         };
         {
@@ -866,6 +878,7 @@ let shard_worker_cmd =
           dep_degraded = true;
           dep_scales = opts.Compiler.scales;
           dep_policy = compiled.Compiler.policy;
+          dep_cost_ms = None;
           dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
         };
       ]
@@ -919,8 +932,12 @@ let shard_worker_cmd =
     Net_server.stop server;
     Service.shutdown svc;
     let st = Net_server.stats server in
-    Printf.printf "shard %d: graceful shutdown: drained=%b served=%d rejected=%d (corrupt=%d)\n%!"
-      shard drained st.Net_server.srv_served st.Net_server.srv_rejected st.Net_server.srv_corrupt;
+    Printf.printf
+      "shard %d: graceful shutdown: drained=%b served=%d rejected=%d (corrupt=%d) dedup=%d \
+       cancelled=%d\n\
+       %!"
+      shard drained st.Net_server.srv_served st.Net_server.srv_rejected st.Net_server.srv_corrupt
+      st.Net_server.srv_dedup_hits st.Net_server.srv_cancelled;
     exit 0
   in
   Cmd.v
@@ -931,7 +948,7 @@ let shard_worker_cmd =
           state; meant to be forked by `chet supervise' but runnable by hand")
     Term.(
       const run $ model_arg $ target_arg $ listen_arg $ shard_arg $ domains_arg $ queue_arg
-      $ inflight_arg $ fault_arg $ state_dir_arg $ net_seed_arg)
+      $ inflight_arg $ fault_arg $ slow_ms_arg $ state_dir_arg $ net_seed_arg)
 
 let supervise_cmd =
   let front_arg = addr_arg "front" ~doc:"Front-door address (REQ1 proxy + HLTH control)" in
@@ -955,7 +972,27 @@ let supervise_cmd =
           "none"
       & info [ "fault" ] ~doc:"Fault mode passed through to every shard worker.")
   in
-  let run model target front shards sock_dir domains queue_hw duration_s fault state_dir seed =
+  let hedge_ms_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "hedge-ms" ]
+          ~doc:
+            "Duplicate a request to a second healthy shard if the first has not answered within \
+             this many milliseconds; the loser is cancelled with a CNCL frame (0 = off).")
+  in
+  let slow_shard_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "slow-shard" ]
+          ~doc:"Pass --slow-ms to this one shard only (a deliberate straggler for hedging demos).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slow-ms" ] ~doc:"Per-attempt delay injected into the $(b,--slow-shard) worker.")
+  in
+  let run model target front shards sock_dir domains queue_hw duration_s fault hedge_ms slow_shard
+      slow_ms state_dir seed =
     let front_addr = parse_addr front in
     (try Unix.mkdir sock_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     let shard_addr i = Wire.Unix_sock (Filename.concat sock_dir (Printf.sprintf "shard-%d.sock" i)) in
@@ -972,15 +1009,25 @@ let supervise_cmd =
           "--seed"; string_of_int seed;
         ]
       in
+      let with_slow =
+        if shard = slow_shard && slow_ms > 0.0 then
+          base @ [ "--slow-ms"; string_of_float slow_ms ]
+        else base
+      in
       let with_store =
         match state_dir with
-        | None -> base
+        | None -> with_slow
         | Some d ->
-            base @ [ "--state-dir"; Filename.concat d (Printf.sprintf "shard-%d" shard) ]
+            with_slow @ [ "--state-dir"; Filename.concat d (Printf.sprintf "shard-%d" shard) ]
       in
       Array.of_list with_store
     in
-    let cfg = Supervisor.default_config ~shards ~shard_addr ~front_addr in
+    let cfg =
+      {
+        (Supervisor.default_config ~shards ~shard_addr ~front_addr) with
+        Supervisor.sup_hedge_delay_s = hedge_ms /. 1000.0;
+      }
+    in
     let sup = Supervisor.start ~spawn:(Supervisor.exec_spawn ~argv_for) cfg in
     if not (Supervisor.await_ready sup ~timeout_s:60.0 ()) then
       Printf.eprintf "chet: supervisor: not all shards became ready within 60s; serving anyway\n";
@@ -1013,7 +1060,8 @@ let supervise_cmd =
           down shards. The front door also answers HLTH control frames (ping / report / kill N)")
     Term.(
       const run $ model_arg $ target_arg $ front_arg $ shards_arg $ sock_dir_arg $ domains_arg
-      $ queue_arg $ duration_arg $ fault_arg $ state_dir_arg $ net_seed_arg)
+      $ queue_arg $ duration_arg $ fault_arg $ hedge_ms_arg $ slow_shard_arg $ slow_ms_arg
+      $ state_dir_arg $ net_seed_arg)
 
 let loadgen_cmd =
   let addr_arg = addr_arg "addr" ~doc:"Target address (a shard, or the supervisor front door)" in

@@ -286,14 +286,25 @@ let read_big_ciphertext r =
 
 module Herr = Chet_herr.Herr
 
-let wire_version = 1
+let wire_version = 2
 
 type wire_request = {
   rq_id : int;
+      (** client-assigned request id: the idempotency key the shard-side
+          dedupe cache and the CNCL cancel frame are keyed by *)
   rq_seed : int;  (** drives per-request encryption randomness in the shard *)
+  rq_hedge : int;
+      (** hedge generation: 0 = the original send, k = the k-th duplicate
+          launched after the hedge delay. Same id + different generation is
+          the same logical request; the answer must be bit-identical. *)
   rq_deadline_ms : float;
   rq_shape : int array;
   rq_image : float array;
+}
+
+type wire_cancel = {
+  cn_id : int;  (** request id (the client-assigned [rq_id]) to cancel *)
+  cn_reason : string;
 }
 
 type wire_response = {
@@ -384,6 +395,14 @@ let write_herr_error w (e : Herr.error) =
       write_int w 15;
       write_string w frame;
       write_string w reason
+  | Herr.Cancelled { node_id; reason } ->
+      write_int w 16;
+      (match node_id with
+      | None -> write_int w 0
+      | Some id ->
+          write_int w 1;
+          write_int w id);
+      write_string w reason
 
 let read_herr_error r : Herr.error =
   match read_int r with
@@ -439,6 +458,15 @@ let read_herr_error r : Herr.error =
       let frame = read_string r in
       let reason = read_string r in
       Herr.Corrupt_frame { frame; reason }
+  | 16 ->
+      let node_id =
+        match read_int r with
+        | 0 -> None
+        | 1 -> Some (read_int r)
+        | k -> raise (Corrupt (Printf.sprintf "bad cancel node-id flag %d" k))
+      in
+      let reason = read_string r in
+      Herr.Cancelled { node_id; reason }
   | k -> raise (Corrupt (Printf.sprintf "unknown error code %d" k))
 
 let write_herr_context w (c : Herr.context) =
@@ -498,6 +526,7 @@ let write_request w (q : wire_request) =
       write_int w wire_version;
       write_int w q.rq_id;
       write_int w q.rq_seed;
+      write_int w q.rq_hedge;
       write_float w q.rq_deadline_ms;
       write_tensor_parts w q.rq_shape q.rq_image)
 
@@ -508,11 +537,36 @@ let read_request r =
         raise (Corrupt (Printf.sprintf "unsupported wire version %d" version));
       let rq_id = read_int r in
       let rq_seed = read_int r in
+      let rq_hedge = read_int r in
+      (* hedge generations are tiny by construction (one duplicate per hedge
+         delay); a large value is a mangled frame, not a fleet of hedges *)
+      if rq_hedge < 0 || rq_hedge > 64 then raise (Corrupt "implausible hedge generation");
       let rq_deadline_ms = read_float r in
       if not (Float.is_finite rq_deadline_ms) || rq_deadline_ms < 0.0 then
         raise (Corrupt "implausible deadline");
       let rq_shape, rq_image = read_tensor_parts r in
-      { rq_id; rq_seed; rq_deadline_ms; rq_shape; rq_image })
+      { rq_id; rq_seed; rq_hedge; rq_deadline_ms; rq_shape; rq_image })
+
+(* CNCL: the control frame that cancels an in-flight request by its
+   client-assigned id (DESIGN.md §13) — sent by a hedging front end to the
+   losing shard, or by any client whose caller hung up. The answer is an
+   HLTH [Health_ack]: ok = the request was found in flight and its token
+   tripped; not-ok = already answered, never seen, or evicted. *)
+let write_cancel w (c : wire_cancel) =
+  write_frame w "CNCL" (fun w ->
+      write_int w wire_version;
+      write_int w c.cn_id;
+      write_string w c.cn_reason)
+
+let read_cancel r =
+  read_frame r "CNCL" (fun r ->
+      let version = read_int r in
+      if version <> wire_version then
+        raise (Corrupt (Printf.sprintf "unsupported wire version %d" version));
+      let cn_id = read_int r in
+      let cn_reason = read_string r in
+      if String.length cn_reason > 4096 then raise (Corrupt "implausible cancel reason");
+      { cn_id; cn_reason })
 
 let write_response w (s : wire_response) =
   write_frame w "RSP1" (fun w ->

@@ -109,10 +109,21 @@ val wire_version : int
 
 type wire_request = {
   rq_id : int;
+      (** client-assigned request id: the idempotency key the shard-side
+          dedupe cache and the [CNCL] cancel frame are keyed by *)
   rq_seed : int;  (** drives the shard's per-request encryption randomness *)
+  rq_hedge : int;
+      (** hedge generation: [0] = the original send, [k] = the k-th
+          duplicate launched after the hedge delay. Same id + different
+          generation is the same logical request. *)
   rq_deadline_ms : float;
   rq_shape : int array;
   rq_image : float array;
+}
+
+type wire_cancel = {
+  cn_id : int;  (** request id (the client-assigned [rq_id]) to cancel *)
+  cn_reason : string;
 }
 
 type wire_response = {
@@ -153,3 +164,10 @@ val write_response : writer -> wire_response -> unit
 val read_response : reader -> wire_response
 val write_health : writer -> wire_health -> unit
 val read_health : reader -> wire_health
+
+val write_cancel : writer -> wire_cancel -> unit
+
+val read_cancel : reader -> wire_cancel
+(** [CNCL] control frame (DESIGN.md §13): trips the cancel token of the
+    in-flight request carrying this id. Answered with an HLTH [Health_ack]
+    whose [ha_ok] says whether the request was found in flight. *)

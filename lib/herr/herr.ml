@@ -77,6 +77,14 @@ type error =
           or a truncated/torn transmission. The connection's byte stream
           can no longer be trusted to be in sync, so the peer answers with
           this typed rejection and closes — never hangs or parses on. *)
+  | Cancelled of { node_id : int option; reason : string }
+      (** A cooperative cancel token tripped while the request was running:
+          the caller abandoned it, a hedge sibling won, a CNCL frame asked
+          for it, or its deadline passed mid-circuit. [node_id] is the
+          circuit node at whose boundary the executor noticed the trip —
+          the work completed up to there was kept honest, everything after
+          was saved. Not retryable: the requester no longer wants the
+          answer. *)
 
 type context = {
   op : string;  (** HISA/kernel operation, e.g. ["mul"], ["conv2d"] *)
@@ -109,6 +117,7 @@ let error_name = function
   | Worker_crashed _ -> "worker crashed"
   | Corrupt_bundle _ -> "corrupt bundle"
   | Corrupt_frame _ -> "corrupt frame"
+  | Cancelled _ -> "cancelled"
 
 let error_detail = function
   | Scale_mismatch { expected; got } -> Printf.sprintf "expected scale %.6g, got %.6g" expected got
@@ -131,6 +140,10 @@ let error_detail = function
   | Worker_crashed { worker; reason } -> Printf.sprintf "worker %d: %s" worker reason
   | Corrupt_bundle { path; reason } -> Printf.sprintf "%s: %s" path reason
   | Corrupt_frame { frame; reason } -> Printf.sprintf "%s: %s" frame reason
+  | Cancelled { node_id; reason } -> (
+      match node_id with
+      | Some id -> Printf.sprintf "cancelled at node %d: %s" id reason
+      | None -> Printf.sprintf "cancelled: %s" reason)
 
 (* One line, grep-able, front-loaded with the coordinates a human needs:
    where (node/layer), what op, which backend, which invariant, details. *)

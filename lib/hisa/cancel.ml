@@ -1,0 +1,4 @@
+(* Re-export so layers above the HISA (runtime executor, serving stack) can
+   share one cancel-token type without depending on [Chet_herr] directly —
+   mirroring how [Herr] itself is re-exported here. *)
+include Chet_herr.Cancel

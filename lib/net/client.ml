@@ -170,3 +170,29 @@ let health ?(deadline_s = 5.0) addr (msg : Serial.wire_health) :
                   | exception Serial.Corrupt reason -> Error reason)))
 
 let ping ?deadline_s addr = health ?deadline_s addr Serial.Health_ping
+
+(* Send a CNCL control frame: trip the cancel token of the in-flight request
+   carrying [id] on the peer. [Ok found] says whether the peer had it in
+   flight — [Ok false] is the common benign race (the request already
+   finished, or never reached that shard). Never retried: cancellation is
+   advisory, and a lost cancel costs at most the work it tried to save. *)
+let cancel ?(deadline_s = 5.0) addr ~id ~reason : (bool, string) result =
+  match Wire.connect addr with
+  | Error f -> Error (Wire.fault_name f)
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> Wire.close_noerr fd)
+        (fun () ->
+          let deadline = Wire.now () +. deadline_s in
+          let w = Serial.writer () in
+          Serial.write_cancel w { Serial.cn_id = id; cn_reason = reason };
+          match Wire.send_frame fd (Serial.contents w) ~deadline with
+          | Error f -> Error (Wire.fault_name f)
+          | Ok () -> (
+              match Wire.recv_frame fd ~deadline with
+              | Error f -> Error (Wire.fault_name f)
+              | Ok reply -> (
+                  match Serial.read_health (Serial.reader reply) with
+                  | Serial.Health_ack { ha_ok; _ } -> Ok ha_ok
+                  | _ -> Error "unexpected CNCL acknowledgement"
+                  | exception Serial.Corrupt reason -> Error reason)))

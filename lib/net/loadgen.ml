@@ -118,6 +118,7 @@ let run cfg : results =
           {
             Serial.rq_id = i;
             rq_seed = cfg.lg_seed + i;
+            rq_hedge = 0;
             rq_deadline_ms = cfg.lg_deadline_ms;
             rq_shape = cfg.lg_shape;
             rq_image = image_for cfg i;

@@ -6,6 +6,11 @@
    connection threads only shuttle frames, so plain threads (which interleave
    on one domain) are the right tool.
 
+   Beyond REQ1, a connection may carry CNCL control frames (trip the cancel
+   token of an in-flight request by id) — and duplicate REQ1 ids are
+   answered bit-identically from a bounded dedupe cache (DESIGN.md §13), so
+   client retries and supervisor hedges are idempotent.
+
    Rejections are *answers*, not dropped connections:
    - over [max_inflight] admitted-but-unanswered requests, or a service
      draining/shedding -> typed [Overloaded] RSP1;
@@ -26,8 +31,18 @@ type config = {
   srv_shard : int;  (** stamped into every RSP1 this server answers *)
   srv_max_frame : int;
   srv_max_inflight : int;  (** concurrent requests admitted past the socket *)
-  srv_read_deadline_s : float;  (** per-frame receive budget (also idle timeout) *)
+  srv_read_deadline_s : float;
+      (** per-frame receive budget: once a frame's first byte has arrived,
+          the rest must land within this — a violation is a transport fault
+          (the stream boundary is lost) answered with a typed goodbye *)
+  srv_idle_timeout_s : float;
+      (** how long a connection may sit quiet *between* frames before the
+          server closes it — a benign hang-up, not a fault. Distinct from
+          [srv_read_deadline_s]: conflating the two forces the frame budget
+          up to whatever client think-time must be tolerated *)
   srv_write_deadline_s : float;
+  srv_dedup_cap : int;
+      (** entries in the request-id dedupe cache; [0] disables caching *)
 }
 
 let default_config ?(shard = 0) addr =
@@ -37,7 +52,9 @@ let default_config ?(shard = 0) addr =
     srv_max_frame = Wire.default_max_frame;
     srv_max_inflight = 64;
     srv_read_deadline_s = 30.0;
+    srv_idle_timeout_s = 120.0;
     srv_write_deadline_s = 10.0;
+    srv_dedup_cap = 256;
   }
 
 type stats = {
@@ -45,7 +62,75 @@ type stats = {
   srv_served : int;  (** RSP1 answers carrying [Ok] *)
   srv_rejected : int;  (** RSP1 answers carrying a typed error *)
   srv_corrupt : int;  (** of those, [Corrupt_frame] rejections *)
+  srv_dedup_hits : int;  (** REQ1s answered bit-identically from the dedupe cache *)
+  srv_cancelled : int;  (** CNCL frames that found their request in flight *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Request-id dedupe cache (DESIGN.md §13)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded LRU keyed by the client-assigned [rq_id], holding the exact RSP1
+   bytes of a *successful* answer. A retry or hedge duplicate of an
+   already-served request is answered from here — bit-identical, no second
+   execution. Failures are never cached (the retry deserves a fresh
+   attempt), and neither is the parse-failure id [-1].
+
+   LRU via lazy eviction: every access stamps the id and enqueues
+   (id, stamp); eviction pops until it finds a node whose stamp is still
+   current. Stale nodes cost O(1) each and are bounded by the number of
+   accesses, not entries. *)
+type dedup = {
+  dd_cap : int;
+  dd_mutex : Mutex.t;
+  dd_entries : (int, string) Hashtbl.t;
+  dd_stamps : (int, int) Hashtbl.t;
+  dd_order : (int * int) Queue.t;
+  mutable dd_clock : int;
+}
+
+let dedup_create cap =
+  {
+    dd_cap = cap;
+    dd_mutex = Mutex.create ();
+    dd_entries = Hashtbl.create (Stdlib.max 16 cap);
+    dd_stamps = Hashtbl.create (Stdlib.max 16 cap);
+    dd_order = Queue.create ();
+    dd_clock = 0;
+  }
+
+let dedup_touch dd id =
+  dd.dd_clock <- dd.dd_clock + 1;
+  Hashtbl.replace dd.dd_stamps id dd.dd_clock;
+  Queue.push (id, dd.dd_clock) dd.dd_order
+
+let dedup_find dd id =
+  if dd.dd_cap = 0 then None
+  else
+    Mutex.protect dd.dd_mutex (fun () ->
+        match Hashtbl.find_opt dd.dd_entries id with
+        | Some bytes ->
+            dedup_touch dd id;
+            Some bytes
+        | None -> None)
+
+let dedup_store dd id bytes =
+  if dd.dd_cap > 0 && id >= 0 then
+    Mutex.protect dd.dd_mutex (fun () ->
+        Hashtbl.replace dd.dd_entries id bytes;
+        dedup_touch dd id;
+        let rec evict () =
+          if Hashtbl.length dd.dd_entries > dd.dd_cap then
+            match Queue.take_opt dd.dd_order with
+            | None -> ()
+            | Some (victim, stamp) ->
+                if Hashtbl.find_opt dd.dd_stamps victim = Some stamp then begin
+                  Hashtbl.remove dd.dd_entries victim;
+                  Hashtbl.remove dd.dd_stamps victim
+                end;
+                evict ()
+        in
+        evict ())
 
 type t = {
   cfg : config;
@@ -58,6 +143,15 @@ type t = {
   served : int Atomic.t;
   rejected : int Atomic.t;
   corrupt : int Atomic.t;
+  dedup_hits : int Atomic.t;
+  cancel_hits : int Atomic.t;
+  dedup : dedup;
+  (* rq_id -> ticket of every request currently between submit and outcome:
+     the lookup table a CNCL frame trips. Ids are client-assigned, so a
+     client reusing an id concurrently shadows its own earlier entry — its
+     own cancellation scope to lose. *)
+  pending : (int, Service.ticket) Hashtbl.t;
+  pending_mutex : Mutex.t;
   conns : (Unix.file_descr, unit) Hashtbl.t;
   conns_mutex : Mutex.t;
   mutable accept_thread : Thread.t option;
@@ -69,6 +163,8 @@ let stats t =
     srv_served = Atomic.get t.served;
     srv_rejected = Atomic.get t.rejected;
     srv_corrupt = Atomic.get t.corrupt;
+    srv_dedup_hits = Atomic.get t.dedup_hits;
+    srv_cancelled = Atomic.get t.cancel_hits;
   }
 
 let track t fd = Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns fd ())
@@ -122,11 +218,17 @@ let handle_request t (rq : Serial.wire_request) =
       ~finally:(fun () -> Atomic.decr t.inflight)
       (fun () ->
         let image = Tensor.of_array rq.Serial.rq_shape rq.Serial.rq_image in
-        let out =
-          Service.infer t.service ~deadline_ms:rq.Serial.rq_deadline_ms ~seed:rq.Serial.rq_seed
+        let ticket =
+          Service.submit t.service ~deadline_ms:rq.Serial.rq_deadline_ms ~seed:rq.Serial.rq_seed
             image
         in
-        response_of_outcome t ~id:rq.Serial.rq_id out)
+        (* visible to CNCL for exactly the submit->outcome window *)
+        Mutex.protect t.pending_mutex (fun () ->
+            Hashtbl.replace t.pending rq.Serial.rq_id ticket);
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.protect t.pending_mutex (fun () -> Hashtbl.remove t.pending rq.Serial.rq_id))
+          (fun () -> response_of_outcome t ~id:rq.Serial.rq_id (Service.await t.service ticket)))
   end
 
 (* One received frame -> one frame to send back, or None to close. *)
@@ -140,20 +242,59 @@ let answer t payload : string option =
   | "REQ1" -> (
       match Serial.read_request (Serial.reader payload) with
       | rq -> (
-          match handle_request t rq with
-          | rsp -> reply_response rsp
-          | exception e ->
-              (* a bug in the serving path must still answer the wire *)
-              reply_response
-                (error_response t ~id:rq.Serial.rq_id
-                   (Herr.Worker_crashed { worker = t.cfg.srv_shard; reason = Printexc.to_string e })
-                   "serve"))
+          (* idempotency: a duplicate of an already-served id — a client
+             retry after a lost response, or a hedge sibling — is answered
+             from the cache with the exact bytes of the first answer, so
+             duplicates are bit-identically safe and execute zero work *)
+          match dedup_find t.dedup rq.Serial.rq_id with
+          | Some bytes ->
+              Atomic.incr t.dedup_hits;
+              Some bytes
+          | None -> (
+              match handle_request t rq with
+              | rsp ->
+                  let w = Serial.writer () in
+                  Serial.write_response w rsp;
+                  let bytes = Serial.contents w in
+                  (* only successes: a failed request must stay retryable *)
+                  (match rsp.Serial.rs_result with
+                  | Ok _ -> dedup_store t.dedup rq.Serial.rq_id bytes
+                  | Error _ -> ());
+                  Some bytes
+              | exception e ->
+                  (* a bug in the serving path must still answer the wire *)
+                  reply_response
+                    (error_response t ~id:rq.Serial.rq_id
+                       (Herr.Worker_crashed
+                          { worker = t.cfg.srv_shard; reason = Printexc.to_string e })
+                       "serve")))
       | exception Serial.Corrupt reason ->
           reply_response
             (error_response t ~id:(-1) (Herr.Corrupt_frame { frame = "REQ1"; reason }) "recv")
       | exception Invalid_argument reason ->
           reply_response
             (error_response t ~id:(-1) (Herr.Corrupt_frame { frame = "REQ1"; reason }) "recv"))
+  | "CNCL" -> (
+      match Serial.read_cancel (Serial.reader payload) with
+      | cn ->
+          let found =
+            match
+              Mutex.protect t.pending_mutex (fun () -> Hashtbl.find_opt t.pending cn.Serial.cn_id)
+            with
+            | Some ticket ->
+                Service.cancel ticket ~reason:cn.Serial.cn_reason;
+                true
+            | None -> false
+          in
+          if found then Atomic.incr t.cancel_hits;
+          let w = Serial.writer () in
+          Serial.write_health w
+            (Serial.Health_ack
+               { ha_ok = found; ha_detail = (if found then "cancelled" else "not in flight") });
+          Some (Serial.contents w)
+      | exception Serial.Corrupt reason ->
+          reply_response
+            (error_response t ~id:(-1) (Herr.Corrupt_frame { frame = "CNCL"; reason }) "recv"))
   | "HLTH" -> (
       match Serial.read_health (Serial.reader payload) with
       | h ->
@@ -174,10 +315,13 @@ let conn_loop t fd =
     if Atomic.get t.stop_flag then ()
     else
       match
-        Wire.recv_frame ~max_frame:t.cfg.srv_max_frame fd
-          ~deadline:(Wire.now () +. t.cfg.srv_read_deadline_s)
+        Wire.recv_frame_idle ~max_frame:t.cfg.srv_max_frame fd
+          ~idle_deadline:(Wire.now () +. t.cfg.srv_idle_timeout_s)
+          ~frame_budget_s:t.cfg.srv_read_deadline_s
       with
-      | Error Wire.Closed -> ()
+      (* a quiet connection hanging up — or just quiet past the idle
+         timeout — is normal client behaviour, not a protocol fault *)
+      | Error (Wire.Closed | Wire.Idle) -> ()
       | Error ((Wire.Stalled | Wire.Oversized _ | Wire.Io _) as fault) ->
           (* best-effort typed goodbye; the stream is no longer in sync *)
           let err =
@@ -242,6 +386,11 @@ let start ?(health = default_health) cfg service =
       served = Atomic.make 0;
       rejected = Atomic.make 0;
       corrupt = Atomic.make 0;
+      dedup_hits = Atomic.make 0;
+      cancel_hits = Atomic.make 0;
+      dedup = dedup_create cfg.srv_dedup_cap;
+      pending = Hashtbl.create 64;
+      pending_mutex = Mutex.create ();
       conns = Hashtbl.create 16;
       conns_mutex = Mutex.create ();
       accept_thread = None;

@@ -9,7 +9,11 @@
    cannot monopolise the machine, and (c) keeping the front door honest
    while a shard is down: requests route to live shards through a
    per-shard circuit breaker, and when nothing is routable the client gets
-   a typed [Overloaded], never a hang.
+   a typed [Overloaded], never a hang. With [sup_hedge_delay_s] set, a slow
+   shard is raced: the request is duplicated to a second healthy shard
+   after the delay, the first acceptable answer wins, and the loser is
+   cancelled with a CNCL frame — shard-side request-id dedupe keeps the
+   duplicate bit-identically safe (DESIGN.md §13).
 
    Process management is injected ([spawn] returns pid/kill/poll closures)
    so the state machine is testable in-process with fake "processes"
@@ -58,6 +62,11 @@ type config = {
   sup_forward_deadline_s : float;  (** transport budget per forwarded request *)
   sup_breaker_threshold : int;
   sup_breaker_cooldown_s : float;
+  sup_hedge_delay_s : float;
+      (** hedged requests (DESIGN.md §13): if the routed shard has not
+          answered within this delay, duplicate the request to a second
+          breaker-healthy shard — first acceptable answer wins, the loser is
+          cancelled with a CNCL frame. [<= 0] disables hedging. *)
 }
 
 let default_config ~shards ~shard_addr ~front_addr =
@@ -73,6 +82,7 @@ let default_config ~shards ~shard_addr ~front_addr =
     sup_forward_deadline_s = 30.0;
     sup_breaker_threshold = 3;
     sup_breaker_cooldown_s = 1.0;
+    sup_hedge_delay_s = 0.0;
   }
 
 type shard = {
@@ -102,6 +112,9 @@ type t = {
   forwarded : Metrics.counter;
   routed_errors : Metrics.counter;
   unroutable : Metrics.counter;
+  hedges : Metrics.counter;
+  hedge_wins : Metrics.counter;
+  cancels_sent : Metrics.counter;
   mutable threads : Thread.t list;
 }
 
@@ -185,16 +198,19 @@ let monitor_loop t =
 (* ---- routing ---- *)
 
 (* Next live shard whose breaker admits, round-robin from the cursor; the
-   breaker slot is held by the caller (release on transport failure). *)
-let route t : shard option =
+   breaker slot is held by the caller (release on transport failure).
+   [exclude] skips one shard id — how a hedge finds a *different* shard. *)
+let route ?(exclude = -1) t : shard option =
   let n = Array.length t.shards in
   let start = Atomic.fetch_and_add t.rr 1 in
   let rec probe i =
     if i >= n then None
     else
       let sh = t.shards.((start + i) mod n) in
-      let candidate = with_lock t (fun () -> sh.sh_up) in
-      if candidate && Breaker.allow sh.sh_breaker then Some sh else probe (i + 1)
+      if sh.sh_id = exclude then probe (i + 1)
+      else
+        let candidate = with_lock t (fun () -> sh.sh_up) in
+        if candidate && Breaker.allow sh.sh_breaker then Some sh else probe (i + 1)
   in
   probe 0
 
@@ -219,7 +235,7 @@ let forward_once t sh (rq : Serial.wire_request) =
   in
   (Client.request cl rq).Client.rm_response
 
-let handle_request t (rq : Serial.wire_request) : Serial.wire_response =
+let handle_sequential t (rq : Serial.wire_request) : Serial.wire_response =
   (* try each routable shard once; a shard that answers — even with a typed
      FHE error — ends the search (that is the system's answer), while a
      transport fault or shard-side shed moves on to the next shard *)
@@ -239,22 +255,23 @@ let handle_request t (rq : Serial.wire_request) : Serial.wire_response =
             "no routable shard"
       | Some sh -> (
           match forward_once t sh rq with
-          | Ok rsp ->
-              let shard_failed =
-                match rsp.Serial.rs_result with
-                | Error ((Herr.Overloaded _ | Herr.Corrupt_frame _), _) -> true
-                | Ok _ | Error _ -> false
-              in
-              if shard_failed then begin
-                Breaker.record_failure sh.sh_breaker;
-                Metrics.incr t.routed_errors;
-                go (tried + 1)
-              end
-              else begin
-                Breaker.record_success sh.sh_breaker;
-                Metrics.incr t.forwarded;
-                { rsp with Serial.rs_shard = sh.sh_id }
-              end
+          | Ok rsp -> (
+              match rsp.Serial.rs_result with
+              | Error ((Herr.Overloaded _ | Herr.Corrupt_frame _), _) ->
+                  Breaker.record_failure sh.sh_breaker;
+                  Metrics.incr t.routed_errors;
+                  go (tried + 1)
+              | Error (Herr.Cancelled _, _) ->
+                  (* breaker-neutral: a cancelled answer says nothing about
+                     the shard's health, so the (possibly half-open) slot is
+                     handed back without a verdict *)
+                  Breaker.release sh.sh_breaker;
+                  Metrics.incr t.forwarded;
+                  { rsp with Serial.rs_shard = sh.sh_id }
+              | Ok _ | Error _ ->
+                  Breaker.record_success sh.sh_breaker;
+                  Metrics.incr t.forwarded;
+                  { rsp with Serial.rs_shard = sh.sh_id })
           | Error _ ->
               (* transport fault: the shard may be mid-crash; let the
                  monitor sort it out and try the next one *)
@@ -264,6 +281,151 @@ let handle_request t (rq : Serial.wire_request) : Serial.wire_response =
               go (tried + 1))
   in
   go 0
+
+(* ---- hedged requests (DESIGN.md §13) ---- *)
+
+(* Rendezvous between the coordinator and its forwarding legs: each leg
+   posts (shard id, raw result) under the mutex; the coordinator polls.
+   No timed condvar wait exists in the stdlib, so polling at 1 ms — against
+   inferences measured in tens of ms — is the repo-wide idiom. *)
+type hedge_cell = {
+  hc_mutex : Mutex.t;
+  mutable hc_results : (int * (Serial.wire_response, Herr.error * Herr.context) result) list;
+}
+
+(* One forwarding leg. The leg owns its breaker verdict (the coordinator may
+   have returned long before a losing leg resolves): answered = success,
+   shard-shed/corrupt or transport fault = failure, cancelled = neutral
+   (that is typically the loser we ourselves cancelled). *)
+let spawn_leg t sh (rq : Serial.wire_request) cell =
+  ignore
+    (Thread.create
+       (fun () ->
+         let res = forward_once t sh rq in
+         (match res with
+         | Ok { Serial.rs_result = Error ((Herr.Overloaded _ | Herr.Corrupt_frame _), _); _ } ->
+             Breaker.record_failure sh.sh_breaker
+         | Ok { Serial.rs_result = Error (Herr.Cancelled _, _); _ } ->
+             Breaker.release sh.sh_breaker
+         | Ok _ -> Breaker.record_success sh.sh_breaker
+         | Error _ ->
+             Breaker.record_failure sh.sh_breaker;
+             with_lock t (fun () -> sh.sh_up <- false));
+         Mutex.protect cell.hc_mutex (fun () ->
+             cell.hc_results <- (sh.sh_id, res) :: cell.hc_results))
+       ())
+
+(* Fire-and-forget CNCL to the losing shard: a lost cancel costs at most the
+   work it tried to save, so it gets its own thread and no retries. *)
+let cancel_loser t sh ~id =
+  Metrics.incr t.cancels_sent;
+  ignore
+    (Thread.create
+       (fun () ->
+         ignore
+           (Client.cancel ~deadline_s:t.cfg.sup_ping_deadline_s sh.sh_addr ~id
+              ~reason:"superseded"))
+       ())
+
+let handle_hedged t (rq : Serial.wire_request) : Serial.wire_response =
+  match route t with
+  | None ->
+      Metrics.incr t.unroutable;
+      reject ~id:rq.Serial.rq_id
+        (Herr.Overloaded { queue_depth = 0; high_water = 0 })
+        "no routable shard"
+  | Some primary ->
+      let cell = { hc_mutex = Mutex.create (); hc_results = [] } in
+      spawn_leg t primary rq cell;
+      let legs = ref [ primary ] in
+      let hedge_at = Wire.now () +. t.cfg.sup_hedge_delay_s in
+      (* hard stop: every leg bounds its transport at
+         [sup_forward_deadline_s], so results must land by then; the slack
+         covers the hedge launch offset *)
+      let give_up_at =
+        Wire.now () +. t.cfg.sup_hedge_delay_s +. t.cfg.sup_forward_deadline_s +. 5.0
+      in
+      let rec wait () =
+        let results = Mutex.protect cell.hc_mutex (fun () -> cell.hc_results) in
+        (* an acceptable answer: the shard actually spoke for the request —
+           not a shed/corrupt failover signal, not a cancelled loser *)
+        let win =
+          List.find_map
+            (fun (sid, res) ->
+              match res with
+              | Ok
+                  {
+                    Serial.rs_result =
+                      Error ((Herr.Overloaded _ | Herr.Corrupt_frame _ | Herr.Cancelled _), _);
+                    _;
+                  } ->
+                  None
+              | Ok rsp -> Some (sid, rsp)
+              | Error _ -> None)
+            results
+        in
+        match win with
+        | Some (sid, rsp) ->
+            Metrics.incr t.forwarded;
+            if List.length !legs > 1 && sid <> primary.sh_id then Metrics.incr t.hedge_wins;
+            (* first success wins: cancel every leg still in flight *)
+            List.iter
+              (fun sh ->
+                if sh.sh_id <> sid && not (List.mem_assoc sh.sh_id results) then
+                  cancel_loser t sh ~id:rq.Serial.rq_id)
+              !legs;
+            { rsp with Serial.rs_shard = sid }
+        | None ->
+            if List.length results >= List.length !legs then begin
+              (* every leg resolved and none was acceptable. A cancelled
+                 answer is final (the request's own token tripped); anything
+                 else — shed, corrupt, transport — is a failover signal, and
+                 the sequential path picks up where the race left off (safe:
+                 the request was never answered, and shard-side dedupe makes
+                 any re-forward idempotent). *)
+              match
+                List.find_map
+                  (fun (sid, res) ->
+                    match res with
+                    | Ok ({ Serial.rs_result = Error (Herr.Cancelled _, _); _ } as rsp) ->
+                        Some (sid, rsp)
+                    | _ -> None)
+                  results
+              with
+              | Some (sid, rsp) ->
+                  Metrics.incr t.forwarded;
+                  { rsp with Serial.rs_shard = sid }
+              | None ->
+                  Metrics.incr t.routed_errors;
+                  handle_sequential t rq
+            end
+            else if Wire.now () >= give_up_at then begin
+              Metrics.incr t.unroutable;
+              reject ~id:rq.Serial.rq_id
+                (Herr.Overloaded { queue_depth = 0; high_water = 0 })
+                "hedge legs unresponsive"
+            end
+            else begin
+              (if List.length !legs = 1 && List.length results = 0 && Wire.now () >= hedge_at
+               then
+                 (* primary is slow: launch the duplicate on a different
+                    breaker-healthy shard, stamped with the next hedge
+                    generation so shard logs can tell the twins apart *)
+                 match route ~exclude:primary.sh_id t with
+                 | Some second ->
+                     Metrics.incr t.hedges;
+                     legs := second :: !legs;
+                     spawn_leg t second { rq with Serial.rq_hedge = rq.Serial.rq_hedge + 1 } cell
+                 | None -> ());
+              Thread.delay 0.001;
+              wait ()
+            end
+      in
+      wait ()
+
+let handle_request t (rq : Serial.wire_request) : Serial.wire_response =
+  if t.cfg.sup_hedge_delay_s > 0.0 && Array.length t.shards > 1 then handle_hedged t rq
+  else handle_sequential t rq
 
 (* ---- control plane ---- *)
 
@@ -319,6 +481,33 @@ let answer t payload : string option =
           reply (fun w ->
               Serial.write_response w
                 (reject ~id:(-1) (Herr.Corrupt_frame { frame = "REQ1"; reason }) "recv")))
+  | "CNCL" -> (
+      (* front-door cancellation: the supervisor does not track which shard
+         holds a given request id (hedges mean it may be several), so the
+         frame is relayed to every live shard; any hit acks true *)
+      match Serial.read_cancel (Serial.reader payload) with
+      | cn ->
+          let hit = ref false in
+          Array.iter
+            (fun sh ->
+              if with_lock t (fun () -> sh.sh_up) then begin
+                Metrics.incr t.cancels_sent;
+                match
+                  Client.cancel ~deadline_s:t.cfg.sup_ping_deadline_s sh.sh_addr
+                    ~id:cn.Serial.cn_id ~reason:cn.Serial.cn_reason
+                with
+                | Ok true -> hit := true
+                | Ok false | Error _ -> ()
+              end)
+            t.shards;
+          reply (fun w ->
+              Serial.write_health w
+                (Serial.Health_ack
+                   { ha_ok = !hit; ha_detail = (if !hit then "cancelled" else "not in flight") }))
+      | exception Serial.Corrupt reason ->
+          reply (fun w ->
+              Serial.write_response w
+                (reject ~id:(-1) (Herr.Corrupt_frame { frame = "CNCL"; reason }) "recv")))
   | "HLTH" -> (
       match Serial.read_health (Serial.reader payload) with
       | h -> reply (fun w -> Serial.write_health w (handle_health t h))
@@ -412,6 +601,15 @@ let start ~(spawn : spawn) cfg =
       unroutable =
         Metrics.counter registry ~help:"requests rejected: no routable shard"
           "chet_sup_unroutable_total";
+      hedges =
+        Metrics.counter registry ~help:"duplicate requests launched after the hedge delay"
+          "chet_sup_hedges_total";
+      hedge_wins =
+        Metrics.counter registry ~help:"hedged requests won by the duplicate leg"
+          "chet_sup_hedge_wins_total";
+      cancels_sent =
+        Metrics.counter registry ~help:"CNCL frames sent to shards (hedge losers + relays)"
+          "chet_sup_cancels_sent_total";
       threads = [];
     }
   in

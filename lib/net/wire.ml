@@ -57,16 +57,29 @@ let default_max_frame = 16 * 1024 * 1024
 type fault =
   | Closed  (** peer closed (clean EOF or reset) *)
   | Stalled  (** deadline elapsed mid-read or mid-write *)
+  | Idle
+      (** no frame *started* before the idle deadline: the connection is
+          quiet, not broken — distinct from {!Stalled}, which means a frame
+          died mid-transmission *)
   | Oversized of int  (** declared frame length beyond the cap *)
   | Io of string  (** any other transport error, by name *)
 
 let fault_name = function
   | Closed -> "connection closed"
   | Stalled -> "deadline elapsed on socket"
+  | Idle -> "connection idle past timeout"
   | Oversized n -> Printf.sprintf "frame length %d over cap" n
   | Io msg -> msg
 
+(* A write to a peer-closed socket must surface as the typed [Closed] fault
+   ([write_all] maps EPIPE), not kill the process: hedging and cancellation
+   make benign peer hang-ups routine — a cancelled leg's client may close
+   while the shard is still answering. Forced once, on first socket use. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
 let listen ?(backlog = 64) addr =
+  Lazy.force ignore_sigpipe;
   (match addr with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ());
@@ -81,6 +94,7 @@ let listen ?(backlog = 64) addr =
   fd
 
 let connect addr : (Unix.file_descr, fault) result =
+  Lazy.force ignore_sigpipe;
   let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
   try
     Unix.connect fd (sockaddr_of addr);
@@ -176,6 +190,18 @@ let recv_frame ?(max_frame = default_max_frame) fd ~deadline : (string, fault) r
             Error (Io "truncated frame")
         | Error f -> Error f
         | Ok () -> Ok (Bytes.unsafe_to_string body))
+
+(* Receive one frame on a connection that may legitimately sit quiet between
+   requests: the wait for the frame's *first byte* is bounded by
+   [idle_deadline] (absolute; expiry is the benign [Idle], not [Stalled]),
+   and once transmission has started the whole frame must land within
+   [frame_budget_s] seconds. Separating the two clocks keeps "client is
+   thinking" (tolerated for the idle timeout) distinct from "client started
+   a frame and stalled" (a transport fault after which the stream boundary
+   is unknowable). *)
+let recv_frame_idle ?max_frame fd ~idle_deadline ~frame_budget_s : (string, fault) result =
+  if not (wait_ready fd `Read ~deadline:idle_deadline) then Error Idle
+  else recv_frame ?max_frame fd ~deadline:(now () +. frame_budget_s)
 
 (* Peek the Serial tag of a received frame without parsing it — the frame
    layout leads with its 4-character tag. *)

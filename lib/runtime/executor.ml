@@ -5,6 +5,7 @@
 
 module Hisa = Chet_hisa.Hisa
 module Herr = Chet_hisa.Herr
+module Cancel = Chet_hisa.Cancel
 module Circuit = Chet_nn.Circuit
 module Tensor = Chet_tensor.Tensor
 module Tracer = Chet_obs.Tracer
@@ -127,8 +128,13 @@ module Make (H : Hisa.S) = struct
 
   (* Run the circuit on an already-encrypted input tensor with an arbitrary
      per-node layout assignment (the exhaustive-search ablation uses this
-     directly; the four pruned policies go through {!run_encrypted}). *)
-  let run_encrypted_with cfg circuit ~kind_of (input : K.ct_tensor) =
+     directly; the four pruned policies go through {!run_encrypted}).
+
+     [cancel] is polled at every node boundary — the same granularity the
+     per-node spans hook — so a tripped token frees the worker within one
+     node instead of one full inference (DESIGN.md §13). The poll raises the
+     typed [Herr.Cancelled] carrying the node at which it fired. *)
+  let run_encrypted_with ?cancel cfg circuit ~kind_of (input : K.ct_tensor) =
     let values : (int, K.ct_tensor) Hashtbl.t = Hashtbl.create 64 in
     let raw_value (node : Circuit.node) =
       match Hashtbl.find_opt values node.Circuit.id with
@@ -143,6 +149,9 @@ module Make (H : Hisa.S) = struct
     in
     List.iter
       (fun (node : Circuit.node) ->
+        (match cancel with
+        | Some tok -> Cancel.check tok ~node_id:node.Circuit.id ~layer:(op_name node)
+        | None -> ());
         let kind = kind_of node in
         (* every failure below this point carries the circuit node and a
            human description of the layer that caused it *)
@@ -204,15 +213,15 @@ module Make (H : Hisa.S) = struct
       (Circuit.topo_order circuit);
     raw_value circuit.Circuit.output
 
-  let run_encrypted cfg circuit ~policy input =
-    run_encrypted_with cfg circuit ~kind_of:(assign policy circuit) input
+  let run_encrypted ?cancel cfg circuit ~policy input =
+    run_encrypted_with ?cancel cfg circuit ~kind_of:(assign policy circuit) input
 
   (* Full client–server roundtrip on a cleartext image: encrypt with the
      layout the policy assigns to the input, run, decrypt. *)
-  let run cfg circuit ~policy image =
+  let run ?cancel cfg circuit ~policy image =
     let kind_of = assign policy circuit in
     let meta = input_meta circuit ~kind:(kind_of circuit.Circuit.input) in
     let encrypted = K.encrypt_tensor cfg meta image in
-    let out = run_encrypted cfg circuit ~policy encrypted in
+    let out = run_encrypted ?cancel cfg circuit ~policy encrypted in
     K.decrypt_tensor out
 end

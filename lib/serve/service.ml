@@ -4,6 +4,7 @@
 
 module Herr = Chet_hisa.Herr
 module Hisa = Chet_hisa.Hisa
+module Cancel = Chet_hisa.Cancel
 module Clear = Chet_hisa.Clear_backend
 module Kernels = Chet_runtime.Kernels
 module Executor = Chet_runtime.Executor
@@ -21,6 +22,9 @@ type deployment = {
   dep_degraded : bool;
   dep_scales : Kernels.scales;
   dep_policy : Executor.layout_policy;
+  dep_cost_ms : float option;
+      (* calibrated cost-model prediction of one inference on this rung;
+         None = unknown, the rung is always admitted *)
   dep_backend : req_seed:int -> attempt:int -> Hisa.t;
 }
 
@@ -37,16 +41,30 @@ let reduced_scales (s : Kernels.scales) k =
   }
 
 let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_rungs = 1)
-    ?(clear_fallback = true) () =
+    ?(clear_fallback = true) ?(predict_cost = false) () =
   let scales = compiled.Compiler.opts.Compiler.scales in
   let policy = compiled.Compiler.policy in
+  (* the admission-control prediction comes for free: [compile] already
+     ranked every layout policy under the calibrated cost model, and the
+     chosen policy's report is the per-inference latency of the FHE rungs.
+     Reduced-scale rungs run the same op sequence at the same parameters, so
+     they share the estimate; the cleartext rung is orders of magnitude
+     cheaper than any FHE rung and is treated as always fitting. *)
+  let scheme_cost_ms =
+    if not predict_cost then None
+    else
+      List.find_map
+        (fun r ->
+          if r.Compiler.pr_policy = policy then Some (r.Compiler.pr_cost *. 1000.0) else None)
+        compiled.Compiler.reports
+  in
   (* different attempts of one request must not replay the identical
      encryption randomness (a deterministic corruption would simply recur),
      so the attempt index perturbs the per-request seed *)
   let backend ~req_seed ~attempt = factory ~req_seed:(req_seed + (attempt * 7919)) in
   let primary =
     { dep_label = "primary"; dep_degraded = false; dep_scales = scales; dep_policy = policy;
-      dep_backend = backend }
+      dep_cost_ms = scheme_cost_ms; dep_backend = backend }
   in
   let reduced =
     List.init reduced_rungs (fun i ->
@@ -56,6 +74,7 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
           dep_degraded = true;
           dep_scales = reduced_scales scales k;
           dep_policy = policy;
+          dep_cost_ms = scheme_cost_ms;
           dep_backend = backend;
         })
   in
@@ -70,6 +89,7 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
           dep_degraded = true;
           dep_scales = scales;
           dep_policy = policy;
+          dep_cost_ms = (if predict_cost then Some 0.0 else None);
           dep_backend =
             (fun ~req_seed:_ ~attempt:_ ->
               Clear.make
@@ -80,12 +100,12 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
   in
   (primary :: reduced) @ clear
 
-let ladder_of_compiled compiled ~seed ?rotation_keys ?reduced_rungs ?clear_fallback ~with_secret ()
-    =
+let ladder_of_compiled compiled ~seed ?rotation_keys ?reduced_rungs ?clear_fallback ?predict_cost
+    ~with_secret () =
   let factory, _scheme =
     Compiler.instantiate_factory compiled ~seed ?rotation_keys ~with_secret ()
   in
-  ladder_of_factory compiled ~factory ?reduced_rungs ?clear_fallback ()
+  ladder_of_factory compiled ~factory ?reduced_rungs ?clear_fallback ?predict_cost ()
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                        *)
@@ -154,6 +174,10 @@ type ticket = {
   req_budget_ms : float;
   req_deadline : float;  (* absolute, on the service clock *)
   req_submitted : float;
+  req_cancel : Cancel.t;
+      (* one token per request, armed with the deadline on the service
+         clock; threaded through the pool into the executor's per-node
+         poll (DESIGN.md §13) *)
   cell : cell;
 }
 
@@ -168,6 +192,8 @@ type mutable_stats = {
   mutable retries : int;
   mutable worker_crashes : int;
   mutable late_results : int;
+  mutable cancelled : int;
+  mutable admission_rejects : int;
   mutable latencies : float list;
 }
 
@@ -186,6 +212,9 @@ type metric_handles = {
   mx_retries : Metrics.counter;
   mx_worker_crashes : Metrics.counter;
   mx_late : Metrics.counter;
+  mx_cancelled : Metrics.counter;
+  mx_admission : Metrics.counter;
+  mx_cancel_saved_ms : Metrics.counter;
   mx_latency : Metrics.histogram;
 }
 
@@ -203,6 +232,13 @@ let make_metrics () =
     mx_retries = c "chet_serve_retries_total" "inference attempts beyond the first";
     mx_worker_crashes = c "chet_serve_worker_crashes_total" "non-FHE exceptions in workers";
     mx_late = c "chet_serve_late_results_total" "results finished after the caller gave up";
+    mx_cancelled = c "chet_serve_requests_cancelled_total" "outcomes delivered as typed Cancelled";
+    mx_admission =
+      c "chet_serve_admission_rejects_total"
+        "requests rejected because no rung's predicted cost fit the budget";
+    mx_cancel_saved_ms =
+      c "chet_serve_cancel_saved_ms_total"
+        "predicted milliseconds of wasted work avoided by mid-circuit cancellation";
     mx_latency =
       Metrics.histogram registry ~help:"end-to-end request latency" ~lo:1e-4 ~growth:2.0
         ~buckets:28 "chet_serve_latency_seconds";
@@ -219,6 +255,8 @@ type stats = {
   s_breaker_trips : int;
   s_worker_crashes : int;
   s_late_results : int;
+  s_cancelled : int;
+  s_admission_rejects : int;
   s_queue : Queue.stats;
   s_latencies_ms : float array;
 }
@@ -253,7 +291,10 @@ let transient_error = function
       true
   | Herr.Modulus_exhausted _ | Herr.Slot_overflow _ | Herr.Shape_mismatch _ | Herr.Missing_node _
   | Herr.Missing_rotation_key _ | Herr.Invalid_op _ | Herr.Overloaded _
-  | Herr.Deadline_exceeded _ | Herr.Worker_crashed _ | Herr.Corrupt_bundle _ ->
+  | Herr.Deadline_exceeded _ | Herr.Worker_crashed _ | Herr.Corrupt_bundle _
+  (* the requester no longer wants the answer; retrying would be the exact
+     wasted work cancellation exists to avoid *)
+  | Herr.Cancelled _ ->
       false
 
 (* ------------------------------------------------------------------ *)
@@ -265,7 +306,8 @@ let run_attempt t dep req ~attempt ~worker =
     let backend = dep.dep_backend ~req_seed:req.req_seed ~attempt in
     let module H = (val backend : Hisa.S) in
     let module E = Executor.Make (H) in
-    Ok (E.run dep.dep_scales t.circuit ~policy:dep.dep_policy req.req_image)
+    Ok
+      (E.run ~cancel:req.req_cancel dep.dep_scales t.circuit ~policy:dep.dep_policy req.req_image)
   with
   | Herr.Fhe_error (e, c) -> Error (e, c)
   | exn ->
@@ -278,19 +320,27 @@ let run_attempt t dep req ~attempt ~worker =
         ( Herr.Worker_crashed { worker; reason = Printexc.to_string exn },
           Herr.context ~backend:dep.dep_label "infer" )
 
-(* Jitter is seeded from (req_seed, attempt) alone — not a shared RNG behind
-   a mutex — so a request's backoff schedule is a pure function of the
-   request, independent of scheduling order, like its answer. *)
+(* Sleep before the next retry — clamped to the request's remaining budget,
+   and honest about exhaustion: [`Exhausted] means the budget ran out before
+   or during the sleep, and the caller must fail fast with the typed
+   [Deadline_exceeded] instead of burning another attempt it cannot finish. *)
 let backoff t req ~attempt =
   let base = t.cfg.backoff_base_ms *. (2.0 ** float_of_int attempt) in
   let d = Float.min t.cfg.backoff_cap_ms base in
   let jit =
+    (* jitter is seeded from (req_seed, attempt) alone — not a shared RNG
+       behind a mutex — so a request's backoff schedule is a pure function
+       of the request, independent of scheduling order, like its answer *)
     let rng = Random.State.make [| 0x5e12e; req.req_seed; attempt |] in
     d *. t.cfg.backoff_jitter *. (Random.State.float rng 2.0 -. 1.0)
   in
   let remaining_ms = (req.req_deadline -. t.cfg.now ()) *. 1000.0 in
-  let d = Float.min (Float.max 0.0 (d +. jit)) (Float.max 0.0 remaining_ms) in
-  if d > 0.0 then t.cfg.sleep_ms d
+  if remaining_ms <= 0.0 then `Exhausted
+  else begin
+    let d = Float.min (Float.max 0.0 (d +. jit)) remaining_ms in
+    if d > 0.0 then t.cfg.sleep_ms d;
+    if t.cfg.now () >= req.req_deadline then `Exhausted else `Slept
+  end
 
 let deadline_error req ~elapsed_ms ~op =
   ( Herr.Deadline_exceeded { budget_ms = req.req_budget_ms; elapsed_ms },
@@ -318,6 +368,7 @@ let deliver t req out =
             t.ms.succeeded <- t.ms.succeeded + 1;
             if out.out_degraded then t.ms.degraded <- t.ms.degraded + 1
         | Error (Herr.Deadline_exceeded _, _) -> t.ms.deadline <- t.ms.deadline + 1
+        | Error (Herr.Cancelled _, _) -> t.ms.cancelled <- t.ms.cancelled + 1
         | Error _ -> t.ms.failed <- t.ms.failed + 1
       end);
   if late then Metrics.incr t.mx.mx_late
@@ -329,6 +380,7 @@ let deliver t req out =
         Metrics.incr t.mx.mx_succeeded;
         if out.out_degraded then Metrics.incr t.mx.mx_degraded
     | Error (Herr.Deadline_exceeded _, _) -> Metrics.incr t.mx.mx_deadline
+    | Error (Herr.Cancelled _, _) -> Metrics.incr t.mx.mx_cancelled
     | Error _ -> Metrics.incr t.mx.mx_failed
   end
 
@@ -348,19 +400,45 @@ let process t req ~worker =
       out_total_ms = (t.cfg.now () -. req.req_submitted) *. 1000.0;
     }
   in
-  if pickup >= req.req_deadline || abandoned req then
-    (* expired while queued: never start work the caller no longer wants *)
-    deliver t req (mk ~attempts:0 (Error (deadline_error req ~elapsed_ms:queue_ms ~op:"dequeue")))
-  else begin
+  (* expired or cancelled while queued: never start work (not even backend
+     construction — key generation is the expensive part) the caller no
+     longer wants *)
+  let dead_at_dequeue =
+    match Cancel.status req.req_cancel with
+    | Some Cancel.Deadline -> Some (deadline_error req ~elapsed_ms:queue_ms ~op:"dequeue")
+    | Some r ->
+        Some
+          ( Herr.Cancelled { node_id = None; reason = Cancel.reason_label r },
+            Herr.context ~backend:"serve" "dequeue" )
+    | None ->
+        if pickup >= req.req_deadline || abandoned req then
+          Some (deadline_error req ~elapsed_ms:queue_ms ~op:"dequeue")
+        else None
+  in
+  match dead_at_dequeue with
+  | Some err -> deliver t req (mk ~attempts:0 (Error err))
+  | None -> begin
     let attempts = ref 0 in
     let last_err = ref None in
     let served = ref None in
     let rungs = t.ladder in
     let stop = ref false in
+    let skipped_unfit = ref 0 in
     let i = ref 0 in
     while (not !stop) && !served = None && !i < Array.length rungs do
       let dep, brk = rungs.(!i) in
-      if Breaker.allow brk then begin
+      (* deadline-aware rung selection (DESIGN.md §13): the ladder is ordered
+         highest-fidelity first, so the first rung whose predicted cost fits
+         the remaining budget is the best answer we can still deliver in
+         time. The fit check runs *before* [Breaker.allow] so an unfit rung
+         never consumes a half-open probe slot. *)
+      let fits =
+        match dep.dep_cost_ms with
+        | None -> true
+        | Some c -> c <= (req.req_deadline -. t.cfg.now ()) *. 1000.0
+      in
+      if not fits then incr skipped_unfit
+      else if Breaker.allow brk then begin
         (* retry loop on this rung. [verdict] tracks whether the admission
            (possibly a half-open probe) was resolved against the breaker;
            an exit with no verdict — deadline fired, caller abandoned —
@@ -377,17 +455,49 @@ let process t req ~worker =
           end
           else begin
             incr attempts;
+            let attempt_start = t.cfg.now () in
             match run_attempt t dep req ~attempt:!attempt ~worker with
             | Ok tensor ->
                 Breaker.record_success brk;
                 verdict := true;
                 served := Some (dep, tensor);
                 rung_done := true
+            | Error ((Herr.Cancelled _, _) as cancelled) ->
+                (* the token tripped mid-circuit. No breaker verdict: a
+                   cancellation says nothing about this rung's health, so the
+                   probe slot is handed back via [release] below. Credit the
+                   wasted-work metric with the predicted remainder of the
+                   inference the worker did *not* have to run. *)
+                (match dep.dep_cost_ms with
+                | Some c ->
+                    let done_ms = (t.cfg.now () -. attempt_start) *. 1000.0 in
+                    let saved = int_of_float (Float.max 0.0 (c -. done_ms)) in
+                    if saved > 0 then Metrics.incr ~by:saved t.mx.mx_cancel_saved_ms
+                | None -> ());
+                let elapsed_ms = (t.cfg.now () -. req.req_submitted) *. 1000.0 in
+                (* a deadline-reason trip keeps the deadline's established
+                   observable surface: callers see the same typed
+                   [Deadline_exceeded] whether the budget expired in the
+                   queue, between nodes, or mid-node *)
+                (match Cancel.status req.req_cancel with
+                | Some Cancel.Deadline ->
+                    last_err := Some (deadline_error req ~elapsed_ms ~op:"infer")
+                | _ -> last_err := Some cancelled);
+                rung_done := true;
+                stop := true
             | Error (e, c) ->
                 last_err := Some (e, c);
                 if transient_error e && !attempt < t.cfg.max_retries then begin
-                  backoff t req ~attempt:!attempt;
-                  incr attempt
+                  match backoff t req ~attempt:!attempt with
+                  | `Slept -> incr attempt
+                  | `Exhausted ->
+                      (* the budget died during (or before) the backoff
+                         sleep: fail fast with the typed deadline instead of
+                         starting an attempt that cannot finish *)
+                      let elapsed_ms = (t.cfg.now () -. req.req_submitted) *. 1000.0 in
+                      last_err := Some (deadline_error req ~elapsed_ms ~op:"backoff");
+                      rung_done := true;
+                      stop := true
                 end
                 else begin
                   (* retries exhausted, or a hard failure: this rung failed
@@ -410,6 +520,16 @@ let process t req ~worker =
           let e, c =
             match !last_err with
             | Some ec -> ec
+            | None when !skipped_unfit > 0 ->
+                (* admission control at dequeue: every reachable rung's
+                   predicted cost exceeded the remaining budget, so no work
+                   was started at all — the honest answer is the typed
+                   deadline, issued in O(ladder) time *)
+                with_lock t.ms.sm (fun () ->
+                    t.ms.admission_rejects <- t.ms.admission_rejects + 1);
+                Metrics.incr t.mx.mx_admission;
+                let elapsed_ms = (t.cfg.now () -. req.req_submitted) *. 1000.0 in
+                deadline_error req ~elapsed_ms ~op:"admission"
             | None ->
                 ( Herr.Invalid_op { reason = "no deployment available (all circuit breakers open)" },
                   Herr.context ~backend:"serve" "infer" )
@@ -438,6 +558,8 @@ let create cfg ~circuit ~ladder =
       retries = 0;
       worker_crashes = 0;
       late_results = 0;
+      cancelled = 0;
+      admission_rejects = 0;
       latencies = [];
     }
   in
@@ -475,55 +597,89 @@ let submit t ?deadline_ms ?seed image =
   let id = Atomic.fetch_and_add t.next_id 1 in
   let budget_ms = Option.value deadline_ms ~default:t.cfg.default_deadline_ms in
   let submitted = t.cfg.now () in
+  let deadline = submitted +. (budget_ms /. 1000.0) in
   let req =
     {
       req_id = id;
       req_image = image;
       req_seed = Option.value seed ~default:id;
       req_budget_ms = budget_ms;
-      req_deadline = submitted +. (budget_ms /. 1000.0);
+      req_deadline = deadline;
       req_submitted = submitted;
+      req_cancel = Cancel.make ~deadline ~now:t.cfg.now ();
       cell = { cm = Mutex.create (); result = None; abandoned = false };
     }
   in
   with_lock t.ms.sm (fun () -> t.ms.submitted <- t.ms.submitted + 1);
   Metrics.incr t.mx.mx_submitted;
-  let admit () =
-    if Atomic.get t.draining then
-      (* draining: the typed refusal clients already understand — retry
-         against another instance, this one is on its way down *)
-      Error (Queue.length t.queue)
-    else begin
-      Atomic.incr t.inflight_count;
-      match Queue.push t.queue (fun ~worker -> process t req ~worker) with
-      | Ok () -> Ok ()
-      | Error depth ->
-          Atomic.decr t.inflight_count;
-          Error depth
-    end
+  let reject out_result =
+    let out =
+      {
+        out_id = id;
+        out_result;
+        out_served_by = "";
+        out_degraded = false;
+        out_attempts = 0;
+        out_queue_ms = 0.0;
+        out_total_ms = 0.0;
+      }
+    in
+    with_lock req.cell.cm (fun () -> req.cell.result <- Some out)
   in
-  (match admit () with
-  | Ok () -> ()
-  | Error depth ->
-      (* shed at admission: the typed rejection is the response *)
-      with_lock t.ms.sm (fun () -> t.ms.shed <- t.ms.shed + 1);
-      Metrics.incr t.mx.mx_shed;
-      let out =
-        {
-          out_id = id;
-          out_result =
-            Error
-              ( Herr.Overloaded { queue_depth = depth; high_water = Queue.high_water t.queue },
-                Herr.context ~backend:"serve" "submit" );
-          out_served_by = "";
-          out_degraded = false;
-          out_attempts = 0;
-          out_queue_ms = 0.0;
-          out_total_ms = 0.0;
-        }
-      in
-      with_lock req.cell.cm (fun () -> req.cell.result <- Some out));
-  req
+  (* admission control at submit (DESIGN.md §13): if no rung of the ladder
+     could finish inside the *full* budget even starting right now, the
+     request can never be served — fail fast with the typed deadline without
+     enqueueing, so it never occupies a domain. (Rungs whose cost is unknown
+     count as fitting; the dequeue-side check re-evaluates against the
+     budget actually remaining after queueing.) *)
+  let admissible =
+    Array.exists
+      (fun (dep, _) ->
+        match dep.dep_cost_ms with None -> true | Some c -> c <= budget_ms)
+      t.ladder
+  in
+  if not admissible then begin
+    with_lock t.ms.sm (fun () ->
+        t.ms.admission_rejects <- t.ms.admission_rejects + 1;
+        t.ms.deadline <- t.ms.deadline + 1);
+    Metrics.incr t.mx.mx_admission;
+    Metrics.incr t.mx.mx_deadline;
+    reject (Error (deadline_error req ~elapsed_ms:0.0 ~op:"admission"));
+    req
+  end
+  else begin
+    let admit () =
+      if Atomic.get t.draining then
+        (* draining: the typed refusal clients already understand — retry
+           against another instance, this one is on its way down *)
+        Error (Queue.length t.queue)
+      else begin
+        Atomic.incr t.inflight_count;
+        match
+          Queue.push t.queue
+            {
+              Pool.job_cancel = Some req.req_cancel;
+              job_run = (fun ~worker -> process t req ~worker);
+            }
+        with
+        | Ok () -> Ok ()
+        | Error depth ->
+            Atomic.decr t.inflight_count;
+            Error depth
+      end
+    in
+    (match admit () with
+    | Ok () -> ()
+    | Error depth ->
+        (* shed at admission: the typed rejection is the response *)
+        with_lock t.ms.sm (fun () -> t.ms.shed <- t.ms.shed + 1);
+        Metrics.incr t.mx.mx_shed;
+        reject
+          (Error
+             ( Herr.Overloaded { queue_depth = depth; high_water = Queue.high_water t.queue },
+               Herr.context ~backend:"serve" "submit" )));
+    req
+  end
 
 let await t (req : ticket) =
   let poll_ms = 1.0 in
@@ -547,6 +703,9 @@ let await t (req : ticket) =
           match raced with
           | Some o -> o
           | None ->
+              (* free the worker too: if the request is mid-circuit, the
+                 executor's next node-boundary poll sees the trip *)
+              Cancel.trip req.req_cancel Cancel.Abandoned;
               let elapsed_ms = (now -. req.req_submitted) *. 1000.0 in
               let out =
                 {
@@ -574,6 +733,12 @@ let await t (req : ticket) =
   loop ()
 
 let infer t ?deadline_ms ?seed image = await t (submit t ?deadline_ms ?seed image)
+
+(* Explicit cancellation (the CNCL frame lands here): trip the ticket's
+   token and let the machinery already in place do the rest — queued
+   requests die at dequeue, running ones at the next node boundary. *)
+let cancel (req : ticket) ~reason = Cancel.trip req.req_cancel (Cancel.Requested reason)
+let ticket_id (req : ticket) = req.req_id
 let shutdown t = Pool.shutdown t.pool
 
 (* ------------------------------------------------------------------ *)
@@ -621,6 +786,8 @@ let stats t =
         s_breaker_trips = trips;
         s_worker_crashes = t.ms.worker_crashes;
         s_late_results = t.ms.late_results;
+        s_cancelled = t.ms.cancelled;
+        s_admission_rejects = t.ms.admission_rejects;
         s_queue = Queue.stats t.queue;
         s_latencies_ms = Array.of_list (List.rev t.ms.latencies);
       })
@@ -755,8 +922,10 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>requests: %d submitted, %d ok (%d degraded), %d failed, %d shed, %d deadline-expired@,\
      retries: %d; breaker trips: %d; worker crashes: %d; late results: %d@,\
+     cancelled: %d; admission rejects: %d@,\
      queue: %d admitted, %d shed, max depth %d@,\
      latency ms: p50 %.1f  p95 %.1f  p99 %.1f@]"
     s.s_submitted s.s_succeeded s.s_degraded s.s_failed s.s_shed s.s_deadline s.s_retries
-    s.s_breaker_trips s.s_worker_crashes s.s_late_results s.s_queue.Queue.q_pushed
-    s.s_queue.Queue.q_shed s.s_queue.Queue.q_max_depth (pct 50.0) (pct 95.0) (pct 99.0)
+    s.s_breaker_trips s.s_worker_crashes s.s_late_results s.s_cancelled s.s_admission_rejects
+    s.s_queue.Queue.q_pushed s.s_queue.Queue.q_shed s.s_queue.Queue.q_max_depth (pct 50.0)
+    (pct 95.0) (pct 99.0)

@@ -7,11 +7,12 @@
     feeding a pool of OCaml 5 domain workers, with
 
     - {b deadlines}: every request carries a latency budget; a request whose
-      deadline passes while queued is never started, and a caller whose
-      deadline passes mid-inference gets a typed [Deadline_exceeded] while
-      the abandoned attempt finishes in the background (workers cannot be
-      interrupted mid-homomorphic-op, but the pool is never wedged — at
-      worst one worker finishes a stale result and moves on);
+      deadline passes while queued is never started, a request whose
+      predicted cost cannot fit the budget on any rung is refused up front
+      (admission control, DESIGN.md §13), and a caller whose deadline passes
+      mid-inference gets a typed [Deadline_exceeded] while the abandoned
+      attempt is freed at the executor's next circuit-node boundary via its
+      cancel token — a worker is lost for one node, not one inference;
     - {b retries}: transient typed failures ([Numeric_blowup],
       [Corrupt_ciphertext], and the other checked-backend detections) are
       retried with capped exponential backoff + jitter, within the deadline;
@@ -47,6 +48,10 @@ type deployment = {
   dep_degraded : bool;  (** surfaced as [degraded] on every response it serves *)
   dep_scales : Kernels.scales;
   dep_policy : Executor.layout_policy;
+  dep_cost_ms : float option;
+      (** calibrated cost-model prediction of one inference on this rung,
+          used by admission control and deadline-aware rung selection
+          (DESIGN.md §13); [None] = unknown, the rung is always admitted *)
   dep_backend : req_seed:int -> attempt:int -> Hisa.t;
       (** Fresh backend view per attempt. Implementations share the heavy
           immutable state (context, evaluation keys) and derive only the
@@ -60,6 +65,7 @@ val ladder_of_compiled :
   ?rotation_keys:Compiler.rotation_key_policy ->
   ?reduced_rungs:int ->
   ?clear_fallback:bool ->
+  ?predict_cost:bool ->
   with_secret:bool ->
   unit ->
   deployment list
@@ -71,13 +77,20 @@ val ladder_of_compiled :
     more modulus headroom, marked degraded); if [clear_fallback] (default
     true) the last rung executes on the cleartext {!Chet_hisa.Clear_backend}
     with the same virtual scheme — an availability-over-confidentiality last
-    resort that callers can veto. *)
+    resort that callers can veto.
+
+    With [predict_cost] (default false), the FHE rungs carry [dep_cost_ms]
+    taken from the chosen policy's {!Compiler.policy_report} — the calibrated
+    cost model already priced every layout during compilation, so admission
+    control costs nothing extra — and the cleartext rung carries [Some 0.]
+    (orders of magnitude cheaper than any FHE rung). *)
 
 val ladder_of_factory :
   Compiler.compiled ->
   factory:Compiler.backend_factory ->
   ?reduced_rungs:int ->
   ?clear_fallback:bool ->
+  ?predict_cost:bool ->
   unit ->
   deployment list
 (** {!ladder_of_compiled} around an already-instantiated deployment —
@@ -135,6 +148,17 @@ val await : t -> ticket -> outcome
 val infer : t -> ?deadline_ms:float -> ?seed:int -> Tensor.t -> outcome
 (** [submit] composed with [await]. *)
 
+val cancel : ticket -> reason:string -> unit
+(** Cooperative cancellation (DESIGN.md §13): trip the request's cancel
+    token with an explicit reason (e.g. a [CNCL] wire frame, or a hedge
+    sibling winning). First trip wins and the call is idempotent. A queued
+    request dies at dequeue without touching a backend; a running one is
+    freed at the executor's next circuit-node boundary, delivering a typed
+    [Cancelled] that carries the node at which the worker noticed. *)
+
+val ticket_id : ticket -> int
+(** The service-assigned request id (matches [out_id] of the outcome). *)
+
 val shutdown : t -> unit
 (** Close the queue, drain in-flight work, join the worker domains. *)
 
@@ -172,6 +196,9 @@ type stats = {
   s_breaker_trips : int;  (** summed over rungs *)
   s_worker_crashes : int;  (** non-FHE exceptions converted to [Worker_crashed] *)
   s_late_results : int;  (** attempts that finished after their caller gave up *)
+  s_cancelled : int;  (** outcomes delivered as typed [Cancelled] *)
+  s_admission_rejects : int;
+      (** requests refused because no rung's predicted cost fit the budget *)
   s_queue : Queue.stats;
   s_latencies_ms : float array;  (** total latency of every finished outcome *)
 }

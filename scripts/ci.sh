@@ -41,4 +41,11 @@ echo "== smoke: net =="
 # failure instead of a stall.
 timeout 300 scripts/net_smoke.sh
 
+echo "== smoke: hedge =="
+# Tail-latency drill: 2 shards with one 300ms straggler, loadgen twice —
+# hedged p99 must land strictly below unhedged p99 with zero duplicate
+# executions (every shard shutdown line reports dedup=0). Deadline-bounded
+# throughout; the cap converts any new hang into a CI failure.
+timeout 300 scripts/hedge_smoke.sh
+
 echo "CI OK"

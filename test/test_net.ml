@@ -52,6 +52,7 @@ let clean_dep () =
     dep_degraded = false;
     dep_scales = seal_opts.Compiler.scales;
     dep_policy = policy ();
+    dep_cost_ms = None;
     dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear_backend ());
   }
 
@@ -83,6 +84,7 @@ let sample_request ?(id = 42) ?(seed = 7) () =
   {
     Serial.rq_id = id;
     rq_seed = seed;
+    rq_hedge = 0;
     rq_deadline_ms = 30_000.0;
     rq_shape = img.T.shape;
     rq_image = img.T.data;
@@ -90,9 +92,10 @@ let sample_request ?(id = 42) ?(seed = 7) () =
 
 (* Run [f server addr] against an in-process shard server over a unix
    socket; always tears the server and its service down. *)
-let with_server ?(shard = 3) ?(max_inflight = 8) name f =
+let with_server ?(shard = 3) ?(max_inflight = 8) ?ladder name f =
   let addr = Wire.Unix_sock (sock_path name) in
-  let svc = Service.create (quick_cfg ()) ~circuit:micro ~ladder:[ clean_dep () ] in
+  let ladder = Option.value ladder ~default:[ clean_dep () ] in
+  let svc = Service.create (quick_cfg ()) ~circuit:micro ~ladder in
   let cfg =
     {
       (Net_server.default_config ~shard addr)
@@ -249,9 +252,21 @@ type fake_proc = {
   fp_status : Unix.process_status option Atomic.t;
 }
 
-let fake_spawn spawned_log : Supervisor.spawn =
+let fake_spawn ?(slow = fun _shard -> 0.0) spawned_log : Supervisor.spawn =
  fun ~shard ~addr ->
-  let svc = Service.create (quick_cfg ()) ~circuit:micro ~ladder:[ clean_dep () ] in
+  let dep =
+    let delay = slow shard in
+    if delay <= 0.0 then clean_dep ()
+    else
+      {
+        (clean_dep ()) with
+        Service.dep_backend =
+          (fun ~req_seed:_ ~attempt:_ ->
+            Unix.sleepf delay;
+            clear_backend ());
+      }
+  in
+  let svc = Service.create (quick_cfg ()) ~circuit:micro ~ladder:[ dep ] in
   let cfg =
     { (Net_server.default_config ~shard addr) with Net_server.srv_read_deadline_s = 0.5 }
   in
@@ -354,6 +369,158 @@ let test_supervisor_state_machine () =
       Alcotest.(check bool) "fake worker reaped" true (Atomic.get fp.fp_status <> None))
     !spawned
 
+(* --- request-id dedupe: replays answered bit-identically ------------- *)
+
+let test_dedup_bit_identical_replay () =
+  with_server "dd" (fun server addr ->
+      let fd =
+        match Wire.connect addr with
+        | Ok fd -> fd
+        | Error f -> Alcotest.failf "connect failed: %s" (Wire.fault_name f)
+      in
+      Fun.protect
+        ~finally:(fun () -> Wire.close_noerr fd)
+        (fun () ->
+          let w = Serial.writer () in
+          Serial.write_request w (sample_request ~id:55 ());
+          let payload = Serial.contents w in
+          let first = send_recv fd payload in
+          (match (Serial.read_response (Serial.reader first)).Serial.rs_result with
+          | Ok _ -> ()
+          | Error (e, c) -> Alcotest.failf "first send failed: %s" (Herr.to_string (e, c)));
+          (* the identical frame again: answered from the dedupe cache with
+             the exact bytes of the first answer — no second execution *)
+          let second = send_recv fd payload in
+          Alcotest.(check bool) "replay answered bit-identically" true (String.equal first second);
+          let s = Net_server.stats server in
+          Alcotest.(check int) "one inference executed" 1 s.Net_server.srv_served;
+          Alcotest.(check int) "replay was a cache hit" 1 s.Net_server.srv_dedup_hits;
+          (* a fresh id on the same connection still executes *)
+          let w2 = Serial.writer () in
+          Serial.write_request w2 (sample_request ~id:56 ());
+          let rsp = Serial.read_response (Serial.reader (send_recv fd (Serial.contents w2))) in
+          Alcotest.(check int) "fresh id answered" 56 rsp.Serial.rs_id;
+          Alcotest.(check int) "fresh id executed" 2
+            (Net_server.stats server).Net_server.srv_served))
+
+(* --- CNCL frees an in-flight request over the wire ------------------- *)
+
+let test_cancel_inflight_over_wire () =
+  let entered = Atomic.make false and gate = Atomic.make false in
+  let gated =
+    {
+      (clean_dep ()) with
+      Service.dep_backend =
+        (fun ~req_seed:_ ~attempt:_ ->
+          Atomic.set entered true;
+          while not (Atomic.get gate) do
+            Unix.sleepf 0.001
+          done;
+          clear_backend ());
+    }
+  in
+  with_server ~ladder:[ gated ] "cncl" (fun server addr ->
+      let result = ref None in
+      let th =
+        Thread.create
+          (fun () ->
+            result := Some (Client.request (quick_client ~retries:0 addr) (sample_request ~id:314 ())))
+          ()
+      in
+      let rec spin n =
+        if not (Atomic.get entered) then
+          if n > 5000 then Alcotest.fail "request never reached the worker"
+          else begin
+            Unix.sleepf 0.002;
+            spin (n + 1)
+          end
+      in
+      spin 0;
+      (* an id nobody holds: the benign race, acked found=false *)
+      (match Client.cancel addr ~id:999 ~reason:"typo" with
+      | Ok found -> Alcotest.(check bool) "unknown id not in flight" false found
+      | Error e -> Alcotest.failf "cancel of unknown id failed: %s" e);
+      (match Client.cancel addr ~id:314 ~reason:"client gave up" with
+      | Ok found -> Alcotest.(check bool) "in-flight id found" true found
+      | Error e -> Alcotest.failf "cancel failed: %s" e);
+      Atomic.set gate true;
+      Thread.join th;
+      (match !result with
+      | Some
+          {
+            Client.rm_response =
+              Ok { Serial.rs_result = Error (Herr.Cancelled { reason; _ }, _); _ };
+            _;
+          } ->
+          Alcotest.(check string) "reason crossed the wire" "client gave up" reason
+      | Some { Client.rm_response = Ok { Serial.rs_result = Ok _; _ }; _ } ->
+          Alcotest.fail "cancelled request must not succeed"
+      | Some { Client.rm_response = Ok { Serial.rs_result = Error (e, c); _ }; _ }
+      | Some { Client.rm_response = Error (e, c); _ } ->
+          Alcotest.failf "wrong error class: %s" (Herr.to_string (e, c))
+      | None -> Alcotest.fail "request thread produced nothing");
+      let s = Net_server.stats server in
+      Alcotest.(check int) "cancel hit counted" 1 s.Net_server.srv_cancelled)
+
+(* --- hedged requests: the fast sibling wins, the loser is cancelled --- *)
+
+let metric_value snapshot name =
+  String.split_on_char '\n' snapshot
+  |> List.find_map (fun line ->
+         let prefix = name ^ " " in
+         let n = String.length prefix in
+         if String.length line > n && String.sub line 0 n = prefix then
+           float_of_string_opt (String.sub line n (String.length line - n))
+         else None)
+  |> Option.value ~default:(-1.0)
+
+let test_hedged_requests_cut_tail_latency () =
+  let front = Wire.Unix_sock (sock_path "hg-front") in
+  let shard_addr i = Wire.Unix_sock (sock_path (Printf.sprintf "hg-sh%d" i)) in
+  let spawned = ref [] in
+  let cfg = { (sup_cfg ~front ~shard_addr) with Supervisor.sup_hedge_delay_s = 0.05 } in
+  (* shard 0 sleeps 2 s before every inference; shard 1 is honest *)
+  let slow shard = if shard = 0 then 2.0 else 0.0 in
+  let sup = Supervisor.start ~spawn:(fake_spawn ~slow spawned) cfg in
+  Fun.protect
+    ~finally:(fun () -> Supervisor.stop sup)
+    (fun () ->
+      Alcotest.(check bool) "both shards up" true (Supervisor.await_ready sup ~timeout_s:15.0 ());
+      let cl = quick_client ~retries:0 front in
+      let img = Models.input_for Models.micro ~seed:501 in
+      let expected = direct_clean_run img in
+      for i = 1 to 4 do
+        let t0 = Wire.now () in
+        let rsp = request_ok "hedged request" cl (sample_request ~id:(100 + i) ()) in
+        let elapsed = Wire.now () -. t0 in
+        (* never the slow shard's 2 s: either the primary was fast, or the
+           hedge leg overtook the slow primary after the 50 ms delay *)
+        Alcotest.(check bool)
+          (Printf.sprintf "request %d beat the slow shard (%.0f ms)" i (elapsed *. 1000.0))
+          true (elapsed < 1.0);
+        match rsp.Serial.rs_result with
+        | Ok (shape, data) ->
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "request %d bit-identical" i)
+              0.0
+              (T.max_abs_diff (T.flatten expected) (T.flatten (T.of_array shape data)))
+        | Error _ -> assert false
+      done;
+      let m = Supervisor.metrics_snapshot sup in
+      Alcotest.(check bool) "at least one hedge launched" true
+        (metric_value m "chet_sup_hedges_total" >= 1.0);
+      Alcotest.(check bool) "the duplicate leg won at least once" true
+        (metric_value m "chet_sup_hedge_wins_total" >= 1.0);
+      Alcotest.(check bool) "losing legs were cancelled" true
+        (metric_value m "chet_sup_cancels_sent_total" >= 1.0);
+      (* idempotency held: no shard executed the same id twice (a hedge
+         duplicates across shards, never onto the same one) *)
+      List.iter
+        (fun fp ->
+          Alcotest.(check int) "no duplicate execution on any shard" 0
+            (Net_server.stats fp.fp_server).Net_server.srv_dedup_hits)
+        !spawned)
+
 let suite =
   [
     ( "net",
@@ -367,5 +534,11 @@ let suite =
           test_fault_injection_recovers;
         Alcotest.test_case "supervisor: spawn, kill, restart, route around" `Quick
           test_supervisor_state_machine;
+        Alcotest.test_case "dedupe: replayed id answered bit-identically" `Quick
+          test_dedup_bit_identical_replay;
+        Alcotest.test_case "CNCL cancels an in-flight request over the wire" `Quick
+          test_cancel_inflight_over_wire;
+        Alcotest.test_case "hedged requests: fast sibling wins, loser cancelled" `Quick
+          test_hedged_requests_cut_tail_latency;
       ] );
   ]

@@ -330,6 +330,7 @@ let sample_request =
   {
     Serial.rq_id = 7;
     rq_seed = 1234;
+    rq_hedge = 0;
     rq_deadline_ms = 2500.0;
     rq_shape = [| 1; 4; 4 |];
     rq_image = Array.init 16 (fun i -> (float_of_int i /. 8.0) -. 1.0);
@@ -353,6 +354,8 @@ let sample_errors : Herr.error list =
     Herr.Worker_crashed { worker = 1; reason = "Stack_overflow" };
     Herr.Corrupt_bundle { path = "gen-000001/meta"; reason = "checksum" };
     Herr.Corrupt_frame { frame = "REQ1"; reason = "truncated" };
+    Herr.Cancelled { node_id = Some 23; reason = "superseded" };
+    Herr.Cancelled { node_id = None; reason = "caller went away" };
   ]
 
 let sample_response_ok =
@@ -469,6 +472,31 @@ let test_fuzz_wire_health () =
     (frame_bytes Serial.write_health sample_health)
     (fun s -> Serial.read_health (Serial.reader s))
 
+(* --- CNCL + hedged REQ1 (DESIGN.md §13) ---
+   the cancellation control frame and the hedge generation carried by
+   requests are part of the same envelope contract: bijective roundtrip,
+   typed rejection of every truncation and every flipped bit *)
+
+let sample_cancel = { Serial.cn_id = 42; cn_reason = "superseded" }
+
+let test_wire_cancel_roundtrip () =
+  let back = Serial.read_cancel (Serial.reader (frame_bytes Serial.write_cancel sample_cancel)) in
+  Alcotest.(check bool) "cancel roundtrip" true (back = sample_cancel);
+  let empty = { Serial.cn_id = 0; cn_reason = "" } in
+  let back = Serial.read_cancel (Serial.reader (frame_bytes Serial.write_cancel empty)) in
+  Alcotest.(check bool) "empty-reason cancel roundtrip" true (back = empty)
+
+let test_wire_hedged_request_roundtrip () =
+  let hedged = { sample_request with Serial.rq_id = 9; rq_hedge = 3 } in
+  let back = Serial.read_request (Serial.reader (frame_bytes Serial.write_request hedged)) in
+  Alcotest.(check bool) "hedged request roundtrip" true (back = hedged);
+  Alcotest.(check int) "hedge generation carried" 3 back.Serial.rq_hedge
+
+let test_fuzz_wire_cancel () =
+  fuzz_frame "CNCL"
+    (frame_bytes Serial.write_cancel sample_cancel)
+    (fun s -> Serial.read_cancel (Serial.reader s))
+
 let suite =
   [
     ( "serial",
@@ -497,5 +525,9 @@ let suite =
         Alcotest.test_case "fuzz: REQ1 truncation + bit flips" `Quick test_fuzz_wire_request;
         Alcotest.test_case "fuzz: RSP1 truncation + bit flips" `Quick test_fuzz_wire_response;
         Alcotest.test_case "fuzz: HLTH truncation + bit flips" `Quick test_fuzz_wire_health;
+        Alcotest.test_case "wire cancel roundtrip (CNCL)" `Quick test_wire_cancel_roundtrip;
+        Alcotest.test_case "hedged request roundtrip (rq_hedge)" `Quick
+          test_wire_hedged_request_roundtrip;
+        Alcotest.test_case "fuzz: CNCL truncation + bit flips" `Quick test_fuzz_wire_cancel;
       ] );
   ]

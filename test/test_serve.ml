@@ -46,12 +46,13 @@ let clear_backend () =
       encode_noise = false;
     }
 
-let dep ?(label = "primary") ?(degraded = false) backend =
+let dep ?(label = "primary") ?(degraded = false) ?cost_ms backend =
   {
     Service.dep_label = label;
     dep_degraded = degraded;
     dep_scales = seal_opts.Compiler.scales;
     dep_policy = policy ();
+    dep_cost_ms = cost_ms;
     dep_backend = backend;
   }
 
@@ -490,6 +491,176 @@ let test_graceful_drain () =
           | Ok n -> Alcotest.(check int) "state restorable" 1 n
           | Error e -> Alcotest.failf "persisted state rejected: %s" (Herr.error_name e)))
 
+(* --- cooperative cancellation (DESIGN.md §13) ------------------------
+   A mid-circuit cancel must free the worker at the next node boundary with
+   a typed [Cancelled] carrying the node id — and the pool must keep
+   serving. The backend pauses inside its first multiply so the test can
+   cancel while the executor is provably mid-circuit, then opens the gate:
+   the op finishes, and the *next node's* cancel poll observes the trip. *)
+
+let test_midcircuit_cancel_frees_worker () =
+  let entered = Atomic.make false and gate = Atomic.make false in
+  let pausing_backend () : Hisa.t =
+    let module H = (val clear_backend () : Hisa.S) in
+    (module struct
+      include H
+
+      let pause () =
+        if not (Atomic.get entered) then begin
+          Atomic.set entered true;
+          while not (Atomic.get gate) do
+            Unix.sleepf 0.001
+          done
+        end
+
+      let mul a b =
+        pause ();
+        H.mul a b
+
+      let mul_plain c p =
+        pause ();
+        H.mul_plain c p
+
+      let add a b =
+        pause ();
+        H.add a b
+    end : Hisa.S)
+  in
+  let pausable = dep ~label:"pausable" (fun ~req_seed:_ ~attempt:_ -> pausing_backend ()) in
+  with_service (quick_cfg ~domains:1 ()) [ pausable ] (fun svc ->
+      let tk = Service.submit svc ~seed:1 (image 1) in
+      let rec spin n =
+        if not (Atomic.get entered) then
+          if n > 5000 then Alcotest.fail "worker never entered the circuit"
+          else begin
+            Unix.sleepf 0.002;
+            spin (n + 1)
+          end
+      in
+      spin 0;
+      (* the worker is mid-circuit: cancel, then let the in-flight op land *)
+      Service.cancel tk ~reason:"caller lost interest";
+      Atomic.set gate true;
+      let o = Service.await svc tk in
+      (match o.Service.out_result with
+      | Error (Herr.Cancelled { node_id; reason }, _) ->
+          Alcotest.(check bool) "node id reported" true (node_id <> None);
+          Alcotest.(check string) "explicit reason carried" "caller lost interest" reason
+      | Ok _ -> Alcotest.fail "cancelled request must not succeed"
+      | Error (e, c) -> Alcotest.failf "wrong error class: %s" (Herr.to_string (e, c)));
+      (* the freed worker (the only one) serves the next request cleanly *)
+      let fine = Service.infer svc ~seed:2 (image 2) in
+      ignore (ok_tensor "post-cancel request" fine);
+      let s = Service.stats svc in
+      Alcotest.(check int) "cancel counted" 1 s.Service.s_cancelled;
+      Alcotest.(check int) "no worker crashes" 0 s.Service.s_worker_crashes)
+
+(* --- admission control (DESIGN.md §13) -------------------------------
+   A deadline no rung's predicted cost can fit is refused at submit: typed
+   [Deadline_exceeded] in O(ladder) time, no backend construction, no
+   queue push — the request never occupies a domain. *)
+
+let test_admission_control_rejects_unfittable () =
+  let invoked = Atomic.make false in
+  let pricey =
+    dep ~label:"pricey" ~cost_ms:10_000.0 (fun ~req_seed:_ ~attempt:_ ->
+        Atomic.set invoked true;
+        clear_backend ())
+  in
+  with_service (quick_cfg ~domains:1 ()) [ pricey ] (fun svc ->
+      let o = Service.infer svc ~deadline_ms:5.0 ~seed:1 (image 1) in
+      (match o.Service.out_result with
+      | Error (Herr.Deadline_exceeded { budget_ms; elapsed_ms }, _) ->
+          Alcotest.(check (float 0.01)) "budget echoed" 5.0 budget_ms;
+          Alcotest.(check (float 0.001)) "refused with zero work" 0.0 elapsed_ms
+      | Ok _ -> Alcotest.fail "unfittable deadline must be refused"
+      | Error (e, c) -> Alcotest.failf "wrong error class: %s" (Herr.to_string (e, c)));
+      Alcotest.(check bool) "backend never built" false (Atomic.get invoked);
+      let s = Service.stats svc in
+      Alcotest.(check int) "admission reject counted" 1 s.Service.s_admission_rejects;
+      Alcotest.(check int) "never enqueued: no domain occupied" 0
+        s.Service.s_queue.Squeue.q_pushed;
+      (* the same ladder serves a request whose budget the cost model fits *)
+      let fine = Service.infer svc ~deadline_ms:60_000.0 ~seed:2 (image 2) in
+      ignore (ok_tensor "fitting request" fine);
+      Alcotest.(check bool) "pricey rung ran this time" true (Atomic.get invoked))
+
+(* --- deadline-aware rung selection -----------------------------------
+   With per-rung cost predictions, a tight budget routes straight to the
+   cheapest rung that fits — the unfit primary is skipped without running
+   (and without consuming a breaker probe slot). *)
+
+let test_deadline_aware_rung_selection () =
+  let primary_ran = Atomic.make false in
+  let pricey =
+    dep ~label:"pricey" ~cost_ms:50_000.0 (fun ~req_seed:_ ~attempt:_ ->
+        Atomic.set primary_ran true;
+        clear_backend ())
+  in
+  let cheap =
+    dep ~label:"cheap" ~degraded:true ~cost_ms:0.0 (fun ~req_seed:_ ~attempt:_ ->
+        clear_backend ())
+  in
+  with_service (quick_cfg ~domains:1 ()) [ pricey; cheap ] (fun svc ->
+      let o = Service.infer svc ~deadline_ms:2_000.0 ~seed:3 (image 3) in
+      let got = ok_tensor "tight-budget request" o in
+      Alcotest.(check string) "served by the fitting rung" "cheap" o.Service.out_served_by;
+      Alcotest.(check bool) "flagged degraded" true o.Service.out_degraded;
+      Alcotest.(check bool) "unfit primary never ran" false (Atomic.get primary_ran);
+      let expected = direct_clean_run (image 3) in
+      Alcotest.(check (float 0.0))
+        "bit-identical answer" 0.0
+        (T.max_abs_diff (T.flatten expected) (T.flatten got));
+      Alcotest.(check int) "skipping a rung is not an admission reject" 0
+        (Service.stats svc).Service.s_admission_rejects;
+      (* with budget to spare, fidelity wins: the primary serves again *)
+      let o2 = Service.infer svc ~deadline_ms:600_000.0 ~seed:4 (image 4) in
+      ignore (ok_tensor "generous-budget request" o2);
+      Alcotest.(check string) "primary serves when it fits" "pricey" o2.Service.out_served_by)
+
+(* --- retry backoff clamped to the remaining budget --------------------
+   On a manual clock (only backoff sleeps advance it; the 1 ms await polls
+   do not), a persistently-failing rung with a 100 ms budget and a 40 ms
+   backoff base must stop retrying the moment the budget dies during a
+   sleep: 2 attempts, the clock parked exactly at the deadline, and a typed
+   [Deadline_exceeded] — instead of burning the full 5-retry schedule. *)
+
+let test_backoff_clamped_to_budget () =
+  let clock = Atomic.make 0.0 in
+  let cfg =
+    {
+      (quick_cfg ~domains:1 ~max_retries:5 ()) with
+      Service.backoff_base_ms = 40.0;
+      backoff_cap_ms = 1000.0;
+      backoff_jitter = 0.0;
+      now = (fun () -> Atomic.get clock);
+      sleep_ms =
+        (fun ms ->
+          if ms >= 2.0 then begin
+            (* a backoff sleep: advance the virtual clock *)
+            let rec cas () =
+              let old = Atomic.get clock in
+              if not (Atomic.compare_and_set clock old (old +. (ms /. 1000.0))) then cas ()
+            in
+            cas ()
+          end
+          else (* an await/drain poll: real pause, no virtual time *)
+            Unix.sleepf 0.0005);
+    }
+  in
+  with_service cfg [ persistent_fault_dep () ] (fun svc ->
+      let o = Service.infer svc ~deadline_ms:100.0 ~seed:5 (image 5) in
+      (match o.Service.out_result with
+      | Error (Herr.Deadline_exceeded { budget_ms; elapsed_ms }, _) ->
+          Alcotest.(check (float 0.01)) "budget echoed" 100.0 budget_ms;
+          Alcotest.(check (float 0.01)) "failed fast at the budget, not after" 100.0 elapsed_ms
+      | Ok _ -> Alcotest.fail "persistently-failing rung cannot succeed"
+      | Error (e, c) -> Alcotest.failf "wrong error class: %s" (Herr.to_string (e, c)));
+      (* 40 ms + (80 ms clamped to 60 ms) = exactly the budget; unclamped the
+         schedule would have slept 1240 ms of virtual time over 6 attempts *)
+      Alcotest.(check (float 1e-6)) "clock parked at the deadline" 0.1 (Atomic.get clock);
+      Alcotest.(check int) "retries stopped early" 2 o.Service.out_attempts)
+
 let suite =
   [
     ( "serve",
@@ -518,5 +689,13 @@ let suite =
           test_breaker_probe_release;
         Alcotest.test_case "graceful drain: finish, refuse typed, persist" `Quick
           test_graceful_drain;
+        Alcotest.test_case "cancel mid-circuit frees the worker, typed + node id" `Quick
+          test_midcircuit_cancel_frees_worker;
+        Alcotest.test_case "admission control refuses unfittable deadlines" `Quick
+          test_admission_control_rejects_unfittable;
+        Alcotest.test_case "deadline-aware rung selection skips unfit rungs" `Quick
+          test_deadline_aware_rung_selection;
+        Alcotest.test_case "retry backoff clamped to remaining budget" `Quick
+          test_backoff_clamped_to_budget;
       ] );
   ]
