@@ -190,6 +190,21 @@ let run_cmd =
              typed FHE error instead of a garbage prediction.")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Synthetic image seed.") in
+  let plan_arg =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "Execute through the compiled plan (DESIGN.md §14): the circuit lowered once into a \
+             scheduled arena program with fused kernels, then replayed. Outputs are bit-identical \
+             to the interpretive executor.")
+  in
+  let no_plan_arg =
+    Arg.(
+      value & flag
+      & info [ "no-plan" ]
+          ~doc:"Force the interpretive executor (the default) — the --plan escape hatch.")
+  in
   let trace_arg =
     Arg.(
       value
@@ -200,7 +215,8 @@ let run_cmd =
              (node id, layer, layout, HISA op count, result scale/level) — and write it to \
              $(docv); open in chrome://tracing or Perfetto.")
   in
-  let run model target real checked seed trace cost_file =
+  let run model target real checked seed plan no_plan trace cost_file =
+    let use_plan = plan && not no_plan in
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
     let opts = apply_cost_file (Compiler.default_options ~target ()) target cost_file in
@@ -214,10 +230,17 @@ let run_cmd =
     let timer = Timed_backend.create () in
     Tracer.set_global tracer;
     let wrap b = if trace = None then b else Timed_backend.wrap timer b in
+    let the_plan = if use_plan then Some (Compiler.plan compiled) else None in
+    Option.iter (fun p -> Printf.printf "plan: %s\n" (Chet_plan.Plan.summary p)) the_plan;
     let run_with (backend : Hisa.t) =
       let module H = (val wrap backend) in
-      let module E = Executor.Make (H) in
-      E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image
+      match the_plan with
+      | Some p ->
+          let module PE = Chet_plan.Plan_exec.Make (H) in
+          PE.run (PE.prepare opts.Compiler.scales p) image
+      | None ->
+          let module E = Executor.Make (H) in
+          E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image
     in
     let finally () = Tracer.set_global None in
     let got, latency =
@@ -263,8 +286,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one encrypted inference")
     Term.(
-      const run $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg $ trace_arg
-      $ cost_file_arg)
+      const run $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg $ plan_arg
+      $ no_plan_arg $ trace_arg $ cost_file_arg)
 
 let scales_cmd =
   let tol_arg = Arg.(value & opt float 0.05 & info [ "tolerance" ] ~doc:"Output tolerance.") in
@@ -309,7 +332,12 @@ let profile_backend timer backend ~reps =
          ignore (H.mul_scalar !a 1.5 ~scale);
          ignore (H.mul_plain !a pt);
          ignore (H.mul !a !b);
-         ignore (H.rot_left !a 1)
+         ignore (H.rot_left !a 1);
+         (* fused accumulation ops — the plan path's workhorses; their cells
+            let the calibrator fit the composite main+Add terms *)
+         ignore (H.fma_scalar !a !b 1.5 ~scale);
+         ignore (H.fma_plain !a !b pt);
+         ignore (H.fma_rot !a !b 1)
        done;
        (* descend one rung: square, rescale back towards the working scale *)
        let m = H.mul !a !b in
@@ -467,6 +495,21 @@ let serve_cmd =
       & info [ "real" ] ~doc:"Serve on the real instantiated scheme ladder instead of cleartext.")
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Key-generation seed (--real).") in
+  let plan_arg =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "Serve the primary rung through the compiled execution plan (DESIGN.md §14): one \
+             prepared arena executor per worker domain, bit-identical answers to the \
+             interpretive path. Degraded rungs stay interpretive.")
+  in
+  let no_plan_arg =
+    Arg.(
+      value & flag
+      & info [ "no-plan" ]
+          ~doc:"Force the interpretive executor on every rung (the default) — the --plan escape hatch.")
+  in
   let metrics_arg =
     Arg.(
       value & flag
@@ -484,8 +527,9 @@ let serve_cmd =
              Pacing gives SIGINT/SIGTERM a window to land mid-run and exercise graceful \
              shutdown.")
   in
-  let run model target requests domains queue_hw deadline_ms tight_every fault real seed
-      metrics_dump state_dir interarrival_ms =
+  let run model target requests domains queue_hw deadline_ms tight_every fault real seed plan
+      no_plan metrics_dump state_dir interarrival_ms =
+    let use_plan = plan && not no_plan in
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
     let store = Option.map (fun d -> fst (open_store_verbose d)) state_dir in
@@ -557,8 +601,21 @@ let serve_cmd =
             let factory, _scheme =
               Bundle.restore_factory l.Bundle.l_bundle ~with_secret:true
             in
-            Service.ladder_of_factory compiled ~factory ~predict_cost:true ()
-        | None -> Service.ladder_of_compiled compiled ~seed ~with_secret:true ~predict_cost:true ()
+            let plan_runner =
+              if not use_plan then None
+              else
+                match Bundle.restore_plan_runner l.Bundle.l_bundle ~with_secret:true with
+                | Some (runner, _) -> Some runner
+                | None ->
+                    Printf.eprintf
+                      "chet: --plan: bundle has no PLAN frame; serving interpretive\n";
+                    None
+            in
+            Service.ladder_of_factory compiled ~factory ~predict_cost:true ?plan:plan_runner ()
+        | None ->
+            Service.ladder_of_compiled compiled ~seed ~with_secret:true ~predict_cost:true
+              ?plan:(if use_plan then Some (Compiler.plan compiled) else None)
+              ()
       else begin
         (* cleartext twin of the deployment ladder: same circuit, policy and
            scales, with seeded fault injection on the primary rung so the
@@ -576,6 +633,39 @@ let serve_cmd =
               let faulty, _log = Fault.wrap (Fault.default_config ~seed:req_seed (Some f)) (clear ()) in
               Checked.wrap ~scheme faulty
         in
+        let primary_plan =
+          if not use_plan then None
+          else if fault <> `None then begin
+            (* fault injection wraps the interpretive backend view; a plan
+               rung would route around it, so it wins and plans are off *)
+            Printf.eprintf
+              "chet: --plan: --fault targets the interpretive backend; serving interpretive\n";
+            None
+          end
+          else begin
+            let p = Compiler.plan compiled in
+            Printf.printf "plan: %s\n" (Chet_plan.Plan.summary p);
+            let module H = (val clear () : Hisa.S) in
+            let module PE = Chet_plan.Plan_exec.Make (H) in
+            let mu = Mutex.create () in
+            let workers : (int, PE.prepared) Hashtbl.t = Hashtbl.create 8 in
+            Some
+              (fun ~cancel ~worker ~req_seed:_ ~attempt:_ image ->
+                (* the cleartext backend ignores the request seed (no
+                   encryption randomness), so plan answers match the
+                   interpretive rung exactly *)
+                let prepared =
+                  Mutex.protect mu (fun () ->
+                      match Hashtbl.find_opt workers worker with
+                      | Some pr -> pr
+                      | None ->
+                          let pr = PE.prepare opts.Compiler.scales p in
+                          Hashtbl.add workers worker pr;
+                          pr)
+                in
+                PE.run ~cancel prepared image)
+          end
+        in
         [
           {
             Service.dep_label = "primary";
@@ -584,6 +674,7 @@ let serve_cmd =
             dep_policy = compiled.Compiler.policy;
             dep_cost_ms = None;
             dep_backend = primary_backend;
+            dep_plan = primary_plan;
           };
           {
             Service.dep_label = "clear-fallback";
@@ -592,6 +683,7 @@ let serve_cmd =
             dep_policy = compiled.Compiler.policy;
             dep_cost_ms = None;
             dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
+            dep_plan = None;
           };
         ]
       end
@@ -688,8 +780,8 @@ let serve_cmd =
           load shedding, circuit-breaker degradation) and print a stats summary")
     Term.(
       const run $ model_arg $ target_arg $ requests_arg $ domains_arg $ queue_arg $ deadline_arg
-      $ tight_arg $ fault_arg $ real_arg $ seed_arg $ metrics_arg $ state_dir_arg
-      $ interarrival_arg)
+      $ tight_arg $ fault_arg $ real_arg $ seed_arg $ plan_arg $ no_plan_arg $ metrics_arg
+      $ state_dir_arg $ interarrival_arg)
 
 (* --- chet store: inspect and maintain a deployment store ---------------- *)
 
@@ -872,6 +964,7 @@ let shard_worker_cmd =
           dep_policy = compiled.Compiler.policy;
           dep_cost_ms = None;
           dep_backend = primary_backend;
+          dep_plan = None;
         };
         {
           Service.dep_label = "clear-fallback";
@@ -880,6 +973,7 @@ let shard_worker_cmd =
           dep_policy = compiled.Compiler.policy;
           dep_cost_ms = None;
           dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
+          dep_plan = None;
         };
       ]
     in

@@ -339,30 +339,44 @@ type backend_factory = req_seed:int -> Hisa.t
    safe to use from concurrent domains, and a request's ciphertexts are a
    pure function of (inputs, req_seed) — independent of which worker runs it
    or in what order. *)
-let instantiate_factory compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () :
-    backend_factory * Hisa.scheme_kind =
+(* Shared deployment context behind every factory-style entry point: key
+   generation once (optionally loading the public evaluation material from a
+   stored RKY2 payload instead of regenerating rotation keys — the warm
+   restart path), then cheap backend views over the immutable context/keys,
+   one per caller-supplied sampler. Contexts and key tables are read-only
+   after this returns, so views are safe to use from concurrent domains. *)
+let deployment_views compiled ~seed ~rotation_keys ~keys_bytes ~with_secret :
+    (Chet_crypto.Sampling.t -> Hisa.t) * Hisa.scheme_kind =
   let rng = Chet_crypto.Sampling.create ~seed in
   match compiled.params with
   | Rns_params { n; prime_bits; num_primes; _ } ->
       let module C = Chet_crypto.Rns_ckks in
       let params = C.default_params ~n ~bits:prime_bits ~num_coeff_primes:num_primes () in
       let ctx = C.make_context params in
+      (* base keygen always runs: it re-derives the secret key from the
+         deployment seed (never persisted). With a stored key payload the
+         regenerated public material is discarded and rotation-key
+         generation — the expensive part — is skipped entirely. *)
       let sk, keys = C.keygen ctx rng in
-      (match rotation_keys with
-      | Selected_keys ->
-          List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
-      | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
-      let secret = if with_secret then Some sk else None in
-      let factory ~req_seed =
-        Chet_hisa.Seal_backend.make
-          {
-            Chet_hisa.Seal_backend.ctx;
-            rng = Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed);
-            keys;
-            secret;
-          }
+      let keys =
+        match keys_bytes with
+        | Some bytes ->
+            Chet_crypto.Serial.read_rns_keys (Chet_crypto.Serial.reader bytes) (C.rq_ctx ctx)
+        | None ->
+            (match rotation_keys with
+            | Selected_keys ->
+                List.iter
+                  (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount)
+                  compiled.rotations
+            | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
+            keys
       in
-      (factory, Hisa.Rns_chain (C.coeff_primes ctx))
+      let secret = if with_secret then Some sk else None in
+      let view vrng =
+        Chet_hisa.Seal_backend.make
+          { Chet_hisa.Seal_backend.ctx; rng = vrng; keys; secret }
+      in
+      (view, Hisa.Rns_chain (C.coeff_primes ctx))
   | Pow2_params { n; log_fresh; log_special } ->
       let module C = Chet_crypto.Big_ckks in
       let params = C.default_params ~n ~log_special ~log_fresh () in
@@ -373,16 +387,19 @@ let instantiate_factory compiled ~seed ?(rotation_keys = Selected_keys) ~with_se
           List.iter (fun (amount, _) -> C.add_rotation_key ctx rng sk keys amount) compiled.rotations
       | Power_of_two_keys -> C.add_power_of_two_rotation_keys ctx rng sk keys);
       let secret = if with_secret then Some sk else None in
-      let factory ~req_seed =
+      let view vrng =
         Chet_hisa.Heaan_backend.make
-          {
-            Chet_hisa.Heaan_backend.ctx;
-            rng = Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed);
-            keys;
-            secret;
-          }
+          { Chet_hisa.Heaan_backend.ctx; rng = vrng; keys; secret }
       in
-      (factory, Hisa.Pow2_modulus log_fresh)
+      (view, Hisa.Pow2_modulus log_fresh)
+
+let instantiate_factory compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () :
+    backend_factory * Hisa.scheme_kind =
+  let view, scheme = deployment_views compiled ~seed ~rotation_keys ~keys_bytes:None ~with_secret in
+  let factory ~req_seed =
+    view (Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed))
+  in
+  (factory, scheme)
 
 let instantiate_checked compiled ~seed ?(rotation_keys = Selected_keys) ~with_secret () =
   let backend, scheme = instantiate_with_scheme compiled ~seed ~rotation_keys ~with_secret () in
@@ -597,26 +614,80 @@ let export_keys compiled ~seed ?(rotation_keys = Selected_keys) () =
 let instantiate_factory_restored compiled ~seed ?(rotation_keys = Selected_keys) ~keys:keys_bytes
     ~with_secret () =
   match (compiled.params, keys_bytes) with
-  | Rns_params { n; prime_bits; num_primes; _ }, Some bytes ->
-      let module C = Chet_crypto.Rns_ckks in
-      let params = C.default_params ~n ~bits:prime_bits ~num_coeff_primes:num_primes () in
-      let ctx = C.make_context params in
-      let rng = Chet_crypto.Sampling.create ~seed in
-      (* base keygen re-derives the secret key from the deployment seed (it
-         is never persisted); the generated public material is discarded in
-         favour of the stored bundle, and rotation-key generation — the
-         expensive part — is skipped entirely *)
-      let sk, _regenerated = C.keygen ctx rng in
-      let keys = Serial.read_rns_keys (Serial.reader bytes) (C.rq_ctx ctx) in
-      let secret = if with_secret then Some sk else None in
-      let factory ~req_seed =
-        Chet_hisa.Seal_backend.make
-          {
-            Chet_hisa.Seal_backend.ctx;
-            rng = Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed);
-            keys;
-            secret;
-          }
+  | Rns_params _, Some _ ->
+      let view, scheme =
+        deployment_views compiled ~seed ~rotation_keys ~keys_bytes ~with_secret
       in
-      (factory, Hisa.Rns_chain (C.coeff_primes ctx))
+      let factory ~req_seed =
+        view (Chet_crypto.Sampling.create ~seed:(request_seed ~seed ~req_seed))
+      in
+      (factory, scheme)
   | _, _ -> instantiate_factory compiled ~seed ~rotation_keys ~with_secret ()
+
+(* ------------------------------------------------------------------ *)
+(* Compiled execution plans (DESIGN.md §14)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = Chet_plan.Plan
+
+(* Compile the chosen policy into an executable plan at the compiled ring
+   dimension. Pure metadata — no keys, no ciphertexts — so this runs at
+   compile/bundle time and serialises into the Bundle's PLAN frame. A
+   zero-budget prepare against the shape backend fills in the static fusion
+   counts (they are the same for every backend) without encoding a single
+   plaintext. *)
+let plan compiled =
+  let slots = params_n compiled.params / 2 in
+  let p = Plan.build ~slots ~policy:compiled.policy compiled.circuit in
+  let shape =
+    Shape.make { Shape.slots; scheme = scheme_of_params compiled.opts compiled.params }
+  in
+  let module H = (val shape : Hisa.S) in
+  let module PE = Chet_plan.Plan_exec.Make (H) in
+  ignore (PE.prepare ~pt_budget:0 compiled.opts.scales p);
+  p
+
+type plan_runner = ?cancel:Chet_hisa.Cancel.t -> worker:int -> req_seed:int -> Tensor.t -> Tensor.t
+
+(* One long-lived prepared executor per worker, created lazily on the
+   worker's first request. The worker's backend view owns a single sampler
+   that is re-pointed (Sampling.reseed) at the request's derived seed before
+   each run, which restarts exactly the stream a fresh per-request backend
+   would draw — so results stay bit-identical to the interpretive
+   [backend_factory] path while the crypto context, staged kernels and
+   encoded plaintexts are reused across requests instead of being re-derived
+   per inference. *)
+let instantiate_plan_runner compiled ~plan:the_plan ~seed ?(rotation_keys = Selected_keys)
+    ?(pt_budget = 1024) ?keys:keys_bytes ~with_secret () : plan_runner * Hisa.scheme_kind =
+  let keys_bytes =
+    match (compiled.params, keys_bytes) with Rns_params _, Some b -> Some b | _ -> None
+  in
+  let view, scheme = deployment_views compiled ~seed ~rotation_keys ~keys_bytes ~with_secret in
+  let lock = Mutex.create () in
+  let workers :
+      (int, ?cancel:Chet_hisa.Cancel.t -> req_seed:int -> Tensor.t -> Tensor.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let make_worker () =
+    let rng = Chet_crypto.Sampling.create ~seed in
+    let backend = view rng in
+    let module H = (val backend : Hisa.S) in
+    let module PE = Chet_plan.Plan_exec.Make (H) in
+    let prepared = PE.prepare ~pt_budget compiled.opts.scales the_plan in
+    fun ?cancel ~req_seed image ->
+      Chet_crypto.Sampling.reseed rng ~seed:(request_seed ~seed ~req_seed);
+      PE.run ?cancel prepared image
+  in
+  let runner ?cancel ~worker ~req_seed image =
+    let w =
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt workers worker with
+          | Some w -> w
+          | None ->
+              let w = make_worker () in
+              Hashtbl.replace workers worker w;
+              w)
+    in
+    w ?cancel ~req_seed image
+  in
+  (runner, scheme)

@@ -158,3 +158,37 @@ val instantiate_factory_restored :
     same keys, and per-request randomness derived from [seed]/[req_seed]
     exactly as before.
     @raise Chet_crypto.Serial.Corrupt if the key payload is damaged. *)
+
+(** {1 Compiled execution plans}
+
+    The plan path (DESIGN.md §14): the compiled circuit lowered once into an
+    explicit schedule over a ciphertext arena ({!Chet_plan.Plan}), then
+    executed through prepare-once staged kernels with fused HISA dispatch.
+    Outputs are bit-identical to the interpretive executor; what changes is
+    per-request work — no layout re-derivation, no plaintext re-encoding,
+    one ciphertext allocation per accumulation step. *)
+
+val plan : compiled -> Chet_plan.Plan.t
+(** Lower the compiled policy into an executable plan at the compiled ring
+    dimension. Pure metadata (no keys or ciphertexts); serialises into the
+    {!Chet_store.Bundle} PLAN frame. *)
+
+type plan_runner =
+  ?cancel:Chet_hisa.Cancel.t -> worker:int -> req_seed:int -> Chet_tensor.Tensor.t -> Chet_tensor.Tensor.t
+(** Full-roundtrip plan inference: encrypt at the plan's input layout with
+    the request's derived randomness, execute the plan, decrypt. [worker]
+    selects a long-lived prepared executor (created lazily per worker id);
+    calls with the same [worker] must not run concurrently, different
+    workers may. *)
+
+val instantiate_plan_runner :
+  compiled -> plan:Chet_plan.Plan.t -> seed:int -> ?rotation_keys:rotation_key_policy ->
+  ?pt_budget:int -> ?keys:string -> with_secret:bool -> unit -> plan_runner * Hisa.scheme_kind
+(** Key generation once (or loaded from a {!export_keys} payload via
+    [?keys], as in {!instantiate_factory_restored}), one prepared executor
+    per worker after that. Per-worker samplers are re-seeded to
+    [request_seed seed req_seed] before each run, so results are
+    bit-identical to {!instantiate_factory}'s per-request backends.
+    [pt_budget] bounds how many weight/mask plaintexts each worker keeps
+    encoded in memory (default 1024); beyond it, staged kernels fall back to
+    per-inference encoding. *)

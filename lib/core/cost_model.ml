@@ -96,11 +96,19 @@ type op_class = Add | Scalar_mul | Plain_mul | Cipher_mul | Rotate | Rescale
 
 let class_of_op = function
   | "add" | "sub" | "add_plain" | "sub_plain" | "add_scalar" | "sub_scalar" -> Some Add
-  | "mul_scalar" -> Some Scalar_mul
-  | "mul_plain" -> Some Plain_mul
+  | "mul_scalar" | "fma_scalar" -> Some Scalar_mul
+  | "mul_plain" | "fma_plain" -> Some Plain_mul
   | "mul" -> Some Cipher_mul
-  | "rot_left" | "rot_right" -> Some Rotate
+  | "rot_left" | "rot_right" | "fma_rot" -> Some Rotate
   | "rescale" -> Some Rescale
+  | _ -> None
+
+(* The fused HISA ops decompose as a main-class op plus an addition; a timed
+   fma cell is a sample of that composite term, not of the main class alone. *)
+let fused_main_class = function
+  | "fma_scalar" -> Some Scalar_mul
+  | "fma_plain" -> Some Plain_mul
+  | "fma_rot" -> Some Rotate
   | _ -> None
 
 (* The asymptotic term of each (scheme, class) pair — the model bodies above
@@ -137,25 +145,46 @@ let defaults_of = function `Seal -> seal_defaults | `Heaan -> heaan_defaults
    scheme's shipped defaults, so a partial profile still yields a usable
    model. *)
 let calibrate_from ~scheme cells =
-  let samples_of cls =
+  let d = defaults_of scheme in
+  let pure_samples cls =
     List.filter_map
       (fun (op, env, count, mean_s) ->
-        match class_of_op op with
-        | Some c when c = cls && count > 0 && mean_s > 0.0 ->
+        match (fused_main_class op, class_of_op op) with
+        | None, Some c when c = cls && count > 0 && mean_s > 0.0 ->
             Some (env, mean_s, float_of_int count)
         | _ -> None)
       cells
   in
-  let d = defaults_of scheme in
+  let fit_pure cls fallback =
+    match pure_samples cls with
+    | [] -> fallback
+    | samples ->
+        let k = fit_constant_weighted (term_of scheme cls) samples in
+        if k > 0.0 then k else fallback
+  in
+  let k_add = fit_pure Add d.k_add in
+  (* a fused cell is a composite sample (main term + Add term): credit the
+     addition at the just-fitted k_add and fold the residual into the main
+     class, so plan-path timings keep the interpretive constants honest *)
+  let fused_samples cls =
+    List.filter_map
+      (fun (op, env, count, mean_s) ->
+        match fused_main_class op with
+        | Some c when c = cls && count > 0 && mean_s > 0.0 ->
+            let residual = mean_s -. (k_add *. term_of scheme Add env) in
+            if residual > 0.0 then Some (env, residual, float_of_int count) else None
+        | _ -> None)
+      cells
+  in
   let fit cls fallback =
-    match samples_of cls with
+    match pure_samples cls @ fused_samples cls with
     | [] -> fallback
     | samples ->
         let k = fit_constant_weighted (term_of scheme cls) samples in
         if k > 0.0 then k else fallback
   in
   {
-    k_add = fit Add d.k_add;
+    k_add;
     k_scalar_mul = fit Scalar_mul d.k_scalar_mul;
     k_plain_mul = fit Plain_mul d.k_plain_mul;
     k_cipher_mul = fit Cipher_mul d.k_cipher_mul;

@@ -46,7 +46,13 @@ type op_class = Add | Scalar_mul | Plain_mul | Cipher_mul | Rotate | Rescale
 
 val class_of_op : string -> op_class option
 (** Cost-model class for a timed HISA op name; [None] for client-side ops
-    (encode/encrypt/decrypt/decode) outside Table 1. *)
+    (encode/encrypt/decrypt/decode) outside Table 1. The fused ops
+    ([fma_scalar]/[fma_plain]/[fma_rot]) map to their main class. *)
+
+val fused_main_class : string -> op_class option
+(** [Some main] iff the op is a fused multiply/rotate-accumulate, whose cost
+    decomposes as [main] plus {!Add}. {!calibrate_from} fits fused cells
+    against that composite term. *)
 
 val term_of : scheme -> op_class -> Hisa.op_env -> float
 (** The asymptotic Table-1 term of a (scheme, class) pair, sans constant. *)
@@ -55,7 +61,10 @@ val calibrate_from :
   scheme:scheme -> (string * Hisa.op_env * int * float) list -> constants
 (** Fit constants from timed cells [(op, env, count, mean_seconds)] — the
     shape returned by [Chet_hisa.Timed_backend.cells]. Classes with no
-    samples keep the scheme's shipped defaults. *)
+    samples keep the scheme's shipped defaults. Fused cells ([fma_*], from a
+    [chet profile] grid or a plan-path trace) are fitted as composite
+    samples: the Add component is credited at the fitted [k_add] and the
+    residual folds into the main class. *)
 
 type calibration = { seal_c : constants; heaan_c : constants }
 

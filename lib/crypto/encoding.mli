@@ -36,4 +36,9 @@ val decode : ctx -> scale:float -> float array -> float array * float array
 val automorphism_index : n:int -> g:int -> (int * bool) array
 (** For the map [m(X) ↦ m(X^g)] in [Z\[X\]/(X^n+1)] with odd [g]: entry [k]
     of the result is [(k', negate)] meaning coefficient [k] of the input
-    lands at position [k'] of the output, negated when [negate]. *)
+    lands at position [k'] of the output, negated when [negate].
+
+    Memoized (bounded LRU, thread-safe) — the returned array is shared
+    across callers and must be treated as read-only. {!galois_element} is
+    memoized the same way, so per-rotation context lookup is O(1) after
+    first use instead of O(n) per call. *)

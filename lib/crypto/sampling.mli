@@ -7,6 +7,13 @@
 type t
 
 val create : seed:int -> t
+
+val reseed : t -> seed:int -> unit
+(** Reset the sampler to exactly the stream [create ~seed] would start:
+    subsequent draws are bit-identical to those from a fresh sampler. Lets a
+    long-lived backend (a prepared plan executor) be re-pointed at a request's
+    randomness instead of being rebuilt. *)
+
 val state : t -> Random.State.t
 
 val uniform_mod : t -> int -> int

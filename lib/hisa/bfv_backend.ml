@@ -55,6 +55,10 @@ let make (cfg : config) : Hisa.t =
       let k = int_of_float (Float.round (x *. float_of_int scale)) in
       C.adjust_scale (C.mul_scalar cfg.ctx c k) (float_of_int scale)
 
+    let fma_scalar acc x w ~scale = add acc (mul_scalar x w ~scale)
+    let fma_plain acc x p = add acc (mul_plain x p)
+    let fma_rot acc x r = add acc (rot_left x r)
+
     (* no rescaling in BFV: Table 2's maxRescale = 1 *)
     let max_rescale _ _ = 1
 

@@ -220,6 +220,16 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
         ~sscale:(c.sscale *. float_of_int scale)
         ~slevel:c.slevel
 
+    (* --- fused ops ----------------------------------------------------- *)
+
+    (* Composed from this module's own checked ops: every operand and
+       intermediate gets the full pre/postcondition treatment, and the
+       component results are bit-identical to the fused backend ops by the
+       HISA contract. *)
+    let fma_scalar acc x w ~scale = add acc (mul_scalar x w ~scale)
+    let fma_plain acc x p = add acc (mul_plain x p)
+    let fma_rot acc x r = add acc (rot_left x (((r mod slots) + slots) mod slots))
+
     (* --- rescaling ---------------------------------------------------- *)
 
     let log2_int n =

@@ -170,6 +170,46 @@ let make (cfg : config) : Hisa.t =
       let quantised = Float.round (x *. float_of_int scale) /. float_of_int scale in
       { c with v = Array.map (fun a -> a *. quantised) c.v; scale = c.scale *. float_of_int scale }
 
+    (* Fused accumulate ops: one result array per op instead of two
+       (intermediate + sum). The per-slot expression is exactly the
+       composed [add (mul_* ...)] arithmetic — same operand order, same
+       quantisation — so outputs stay bit-identical to the interpretive
+       path; checks replicate the composition's in order. *)
+    let fma_scalar acc x w ~scale =
+      check_depth ~op:"fma_scalar" x;
+      check_capacity ~op:"fma_scalar" x.budget (x.scale *. float_of_int scale);
+      let product_scale = x.scale *. float_of_int scale in
+      if not (scales_compatible acc.scale product_scale) then
+        err ~op:"fma_scalar" (Herr.Scale_mismatch { expected = acc.scale; got = product_scale });
+      let quantised = Float.round (w *. float_of_int scale) /. float_of_int scale in
+      {
+        v = Array.init cfg.slots (fun i -> acc.v.(i) +. (x.v.(i) *. quantised));
+        scale = acc.scale;
+        budget = budget_min ~op:"fma_scalar" acc.budget x.budget;
+      }
+
+    let fma_plain acc x p =
+      check_depth ~op:"fma_plain" x;
+      check_capacity ~op:"fma_plain" x.budget (x.scale *. p.pscale);
+      let product_scale = x.scale *. p.pscale in
+      if not (scales_compatible acc.scale product_scale) then
+        err ~op:"fma_plain" (Herr.Scale_mismatch { expected = acc.scale; got = product_scale });
+      {
+        v = Array.init cfg.slots (fun i -> acc.v.(i) +. (x.v.(i) *. p.pv.(i)));
+        scale = acc.scale;
+        budget = budget_min ~op:"fma_plain" acc.budget x.budget;
+      }
+
+    let fma_rot acc x r =
+      check2 "fma_rot" acc x;
+      let n = cfg.slots in
+      let k = ((r mod n) + n) mod n in
+      {
+        acc with
+        v = Array.init n (fun i -> acc.v.(i) +. x.v.((i + k) mod n));
+        budget = budget_min ~op:"fma_rot" acc.budget x.budget;
+      }
+
     let max_rescale ct ub =
       match (cfg.scheme, ct.budget) with
       | Hisa.Rns_chain primes, Rns_level level ->

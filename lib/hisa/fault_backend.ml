@@ -157,6 +157,14 @@ let wrap (cfg : config) (backend : Hisa.t) : Hisa.t * injection_log =
       let mul_plain c p = res1 ~op:(count "mul_plain") c (B.mul_plain c.bc p)
       let mul_scalar c x ~scale = res1 ~op:(count "mul_scalar") c (B.mul_scalar c.bc x ~scale)
 
+      (* fused ops count once and forward to the backend's fused op; operand
+         lies propagate exactly as for [add] *)
+      let fma_scalar acc x w ~scale =
+        res2 ~op:(count "fma_scalar") acc x (B.fma_scalar acc.bc x.bc w ~scale)
+
+      let fma_plain acc x p = res2 ~op:(count "fma_plain") acc x (B.fma_plain acc.bc x.bc p)
+      let fma_rot acc x r = res2 ~op:(count "fma_rot") acc x (B.fma_rot acc.bc x.bc r)
+
       let rescale c x =
         let op = count "rescale" in
         if firing Dropped_rescale ~op then

@@ -76,6 +76,9 @@ let make (cfg : config) : Hisa.t =
     let add_scalar c x = C.add_scalar cfg.ctx c x
     let sub_scalar c x = C.add_scalar cfg.ctx c (-.x)
     let mul_scalar c x ~scale = C.mul_scalar cfg.ctx c x ~scale:(float_of_int scale)
+    let fma_scalar acc x w ~scale = add acc (mul_scalar x w ~scale)
+    let fma_plain acc x p = add acc (mul_plain x p)
+    let fma_rot acc x r = add acc (rot_left x r)
     let rescale c x = C.rescale cfg.ctx c x
     let max_rescale c ub = C.max_rescale cfg.ctx c ub
     let scale_of c = C.scale_of c

@@ -49,6 +49,22 @@ module type S = sig
   (** Multiply by [round(x · scale)], a plaintext integer constant applied to
       every slot — cheaper than [mul_plain] in CKKS (Table 1). *)
 
+  val fma_scalar : ct -> ct -> float -> scale:int -> ct
+  (** [fma_scalar acc x w ~scale] = [add acc (mul_scalar x w ~scale)] as one
+      fused step: the accumulate pattern of every convolution tap. Backends
+      that hold slot values fuse the two passes into one (no intermediate
+      ciphertext); the per-slot arithmetic order is identical to the
+      composition, so results are bit-identical. *)
+
+  val fma_plain : ct -> ct -> pt -> ct
+  (** [fma_plain acc x p] = [add acc (mul_plain x p)], fused. *)
+
+  val fma_rot : ct -> ct -> int -> ct
+  (** [fma_rot acc x r] = [add acc (rot_left x r)], fused — the
+      rotate-accumulate step of fold/reduce trees. [r] is normalised modulo
+      [slots]; [r = 0] degenerates to [add]. [acc == x] is permitted (the
+      self-fold case): the result is a fresh ciphertext. *)
+
   val rescale : ct -> int -> ct
   (** Divisor must come from {!max_rescale}. *)
 

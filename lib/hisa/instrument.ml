@@ -135,6 +135,23 @@ let wrap (backend : Hisa.t) : Hisa.t * counters =
         c.scalar_muls <- c.scalar_muls + 1;
         B.mul_scalar a x ~scale
 
+      (* fused ops count as their components so op-count reports and the
+         rotation-key selection pass see the same workload either way *)
+      let fma_scalar acc x w ~scale =
+        c.scalar_muls <- c.scalar_muls + 1;
+        c.adds <- c.adds + 1;
+        B.fma_scalar acc x w ~scale
+
+      let fma_plain acc x p =
+        c.plain_muls <- c.plain_muls + 1;
+        c.adds <- c.adds + 1;
+        B.fma_plain acc x p
+
+      let fma_rot acc x r =
+        record_rotation r;
+        c.adds <- c.adds + 1;
+        B.fma_rot acc x r
+
       let rescale a x =
         if x > 1 then c.rescales <- c.rescales + 1;
         B.rescale a x

@@ -61,6 +61,23 @@ let make (cfg : config) : Hisa.t =
     let mul_plain c p = { c with scale = c.scale *. p.pscale }
     let mul_scalar c _ ~scale = { c with scale = c.scale *. float_of_int scale }
 
+    (* fused ops: same scale/budget facts as the composition they replace *)
+    let fma_scalar acc x _ ~scale =
+      let product_scale = x.scale *. float_of_int scale in
+      if not (scales_compatible acc.scale product_scale) then
+        err ~op:"fma_scalar" (Herr.Scale_mismatch { expected = acc.scale; got = product_scale });
+      { acc with budget = budget_min ~op:"fma_scalar" acc.budget x.budget }
+
+    let fma_plain acc x p =
+      let product_scale = x.scale *. p.pscale in
+      if not (scales_compatible acc.scale product_scale) then
+        err ~op:"fma_plain" (Herr.Scale_mismatch { expected = acc.scale; got = product_scale });
+      { acc with budget = budget_min ~op:"fma_plain" acc.budget x.budget }
+
+    let fma_rot acc x _ =
+      check2 "fma_rot" acc x;
+      { acc with budget = budget_min ~op:"fma_rot" acc.budget x.budget }
+
     let max_rescale ct ub =
       match (cfg.scheme, ct.budget) with
       | Hisa.Rns_chain primes, Clear_backend.Rns_level level ->

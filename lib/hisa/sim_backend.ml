@@ -100,6 +100,26 @@ let make_over (inner : Hisa.t) (cfg : config) : Hisa.t * clock =
         tick cfg.costs.Hisa.cm_scalar_mul c.budget;
         { c with ict = Inner.mul_scalar c.ict x ~scale }
 
+      (* fused ops charge both component costs so the simulated clock stays
+         comparable whether a circuit runs fused or interpretive *)
+      let fma_scalar acc x w ~scale =
+        let budget = budget_min acc.budget x.budget in
+        tick cfg.costs.Hisa.cm_scalar_mul x.budget;
+        tick cfg.costs.Hisa.cm_add budget;
+        { ict = Inner.fma_scalar acc.ict x.ict w ~scale; budget }
+
+      let fma_plain acc x p =
+        let budget = budget_min acc.budget x.budget in
+        tick cfg.costs.Hisa.cm_plain_mul x.budget;
+        tick cfg.costs.Hisa.cm_add budget;
+        { ict = Inner.fma_plain acc.ict x.ict p; budget }
+
+      let fma_rot acc x r =
+        let budget = budget_min acc.budget x.budget in
+        tick_rotation x.budget;
+        tick cfg.costs.Hisa.cm_add budget;
+        { ict = Inner.fma_rot acc.ict x.ict r; budget }
+
       let rescale ct x =
         tick cfg.costs.Hisa.cm_rescale ct.budget;
         let budget =

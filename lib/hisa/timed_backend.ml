@@ -114,6 +114,13 @@ let wrap t (backend : Hisa.t) : Hisa.t =
     let mul_plain c p = timed "mul_plain" (B.env_of c) (fun () -> B.mul_plain c p)
     let mul_scalar c x ~scale = timed "mul_scalar" (B.env_of c) (fun () -> B.mul_scalar c x ~scale)
 
+    (* fused ops get their own cells so the calibrator can fit them *)
+    let fma_scalar acc x w ~scale =
+      timed "fma_scalar" (B.env_of acc) (fun () -> B.fma_scalar acc x w ~scale)
+
+    let fma_plain acc x p = timed "fma_plain" (B.env_of acc) (fun () -> B.fma_plain acc x p)
+    let fma_rot acc x r = timed "fma_rot" (B.env_of acc) (fun () -> B.fma_rot acc x r)
+
     let rescale c x =
       if x > 1 then timed "rescale" (B.env_of c) (fun () -> B.rescale c x) else B.rescale c x
 

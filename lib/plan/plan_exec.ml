@@ -1,0 +1,198 @@
+(* Executes a [Plan.t] against a HISA backend (DESIGN.md §14).
+
+   [prepare] is the expensive, per-deployment half: it walks the schedule
+   once, building a staged closure per step through the prepare-once kernels
+   of {!Chet_runtime.Kernels.Make.Staged} — weight and mask plaintexts
+   encoded up front (under a plaintext budget), geometry and shape checks
+   done, accumulation dispatched through the fused HISA ops. [run] replays
+   the closures over a fixed ciphertext arena; released slots are dropped
+   immediately, so live ciphertext memory is bounded by the arena high-water
+   mark instead of the circuit size.
+
+   The executor computes the same per-slot arithmetic in the same order as
+   the interpretive {!Chet_runtime.Executor}, so outputs are bit-identical —
+   the regression gate of test/test_runtime_prop.ml. *)
+
+module Hisa = Chet_hisa.Hisa
+module Herr = Chet_hisa.Herr
+module Cancel = Chet_hisa.Cancel
+module Circuit = Chet_nn.Circuit
+module Layout = Chet_runtime.Layout
+module Kernels = Chet_runtime.Kernels
+module Executor = Chet_runtime.Executor
+module Tracer = Chet_obs.Tracer
+module Metrics = Chet_obs.Metrics
+
+let err ~op e = Herr.raise_err ~backend:"plan" ~op e
+
+(* arena gauges: size of the last prepared plan's arena, and the live-slot
+   high-water mark of the last plan execution *)
+let arena_slots_gauge =
+  lazy (Metrics.gauge Metrics.default ~help:"ciphertext arena size of the active plan" "chet_plan_arena_slots")
+
+let arena_live_gauge =
+  lazy
+    (Metrics.gauge Metrics.default ~help:"live arena slots, high-water mark of the last run"
+       "chet_plan_arena_live_hwm")
+
+module Make (H : Hisa.S) = struct
+  module K = Kernels.Make (H)
+  module S = K.Staged
+
+  type prepared = {
+    pr_plan : Plan.t;
+    pr_cfg : Kernels.scales;
+    pr_execs : (K.ct_tensor option array -> K.ct_tensor -> K.ct_tensor) array;
+        (** per step: (arena, external input) -> result *)
+  }
+
+  let plan prepared = prepared.pr_plan
+
+  let prepare ?(pt_budget = 1024) cfg (plan : Plan.t) =
+    if H.slots <> plan.Plan.p_slots then
+      err ~op:"prepare"
+        (Herr.Invalid_op
+           {
+             reason =
+               Printf.sprintf "plan compiled for %d slots but backend has %d" plan.Plan.p_slots
+                 H.slots;
+           });
+    (match Plan.validate plan with
+    | Ok () -> ()
+    | Error reason -> err ~op:"prepare" (Herr.Invalid_op { reason = "invalid plan: " ^ reason }));
+    let budget = ref pt_budget in
+    let mul_rescale = ref 0 and rot_acc = ref 0 and mul_acc = ref 0 in
+    let slot_meta : Layout.meta option array = Array.make plan.Plan.p_arena None in
+    let src_meta (st : Plan.step) i =
+      match slot_meta.(st.Plan.st_srcs.(i)) with
+      | Some m -> m
+      | None -> assert false (* validate: every read slot is live *)
+    in
+    let get (arena : K.ct_tensor option array) s =
+      match arena.(s) with
+      | Some v -> v
+      | None ->
+          err ~op:"exec"
+            (Herr.Invalid_op { reason = Printf.sprintf "read of released arena slot %d" s })
+    in
+    let of_staged (st : Plan.step) (sg : S.op) =
+      mul_rescale := !mul_rescale + sg.S.sg_mul_rescale;
+      rot_acc := !rot_acc + sg.S.sg_rot_acc;
+      mul_acc := !mul_acc + sg.S.sg_mul_acc;
+      let s0 = if Array.length st.Plan.st_srcs > 0 then st.Plan.st_srcs.(0) else -1 in
+      fun arena _input -> sg.S.sg_run (get arena s0)
+    in
+    let execs =
+      Array.map
+        (fun (st : Plan.step) ->
+          let exec =
+            Herr.with_node ~node_id:st.Plan.st_node.Circuit.id
+              ~layer:(Executor.op_name st.Plan.st_node)
+              (fun () ->
+                match st.Plan.st_op with
+                | Plan.Op_convert k ->
+                    of_staged st (S.convert cfg ~meta:(src_meta st 0) ~budget ~to_kind:k)
+                | Plan.Op_node -> begin
+                    match st.Plan.st_node.Circuit.op with
+                    | Circuit.Input _ ->
+                        let kind = st.Plan.st_kind in
+                        fun _arena input ->
+                          if input.K.meta.Layout.kind = kind then input
+                          else K.convert cfg input ~to_kind:kind
+                    | Circuit.Conv2d { weights; bias; stride; padding; _ } ->
+                        of_staged st
+                          (S.conv2d cfg ~meta:(src_meta st 0) ~budget ~weights ~bias ~stride
+                             ~padding)
+                    | Circuit.MatMul { weights; bias; _ } ->
+                        of_staged st (S.matmul cfg ~meta:(src_meta st 0) ~budget ~weights ~bias)
+                    | Circuit.AvgPool { ksize; stride; _ } ->
+                        of_staged st (S.avg_pool cfg ~meta:(src_meta st 0) ~budget ~ksize ~stride)
+                    | Circuit.GlobalAvgPool _ ->
+                        of_staged st (S.global_avg_pool cfg ~meta:(src_meta st 0) ~budget)
+                    | Circuit.PolyAct { a; b; _ } -> of_staged st (S.poly_act cfg ~a ~b)
+                    | Circuit.Square _ -> of_staged st (S.square cfg)
+                    | Circuit.BatchNorm { scale; shift; _ } ->
+                        of_staged st (S.batch_norm cfg ~meta:(src_meta st 0) ~budget ~scale ~shift)
+                    | Circuit.Flatten _ -> of_staged st S.flatten
+                    | Circuit.Concat _ ->
+                        let srcs = st.Plan.st_srcs in
+                        fun arena _input ->
+                          K.concat cfg (Array.to_list (Array.map (get arena) srcs))
+                    | Circuit.Residual _ ->
+                        let a = st.Plan.st_srcs.(0) and b = st.Plan.st_srcs.(1) in
+                        fun arena _input -> K.residual (get arena a) (get arena b)
+                  end)
+          in
+          slot_meta.(st.Plan.st_dst) <- Some st.Plan.st_meta;
+          exec)
+        plan.Plan.p_steps
+    in
+    (* fusion counts are static per plan, so overwriting (rather than
+       accumulating) keeps repeated prepares — one per worker — idempotent *)
+    plan.Plan.p_stats.Plan.fused_mul_rescale <- !mul_rescale;
+    plan.Plan.p_stats.Plan.fused_rot_acc <- !rot_acc;
+    plan.Plan.p_stats.Plan.fused_mul_acc <- !mul_acc;
+    Metrics.set_gauge (Lazy.force arena_slots_gauge) (float_of_int plan.Plan.p_arena);
+    { pr_plan = plan; pr_cfg = cfg; pr_execs = execs }
+
+  let run_encrypted ?cancel prepared (input : K.ct_tensor) =
+    let plan = prepared.pr_plan in
+    let arena : K.ct_tensor option array = Array.make plan.Plan.p_arena None in
+    let live = ref 0 and hwm = ref 0 in
+    Array.iteri
+      (fun i (st : Plan.step) ->
+        (match cancel with
+        | Some tok ->
+            Cancel.check tok ~node_id:st.Plan.st_node.Circuit.id
+              ~layer:(Executor.op_name st.Plan.st_node)
+        | None -> ());
+        let compute () =
+          Herr.with_node ~node_id:st.Plan.st_node.Circuit.id
+            ~layer:(Executor.op_name st.Plan.st_node)
+            (fun () -> prepared.pr_execs.(i) arena input)
+        in
+        let result =
+          (* one span per plan step when tracing is on — the plan-side twin
+             of the interpretive executor's per-node spans *)
+          if not (Tracer.enabled ()) then compute ()
+          else
+            Tracer.with_span ~cat:"plan"
+              ~attrs:
+                [
+                  ("step", Tracer.Int st.Plan.st_id);
+                  ("node_id", Tracer.Int st.Plan.st_node.Circuit.id);
+                  ("layer", Tracer.Str (Executor.op_name st.Plan.st_node));
+                  ("slot", Tracer.Int st.Plan.st_dst);
+                ]
+              (match st.Plan.st_op with
+              | Plan.Op_convert Layout.HW -> "convert->HW"
+              | Plan.Op_convert Layout.CHW -> "convert->CHW"
+              | Plan.Op_node -> Executor.op_name st.Plan.st_node)
+              (fun () ->
+                let ops0 = Tracer.op_count () in
+                let r = compute () in
+                Tracer.annotate "ops" (Tracer.Int (Tracer.op_count () - ops0));
+                r)
+        in
+        arena.(st.Plan.st_dst) <- Some result;
+        incr live;
+        if !live > !hwm then hwm := !live;
+        Array.iter
+          (fun s ->
+            arena.(s) <- None;
+            decr live)
+          st.Plan.st_release)
+      plan.Plan.p_steps;
+    Metrics.set_gauge (Lazy.force arena_live_gauge) (float_of_int !hwm);
+    match arena.(plan.Plan.p_output) with
+    | Some v -> v
+    | None ->
+        err ~op:"run" (Herr.Invalid_op { reason = "plan output slot empty after the last step" })
+
+  (* Full client–server roundtrip on a cleartext image, mirroring
+     {!Chet_runtime.Executor.Make.run}: encrypt at the plan's input layout,
+     execute, decrypt. *)
+  let run ?cancel prepared image =
+    let encrypted = K.encrypt_tensor prepared.pr_cfg prepared.pr_plan.Plan.p_input_meta image in
+    K.decrypt_tensor (run_encrypted ?cancel prepared encrypted)
+end

@@ -219,9 +219,11 @@ module Make (H : Hisa.S) = struct
   (* Full client–server roundtrip on a cleartext image: encrypt with the
      layout the policy assigns to the input, run, decrypt. *)
   let run ?cancel cfg circuit ~policy image =
+    (* compute the assignment once and reuse it for the run itself, rather
+       than paying [assign] a second time inside [run_encrypted] *)
     let kind_of = assign policy circuit in
     let meta = input_meta circuit ~kind:(kind_of circuit.Circuit.input) in
     let encrypted = K.encrypt_tensor cfg meta image in
-    let out = run_encrypted ?cancel cfg circuit ~policy encrypted in
+    let out = run_encrypted_with ?cancel cfg circuit ~kind_of encrypted in
     K.decrypt_tensor out
 end

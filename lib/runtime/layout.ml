@@ -149,6 +149,17 @@ let with_channels meta channels =
   in
   { meta with channels; ch_per_ct }
 
+(* Meta of a layout-converted tensor — must mirror Kernels.convert's meta
+   arithmetic exactly (the plan's static meta inference relies on it, and
+   residual compares metas structurally). *)
+let converted meta ~to_kind =
+  if meta.kind = to_kind then meta
+  else begin
+    match to_kind with
+    | CHW -> with_channels { meta with kind = CHW } meta.channels
+    | HW -> with_channels { meta with kind = HW; ch_per_ct = 1 } meta.channels
+  end
+
 let max_extent meta =
   meta.offset
   + ((meta.ch_per_ct - 1) * meta.ch_stride)

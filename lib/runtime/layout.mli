@@ -77,6 +77,11 @@ val after_stride : meta -> int -> meta
 val with_channels : meta -> int -> meta
 (** Same geometry, different channel count (convolution outputs). *)
 
+val converted : meta -> to_kind:kind -> meta
+(** The meta a {!Kernels.Make.convert} to [to_kind] produces, without
+    touching ciphertexts — the plan compiler's static view of layout
+    conversion. Identity when the kind already matches. *)
+
 val max_extent : meta -> int
 (** Largest physical slot index any valid logical position occupies. *)
 

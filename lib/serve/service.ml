@@ -26,6 +26,12 @@ type deployment = {
       (* calibrated cost-model prediction of one inference on this rung;
          None = unknown, the rung is always admitted *)
   dep_backend : req_seed:int -> attempt:int -> Hisa.t;
+  dep_plan :
+    (cancel:Cancel.t -> worker:int -> req_seed:int -> attempt:int -> Tensor.t -> Tensor.t) option;
+      (* when present, workers execute this rung through a prepared plan
+         (DESIGN.md §14) instead of the interpretive executor — same
+         request/attempt seed derivation, bit-identical answers, but no
+         per-request layout or plaintext re-derivation *)
 }
 
 (* Shrink the scale exponents the way Scale_select's fallback ladder does:
@@ -41,7 +47,7 @@ let reduced_scales (s : Kernels.scales) k =
   }
 
 let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_rungs = 1)
-    ?(clear_fallback = true) ?(predict_cost = false) () =
+    ?(clear_fallback = true) ?(predict_cost = false) ?plan () =
   let scales = compiled.Compiler.opts.Compiler.scales in
   let policy = compiled.Compiler.policy in
   (* the admission-control prediction comes for free: [compile] already
@@ -62,9 +68,18 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
      encryption randomness (a deterministic corruption would simply recur),
      so the attempt index perturbs the per-request seed *)
   let backend ~req_seed ~attempt = factory ~req_seed:(req_seed + (attempt * 7919)) in
+  (* the plan rung perturbs the attempt seed by the same formula, so a plan
+     answer for (req_seed, attempt) is bit-identical to the interpretive one *)
+  let dep_plan =
+    Option.map
+      (fun (runner : Compiler.plan_runner) ->
+        fun ~cancel ~worker ~req_seed ~attempt image ->
+         runner ~cancel ~worker ~req_seed:(req_seed + (attempt * 7919)) image)
+      plan
+  in
   let primary =
     { dep_label = "primary"; dep_degraded = false; dep_scales = scales; dep_policy = policy;
-      dep_cost_ms = scheme_cost_ms; dep_backend = backend }
+      dep_cost_ms = scheme_cost_ms; dep_backend = backend; dep_plan }
   in
   let reduced =
     List.init reduced_rungs (fun i ->
@@ -76,6 +91,9 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
           dep_policy = policy;
           dep_cost_ms = scheme_cost_ms;
           dep_backend = backend;
+          (* the plan's staged plaintexts are encoded at the primary scales;
+             reduced rungs change scales, so they stay interpretive *)
+          dep_plan = None;
         })
   in
   let clear =
@@ -94,6 +112,7 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
             (fun ~req_seed:_ ~attempt:_ ->
               Clear.make
                 { Clear.slots = n / 2; scheme; strict_modulus = false; encode_noise = false });
+          dep_plan = None;
         };
       ]
     end
@@ -101,11 +120,18 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
   (primary :: reduced) @ clear
 
 let ladder_of_compiled compiled ~seed ?rotation_keys ?reduced_rungs ?clear_fallback ?predict_cost
-    ~with_secret () =
+    ?plan ~with_secret () =
   let factory, _scheme =
     Compiler.instantiate_factory compiled ~seed ?rotation_keys ~with_secret ()
   in
-  ladder_of_factory compiled ~factory ?reduced_rungs ?clear_fallback ?predict_cost ()
+  let plan_runner =
+    Option.map
+      (fun p ->
+        fst (Compiler.instantiate_plan_runner compiled ~plan:p ~seed ?rotation_keys ~with_secret ()))
+      plan
+  in
+  ladder_of_factory compiled ~factory ?reduced_rungs ?clear_fallback ?predict_cost ?plan:plan_runner
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                        *)
@@ -303,11 +329,16 @@ let transient_error = function
 
 let run_attempt t dep req ~attempt ~worker =
   try
-    let backend = dep.dep_backend ~req_seed:req.req_seed ~attempt in
-    let module H = (val backend : Hisa.S) in
-    let module E = Executor.Make (H) in
-    Ok
-      (E.run ~cancel:req.req_cancel dep.dep_scales t.circuit ~policy:dep.dep_policy req.req_image)
+    match dep.dep_plan with
+    | Some plan_run ->
+        Ok (plan_run ~cancel:req.req_cancel ~worker ~req_seed:req.req_seed ~attempt req.req_image)
+    | None ->
+        let backend = dep.dep_backend ~req_seed:req.req_seed ~attempt in
+        let module H = (val backend : Hisa.S) in
+        let module E = Executor.Make (H) in
+        Ok
+          (E.run ~cancel:req.req_cancel dep.dep_scales t.circuit ~policy:dep.dep_policy
+             req.req_image)
   with
   | Herr.Fhe_error (e, c) -> Error (e, c)
   | exn ->

@@ -57,6 +57,17 @@ type deployment = {
           immutable state (context, evaluation keys) and derive only the
           encryption randomness from [req_seed] — which is what makes
           concurrent execution bit-identical to sequential. *)
+  dep_plan :
+    (cancel:Chet_hisa.Cancel.t -> worker:int -> req_seed:int -> attempt:int -> Tensor.t -> Tensor.t)
+    option;
+      (** When present, workers run this rung through a compiled execution
+          plan (DESIGN.md §14) instead of the interpretive executor:
+          prepare-once staged kernels over a ciphertext arena, with weight
+          and mask plaintexts already encoded. Implementations must fold
+          [attempt] into the request seed exactly as [dep_backend] does, so
+          answers stay bit-identical across the two paths. [dep_backend]
+          remains the fallback (and the contract for checked/fault
+          wrapping); [None] means the rung is always interpretive. *)
 }
 
 val ladder_of_compiled :
@@ -66,6 +77,7 @@ val ladder_of_compiled :
   ?reduced_rungs:int ->
   ?clear_fallback:bool ->
   ?predict_cost:bool ->
+  ?plan:Chet_plan.Plan.t ->
   with_secret:bool ->
   unit ->
   deployment list
@@ -83,7 +95,13 @@ val ladder_of_compiled :
     taken from the chosen policy's {!Compiler.policy_report} — the calibrated
     cost model already priced every layout during compilation, so admission
     control costs nothing extra — and the cleartext rung carries [Some 0.]
-    (orders of magnitude cheaper than any FHE rung). *)
+    (orders of magnitude cheaper than any FHE rung).
+
+    With [?plan] (typically {!Compiler.plan}[ compiled]), the primary rung
+    executes through {!Compiler.instantiate_plan_runner} — one prepared
+    executor per worker domain, bit-identical answers. Degraded rungs stay
+    interpretive: the plan's staged plaintexts are encoded at the primary
+    scales. *)
 
 val ladder_of_factory :
   Compiler.compiled ->
@@ -91,12 +109,15 @@ val ladder_of_factory :
   ?reduced_rungs:int ->
   ?clear_fallback:bool ->
   ?predict_cost:bool ->
+  ?plan:Compiler.plan_runner ->
   unit ->
   deployment list
 (** {!ladder_of_compiled} around an already-instantiated deployment —
     what a warm restart hands over after
     {!Compiler.instantiate_factory_restored} rebuilt the keyset from a
-    stored bundle instead of regenerating it. *)
+    stored bundle instead of regenerating it. [?plan] attaches an
+    already-instantiated plan runner (e.g. {!Chet_store.Bundle.restore_plan_runner})
+    to the primary rung. *)
 
 (** {1 Configuration} *)
 

@@ -26,11 +26,12 @@ type t = {
   b_keys : string option;
   b_scale : scale_summary option;
   b_calibration : Cost_model.calibration option;
+  b_plan : Chet_plan.Plan.t option;  (* PLAN frame sidecar; warm restarts skip planning *)
 }
 
 let circuit_name t = t.b_compiled.Compiler.circuit.Circuit.name
 
-let build ?scale ?calibration ?(with_keys = true) compiled ~seed
+let build ?scale ?calibration ?(with_keys = true) ?(with_plan = true) compiled ~seed
     ?(rotation_keys = Compiler.Selected_keys) () =
   {
     b_seed = seed;
@@ -39,6 +40,7 @@ let build ?scale ?calibration ?(with_keys = true) compiled ~seed
     b_keys = (if with_keys then Compiler.export_keys compiled ~seed ~rotation_keys () else None);
     b_scale = scale;
     b_calibration = calibration;
+    b_plan = (if with_plan then Some (Compiler.plan compiled) else None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -49,6 +51,7 @@ let bundle_version = 1
 let meta_file = "meta.chet"
 let keys_file = "keys.rky2"
 let calibration_file = "calibration.json"
+let plan_file = "plan.chet"
 
 let int_of_rotation_policy = function Compiler.Selected_keys -> 0 | Compiler.Power_of_two_keys -> 1
 
@@ -135,10 +138,10 @@ let peek_meta bytes =
 let files t =
   (meta_file, meta_bytes t)
   :: ((match t.b_keys with Some k -> [ (keys_file, k) ] | None -> [])
-     @
-     match t.b_calibration with
-     | Some c -> [ (calibration_file, Jsonx.to_string (Cost_model.calibration_to_json c)) ]
-     | None -> [])
+     @ (match t.b_calibration with
+       | Some c -> [ (calibration_file, Jsonx.to_string (Cost_model.calibration_to_json c)) ]
+       | None -> [])
+     @ match t.b_plan with Some p -> [ (plan_file, Chet_plan.Plan.to_string p) ] | None -> [])
 
 let save store t = Store.save store ~files:(files t)
 
@@ -180,6 +183,15 @@ let load store ~circuit =
             | exception Jsonx.Parse_error reason -> corrupt ~gen ~file:calibration_file reason
             | exception Failure reason -> corrupt ~gen ~file:calibration_file reason)
       in
+      (* the plan sidecar is genuinely optional (older bundles predate it);
+         when present it must parse and replay-validate against the circuit *)
+      let plan =
+        match List.assoc_opt plan_file payload with
+        | None -> None
+        | Some bytes -> (
+            try Some (Chet_plan.Plan.of_string ~circuit bytes)
+            with Serial.Corrupt reason -> corrupt ~gen ~file:plan_file reason)
+      in
       Some
         {
           l_generation = gen;
@@ -192,9 +204,21 @@ let load store ~circuit =
               b_keys = keys;
               b_scale = head.mh_scale;
               b_calibration = calibration;
+              b_plan = plan;
             };
         }
 
 let restore_factory t ~with_secret =
   Compiler.instantiate_factory_restored t.b_compiled ~seed:t.b_seed
     ~rotation_keys:t.b_rotation_policy ~keys:t.b_keys ~with_secret ()
+
+(* Warm-restart plan deployment: the stored PLAN frame skips planning, the
+   stored keys skip rotation-key generation. [None] when the bundle carries
+   no plan (built with [with_plan:false], or predating the sidecar). *)
+let restore_plan_runner ?pt_budget t ~with_secret =
+  match t.b_plan with
+  | None -> None
+  | Some plan ->
+      Some
+        (Compiler.instantiate_plan_runner t.b_compiled ~plan ~seed:t.b_seed
+           ~rotation_keys:t.b_rotation_policy ?pt_budget ?keys:t.b_keys ~with_secret ())

@@ -32,21 +32,27 @@ type t = {
   b_keys : string option;  (** [RKY2] public evaluation material; [None] for HEAAN *)
   b_scale : scale_summary option;
   b_calibration : Cost_model.calibration option;
+  b_plan : Chet_plan.Plan.t option;
+      (** compiled execution plan ([plan.chet], a [PLAN] frame); warm
+          restarts skip planning when present *)
 }
 
 val circuit_name : t -> string
 
 val build :
   ?scale:scale_summary -> ?calibration:Cost_model.calibration -> ?with_keys:bool ->
+  ?with_plan:bool ->
   Compiler.compiled -> seed:int -> ?rotation_keys:Compiler.rotation_key_policy -> unit -> t
 (** Assemble a bundle from a compile, running key generation once to export
     the public material (see {!Compiler.export_keys}). [with_keys:false]
     (default true) skips the export — for cleartext deployments, or when
-    the restart is allowed to re-derive everything from the seed. *)
+    the restart is allowed to re-derive everything from the seed.
+    [with_plan:false] (default true) skips compiling the execution plan
+    sidecar (see {!Compiler.plan}). *)
 
 val files : t -> (string * string) list
 (** The payload files ({!Store.save} input): [meta.chet], and when present
-    [keys.rky2] / [calibration.json]. *)
+    [keys.rky2] / [calibration.json] / [plan.chet]. *)
 
 val save : Store.t -> t -> int
 (** {!files} written as a fresh store generation; returns the generation id. *)
@@ -76,3 +82,11 @@ val restore_factory :
 (** The warm-restart deployment: {!Compiler.instantiate_factory_restored}
     with the bundle's seed, policy and stored keys — bit-identical to the
     deployment that produced the bundle. *)
+
+val restore_plan_runner :
+  ?pt_budget:int -> t -> with_secret:bool ->
+  (Compiler.plan_runner * Hisa.scheme_kind) option
+(** The warm-restart {e plan} deployment: the stored [PLAN] frame skips
+    planning and the stored keys skip rotation-key generation
+    ({!Compiler.instantiate_plan_runner}). [None] when the bundle carries no
+    plan. Results are bit-identical to {!restore_factory} inference. *)

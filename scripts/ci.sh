@@ -34,6 +34,18 @@ echo "== smoke: store =="
 # hanging it.
 timeout 120 scripts/store_smoke.sh
 
+echo "== smoke: plan =="
+# Compiled plans end to end (@plan-smoke): bundle with a PLAN frame,
+# serve --plan from a warm restart, responses diffed against the
+# interpretive --no-plan path. Hard cap, like every smoke.
+timeout 180 scripts/plan_smoke.sh
+
+echo "== bench: plan vs interpretive =="
+# The perf gate's numbers: per-inference latency and allocation delta of
+# the plan path on the fast model subset. Lands in BENCH.json and the
+# numbered BENCH_<n>.json trajectory so future PRs have a baseline.
+timeout 300 dune exec bench/main.exe -- --plan --fast
+
 echo "== smoke: net =="
 # The fork/exec chaos drill: supervisor + 2 shard processes, loadgen with
 # wire faults, SIGKILL a shard mid-run. Everything in it is deadline-bounded

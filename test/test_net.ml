@@ -54,6 +54,7 @@ let clean_dep () =
     dep_policy = policy ();
     dep_cost_ms = None;
     dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear_backend ());
+    dep_plan = None;
   }
 
 let quick_cfg () =

@@ -93,6 +93,40 @@ let prop name policy =
        QCheck2.Gen.(int_range 0 10000)
        (fun seed -> check_circuit_policy seed policy))
 
+(* Compiled plans must be *bit-identical* to the interpretive executor —
+   not merely within tolerance. The staged kernels claim to preserve the
+   per-slot floating-point evaluation order exactly; any deviation here is
+   a fusion bug, not noise. *)
+let check_plan_identical seed policy =
+  let circuit = random_circuit seed in
+  let shape = circuit.Circuit.input.Circuit.shape in
+  let image = Dataset.image ~seed ~channels:shape.(0) ~height:shape.(1) ~width:shape.(2) in
+  let module H = (val backend () : Hisa.S) in
+  let module E = Executor.Make (H) in
+  let module PE = Chet_plan.Plan_exec.Make (H) in
+  let interp = E.run Kernels.default_scales circuit ~policy image in
+  let plan = Chet_plan.Plan.build ~slots:H.slots ~policy circuit in
+  (match Chet_plan.Plan.validate plan with
+  | Ok () -> ()
+  | Error r -> QCheck2.Test.fail_reportf "circuit %d: invalid plan: %s" seed r);
+  let prepared = PE.prepare Kernels.default_scales plan in
+  let planned = PE.run prepared image in
+  if interp.T.shape <> planned.T.shape then
+    QCheck2.Test.fail_reportf "circuit %d under %s: plan shape differs" seed
+      (Executor.policy_name policy)
+  else if interp.T.data <> planned.T.data then begin
+    let diff = T.max_abs_diff (T.flatten interp) (T.flatten planned) in
+    QCheck2.Test.fail_reportf "circuit %d under %s: plan output not bit-identical (max diff %g)"
+      seed (Executor.policy_name policy) diff
+  end
+  else true
+
+let plan_prop name policy =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:25 ~print:string_of_int
+       QCheck2.Gen.(int_range 0 10000)
+       (fun seed -> check_plan_identical seed policy))
+
 let test_random_assignments () =
   (* arbitrary per-node assignments (not just the four policies) must also be
      correct — conversions can appear anywhere *)
@@ -128,6 +162,10 @@ let suite =
         prop "random circuits: HW" Executor.All_hw;
         prop "random circuits: CHW" Executor.All_chw;
         prop "random circuits: HW-conv CHW-rest" Executor.Hw_conv_chw_rest;
+        plan_prop "plan bit-identical: HW" Executor.All_hw;
+        plan_prop "plan bit-identical: CHW" Executor.All_chw;
+        plan_prop "plan bit-identical: HW-conv CHW-rest" Executor.Hw_conv_chw_rest;
+        plan_prop "plan bit-identical: CHW-fc HW-before" Executor.Chw_fc_hw_before;
         Alcotest.test_case "random per-node assignments" `Slow test_random_assignments;
       ] );
   ]

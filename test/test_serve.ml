@@ -54,6 +54,7 @@ let dep ?(label = "primary") ?(degraded = false) ?cost_ms backend =
     dep_policy = policy ();
     dep_cost_ms = cost_ms;
     dep_backend = backend;
+    dep_plan = None;
   }
 
 let clean_dep ?label ?degraded () = dep ?label ?degraded (fun ~req_seed:_ ~attempt:_ -> clear_backend ())
