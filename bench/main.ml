@@ -720,6 +720,104 @@ let plan_bench () =
   add_json "plan" (Jsonx.Arr (List.rev !points))
 
 (* ------------------------------------------------------------------ *)
+(* Fast ring kernels: Bigarray/Shoup path vs scalar reference           *)
+(* ------------------------------------------------------------------ *)
+
+(* The DESIGN.md §15 acceptance evidence: the fast ring path (unboxed
+   Bigarray storage, Shoup multiplication, lazy cache-blocked NTT) against
+   the scalar int-array reference it must match bit-for-bit. Two views:
+   per-transform microbenchmarks, and one whole encrypted inference on the
+   real RNS backend with the toggle flipped either way. *)
+let kernels_bench () =
+  print_endline "\n===== Fast ring kernels: Bigarray/Shoup vs scalar reference =====";
+  let module Ntt = Chet_crypto.Ntt in
+  let module Rvec = Chet_crypto.Rvec in
+  let module Rq = Chet_crypto.Rq in
+  let module Modarith = Chet_crypto.Modarith in
+  let saved = Rq.fast_ring_enabled () in
+  let time_reps reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do f () done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let sizes = if !fast then [ (4096, 100) ] else [ (4096, 200); (8192, 100); (16384, 50) ] in
+  let ntt_points =
+    List.map
+      (fun (n, reps) ->
+        let p = (Modarith.gen_ntt_primes ~bits:30 ~modulus_of:(2 * n) ~count:1).(0) in
+        let tbl = Ntt.make_table ~n ~prime:p in
+        let rng = Random.State.make [| 7 |] in
+        let arr = Array.init n (fun _ -> Random.State.int rng p) in
+        let buf = Rvec.of_int_array arr in
+        Rq.set_fast_ring true;
+        Ntt.forward_buf tbl buf;
+        Ntt.inverse_buf tbl buf;
+        let fast_s = time_reps reps (fun () -> Ntt.forward_buf tbl buf; Ntt.inverse_buf tbl buf) in
+        let scalar_s = time_reps reps (fun () -> Ntt.forward tbl arr; Ntt.inverse tbl arr) in
+        (n, fast_s /. 2.0, scalar_s /. 2.0))
+      sizes
+  in
+  print_table ~title:"NTT round trip, one transform (fast must win)"
+    ~headers:[ "N"; "fast us/op"; "scalar us/op"; "speedup" ]
+    (List.map
+       (fun (n, f, s) ->
+         [
+           string_of_int n;
+           Printf.sprintf "%.1f" (1e6 *. f);
+           Printf.sprintf "%.1f" (1e6 *. s);
+           Printf.sprintf "%.2fx" (s /. f);
+         ])
+       ntt_points);
+  (* end to end: micro network on the real RNS backend, toggle both ways *)
+  let spec = Models.micro in
+  let compiled = Workloads.compiled_for Compiler.Seal spec in
+  let opts = compiled.Compiler.opts in
+  let circuit = spec.Models.build () in
+  let image = Models.input_for spec ~seed:7 in
+  let infer () =
+    let backend = Compiler.instantiate compiled ~seed:42 ~with_secret:true () in
+    let module H = (val backend : Hisa.S) in
+    let module E = Executor.Make (H) in
+    time_once (fun () -> E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image)
+  in
+  Rq.set_fast_ring true;
+  let fast_out, fast_s = infer () in
+  Rq.set_fast_ring false;
+  let ref_out, ref_s = infer () in
+  Rq.set_fast_ring saved;
+  if fast_out.T.data <> ref_out.T.data then
+    failwith "kernels: fast-ring output is not bit-identical to the scalar reference";
+  Printf.printf
+    "\nmicro network, real RNS backend: fast %.2f s, scalar reference %.2f s -> %.2fx; \
+     outputs bit-identical\n"
+    fast_s ref_s (ref_s /. fast_s);
+  add_json "kernels"
+    (Jsonx.Obj
+       [
+         ( "ntt",
+           Jsonx.Arr
+             (List.map
+                (fun (n, f, s) ->
+                  Jsonx.Obj
+                    [
+                      ("n", Jsonx.Num (float_of_int n));
+                      ("fast_us", Jsonx.Num (1e6 *. f));
+                      ("scalar_us", Jsonx.Num (1e6 *. s));
+                      ("speedup", Jsonx.Num (s /. f));
+                    ])
+                ntt_points) );
+         ( "inference",
+           Jsonx.Obj
+             [
+               ("model", Jsonx.Str spec.Models.model_name);
+               ("fast_s", Jsonx.Num fast_s);
+               ("reference_s", Jsonx.Num ref_s);
+               ("speedup", Jsonx.Num (ref_s /. fast_s));
+               ("bit_identical", Jsonx.Bool true);
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -751,6 +849,7 @@ let () =
     | "--cryptonets" :: rest -> "cn" :: wanted rest
     | "--serve" :: rest -> "srv" :: wanted rest
     | "--plan" :: rest -> "pln" :: wanted rest
+    | "--kernels" :: rest -> "krn" :: wanted rest
     | _ :: rest -> wanted rest
     | [] -> []
   in
@@ -771,6 +870,7 @@ let () =
   if want "cn" then begin cryptonets_comparison (); Gc.compact () end;
   if want "srv" then begin serve_bench (); Gc.compact () end;
   if want "pln" then begin plan_bench (); Gc.compact () end;
+  if want "krn" then begin kernels_bench (); Gc.compact () end;
   if all || List.mem "abl" selected then ablation ();
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total;

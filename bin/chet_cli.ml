@@ -116,6 +116,53 @@ let save_bundle_verbose store bundle =
     (List.length files) bytes (Store.root store);
   gen
 
+(* --- fast-ring kernel options (DESIGN.md §15) -------------------------- *)
+
+let kernel_domains_arg =
+  let doc =
+    "Kernel-domain pool width: independent RNS residue channels of each ring operation fan \
+     out across $(docv) OCaml 5 domains (default: this machine's recommended domain count). \
+     1 runs every kernel sequentially. Results are bit-identical for every width."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let no_fast_ring_arg =
+  let doc =
+    "Run the scalar schoolbook ring kernels instead of the Bigarray fast path — the \
+     bit-identical (and much slower) reference oracle."
+  in
+  Arg.(value & flag & info [ "no-fast-ring" ] ~doc)
+
+let kernel_domains_gauge =
+  lazy
+    (Chet_obs.Metrics.gauge Chet_obs.Metrics.default ~help:"kernel-domain pool width"
+       "chet_kernel_domains")
+
+(* lib/crypto cannot depend on lib/obs, so the gauge is set here, at the
+   layer that also owns the pool width decision *)
+let apply_kernel_opts domains no_fast_ring =
+  let d =
+    match domains with Some d -> Stdlib.max 1 d | None -> Domain.recommended_domain_count ()
+  in
+  Chet_crypto.Kpool.configure ~domains:d;
+  Chet_crypto.Rq.set_fast_ring (not no_fast_ring);
+  Chet_obs.Metrics.set_gauge (Lazy.force kernel_domains_gauge) (float_of_int d)
+
+let kernel_term = Term.(const apply_kernel_opts $ kernel_domains_arg $ no_fast_ring_arg)
+
+(* serve names its worker-pool width --domains already; the kernel pool gets
+   an unambiguous flag there *)
+let kernel_domains_serve_arg =
+  let doc =
+    "Kernel-domain pool width for ring operations (distinct from --domains, the worker-pool \
+     width). Defaults to 1 under serve: worker parallelism usually saturates the cores."
+  in
+  Arg.(value & opt int 1 & info [ "kernel-domains" ] ~docv:"N" ~doc)
+
+let kernel_term_serve =
+  Term.(const (fun d no_fast -> apply_kernel_opts (Some d) no_fast) $ kernel_domains_serve_arg
+        $ no_fast_ring_arg)
+
 (* exit code 2: a usage error, same class as a flag cmdliner rejects *)
 let lookup_model name =
   try Models.find name
@@ -215,7 +262,7 @@ let run_cmd =
              (node id, layer, layout, HISA op count, result scale/level) — and write it to \
              $(docv); open in chrome://tracing or Perfetto.")
   in
-  let run model target real checked seed plan no_plan trace cost_file =
+  let run () model target real checked seed plan no_plan trace cost_file =
     let use_plan = plan && not no_plan in
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
@@ -286,12 +333,12 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one encrypted inference")
     Term.(
-      const run $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg $ plan_arg
-      $ no_plan_arg $ trace_arg $ cost_file_arg)
+      const run $ kernel_term $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg
+      $ plan_arg $ no_plan_arg $ trace_arg $ cost_file_arg)
 
 let scales_cmd =
   let tol_arg = Arg.(value & opt float 0.05 & info [ "tolerance" ] ~doc:"Output tolerance.") in
-  let run model target tolerance cost_file =
+  let run () model target tolerance cost_file =
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
     let opts = apply_cost_file (Compiler.default_options ~target ()) target cost_file in
@@ -308,7 +355,7 @@ let scales_cmd =
       (List.length result.Scale_select.rejections)
   in
   Cmd.v (Cmd.info "scales" ~doc:"Profile-guided fixed-point scale search (§5.5)")
-    Term.(const run $ model_arg $ target_arg $ tol_arg $ cost_file_arg)
+    Term.(const run $ kernel_term $ model_arg $ target_arg $ tol_arg $ cost_file_arg)
 
 (* --- chet profile: calibrate the cost model on this machine ------------- *)
 
@@ -362,7 +409,7 @@ let profile_cmd =
       & opt string "chet-calibration.json"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the calibration JSON.")
   in
-  let run quick out =
+  let run () quick out =
     let reps = if quick then 3 else 12 in
     let seal_timer = Timed_backend.create () in
     let seal_sizes = if quick then [ (2048, 3) ] else [ (2048, 4); (4096, 4); (4096, 8) ] in
@@ -415,7 +462,7 @@ let profile_cmd =
           interceptor, fit Table-1 cost-model constants from the measurements, and write a \
           calibration JSON that `compile', `run', `scales' and the benches accept via \
           --cost-file")
-    Term.(const run $ quick_arg $ out_arg)
+    Term.(const run $ kernel_term $ quick_arg $ out_arg)
 
 (* --- chet trace: validate an exported Chrome trace ---------------------- *)
 
@@ -527,7 +574,7 @@ let serve_cmd =
              Pacing gives SIGINT/SIGTERM a window to land mid-run and exercise graceful \
              shutdown.")
   in
-  let run model target requests domains queue_hw deadline_ms tight_every fault real seed plan
+  let run () model target requests domains queue_hw deadline_ms tight_every fault real seed plan
       no_plan metrics_dump state_dir interarrival_ms =
     let use_plan = plan && not no_plan in
     let spec = lookup_model model in
@@ -779,7 +826,8 @@ let serve_cmd =
          "Run the supervised inference service on a scripted request trace (deadlines, retries, \
           load shedding, circuit-breaker degradation) and print a stats summary")
     Term.(
-      const run $ model_arg $ target_arg $ requests_arg $ domains_arg $ queue_arg $ deadline_arg
+      const run $ kernel_term_serve $ model_arg $ target_arg $ requests_arg $ domains_arg
+      $ queue_arg $ deadline_arg
       $ tight_arg $ fault_arg $ real_arg $ seed_arg $ plan_arg $ no_plan_arg $ metrics_arg
       $ state_dir_arg $ interarrival_arg)
 
@@ -906,7 +954,7 @@ let shard_worker_cmd =
             "Artificially sleep this long inside every primary-rung attempt — makes this shard a \
              predictable straggler for hedging demos (scripts/hedge_smoke.sh).")
   in
-  let run model target listen shard domains queue_hw max_inflight fault slow_ms state_dir seed =
+  let run () model target listen shard domains queue_hw max_inflight fault slow_ms state_dir seed =
     let addr = parse_addr listen in
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
@@ -1041,7 +1089,8 @@ let shard_worker_cmd =
           errors) out, HLTH pings for the supervisor. SIGTERM drains gracefully and persists \
           state; meant to be forked by `chet supervise' but runnable by hand")
     Term.(
-      const run $ model_arg $ target_arg $ listen_arg $ shard_arg $ domains_arg $ queue_arg
+      const run $ kernel_term_serve $ model_arg $ target_arg $ listen_arg $ shard_arg
+      $ domains_arg $ queue_arg
       $ inflight_arg $ fault_arg $ slow_ms_arg $ state_dir_arg $ net_seed_arg)
 
 let supervise_cmd =

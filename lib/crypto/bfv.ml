@@ -275,8 +275,8 @@ let mul ctx keys a b =
   let a0 = centered a.c0 and a1 = centered a.c1 in
   let b0 = centered b.c0 and b1 = centered b.c1 in
   let logq = ctx.big_bits in
-  let reduce = Rq_big.reduce ~logq in
-  let prod x y = Rq_big.to_centered ~logq (Rq_big.mul ctx.big ~logq (reduce x) (reduce y)) in
+  let lift x = Rq_big.of_bigint_coeffs ctx.big logq x in
+  let prod x y = Rq_big.to_centered_bigint_coeffs ctx.big (Rq_big.mul ctx.big (lift x) (lift y)) in
   let t_big = Bigint.of_int ctx.t in
   let scale_down poly =
     Rq.to_ntt ctx.rq

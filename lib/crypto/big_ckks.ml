@@ -39,9 +39,8 @@ let encoding ctx = ctx.enc
 let total_modulus_bits ctx = ctx.params.log_fresh + ctx.params.log_special
 
 type secret_key = { s : int array (* ternary *) }
-type public_key = { pk0 : Bigint.t array; pk1 : Bigint.t array (* mod 2^log_fresh *) }
-
-type kswitch_key = { k0 : Bigint.t array; k1 : Bigint.t array (* mod 2^(log_fresh+log_special) *) }
+type public_key = { pk0 : Rq_big.t; pk1 : Rq_big.t (* mod 2^log_fresh *) }
+type kswitch_key = { k0 : Rq_big.t; k1 : Rq_big.t (* mod 2^(log_fresh+log_special) *) }
 
 type keys = {
   public : public_key;
@@ -49,28 +48,30 @@ type keys = {
   rotation : (int, kswitch_key) Hashtbl.t;
 }
 
-type plaintext = { poly : Bigint.t array; pt_logq : int; pt_scale : float }
-type ciphertext = { c0 : Bigint.t array; c1 : Bigint.t array; logq : int; scale : float }
+type plaintext = { poly : Rq_big.t; pt_scale : float }
+type ciphertext = { c0 : Rq_big.t; c1 : Rq_big.t; scale : float }
 
-let logq_of ct = ct.logq
+let logq_of ct = Rq_big.mode_of ct.c0
 let scale_of ct = ct.scale
+let pt_logq pt = Rq_big.mode_of pt.poly
 
-let s_poly _ctx ~logq (sk : secret_key) = Rq_big.of_centered_ints ~logq sk.s
+let s_poly ctx ~logq (sk : secret_key) = Rq_big.of_centered_coeffs ctx.rq logq sk.s
 
 let sample_gaussian_poly ctx rng ~logq =
-  Rq_big.of_centered_ints ~logq (Sampling.gaussian rng ~sigma:ctx.params.sigma ctx.params.n)
+  Rq_big.of_centered_coeffs ctx.rq logq (Sampling.gaussian rng ~sigma:ctx.params.sigma ctx.params.n)
 
 let sample_uniform_poly ctx rng ~logq =
-  Sampling.uniform_bigint_poly rng ~modulus:(Bigint.pow2 logq) ctx.params.n
+  Rq_big.of_reduced_coeffs ~logq
+    (Sampling.uniform_bigint_poly rng ~modulus:(Bigint.pow2 logq) ctx.params.n)
 
-let keygen_kswitch ctx rng sk (target : Bigint.t array) =
+let keygen_kswitch ctx rng sk (target : Rq_big.t) =
   let logqp = ctx.params.log_fresh + ctx.params.log_special in
   let k1 = sample_uniform_poly ctx rng ~logq:logqp in
   let e = sample_gaussian_poly ctx rng ~logq:logqp in
-  let p_target = Rq_big.mul_scalar ~logq:logqp target (Bigint.pow2 ctx.params.log_special) in
+  let p_target = Rq_big.mul_bigint ctx.rq target (Bigint.pow2 ctx.params.log_special) in
   let k0 =
-    Rq_big.add ~logq:logqp
-      (Rq_big.sub ~logq:logqp e (Rq_big.mul ctx.rq ~logq:logqp k1 (s_poly ctx ~logq:logqp sk)))
+    Rq_big.add ctx.rq
+      (Rq_big.sub ctx.rq e (Rq_big.mul ctx.rq k1 (s_poly ctx ~logq:logqp sk)))
       p_target
   in
   { k0; k1 }
@@ -80,10 +81,10 @@ let keygen ctx rng =
   let logq = ctx.params.log_fresh in
   let pk1 = sample_uniform_poly ctx rng ~logq in
   let e = sample_gaussian_poly ctx rng ~logq in
-  let pk0 = Rq_big.sub ~logq e (Rq_big.mul ctx.rq ~logq pk1 (s_poly ctx ~logq sk)) in
+  let pk0 = Rq_big.sub ctx.rq e (Rq_big.mul ctx.rq pk1 (s_poly ctx ~logq sk)) in
   let logqp = ctx.params.log_fresh + ctx.params.log_special in
   let s_qp = s_poly ctx ~logq:logqp sk in
-  let s_sq = Rq_big.mul ctx.rq ~logq:logqp s_qp s_qp in
+  let s_sq = Rq_big.mul ctx.rq s_qp s_qp in
   let relin = keygen_kswitch ctx rng sk s_sq in
   (sk, { public = { pk0; pk1 }; relin; rotation = Hashtbl.create 16 })
 
@@ -93,7 +94,7 @@ let add_rotation_key ctx rng sk keys r =
   let g = galois_of_rotation ctx r in
   if not (Hashtbl.mem keys.rotation g) then begin
     let logqp = ctx.params.log_fresh + ctx.params.log_special in
-    let s_g = Rq_big.automorphism ~logq:logqp ~g (s_poly ctx ~logq:logqp sk) in
+    let s_g = Rq_big.automorphism ctx.rq (s_poly ctx ~logq:logqp sk) ~g in
     Hashtbl.replace keys.rotation g (keygen_kswitch ctx rng sk s_g)
   end
 
@@ -132,33 +133,31 @@ let encode ctx ~logq ~scale (z : Complexv.t) =
         end)
       coeffs
   in
-  { poly; pt_logq = logq; pt_scale = scale }
+  { poly = Rq_big.of_reduced_coeffs ~logq poly; pt_scale = scale }
 
 let encode_real ctx ~logq ~scale values = encode ctx ~logq ~scale (Complexv.of_real values)
 
 let decode ctx pt =
-  let centered = Rq_big.to_centered ~logq:pt.pt_logq pt.poly in
+  let centered = Rq_big.to_centered_bigint_coeffs ctx.rq pt.poly in
   let floats = Array.map Bigint.to_float centered in
   let re, im = Encoding.decode ctx.enc ~scale:pt.pt_scale floats in
   Complexv.of_complex re im
 
 let encrypt ctx rng (pk : public_key) pt =
-  if pt.pt_logq <> ctx.params.log_fresh then
-    err ~op:"encrypt" (Herr.Level_mismatch { expected = ctx.params.log_fresh; got = pt.pt_logq });
+  if pt_logq pt <> ctx.params.log_fresh then
+    err ~op:"encrypt" (Herr.Level_mismatch { expected = ctx.params.log_fresh; got = pt_logq pt });
   let logq = ctx.params.log_fresh in
-  let u = Rq_big.of_centered_ints ~logq (Sampling.ternary rng ctx.params.n) in
+  let u = Rq_big.of_centered_coeffs ctx.rq logq (Sampling.ternary rng ctx.params.n) in
   let e0 = sample_gaussian_poly ctx rng ~logq in
   let e1 = sample_gaussian_poly ctx rng ~logq in
-  let c0 = Rq_big.add ~logq (Rq_big.add ~logq (Rq_big.mul ctx.rq ~logq pk.pk0 u) e0) pt.poly in
-  let c1 = Rq_big.add ~logq (Rq_big.mul ctx.rq ~logq pk.pk1 u) e1 in
-  { c0; c1; logq; scale = pt.pt_scale }
+  let c0 = Rq_big.add ctx.rq (Rq_big.add ctx.rq (Rq_big.mul ctx.rq pk.pk0 u) e0) pt.poly in
+  let c1 = Rq_big.add ctx.rq (Rq_big.mul ctx.rq pk.pk1 u) e1 in
+  { c0; c1; scale = pt.pt_scale }
 
 let decrypt ctx sk ct =
-  let m =
-    Rq_big.add ~logq:ct.logq ct.c0
-      (Rq_big.mul ctx.rq ~logq:ct.logq ct.c1 (s_poly ctx ~logq:ct.logq sk))
-  in
-  { poly = m; pt_logq = ct.logq; pt_scale = ct.scale }
+  let logq = logq_of ct in
+  let m = Rq_big.add ctx.rq ct.c0 (Rq_big.mul ctx.rq ct.c1 (s_poly ctx ~logq sk)) in
+  { poly = m; pt_scale = ct.scale }
 
 (* kernels equalise scales only approximately (integer mask factors, RNS
    rescaling drift); [Herr.scale_tolerance] relative slack admits value
@@ -166,132 +165,114 @@ let decrypt ctx sk ct =
 let scales_compatible = Herr.scales_compatible
 
 let check_binop op a b =
-  if a.logq <> b.logq then err ~op (Herr.Level_mismatch { expected = a.logq; got = b.logq });
+  if logq_of a <> logq_of b then
+    err ~op (Herr.Level_mismatch { expected = logq_of a; got = logq_of b });
   if not (scales_compatible a.scale b.scale) then
     err ~op (Herr.Scale_mismatch { expected = a.scale; got = b.scale })
 
 let add ctx a b =
-  ignore ctx;
   check_binop "add" a b;
-  { a with c0 = Rq_big.add ~logq:a.logq a.c0 b.c0; c1 = Rq_big.add ~logq:a.logq a.c1 b.c1 }
+  { a with c0 = Rq_big.add ctx.rq a.c0 b.c0; c1 = Rq_big.add ctx.rq a.c1 b.c1 }
 
 let sub ctx a b =
-  ignore ctx;
   check_binop "sub" a b;
-  { a with c0 = Rq_big.sub ~logq:a.logq a.c0 b.c0; c1 = Rq_big.sub ~logq:a.logq a.c1 b.c1 }
+  { a with c0 = Rq_big.sub ctx.rq a.c0 b.c0; c1 = Rq_big.sub ctx.rq a.c1 b.c1 }
 
-let negate ctx a =
-  ignore ctx;
-  { a with c0 = Rq_big.neg ~logq:a.logq a.c0; c1 = Rq_big.neg ~logq:a.logq a.c1 }
+let negate ctx a = { a with c0 = Rq_big.neg ctx.rq a.c0; c1 = Rq_big.neg ctx.rq a.c1 }
 
 let check_plain op (ct : ciphertext) (pt : plaintext) =
-  if ct.logq <> pt.pt_logq then err ~op (Herr.Level_mismatch { expected = ct.logq; got = pt.pt_logq })
+  if logq_of ct <> pt_logq pt then
+    err ~op (Herr.Level_mismatch { expected = logq_of ct; got = pt_logq pt })
 
 let add_plain ctx ct pt =
-  ignore ctx;
   check_plain "add_plain" ct pt;
   if not (scales_compatible ct.scale pt.pt_scale) then
     err ~op:"add_plain" (Herr.Scale_mismatch { expected = ct.scale; got = pt.pt_scale });
-  { ct with c0 = Rq_big.add ~logq:ct.logq ct.c0 pt.poly }
+  { ct with c0 = Rq_big.add ctx.rq ct.c0 pt.poly }
 
 let sub_plain ctx ct pt =
-  ignore ctx;
   check_plain "sub_plain" ct pt;
   if not (scales_compatible ct.scale pt.pt_scale) then
     err ~op:"sub_plain" (Herr.Scale_mismatch { expected = ct.scale; got = pt.pt_scale });
-  { ct with c0 = Rq_big.sub ~logq:ct.logq ct.c0 pt.poly }
+  { ct with c0 = Rq_big.sub ctx.rq ct.c0 pt.poly }
 
 let mul_plain ctx ct pt =
   check_plain "mul_plain" ct pt;
   {
-    ct with
-    c0 = Rq_big.mul ctx.rq ~logq:ct.logq ct.c0 pt.poly;
-    c1 = Rq_big.mul ctx.rq ~logq:ct.logq ct.c1 pt.poly;
+    c0 = Rq_big.mul ctx.rq ct.c0 pt.poly;
+    c1 = Rq_big.mul ctx.rq ct.c1 pt.poly;
     scale = ct.scale *. pt.pt_scale;
   }
 
 let mul_scalar ctx ct x ~scale =
-  ignore ctx;
   let s = Bigint.of_int (int_of_float (Float.round (x *. scale))) in
   {
-    ct with
-    c0 = Rq_big.mul_scalar ~logq:ct.logq ct.c0 s;
-    c1 = Rq_big.mul_scalar ~logq:ct.logq ct.c1 s;
+    c0 = Rq_big.mul_bigint ctx.rq ct.c0 s;
+    c1 = Rq_big.mul_bigint ctx.rq ct.c1 s;
     scale = ct.scale *. scale;
   }
 
 let add_scalar ctx ct x =
   ignore ctx;
-  let c = Bigint.emod (Bigint.of_int (int_of_float (Float.round (x *. ct.scale)))) (Bigint.pow2 ct.logq) in
-  let c0 = Array.copy ct.c0 in
-  c0.(0) <- Bigint.emod (Bigint.add c0.(0) c) (Bigint.pow2 ct.logq);
-  { ct with c0 }
+  let logq = logq_of ct in
+  let q = Bigint.pow2 logq in
+  let c = Bigint.emod (Bigint.of_int (int_of_float (Float.round (x *. ct.scale)))) q in
+  let c0 = Rq_big.coeffs ct.c0 in
+  c0.(0) <- Bigint.emod (Bigint.add c0.(0) c) q;
+  { ct with c0 = Rq_big.of_reduced_coeffs ~logq c0 }
 
-let keyswitch ctx logq (d : Bigint.t array) (key : kswitch_key) =
+let keyswitch ctx (d : Rq_big.t) (key : kswitch_key) =
   let log_p = ctx.params.log_special in
-  let logqp = logq + log_p in
-  let d = Rq_big.to_centered ~logq d in
-  let k0 = Rq_big.mod_down ~logq_to:logqp key.k0 in
-  let k1 = Rq_big.mod_down ~logq_to:logqp key.k1 in
-  let t0 = Rq_big.mul ctx.rq ~logq:logqp d k0 in
-  let t1 = Rq_big.mul ctx.rq ~logq:logqp d k1 in
-  (Rq_big.div_round_pow2 ~logq:logqp ~k:log_p t0, Rq_big.div_round_pow2 ~logq:logqp ~k:log_p t1)
+  let logqp = Rq_big.mode_of d + log_p in
+  (* centered lift of d from mod q into mod q·P *)
+  let d = Rq_big.of_bigint_coeffs ctx.rq logqp (Rq_big.to_centered_bigint_coeffs ctx.rq d) in
+  let k0 = Rq_big.mod_down ctx.rq key.k0 logqp in
+  let k1 = Rq_big.mod_down ctx.rq key.k1 logqp in
+  let t0 = Rq_big.mul ctx.rq d k0 in
+  let t1 = Rq_big.mul ctx.rq d k1 in
+  (Rq_big.div_round_pow2 ctx.rq t0 ~k:log_p, Rq_big.div_round_pow2 ctx.rq t1 ~k:log_p)
 
 let mul ctx keys a b =
-  if a.logq <> b.logq then err ~op:"mul" (Herr.Level_mismatch { expected = a.logq; got = b.logq });
-  let logq = a.logq in
-  let d0 = Rq_big.mul ctx.rq ~logq a.c0 b.c0 in
-  let d1 =
-    Rq_big.add ~logq (Rq_big.mul ctx.rq ~logq a.c0 b.c1) (Rq_big.mul ctx.rq ~logq a.c1 b.c0)
-  in
-  let d2 = Rq_big.mul ctx.rq ~logq a.c1 b.c1 in
-  let k0, k1 = keyswitch ctx logq d2 keys.relin in
-  {
-    c0 = Rq_big.add ~logq d0 k0;
-    c1 = Rq_big.add ~logq d1 k1;
-    logq;
-    scale = a.scale *. b.scale;
-  }
+  if logq_of a <> logq_of b then
+    err ~op:"mul" (Herr.Level_mismatch { expected = logq_of a; got = logq_of b });
+  let d0 = Rq_big.mul ctx.rq a.c0 b.c0 in
+  let d1 = Rq_big.add ctx.rq (Rq_big.mul ctx.rq a.c0 b.c1) (Rq_big.mul ctx.rq a.c1 b.c0) in
+  let d2 = Rq_big.mul ctx.rq a.c1 b.c1 in
+  let k0, k1 = keyswitch ctx d2 keys.relin in
+  { c0 = Rq_big.add ctx.rq d0 k0; c1 = Rq_big.add ctx.rq d1 k1; scale = a.scale *. b.scale }
 
 let max_rescale ctx ct ub =
   ignore ctx;
   if ub < 2 then 1
   else begin
+    let logq = logq_of ct in
     let k = ref 0 in
-    while 1 lsl (!k + 1) <= ub && !k + 1 < ct.logq do
+    while 1 lsl (!k + 1) <= ub && !k + 1 < logq do
       incr k
     done;
     1 lsl !k
   end
 
 let rescale ctx ct x =
-  ignore ctx;
   if x = 1 then ct
   else begin
     if x land (x - 1) <> 0 then
       err ~op:"rescale"
         (Herr.Illegal_rescale { divisor = x; reason = "divisor must be a power of two" });
     let k = log2_int x in
-    if k >= ct.logq then
-      err ~op:"rescale" (Herr.Modulus_exhausted { level = ct.logq; requested = k });
+    if k >= logq_of ct then
+      err ~op:"rescale" (Herr.Modulus_exhausted { level = logq_of ct; requested = k });
     {
-      c0 = Rq_big.rescale_pow2 ~logq:ct.logq ~k ct.c0;
-      c1 = Rq_big.rescale_pow2 ~logq:ct.logq ~k ct.c1;
-      logq = ct.logq - k;
+      c0 = Rq_big.div_round_pow2 ctx.rq ct.c0 ~k;
+      c1 = Rq_big.div_round_pow2 ctx.rq ct.c1 ~k;
       scale = ct.scale /. float_of_int x;
     }
   end
 
 let mod_down ctx ct ~logq =
-  ignore ctx;
-  if logq > ct.logq then
-    err ~op:"mod_down" (Herr.Level_mismatch { expected = ct.logq; got = logq });
-  {
-    ct with
-    c0 = Rq_big.mod_down ~logq_to:logq ct.c0;
-    c1 = Rq_big.mod_down ~logq_to:logq ct.c1;
-    logq;
-  }
+  if logq > logq_of ct then
+    err ~op:"mod_down" (Herr.Level_mismatch { expected = logq_of ct; got = logq });
+  { ct with c0 = Rq_big.mod_down ctx.rq ct.c0 logq; c1 = Rq_big.mod_down ctx.rq ct.c1 logq }
 
 let apply_galois ?(amount = 0) ctx keys ct g =
   let key =
@@ -299,10 +280,10 @@ let apply_galois ?(amount = 0) ctx keys ct g =
     | Some k -> k
     | None -> err ~op:"rotate" (Herr.Missing_rotation_key { amount })
   in
-  let c0 = Rq_big.automorphism ~logq:ct.logq ~g ct.c0 in
-  let c1 = Rq_big.automorphism ~logq:ct.logq ~g ct.c1 in
-  let k0, k1 = keyswitch ctx ct.logq c1 key in
-  { ct with c0 = Rq_big.add ~logq:ct.logq c0 k0; c1 = k1 }
+  let c0 = Rq_big.automorphism ctx.rq ct.c0 ~g in
+  let c1 = Rq_big.automorphism ctx.rq ct.c1 ~g in
+  let k0, k1 = keyswitch ctx c1 key in
+  { ct with c0 = Rq_big.add ctx.rq c0 k0; c1 = k1 }
 
 let rotate ctx keys ct r =
   let slots = slot_count ctx in

@@ -44,8 +44,8 @@ val add_rotation_key : context -> Sampling.t -> secret_key -> keys -> int -> uni
 val add_power_of_two_rotation_keys : context -> Sampling.t -> secret_key -> keys -> unit
 val rotation_key_count : keys -> int
 
-type plaintext = { poly : Bigint.t array; pt_logq : int; pt_scale : float }
-type ciphertext = { c0 : Bigint.t array; c1 : Bigint.t array; logq : int; scale : float }
+type plaintext = { poly : Rq_big.t; pt_scale : float }
+type ciphertext = { c0 : Rq_big.t; c1 : Rq_big.t; scale : float }
 
 val encode : context -> logq:int -> scale:float -> Complexv.t -> plaintext
 val encode_real : context -> logq:int -> scale:float -> float array -> plaintext
@@ -71,3 +71,4 @@ val rotate : context -> keys -> ciphertext -> int -> ciphertext
 val rotate_key_available : keys -> context -> int -> bool
 val logq_of : ciphertext -> int
 val scale_of : ciphertext -> float
+val pt_logq : plaintext -> int

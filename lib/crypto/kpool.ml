@@ -1,0 +1,154 @@
+(* A reusable kernel-domain pool for limb-parallel crypto kernels
+   (DESIGN.md §15).
+
+   This is the lighter sibling of lib/serve's Pool: serve's pool owns
+   long-lived *tasks* (whole inference requests) with crash containment and
+   cancellation; this pool fans out *chunks* of one data-parallel kernel
+   (independent RNS residue channels) and returns when every chunk is done.
+   The two compose without oversubscription: the process spawns (domains-1)
+   helper domains once, every caller — including a serve worker domain —
+   participates in its own kernel, and helpers steal chunks via an atomic
+   cursor. A kernel issued from inside another kernel's chunk (or from a
+   helper) runs sequentially in the caller, so nesting can never deadlock
+   or multiply domains.
+
+   Determinism: chunk index [i] fully determines which output a chunk
+   writes, and chunks write disjoint outputs, so results are bit-identical
+   for every pool width — the k-domain determinism property test. *)
+
+type job = {
+  work : int -> unit;
+  total : int;
+  next : int Atomic.t; (* chunk-stealing cursor *)
+  finished : int Atomic.t;
+  failed : exn Atomic.t option Atomic.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : job Queue.t;
+  mutable helpers : unit Domain.t array;
+  mutable stopping : bool;
+}
+
+let pool =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    jobs = Queue.create ();
+    helpers = [||];
+    stopping = false;
+  }
+
+let configured = Atomic.make 1
+let jobs_run = Atomic.make 0
+let chunks_stolen = Atomic.make 0 (* chunks executed by helper domains *)
+
+(* set while a domain is executing kernel chunks: nested [run]s go
+   sequential instead of re-entering the pool *)
+let in_kernel = Domain.DLS.new_key (fun () -> false)
+
+let exec_chunk job i =
+  try job.work i
+  with e ->
+    let box = Atomic.make e in
+    ignore (Atomic.compare_and_set job.failed None (Some box))
+
+let steal ~helper job =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.total then begin
+      if helper then Atomic.incr chunks_stolen;
+      exec_chunk job i;
+      Atomic.incr job.finished;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec helper_loop () =
+  Mutex.lock pool.lock;
+  while (not pool.stopping) && Queue.is_empty pool.jobs do
+    Condition.wait pool.nonempty pool.lock
+  done;
+  if pool.stopping then Mutex.unlock pool.lock
+  else begin
+    let job = Queue.peek pool.jobs in
+    if Atomic.get job.next >= job.total then begin
+      (* exhausted: drop it from the head so we can wait on fresh work *)
+      ignore (Queue.pop pool.jobs);
+      Mutex.unlock pool.lock
+    end
+    else begin
+      Mutex.unlock pool.lock;
+      steal ~helper:true job
+    end;
+    helper_loop ()
+  end
+
+let spawn_helpers k = Array.init k (fun _ -> Domain.spawn (fun () ->
+    Domain.DLS.set in_kernel true;
+    helper_loop ()))
+
+let domain_count () = Atomic.get configured
+
+let configure ~domains =
+  let domains = max 1 domains in
+  Mutex.lock pool.lock;
+  pool.stopping <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join pool.helpers;
+  Mutex.lock pool.lock;
+  pool.helpers <- [||];
+  pool.stopping <- false;
+  Atomic.set configured domains;
+  Mutex.unlock pool.lock;
+  if domains > 1 then pool.helpers <- spawn_helpers (domains - 1)
+
+let run_seq n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let run n f =
+  if n <= 0 then ()
+  else if n = 1 || Array.length pool.helpers = 0 || Domain.DLS.get in_kernel then run_seq n f
+  else begin
+    Atomic.incr jobs_run;
+    let job =
+      { work = f; total = n; next = Atomic.make 0; finished = Atomic.make 0; failed = Atomic.make None }
+    in
+    Mutex.lock pool.lock;
+    Queue.push job pool.jobs;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    (* the caller participates; nested kernels inside chunks run sequential *)
+    Domain.DLS.set in_kernel true;
+    steal ~helper:false job;
+    Domain.DLS.set in_kernel false;
+    (* chunks are short (one residue channel); spin for the helpers' tail *)
+    while Atomic.get job.finished < job.total do
+      Domain.cpu_relax ()
+    done;
+    (* drop the job if a helper has not already popped it *)
+    Mutex.lock pool.lock;
+    let keep = Queue.create () in
+    Queue.iter (fun j -> if j != job then Queue.push j keep) pool.jobs;
+    Queue.clear pool.jobs;
+    Queue.transfer keep pool.jobs;
+    Mutex.unlock pool.lock;
+    match Atomic.get job.failed with
+    | Some box -> raise (Atomic.get box)
+    | None -> ()
+  end
+
+type stats = { st_domains : int; st_jobs : int; st_chunks_stolen : int }
+
+let stats () =
+  {
+    st_domains = domain_count ();
+    st_jobs = Atomic.get jobs_run;
+    st_chunks_stolen = Atomic.get chunks_stolen;
+  }

@@ -1,0 +1,29 @@
+(** Kernel-domain pool: data-parallel fan-out of independent RNS residue
+    channels across OCaml 5 domains.
+
+    One global pool of [domains - 1] helper domains; {!run} lets the caller
+    participate while helpers steal chunks through an atomic cursor, so a
+    single inference never uses more than [domains] domains even when
+    issued from a serve worker (no oversubscription, see DESIGN.md §15).
+    Chunks write disjoint outputs determined by their index, so results are
+    bit-identical for every pool width. *)
+
+val configure : domains:int -> unit
+(** Resize the pool to [max 1 domains] total domains (the caller counts as
+    one; [domains - 1] helpers are spawned). Joins any previous helpers.
+    Not safe to call concurrently with {!run}. *)
+
+val domain_count : unit -> int
+
+val run : int -> (int -> unit) -> unit
+(** [run n f] executes [f 0 .. f (n-1)], possibly in parallel. Returns when
+    all calls have finished. [f] must write only chunk-private state. A
+    nested [run] (from inside a chunk) degrades to a sequential loop. If
+    one or more chunks raise, every chunk still runs and one of the
+    exceptions is re-raised in the caller. *)
+
+type stats = { st_domains : int; st_jobs : int; st_chunks_stolen : int }
+
+val stats : unit -> stats
+(** [st_chunks_stolen] counts chunks executed by helper domains (0 when the
+    pool is width 1 — everything ran in callers). *)

@@ -43,6 +43,18 @@ let reduce a p =
   let r = a mod p in
   if r < 0 then r + p else r
 
+(* Shoup's multiplication by a fixed multiplicand: precompute
+   w' = floor(w * 2^31 / p); then for any x < 2^31,
+     q = (w' * x) >> 31  satisfies  0 <= w*x - q*p < 2p.
+   Requires w < p < 2^31 so that both w' * x and w * x stay below 2^62. *)
+
+let shoup w p = (w lsl 31) / p
+
+let mul_mod_shoup w wsh x p =
+  let q = (wsh * x) lsr 31 in
+  let r = (w * x) - (q * p) in
+  if r >= p then r - p else r
+
 let is_prime n =
   if n < 2 then false
   else if n < 4 then true

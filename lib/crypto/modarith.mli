@@ -24,6 +24,15 @@ val inv_mod : int -> int -> int
 val reduce : int -> int -> int
 (** [reduce a p] maps any native int (possibly negative) into [\[0, p)]. *)
 
+val shoup : int -> int -> int
+(** [shoup w p = (w << 31) / p], the precomputed companion word for
+    {!mul_mod_shoup}. Requires [0 <= w < p < 2^31]. *)
+
+val mul_mod_shoup : int -> int -> int -> int -> int
+(** [mul_mod_shoup w wsh x p] computes [w * x mod p] using the companion
+    [wsh = shoup w p], with one predicted shift-quotient instead of a
+    hardware divide. Exact for any [x < 2^31] (canonical or lazy). *)
+
 val is_prime : int -> bool
 (** Deterministic Miller–Rabin, valid for all [n < 3_215_031_751]
     (covers every modulus we use). *)

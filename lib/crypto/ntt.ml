@@ -3,12 +3,25 @@
    root psi is fused into the butterflies, so forward/inverse are single
    passes with no separate pre/post scaling. *)
 
+(* Fast-path companion tables: the same psi powers in unboxed buffers plus
+   their Shoup words. Built only for primes p <= 2^30, where the lazy
+   [0, 2p) representation stays below the Shoup operand bound of 2^31. *)
+type fast = {
+  fw : Rvec.buf; (* psi_rev *)
+  fw_sh : Rvec.buf;
+  fi : Rvec.buf; (* psi_inv_rev *)
+  fi_sh : Rvec.buf;
+  f_ninv : int;
+  f_ninv_sh : int;
+}
+
 type table = {
   n : int;
   prime : int;
   psi_rev : int array; (* psi^bitrev(i), i < n *)
   psi_inv_rev : int array;
   n_inv : int;
+  fast : fast option;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -43,16 +56,30 @@ let make_table ~n ~prime =
     done;
     tbl
   in
-  {
-    n;
-    prime;
-    psi_rev = powers psi;
-    psi_inv_rev = powers psi_inv;
-    n_inv = Modarith.inv_mod n prime;
-  }
+  let psi_rev = powers psi in
+  let psi_inv_rev = powers psi_inv in
+  let n_inv = Modarith.inv_mod n prime in
+  let fast =
+    if prime > 1 lsl 30 then None
+    else begin
+      let with_shoup src =
+        let b = Rvec.of_int_array src in
+        let sh = Rvec.create n in
+        for i = 0 to n - 1 do
+          Rvec.set sh i (Modarith.shoup src.(i) prime)
+        done;
+        (b, sh)
+      in
+      let fw, fw_sh = with_shoup psi_rev in
+      let fi, fi_sh = with_shoup psi_inv_rev in
+      Some { fw; fw_sh; fi; fi_sh; f_ninv = n_inv; f_ninv_sh = Modarith.shoup n_inv prime }
+    end
+  in
+  { n; prime; psi_rev; psi_inv_rev; n_inv; fast }
 
 let n t = t.n
 let prime t = t.prime
+let has_fast t = t.fast <> None
 
 let forward t a =
   let p = t.prime and n = t.n in
@@ -103,6 +130,145 @@ let inverse t a =
   for j = 0 to n - 1 do
     a.(j) <- a.(j) * t.n_inv mod p
   done
+
+(* --- fast path: cache-blocked butterflies over unboxed buffers ---
+
+   Same butterfly network and twiddle tables as the scalar loops above, so
+   results are bit-identical; only the traversal order and the reduction
+   strategy differ. The iterative loops stream the whole array once per
+   level (log n passes); here each transform recurses down the butterfly
+   tree until a subtree fits in L1 ([leaf_len] words), then finishes that
+   subtree with the iterative schedule while it is cache-hot. Twiddle
+   indexing: tree node [mi] (root 1, children [2mi], [2mi+1]) uses
+   psi_rev.(mi) — the iterative stage-[m] group-[i] index [m + i] is
+   exactly the node id — and within a leaf at node [mi], local stage [m']
+   group [i'] uses index [mi * m' + i'].
+
+   Values between levels live in the lazy window [0, 2p): one branchless
+   fold per operand replaces the two exact reductions of the scalar path,
+   and a final canonicalisation pass restores [0, p). (Harvey's wider
+   [0, 4p) window would push operands past the 2^31 Shoup bound for our
+   30-bit primes.) *)
+
+let leaf_len = 1024 (* 8 KB of residues: comfortably inside L1 *)
+
+(* Concrete-typed wrappers so the primitive inlines as a word load/store
+   (see the note in rvec.ml: an eta-reduced alias goes through the generic
+   bigarray stub). *)
+let[@inline] uget (b : Rvec.buf) i : int = Bigarray.Array1.unsafe_get b i
+let[@inline] uset (b : Rvec.buf) i (v : int) = Bigarray.Array1.unsafe_set b i v
+
+let forward_fast (f : fast) p (a : Rvec.buf) n =
+  let w = f.fw and wsh = f.fw_sh in
+  (* butterflies pairing [base+j] with [base+h+j]; inputs/outputs [0, 2p) *)
+  let row base h s ssh =
+    for j = base to base + h - 1 do
+      let u = uget a j and x = uget a (j + h) in
+      let u =
+        let d = u - p in
+        d + (p land (d asr 62))
+      in
+      let t =
+        let q = (ssh * x) lsr 31 in
+        let r = (s * x) - (q * p) - p in
+        r + (p land (r asr 62))
+      in
+      uset a j (u + t);
+      uset a (j + h) (u - t + p)
+    done
+  in
+  let rec node base len mi =
+    if len <= leaf_len then begin
+      let m' = ref 1 and t = ref (len lsr 1) in
+      while !t >= 1 do
+        let idx0 = mi * !m' in
+        for i = 0 to !m' - 1 do
+          row (base + (2 * i * !t)) !t (uget w (idx0 + i)) (uget wsh (idx0 + i))
+        done;
+        m' := !m' lsl 1;
+        t := !t lsr 1
+      done
+    end
+    else begin
+      let h = len lsr 1 in
+      row base h (uget w mi) (uget wsh mi);
+      node base h (2 * mi);
+      node (base + h) h ((2 * mi) + 1)
+    end
+  in
+  node 0 n 1;
+  for j = 0 to n - 1 do
+    let d = uget a j - p in
+    uset a j (d + (p land (d asr 62)))
+  done
+
+let inverse_fast (f : fast) p (a : Rvec.buf) n =
+  let w = f.fi and wsh = f.fi_sh in
+  let p2 = 2 * p in
+  let row base h s ssh =
+    for j = base to base + h - 1 do
+      let u = uget a j and v = uget a (j + h) in
+      let s0 = u + v - p2 in
+      uset a j (s0 + (p2 land (s0 asr 62)));
+      let dd = u - v + p2 in
+      let dd =
+        let d = dd - p2 in
+        d + (p2 land (d asr 62))
+      in
+      let q = (ssh * dd) lsr 31 in
+      uset a (j + h) ((s * dd) - (q * p))
+    done
+  in
+  let rec node base len mi =
+    if len <= leaf_len then begin
+      let t = ref 1 and hh = ref (len lsr 1) in
+      while !hh >= 1 do
+        let idx0 = mi * !hh in
+        for i = 0 to !hh - 1 do
+          row (base + (2 * i * !t)) !t (uget w (idx0 + i)) (uget wsh (idx0 + i))
+        done;
+        t := !t lsl 1;
+        hh := !hh lsr 1
+      done
+    end
+    else begin
+      let h = len lsr 1 in
+      node base h (2 * mi);
+      node (base + h) h ((2 * mi) + 1);
+      row base h (uget w mi) (uget wsh mi)
+    end
+  in
+  node 0 n 1;
+  let ninv = f.f_ninv and ninv_sh = f.f_ninv_sh in
+  for j = 0 to n - 1 do
+    let x = uget a j in
+    let q = (ninv_sh * x) lsr 31 in
+    let r = (ninv * x) - (q * p) - p in
+    uset a j (r + (p land (r asr 62)))
+  done
+
+(* Buffer entry points. The scalar loops above remain the reference: when
+   the table has no fast companion (prime > 2^30) or the fast ring is
+   toggled off, the buffer is bounced through an int array and transformed
+   by the exact schoolbook path. *)
+
+let forward_buf t (buf : Rvec.buf) =
+  if Rvec.length buf <> t.n then invalid_arg "Ntt.forward_buf: wrong length";
+  match t.fast with
+  | Some f when Rq.fast_ring_enabled () -> forward_fast f t.prime buf t.n
+  | _ ->
+      let a = Rvec.to_int_array buf in
+      forward t a;
+      Rvec.blit_from_array a buf
+
+let inverse_buf t (buf : Rvec.buf) =
+  if Rvec.length buf <> t.n then invalid_arg "Ntt.inverse_buf: wrong length";
+  match t.fast with
+  | Some f when Rq.fast_ring_enabled () -> inverse_fast f t.prime buf t.n
+  | _ ->
+      let a = Rvec.to_int_array buf in
+      inverse t a;
+      Rvec.blit_from_array a buf
 
 let pointwise_mul t a b =
   let p = t.prime in

@@ -22,6 +22,17 @@ val forward : table -> int array -> unit
 val inverse : table -> int array -> unit
 (** In-place inverse; [inverse t (forward t a)] restores [a]. *)
 
+val has_fast : table -> bool
+(** Whether the table carries the fast-path companion (prime ≤ 2^30). *)
+
+val forward_buf : table -> Rvec.buf -> unit
+(** In-place forward transform of an unboxed residue buffer. With a fast
+    table and {!Rq.fast_ring_enabled}, runs the cache-blocked lazy-reduction
+    butterflies; otherwise bounces through the scalar reference path. Both
+    produce bit-identical canonical residues. *)
+
+val inverse_buf : table -> Rvec.buf -> unit
+
 val pointwise_mul : table -> int array -> int array -> int array
 (** Pointwise product mod [prime] (operands in transform domain). *)
 

@@ -11,6 +11,7 @@
      Accumulating digit_i(d) * ksk_i then dividing by p (drop the special
      component with rounding) yields d*s' + small noise mod Q. *)
 
+module Fastring = Rq (* the unified-ring module: carries the fast-path toggle *)
 module Rq = Rq_rns
 module Bigint = Chet_bigint.Bigint
 module Herr = Chet_herr.Herr
@@ -264,24 +265,48 @@ let add_scalar ctx ct x =
 
 (* --- key switching --- *)
 
+(* The inner loop of every mul / rotation: for each of the [level] digits,
+   broadcast the [0, q_i) residue vector into the extended key basis, NTT
+   it there, and accumulate digit * (b_i, a_i). That is level * (level+1)
+   NTTs per key switch — the single hottest kernel of the scheme — so it
+   runs over raw residue buffers with in-place accumulators, fanned out
+   across {!Kpool} domains per key-basis channel (channels are
+   independent: channel [jk] only touches its own acc/tmp buffers). *)
 let keyswitch ctx level (d : Rq.t) (key : kswitch_key) : Rq.t * Rq.t =
   let d = Rq.from_ntt ctx.rq d in
   let kb = key_basis ctx level in
+  let nb = Array.length kb in
+  let n = ctx.params.n in
   let primes = Rq.ctx_primes ctx.rq in
-  let acc0 = ref (Rq.to_ntt ctx.rq (Rq.zero ctx.rq kb)) in
-  let acc1 = ref !acc0 in
-  for i = 0 to level - 1 do
-    let digit = Rq.component d ~basis_index:i in
-    (* broadcast the [0, q_i) digit into the extended basis *)
-    let comps = Array.map (fun j -> Array.map (fun v -> v mod primes.(j)) digit) kb in
-    let digit_poly = Rq.to_ntt ctx.rq (Rq.of_components ~basis:kb ~comps ~ntt:false) in
-    let b_i, a_i = key.pairs.(i) in
-    let b_i = Rq.subset b_i kb and a_i = Rq.subset a_i kb in
-    acc0 := Rq.add ctx.rq !acc0 (Rq.mul ctx.rq digit_poly b_i);
-    acc1 := Rq.add ctx.rq !acc1 (Rq.mul ctx.rq digit_poly a_i)
-  done;
+  let fast = Fastring.fast_ring_enabled () in
+  let acc0 = Array.init nb (fun _ -> Rvec.zeroed n) in
+  let acc1 = Array.init nb (fun _ -> Rvec.zeroed n) in
+  Kpool.run nb (fun jk ->
+      let pj = primes.(kb.(jk)) in
+      let tbl = Rq.raw_ntt_table ctx.rq kb.(jk) in
+      (* slot of prime kb.(jk) in the keys' full basis: chain primes sit at
+         their own index, the special prime after the whole chain *)
+      let kslot = if jk < level then jk else ctx.num_coeff in
+      let tmp = Rvec.create n in
+      let a0 = acc0.(jk) and a1 = acc1.(jk) in
+      for i = 0 to level - 1 do
+        let digit = Rq.raw_comp d i in
+        if fast then Rvec.broadcast_mod_into tmp digit pj
+        else Rvec.broadcast_mod_ref_into tmp digit pj;
+        Ntt.forward_buf tbl tmp;
+        let b_i, a_i = key.pairs.(i) in
+        if fast then begin
+          Rvec.pointwise_mac_into a0 tmp (Rq.raw_comp b_i kslot) pj;
+          Rvec.pointwise_mac_into a1 tmp (Rq.raw_comp a_i kslot) pj
+        end
+        else begin
+          Rvec.pointwise_mac_ref_into a0 tmp (Rq.raw_comp b_i kslot) pj;
+          Rvec.pointwise_mac_ref_into a1 tmp (Rq.raw_comp a_i kslot) pj
+        end
+      done);
+  let assemble comps = Rq.unsafe_of_bufs ~basis:(Array.copy kb) ~comps ~ntt:true in
   let down t = Rq.to_ntt ctx.rq (Rq.drop_last ctx.rq (Rq.from_ntt ctx.rq t) ~rounded:true) in
-  (down !acc0, down !acc1)
+  (down (assemble acc0), down (assemble acc1))
 
 let mul ctx keys a b =
   if a.level <> b.level then err ~op:"mul" (Herr.Level_mismatch { expected = a.level; got = b.level });

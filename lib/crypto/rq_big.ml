@@ -24,86 +24,217 @@ let make_ctx ~n ~max_product_bits =
   { n; primes; ntts; crt_modulus; crt_q_over; crt_invs }
 
 let ctx_n ctx = ctx.n
+let n = ctx_n
 let crt_prime_count ctx = Array.length ctx.primes
-let poly_zero n = Array.make n Bigint.zero
 
-let modulus logq = Bigint.pow2 logq
+type mode = int
+type t = { poly : Bigint.t array; logq : int }
 
-let reduce ~logq a =
-  let q = modulus logq in
-  Array.map (fun c -> Bigint.emod c q) a
+let mode_of t = t.logq
+let modulus _ctx logq = Bigint.pow2 logq
 
-let of_centered_ints ~logq ints =
-  let q = modulus logq in
-  Array.map (fun c -> Bigint.emod (Bigint.of_int c) q) ints
+let check ctx t fn =
+  if Array.length t.poly <> ctx.n then invalid_arg (fn ^ ": wrong length");
+  if t.logq <= 0 then invalid_arg (fn ^ ": bad modulus")
 
-let to_centered ~logq a =
-  let q = modulus logq in
-  Array.map (fun c -> Bigint.centered_mod c q) a
+let check2 ctx a b fn =
+  check ctx a fn;
+  check ctx b fn;
+  if a.logq <> b.logq then invalid_arg (fn ^ ": modulus mismatch")
 
-let add ~logq a b =
-  let q = modulus logq in
-  Array.init (Array.length a) (fun i ->
-      let s = Bigint.add a.(i) b.(i) in
-      if Bigint.compare s q >= 0 then Bigint.sub s q else s)
+let zero ctx logq =
+  if logq <= 0 then invalid_arg "Rq_big.zero: bad modulus";
+  { poly = Array.make ctx.n Bigint.zero; logq }
 
-let sub ~logq a b =
-  let q = modulus logq in
-  Array.init (Array.length a) (fun i ->
-      let d = Bigint.sub a.(i) b.(i) in
-      if Bigint.sign d < 0 then Bigint.add d q else d)
+let copy t = { t with poly = Array.copy t.poly }
 
-let neg ~logq a =
-  let q = modulus logq in
-  Array.map (fun c -> if Bigint.is_zero c then c else Bigint.sub q c) a
+let of_centered_coeffs ctx logq ints =
+  if Array.length ints <> ctx.n then invalid_arg "Rq_big.of_centered_coeffs: wrong length";
+  let q = Bigint.pow2 logq in
+  { poly = Array.map (fun c -> Bigint.emod (Bigint.of_int c) q) ints; logq }
 
-let mul ctx ~logq a b =
-  if Array.length a <> ctx.n || Array.length b <> ctx.n then invalid_arg "Rq_big.mul: wrong length";
-  let a = to_centered ~logq a and b = to_centered ~logq b in
+let of_bigint_coeffs ctx logq coeffs =
+  if Array.length coeffs <> ctx.n then invalid_arg "Rq_big.of_bigint_coeffs: wrong length";
+  let q = Bigint.pow2 logq in
+  { poly = Array.map (fun c -> Bigint.emod c q) coeffs; logq }
+
+let of_reduced_coeffs ~logq coeffs =
+  if logq <= 0 then invalid_arg "Rq_big.of_reduced_coeffs: bad modulus";
+  let q = Bigint.pow2 logq in
+  Array.iter
+    (fun c ->
+      if Bigint.sign c < 0 || Bigint.compare c q >= 0 then
+        invalid_arg "Rq_big.of_reduced_coeffs: coefficient out of range")
+    coeffs;
+  { poly = Array.copy coeffs; logq }
+
+let coeffs t = Array.copy t.poly
+
+let to_bigint_coeffs ctx t =
+  check ctx t "Rq_big.to_bigint_coeffs";
+  Array.copy t.poly
+
+let to_centered_bigint_coeffs ctx t =
+  check ctx t "Rq_big.to_centered_bigint_coeffs";
+  let q = Bigint.pow2 t.logq in
+  Array.map (fun c -> Bigint.centered_mod c q) t.poly
+
+(* The big ring has no separate evaluation form: products run through a
+   transient CRT basis inside {!mul}. *)
+let to_eval _ctx t = t
+let from_eval _ctx t = t
+
+let add ctx a b =
+  check2 ctx a b "Rq_big.add";
+  let q = Bigint.pow2 a.logq in
+  { a with
+    poly =
+      Array.init ctx.n (fun i ->
+          let s = Bigint.add a.poly.(i) b.poly.(i) in
+          if Bigint.compare s q >= 0 then Bigint.sub s q else s);
+  }
+
+let sub ctx a b =
+  check2 ctx a b "Rq_big.sub";
+  let q = Bigint.pow2 a.logq in
+  { a with
+    poly =
+      Array.init ctx.n (fun i ->
+          let d = Bigint.sub a.poly.(i) b.poly.(i) in
+          if Bigint.sign d < 0 then Bigint.add d q else d);
+  }
+
+let neg ctx a =
+  check ctx a "Rq_big.neg";
+  let q = Bigint.pow2 a.logq in
+  { a with poly = Array.map (fun c -> if Bigint.is_zero c then c else Bigint.sub q c) a.poly }
+
+let mul ctx a b =
+  check2 ctx a b "Rq_big.mul";
+  let logq = a.logq in
+  let q = Bigint.pow2 logq in
+  let ca = Array.map (fun c -> Bigint.centered_mod c q) a.poly in
+  let cb = Array.map (fun c -> Bigint.centered_mod c q) b.poly in
   let nprimes = Array.length ctx.primes in
-  (* residues per prime, negacyclic NTT product *)
-  let residue_prod =
-    Array.init nprimes (fun k ->
-        let p = ctx.primes.(k) in
-        let ra = Array.map (fun c -> Bigint.mod_int c p) a in
-        let rb = Array.map (fun c -> Bigint.mod_int c p) b in
-        Ntt.negacyclic_mul ctx.ntts.(k) ra rb)
-  in
-  let q = modulus logq in
-  Array.init ctx.n (fun j ->
-      let acc = ref Bigint.zero in
-      for k = 0 to nprimes - 1 do
-        let c = Modarith.mul_mod residue_prod.(k).(j) ctx.crt_invs.(k) ctx.primes.(k) in
-        acc := Bigint.add !acc (Bigint.mul_int ctx.crt_q_over.(k) c)
+  (* residues per prime, negacyclic NTT product over unboxed buffers;
+     independent primes fan out across the kernel-domain pool *)
+  let prods = Array.init nprimes (fun _ -> Rvec.create ctx.n) in
+  let fast = Rq.fast_ring_enabled () in
+  Kpool.run nprimes (fun k ->
+      let p = ctx.primes.(k) in
+      let tbl = ctx.ntts.(k) in
+      let ra = prods.(k) in
+      let rb = Rvec.create ctx.n in
+      for j = 0 to ctx.n - 1 do
+        Rvec.set ra j (Bigint.mod_int ca.(j) p);
+        Rvec.set rb j (Bigint.mod_int cb.(j) p)
       done;
-      (* centered reconstruction gives the exact signed integer product *)
-      Bigint.emod (Bigint.centered_mod !acc ctx.crt_modulus) q)
+      Ntt.forward_buf tbl ra;
+      Ntt.forward_buf tbl rb;
+      if fast then Rvec.pointwise_mul_into ra ra rb p
+      else Rvec.pointwise_mul_ref_into ra ra rb p;
+      Ntt.inverse_buf tbl ra);
+  let poly =
+    Array.init ctx.n (fun j ->
+        let acc = ref Bigint.zero in
+        for k = 0 to nprimes - 1 do
+          let c = Modarith.mul_mod (Rvec.get prods.(k) j) ctx.crt_invs.(k) ctx.primes.(k) in
+          acc := Bigint.add !acc (Bigint.mul_int ctx.crt_q_over.(k) c)
+        done;
+        (* centered reconstruction gives the exact signed integer product *)
+        Bigint.emod (Bigint.centered_mod !acc ctx.crt_modulus) q)
+  in
+  { poly; logq }
 
-let mul_scalar ~logq a s =
-  let q = modulus logq in
-  Array.map (fun c -> Bigint.emod (Bigint.mul c s) q) a
+let mul_bigint ctx a s =
+  check ctx a "Rq_big.mul_bigint";
+  let q = Bigint.pow2 a.logq in
+  { a with poly = Array.map (fun c -> Bigint.emod (Bigint.mul c s) q) a.poly }
 
-let automorphism ~logq ~g a =
-  let n = Array.length a in
-  let q = modulus logq in
-  let index = Encoding.automorphism_index ~n ~g in
-  let dst = poly_zero n in
+let mul_scalar ctx a s = mul_bigint ctx a (Bigint.of_int s)
+
+let automorphism ctx a ~g =
+  check ctx a "Rq_big.automorphism";
+  let q = Bigint.pow2 a.logq in
+  let index = Encoding.automorphism_index ~n:ctx.n ~g in
+  let dst = Array.make ctx.n Bigint.zero in
   Array.iteri
     (fun j c ->
       let j', negate = index.(j) in
       dst.(j') <- (if negate && not (Bigint.is_zero c) then Bigint.sub q c else c))
-    a;
-  dst
+    a.poly;
+  { a with poly = dst }
 
-let rescale_pow2 ~logq ~k a =
-  if k >= logq then invalid_arg "Rq_big.rescale_pow2: would drop entire modulus";
-  let q = modulus logq in
-  let q' = modulus (logq - k) in
+let div_round_pow2 ctx a ~k =
+  check ctx a "Rq_big.div_round_pow2";
+  if k >= a.logq then invalid_arg "Rq_big.div_round_pow2: would drop entire modulus";
+  let q = Bigint.pow2 a.logq in
+  let q' = Bigint.pow2 (a.logq - k) in
   let d = Bigint.pow2 k in
-  Array.map (fun c -> Bigint.emod (Bigint.div_round (Bigint.centered_mod c q) d) q') a
+  { poly = Array.map (fun c -> Bigint.emod (Bigint.div_round (Bigint.centered_mod c q) d) q') a.poly;
+    logq = a.logq - k;
+  }
 
-let mod_down ~logq_to a =
-  let q' = modulus logq_to in
-  Array.map (fun c -> Bigint.emod c q') a
+let rescale ctx a ~divisor =
+  if divisor <= 0 || divisor land (divisor - 1) <> 0 then
+    invalid_arg "Rq_big.rescale: divisor must be a positive power of two";
+  let k =
+    let rec bits k d = if d = 1 then k else bits (k + 1) (d lsr 1) in
+    bits 0 divisor
+  in
+  div_round_pow2 ctx a ~k
 
-let div_round_pow2 = rescale_pow2
+let mod_down ctx a logq_to =
+  check ctx a "Rq_big.mod_down";
+  if logq_to <= 0 || logq_to > a.logq then invalid_arg "Rq_big.mod_down: bad target modulus";
+  let q' = Bigint.pow2 logq_to in
+  { poly = Array.map (fun c -> Bigint.emod c q') a.poly; logq = logq_to }
+
+let equal a b =
+  a.logq = b.logq
+  && Array.length a.poly = Array.length b.poly
+  && Array.for_all2 Bigint.equal a.poly b.poly
+
+let to_bytes ctx t =
+  check ctx t "Rq_big.to_bytes";
+  let b = Buffer.create (16 + (ctx.n * 8)) in
+  Buffer.add_int32_le b (Int32.of_int ctx.n);
+  Buffer.add_int32_le b (Int32.of_int t.logq);
+  Array.iter
+    (fun c ->
+      let s = Bigint.to_string c in
+      Buffer.add_int32_le b (Int32.of_int (String.length s));
+      Buffer.add_string b s)
+    t.poly;
+  Buffer.contents b
+
+let of_bytes ctx s =
+  let pos = ref 0 in
+  let need k =
+    if !pos + k > String.length s then invalid_arg "Rq_big.of_bytes: truncated"
+  in
+  let read_i32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_le s !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let nn = read_i32 () in
+  if nn <> ctx.n then invalid_arg "Rq_big.of_bytes: ring-degree mismatch";
+  let logq = read_i32 () in
+  if logq <= 0 then invalid_arg "Rq_big.of_bytes: bad modulus";
+  let q = Bigint.pow2 logq in
+  let poly =
+    Array.init ctx.n (fun _ ->
+        let len = read_i32 () in
+        if len < 0 then invalid_arg "Rq_big.of_bytes: bad length";
+        need len;
+        let str = String.sub s !pos len in
+        pos := !pos + len;
+        let c = try Bigint.of_string str with _ -> invalid_arg "Rq_big.of_bytes: bad coefficient" in
+        if Bigint.sign c < 0 || Bigint.compare c q >= 0 then
+          invalid_arg "Rq_big.of_bytes: coefficient out of range";
+        c)
+  in
+  if !pos <> String.length s then invalid_arg "Rq_big.of_bytes: trailing bytes";
+  { poly; logq }

@@ -1,11 +1,14 @@
-(** Polynomials in [Z_Q\[X\]/(X^n+1)] with big-integer coefficients and
+(** Polynomials in [Z_Q\[X\]/(X^n+1)] with big-integer coefficients and a
     power-of-two modulus [Q = 2^logq] — the representation used by the
     HEAAN-style CKKS scheme ({!Big_ckks}).
 
-    Coefficients are stored in [\[0, Q)]. Multiplication converts to a CRT
-    basis of word-sized NTT primes (the same trick HEAAN itself uses), does
-    negacyclic NTT products, and reconstructs — exact as long as the true
-    product coefficients fit the configured head-room. *)
+    An instance of the unified ring signature {!Rq.S} with [mode = int]
+    (the modulus exponent [logq]); see {!Rq_conform}. Coefficients are
+    stored in [\[0, Q)]. Multiplication converts to a CRT basis of
+    word-sized NTT primes (the same trick HEAAN itself uses), runs
+    negacyclic NTT products over unboxed {!Rvec} buffers — fanned across
+    the {!Kpool} kernel domains — and reconstructs; exact as long as the
+    true product coefficients fit the configured head-room. *)
 
 module Bigint = Chet_bigint.Bigint
 
@@ -17,32 +20,75 @@ val make_ctx : n:int -> max_product_bits:int -> ctx
     [2·(logq + log_special) + log2 n + 2]). *)
 
 val ctx_n : ctx -> int
+val n : ctx -> int
 val crt_prime_count : ctx -> int
 
-val poly_zero : int -> Bigint.t array
-val reduce : logq:int -> Bigint.t array -> Bigint.t array
-(** Map arbitrary (signed) coefficients into [\[0, 2^logq)]. *)
+type mode = int
+(** The modulus exponent: an element's mode is its [logq]. *)
 
-val of_centered_ints : logq:int -> int array -> Bigint.t array
-val to_centered : logq:int -> Bigint.t array -> Bigint.t array
-val add : logq:int -> Bigint.t array -> Bigint.t array -> Bigint.t array
-val sub : logq:int -> Bigint.t array -> Bigint.t array -> Bigint.t array
-val neg : logq:int -> Bigint.t array -> Bigint.t array
+type t
+(** A ring element: coefficients in [\[0, 2^logq)] plus its [logq]. *)
 
-val mul : ctx -> logq:int -> Bigint.t array -> Bigint.t array -> Bigint.t array
-(** Negacyclic product mod [2^logq]. Operands need not be reduced; they are
-    centered internally to keep the CRT head-room small. *)
+val mode_of : t -> int
+val modulus : ctx -> int -> Bigint.t
+val zero : ctx -> int -> t
+val copy : t -> t
 
-val mul_scalar : logq:int -> Bigint.t array -> Bigint.t -> Bigint.t array
-val automorphism : logq:int -> g:int -> Bigint.t array -> Bigint.t array
+val of_centered_coeffs : ctx -> int -> int array -> t
+(** Coefficients given as centered native ints, reduced into [\[0, Q)]. *)
 
-val rescale_pow2 : logq:int -> k:int -> Bigint.t array -> Bigint.t array
-(** CKKS rescale: divide centered lifts by [2^k] with rounding; result is
-    mod [2^(logq - k)]. *)
+val of_bigint_coeffs : ctx -> int -> Bigint.t array -> t
+(** Arbitrary (signed) big-integer coefficients, reduced into [\[0, Q)]. *)
 
-val mod_down : logq_to:int -> Bigint.t array -> Bigint.t array
+val of_reduced_coeffs : logq:int -> Bigint.t array -> t
+(** Coefficients that must already lie in [\[0, Q)] — the deserialization
+    and sampling boundary (ctx-free; degree is checked by the first ring
+    op). @raise Invalid_argument if any is out of range. *)
+
+val coeffs : t -> Bigint.t array
+(** Fresh copy of the canonical coefficients (ctx-free {!to_bigint_coeffs},
+    for the serialization boundary). *)
+
+val to_bigint_coeffs : ctx -> t -> Bigint.t array
+(** Fresh copy of the canonical coefficients in [\[0, Q)]. *)
+
+val to_centered_bigint_coeffs : ctx -> t -> Bigint.t array
+
+val to_eval : ctx -> t -> t
+(** Identity: the big ring has no persistent evaluation form (products run
+    through a transient CRT basis inside {!mul}). *)
+
+val from_eval : ctx -> t -> t
+
+val add : ctx -> t -> t -> t
+val sub : ctx -> t -> t -> t
+val neg : ctx -> t -> t
+
+val mul : ctx -> t -> t -> t
+(** Negacyclic product mod [2^logq]. Operands are centered internally to
+    keep the CRT head-room small. *)
+
+val mul_scalar : ctx -> t -> int -> t
+val mul_bigint : ctx -> t -> Bigint.t -> t
+val automorphism : ctx -> t -> g:int -> t
+
+val rescale : ctx -> t -> divisor:int -> t
+(** CKKS rescale by a power-of-two [divisor]: divide centered lifts by
+    [divisor] with rounding; result has [logq - log2 divisor]. *)
+
+val div_round_pow2 : ctx -> t -> k:int -> t
+(** Like {!rescale} but takes the exponent directly, so drops larger than
+    62 bits (the [/P] step of HEAAN key switching) are expressible. *)
+
+val mod_down : ctx -> t -> int -> t
 (** Reduce to a smaller power-of-two modulus (exact modulus switching). *)
 
-val div_round_pow2 : logq:int -> k:int -> Bigint.t array -> Bigint.t array
-(** Divide centered lifts by [2^k] with rounding, staying at modulus
-    [2^(logq - k)] — the [/P] step of HEAAN key switching. *)
+val equal : t -> t -> bool
+
+val to_bytes : ctx -> t -> string
+(** Self-contained encoding of one element ([n], [logq], length-prefixed
+    decimal coefficients). Distinct from the {!Serial} wire format. *)
+
+val of_bytes : ctx -> string -> t
+(** Inverse of {!to_bytes}; validates degree, modulus and coefficient
+    ranges. @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,8 @@
+(* Compile-time checks that both ring implementations satisfy the unified
+   {!Rq.S} signature. No runtime content — a failure here is a build error
+   pointing at the drifted module. *)
+
+module _ =
+  (Rq_rns : Rq.S with type ctx = Rq_rns.ctx and type mode = int array and type t = Rq_rns.t)
+
+module _ = (Rq_big : Rq.S with type ctx = Rq_big.ctx and type mode = int and type t = Rq_big.t)

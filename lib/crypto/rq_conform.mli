@@ -1,0 +1,3 @@
+(** Compile-time conformance of {!Rq_rns} ([mode = int array], the RNS
+    basis) and {!Rq_big} ([mode = int], the modulus exponent) to the
+    unified ring signature {!Rq.S}. Intentionally empty. *)

@@ -17,6 +17,9 @@ val make_ctx : n:int -> primes:int array -> ctx
 val ctx_n : ctx -> int
 val ctx_primes : ctx -> int array
 
+type mode = int array
+(** An element's mode is its basis: indices into the context's primes. *)
+
 type t
 
 val basis : t -> int array
@@ -84,3 +87,48 @@ val component : t -> basis_index:int -> int array
 val scale_component : ctx -> t -> basis_index:int -> scalar:int -> t
 (** Zero every component except [basis_index], which is multiplied by
     [scalar]. *)
+
+(** {1 Raw buffer access}
+
+    Residue components are stored as unboxed {!Rvec.buf} buffers; the
+    scheme layer's hot paths (key switching) read and assemble them without
+    the int-array copies of {!component}/{!of_components}. *)
+
+val position : t -> int -> int
+(** Component slot of prime index [i] in this element's basis. *)
+
+val raw_comp : t -> int -> Rvec.buf
+(** The live residue buffer of component slot [k] — no copy; callers must
+    not mutate it. *)
+
+val raw_ntt_table : ctx -> int -> Ntt.table
+(** NTT table of prime index [i]. *)
+
+val unsafe_of_bufs : basis:int array -> comps:Rvec.buf array -> ntt:bool -> t
+(** Adopt buffers without copying. The caller transfers ownership: residues
+    must already be canonical mod their primes. *)
+
+(** {1 Unified ring signature}
+
+    Aliases and completions making this module an instance of
+    {!Rq.S} with [mode = int array] (checked in {!Rq_conform}). *)
+
+val n : ctx -> int
+val mode_of : t -> int array
+val to_eval : ctx -> t -> t
+val from_eval : ctx -> t -> t
+
+val rescale : ctx -> t -> divisor:int -> t
+(** Repeated rounded {!drop_last}; [divisor] must be the product of the
+    trailing basis primes being dropped. *)
+
+val mod_down : ctx -> t -> int array -> t
+(** Restrict to a sub-basis (through coefficient form). *)
+
+val to_bytes : ctx -> t -> string
+(** Self-contained little-endian encoding of one element. Distinct from the
+    {!Serial} wire format, which frames components itself. *)
+
+val of_bytes : ctx -> string -> t
+(** Inverse of {!to_bytes}; validates lengths, basis indices and residue
+    ranges. @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,214 @@
+(* Unboxed residue-vector kernels over Bigarray buffers (DESIGN.md §15).
+
+   Storage is the [Bigarray.int] kind — native 63-bit ints in 64-bit memory
+   words. Unlike the [int64] kind, reads and writes do not box, so the hot
+   loops below compile to straight-line word loads/stores plus integer ALU
+   ops. All residues are < 2^30 (the prime ladder is generated with
+   [bits = 30]), so a product of two residues fits comfortably in 62 bits.
+
+   Reduction strategy (see DESIGN.md §15 for the error analysis):
+   - products with one fixed multiplicand (twiddles, scalar broadcast,
+     rescale inverses) use Shoup's trick with a precomputed
+     [(w << 31) / p] companion word — two multiplies, a shift and a
+     branchless correction, no division;
+   - products of two variable operands keep the hardware [mod]: a
+     float-assisted Barrett variant was measured slower here (the
+     int<->float conversion chain outweighs one 63-bit divide), and no
+     integer Barrett fits two 30-bit operands in a 63-bit word;
+   - additive ops fold with the branchless conditional-subtract
+     [d + (p land (d asr 62))], which adds [p] back exactly when [d] is
+     negative.
+
+   Every kernel stores canonical residues in [0, p), so the fast path is
+   bit-identical to the schoolbook [mod]-based reference kernels (the
+   [_ref] twins below): the reduction strategy changes, the result never
+   does. [Rq_rns] picks fast vs reference per call from the
+   {!Rq.fast_ring_enabled} toggle. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Syntactic full applications at a concrete type: each compiles to an
+   inlined word load/store. An eta-reduced alias
+   ([let uget = Bigarray.Array1.unsafe_get]) would instead close over the
+   polymorphic primitive and dispatch through the generic C stub on every
+   element access — ~10x slower in the butterfly loops. *)
+let[@inline] uget (b : buf) i : int = Bigarray.Array1.unsafe_get b i
+let[@inline] uset (b : buf) i (v : int) = Bigarray.Array1.unsafe_set b i v
+let create n : buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+let length (b : buf) = Bigarray.Array1.dim b
+let get (b : buf) i = Bigarray.Array1.get b i
+let set (b : buf) i v = Bigarray.Array1.set b i v
+let fill (b : buf) v = Bigarray.Array1.fill b v
+let blit (src : buf) (dst : buf) = Bigarray.Array1.blit src dst
+
+let copy (b : buf) =
+  let c = create (length b) in
+  blit b c;
+  c
+
+let zeroed n =
+  let b = create n in
+  fill b 0;
+  b
+
+let of_int_array (a : int array) =
+  let n = Array.length a in
+  let b = create n in
+  for i = 0 to n - 1 do
+    uset b i (Array.unsafe_get a i)
+  done;
+  b
+
+let to_int_array (b : buf) = Array.init (length b) (fun i -> uget b i)
+
+let blit_from_array (a : int array) (b : buf) =
+  let n = Array.length a in
+  if length b <> n then invalid_arg "Rvec.blit_from_array: length mismatch";
+  for i = 0 to n - 1 do
+    uset b i (Array.unsafe_get a i)
+  done
+
+let blit_to_array (b : buf) (a : int array) =
+  let n = Array.length a in
+  if length b <> n then invalid_arg "Rvec.blit_to_array: length mismatch";
+  for i = 0 to n - 1 do
+    Array.unsafe_set a i (uget b i)
+  done
+
+let equal (a : buf) (b : buf) =
+  length a = length b
+  &&
+  let n = length a in
+  let rec go i = i >= n || (uget a i = uget b i && go (i + 1)) in
+  go 0
+
+(* --- additive kernels (identical under both reduction strategies) --- *)
+
+let add_into (dst : buf) (a : buf) (b : buf) p =
+  for i = 0 to length dst - 1 do
+    let d = uget a i + uget b i - p in
+    uset dst i (d + (p land (d asr 62)))
+  done
+
+let sub_into (dst : buf) (a : buf) (b : buf) p =
+  for i = 0 to length dst - 1 do
+    let d = uget a i - uget b i in
+    uset dst i (d + (p land (d asr 62)))
+  done
+
+let neg_into (dst : buf) (a : buf) p =
+  for i = 0 to length dst - 1 do
+    let x = uget a i in
+    (* (p - x) masked to 0 when x = 0 *)
+    uset dst i ((p - x) land (-x asr 62))
+  done
+
+(* --- multiplicative kernels, fast (Shoup; hardware [mod] where both
+   operands vary — measured faster than float-Barrett on this target) --- *)
+
+let pointwise_mul_into (dst : buf) (a : buf) (b : buf) p =
+  for i = 0 to length dst - 1 do
+    uset dst i (uget a i * uget b i mod p)
+  done
+
+let pointwise_mac_into (acc : buf) (a : buf) (b : buf) p =
+  for i = 0 to length acc - 1 do
+    let r = uget a i * uget b i mod p in
+    let s = uget acc i + r - p in
+    uset acc i (s + (p land (s asr 62)))
+  done
+
+let scalar_mul_into (dst : buf) (a : buf) s p =
+  let s = Modarith.reduce s p in
+  let ssh = Modarith.shoup s p in
+  for i = 0 to length dst - 1 do
+    let x = uget a i in
+    let q = (ssh * x) lsr 31 in
+    let d = (s * x) - (q * p) - p in
+    uset dst i (d + (p land (d asr 62)))
+  done
+
+let broadcast_mod_into (dst : buf) (src : buf) p =
+  (* [src] holds canonical residues of some other (word-sized) modulus,
+     each < 2^31; reduce into [0, p) with a Shoup step at w = 1:
+     q = (x * ((1 << 31) / p)) >> 31 leaves x - q*p in [0, 2p), and one
+     conditional subtract lands it canonically. Integer-only, no divide
+     in the loop. *)
+  let sh = Modarith.shoup 1 p in
+  for i = 0 to length dst - 1 do
+    let x = uget src i in
+    let q = (sh * x) lsr 31 in
+    let d = x - (q * p) - p in
+    uset dst i (d + (p land (d asr 62)))
+  done
+
+(* --- multiplicative kernels, reference (schoolbook [mod]) --- *)
+
+let pointwise_mul_ref_into (dst : buf) (a : buf) (b : buf) p =
+  for i = 0 to length dst - 1 do
+    uset dst i (uget a i * uget b i mod p)
+  done
+
+let pointwise_mac_ref_into (acc : buf) (a : buf) (b : buf) p =
+  for i = 0 to length acc - 1 do
+    let r = uget a i * uget b i mod p in
+    let s = uget acc i + r in
+    uset acc i (if s >= p then s - p else s)
+  done
+
+let scalar_mul_ref_into (dst : buf) (a : buf) s p =
+  let s = Modarith.reduce s p in
+  for i = 0 to length dst - 1 do
+    uset dst i (uget a i * s mod p)
+  done
+
+let broadcast_mod_ref_into (dst : buf) (src : buf) p =
+  for i = 0 to length dst - 1 do
+    uset dst i (uget src i mod p)
+  done
+
+(* --- boundary kernels (always exact [mod]; not on the per-op hot path) --- *)
+
+let reduce_centered_into (dst : buf) (coeffs : int array) p =
+  let n = Array.length coeffs in
+  for i = 0 to n - 1 do
+    uset dst i (Modarith.reduce (Array.unsafe_get coeffs i) p)
+  done
+
+let rescale_limb_into (dst : buf) (src : buf) (last : buf) ~q_last ~p =
+  (* CKKS rescale, one limb: dst = (src - [last]_centered) / q_last  (mod p).
+     The centered lift of the dropped residue makes the division a proper
+     rounding (rq_rns.drop_last ~rounded:true). *)
+  let half = q_last / 2 in
+  let inv = Modarith.inv_mod (q_last mod p) p in
+  let inv_sh = Modarith.shoup inv p in
+  for i = 0 to length dst - 1 do
+    let d = uget last i in
+    let d = if d > half then d - q_last else d in
+    (* centered d satisfies |d| < 2^30; reduce exactly, then subtract *)
+    let dp = d mod p in
+    let dp = if dp < 0 then dp + p else dp in
+    (* t in (0, 2p) — still below the Shoup operand bound of 2^31 *)
+    let t = uget src i - dp + p in
+    let q = (inv_sh * t) lsr 31 in
+    let r = (inv * t) - (q * p) - p in
+    uset dst i (r + (p land (r asr 62)))
+  done
+
+let rescale_limb_ref_into (dst : buf) (src : buf) (last : buf) ~q_last ~p =
+  let half = q_last / 2 in
+  let inv = Modarith.inv_mod (q_last mod p) p in
+  for i = 0 to length dst - 1 do
+    let d = uget last i in
+    let d = if d > half then d - q_last else d in
+    let c = Modarith.sub_mod (uget src i) (Modarith.reduce d p) p in
+    uset dst i (Modarith.mul_mod c inv p)
+  done
+
+let automorphism_into (dst : buf) (src : buf) (index : (int * bool) array) p =
+  let n = Array.length index in
+  for j = 0 to n - 1 do
+    let j', negate = Array.unsafe_get index j in
+    let v = uget src j in
+    uset dst j' (if negate then (p - v) land (-v asr 62) else v)
+  done

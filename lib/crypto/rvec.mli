@@ -1,0 +1,74 @@
+(** Unboxed residue-vector kernels over [Bigarray] buffers.
+
+    The storage kind is [Bigarray.int]: native 63-bit OCaml ints in 64-bit
+    memory words, which (unlike the [int64] kind) read and write without
+    boxing. All kernels assume word-sized prime moduli [p < 2^30] and
+    canonical residues in [\[0, p)] at rest; lazy [\[0, 2p)] intermediates
+    are internal only. Fast kernels (Shoup for one fixed operand; hardware
+    [mod] where both operands vary) are bit-identical to their [_ref]
+    schoolbook twins — see DESIGN.md §15 for the error analysis. *)
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> buf
+(** Uninitialised buffer of the given length. *)
+
+val zeroed : int -> buf
+val length : buf -> int
+val get : buf -> int -> int
+val set : buf -> int -> int -> unit
+val fill : buf -> int -> unit
+val blit : buf -> buf -> unit
+val copy : buf -> buf
+val of_int_array : int array -> buf
+val to_int_array : buf -> int array
+val blit_from_array : int array -> buf -> unit
+val blit_to_array : buf -> int array -> unit
+val equal : buf -> buf -> bool
+
+(** {1 Additive kernels} — branchless conditional-subtract reduction. All
+    [_into] kernels write every element of their destination; aliasing
+    [dst] with an operand is allowed. *)
+
+val add_into : buf -> buf -> buf -> int -> unit
+val sub_into : buf -> buf -> buf -> int -> unit
+val neg_into : buf -> buf -> int -> unit
+
+(** {1 Multiplicative kernels, fast path} *)
+
+val pointwise_mul_into : buf -> buf -> buf -> int -> unit
+(** [pointwise_mul_into dst a b p]: [dst.(i) <- a.(i)*b.(i) mod p]. *)
+
+val pointwise_mac_into : buf -> buf -> buf -> int -> unit
+(** [pointwise_mac_into acc a b p]: [acc.(i) <- acc.(i) + a.(i)*b.(i) mod p]. *)
+
+val scalar_mul_into : buf -> buf -> int -> int -> unit
+(** [scalar_mul_into dst a s p]: Shoup multiplication by the fixed scalar
+    [s] (any int; reduced mod [p] first). *)
+
+val broadcast_mod_into : buf -> buf -> int -> unit
+(** [broadcast_mod_into dst src p]: reduce residues of another word-sized
+    modulus into [\[0, p)] (RNS digit broadcast). *)
+
+val rescale_limb_into : buf -> buf -> buf -> q_last:int -> p:int -> unit
+(** [rescale_limb_into dst src last ~q_last ~p]: one limb of the CKKS
+    rescale, [dst = (src - \[last\]_centered) / q_last mod p]. *)
+
+(** {1 Multiplicative kernels, schoolbook reference path} — bit-identical
+    results via plain [mod]; kept as the [--no-fast-ring] oracle. *)
+
+val pointwise_mul_ref_into : buf -> buf -> buf -> int -> unit
+val pointwise_mac_ref_into : buf -> buf -> buf -> int -> unit
+val scalar_mul_ref_into : buf -> buf -> int -> int -> unit
+val broadcast_mod_ref_into : buf -> buf -> int -> unit
+val rescale_limb_ref_into : buf -> buf -> buf -> q_last:int -> p:int -> unit
+
+(** {1 Boundary kernels} *)
+
+val reduce_centered_into : buf -> int array -> int -> unit
+(** Reduce centered native-int coefficients into canonical residues. *)
+
+val automorphism_into : buf -> buf -> (int * bool) array -> int -> unit
+(** [automorphism_into dst src index p]: apply a precomputed Galois
+    permutation-with-sign table ({!Encoding.automorphism_index}). [dst]
+    must not alias [src]. *)

@@ -260,10 +260,10 @@ let read_rns_keys r ctx =
 
 let write_big_ciphertext w (ct : Big_ckks.ciphertext) =
   write_frame w "BCT2" (fun w ->
-      write_int w ct.Big_ckks.logq;
+      write_int w (Big_ckks.logq_of ct);
       write_float w ct.Big_ckks.scale;
-      write_bigint_array w ct.Big_ckks.c0;
-      write_bigint_array w ct.Big_ckks.c1)
+      write_bigint_array w (Rq_big.coeffs ct.Big_ckks.c0);
+      write_bigint_array w (Rq_big.coeffs ct.Big_ckks.c1))
 
 let read_big_ciphertext r =
   read_frame r "BCT2" (fun r ->
@@ -272,7 +272,9 @@ let read_big_ciphertext r =
       let c0 = read_bigint_array r in
       let c1 = read_bigint_array r in
       if Array.length c0 <> Array.length c1 then raise (Corrupt "component length mismatch");
-      { Big_ckks.c0; c1; logq; scale })
+      match Rq_big.of_reduced_coeffs ~logq c0, Rq_big.of_reduced_coeffs ~logq c1 with
+      | c0, c1 -> { Big_ckks.c0; c1; scale }
+      | exception Invalid_argument _ -> raise (Corrupt "big ciphertext coefficient out of range"))
 
 (* --- networked serving frames (DESIGN.md §12) ---
 

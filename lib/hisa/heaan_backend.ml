@@ -1,9 +1,7 @@
 (* HISA backend over the real power-of-two CKKS scheme (the "HEAAN v1.0"
-   target). Mirrors Seal_backend; the modulus handle is [logq] instead of an
-   RNS level. *)
+   target): {!Ckks_backend.Make} with the modulus handle read as [logq]. *)
 
 module C = Chet_crypto.Big_ckks
-module Complexv = Chet_crypto.Complexv
 
 type config = {
   ctx : C.context;
@@ -12,77 +10,38 @@ type config = {
   secret : C.secret_key option;
 }
 
+module B = Ckks_backend.Make (struct
+  let backend_name = "heaan"
+
+  type context = C.context
+  type keys = C.keys
+  type secret_key = C.secret_key
+  type plaintext = C.plaintext
+  type ciphertext = C.ciphertext
+
+  let slot_count = C.slot_count
+  let ring_degree ctx = (C.params ctx).C.n
+  let fresh_handle ctx = (C.params ctx).C.log_fresh
+  let handle_of = C.logq_of
+  let mod_to ctx ct logq = C.mod_down ctx ct ~logq
+  let env_of ctx ct = { Hisa.env_n = (C.params ctx).C.n; env_r = 0; env_log_q = C.logq_of ct }
+  let encode_real ctx ~handle ~scale values = C.encode_real ctx ~logq:handle ~scale values
+  let decode = C.decode
+  let encrypt ctx rng (keys : C.keys) pt = C.encrypt ctx rng keys.C.public pt
+  let decrypt = C.decrypt
+  let add = C.add
+  let sub = C.sub
+  let mul = C.mul
+  let add_plain = C.add_plain
+  let sub_plain = C.sub_plain
+  let mul_plain = C.mul_plain
+  let add_scalar = C.add_scalar
+  let mul_scalar = C.mul_scalar
+  let rotate = C.rotate
+  let rescale = C.rescale
+  let max_rescale = C.max_rescale
+  let scale_of = C.scale_of
+end)
+
 let make (cfg : config) : Hisa.t =
-  (module struct
-    let slots = C.slot_count cfg.ctx
-
-    type pt = {
-      values : float array;
-      pscale : float;
-      mutable cache : (int * C.plaintext) list; (* logq -> encoded *)
-    }
-
-    type ct = C.ciphertext
-
-    let encode values ~scale = { values; pscale = float_of_int scale; cache = [] }
-
-    let encoded pt ~logq =
-      match List.assoc_opt logq pt.cache with
-      | Some p -> p
-      | None ->
-          let p = C.encode_real cfg.ctx ~logq ~scale:pt.pscale pt.values in
-          pt.cache <- (logq, p) :: pt.cache;
-          p
-
-    let decode pt = Array.copy pt.values
-
-    let encrypt pt =
-      C.encrypt cfg.ctx cfg.rng cfg.keys.C.public
-        (encoded pt ~logq:(C.params cfg.ctx).C.log_fresh)
-
-    let decrypt ct =
-      match cfg.secret with
-      | None ->
-          Herr.raise_err ~backend:"heaan" ~op:"decrypt"
-            (Herr.Invalid_op { reason = "no secret key on this side" })
-      | Some sk ->
-          let z = C.decode cfg.ctx (C.decrypt cfg.ctx sk ct) in
-          { values = z.Complexv.re; pscale = C.scale_of ct; cache = [] }
-
-    let copy ct = ct
-    let free _ = ()
-    let rot_left ct k = C.rotate cfg.ctx cfg.keys ct k
-    let rot_right ct k = C.rotate cfg.ctx cfg.keys ct (-k)
-
-    let logq_match a b =
-      let q = Stdlib.min (C.logq_of a) (C.logq_of b) in
-      (C.mod_down cfg.ctx a ~logq:q, C.mod_down cfg.ctx b ~logq:q)
-
-    let add a b =
-      let a, b = logq_match a b in
-      C.add cfg.ctx a b
-
-    let sub a b =
-      let a, b = logq_match a b in
-      C.sub cfg.ctx a b
-
-    let mul a b =
-      let a, b = logq_match a b in
-      C.mul cfg.ctx cfg.keys a b
-
-    let add_plain c p = C.add_plain cfg.ctx c (encoded p ~logq:(C.logq_of c))
-    let sub_plain c p = C.sub_plain cfg.ctx c (encoded p ~logq:(C.logq_of c))
-    let mul_plain c p = C.mul_plain cfg.ctx c (encoded p ~logq:(C.logq_of c))
-    let add_scalar c x = C.add_scalar cfg.ctx c x
-    let sub_scalar c x = C.add_scalar cfg.ctx c (-.x)
-    let mul_scalar c x ~scale = C.mul_scalar cfg.ctx c x ~scale:(float_of_int scale)
-    let fma_scalar acc x w ~scale = add acc (mul_scalar x w ~scale)
-    let fma_plain acc x p = add acc (mul_plain x p)
-    let fma_rot acc x r = add acc (rot_left x r)
-    let rescale c x = C.rescale cfg.ctx c x
-    let max_rescale c ub = C.max_rescale cfg.ctx c ub
-    let scale_of c = C.scale_of c
-
-    let env_of c =
-      { Hisa.env_n = (C.params cfg.ctx).C.n; env_r = 0; env_log_q = C.logq_of c }
-  end)
+  B.make { B.ctx = cfg.ctx; rng = cfg.rng; keys = cfg.keys; secret = cfg.secret }

@@ -1,11 +1,7 @@
-(* HISA backend over the real RNS-CKKS scheme (the "SEAL v3.1" target).
-
-   Plaintext handles are lazy: the underlying scheme needs plaintexts encoded
-   at a specific level, which is only known when the plaintext meets a
-   ciphertext, so [pt] stores the values and memoises per-level encodings. *)
+(* HISA backend over the real RNS-CKKS scheme (the "SEAL v3.1" target):
+   {!Ckks_backend.Make} with the modulus handle read as the RNS level. *)
 
 module C = Chet_crypto.Rns_ckks
-module Complexv = Chet_crypto.Complexv
 
 type config = {
   ctx : C.context;
@@ -14,79 +10,38 @@ type config = {
   secret : C.secret_key option;  (** client-side only; [decrypt] raises without it *)
 }
 
+module B = Ckks_backend.Make (struct
+  let backend_name = "seal"
+
+  type context = C.context
+  type keys = C.keys
+  type secret_key = C.secret_key
+  type plaintext = C.plaintext
+  type ciphertext = C.ciphertext
+
+  let slot_count = C.slot_count
+  let ring_degree ctx = (C.params ctx).C.n
+  let fresh_handle = C.max_level
+  let handle_of = C.level_of
+  let mod_to = C.mod_switch_to_level
+  let env_of ctx ct = { Hisa.env_n = (C.params ctx).C.n; env_r = C.level_of ct; env_log_q = 0 }
+  let encode_real ctx ~handle ~scale values = C.encode_real ctx ~level:handle ~scale values
+  let decode = C.decode
+  let encrypt ctx rng (keys : C.keys) pt = C.encrypt ctx rng keys.C.public pt
+  let decrypt = C.decrypt
+  let add = C.add
+  let sub = C.sub
+  let mul = C.mul
+  let add_plain = C.add_plain
+  let sub_plain = C.sub_plain
+  let mul_plain = C.mul_plain
+  let add_scalar = C.add_scalar
+  let mul_scalar = C.mul_scalar
+  let rotate = C.rotate
+  let rescale = C.rescale
+  let max_rescale = C.max_rescale
+  let scale_of = C.scale_of
+end)
+
 let make (cfg : config) : Hisa.t =
-  (module struct
-    let slots = C.slot_count cfg.ctx
-
-    type pt = {
-      values : float array;
-      pscale : float;
-      mutable cache : (int * C.plaintext) list; (* level -> encoded *)
-    }
-
-    type ct = C.ciphertext
-
-    let encode values ~scale = { values; pscale = float_of_int scale; cache = [] }
-
-    let encoded pt ~level =
-      match List.assoc_opt level pt.cache with
-      | Some p -> p
-      | None ->
-          let p = C.encode_real cfg.ctx ~level ~scale:pt.pscale pt.values in
-          pt.cache <- (level, p) :: pt.cache;
-          p
-
-    let decode pt = Array.copy pt.values
-    let encrypt pt = C.encrypt cfg.ctx cfg.rng cfg.keys.C.public (encoded pt ~level:(C.max_level cfg.ctx))
-
-    let decrypt ct =
-      match cfg.secret with
-      | None ->
-          Herr.raise_err ~backend:"seal" ~op:"decrypt"
-            (Herr.Invalid_op { reason = "no secret key on this side" })
-      | Some sk ->
-          let z = C.decode cfg.ctx (C.decrypt cfg.ctx sk ct) in
-          { values = z.Complexv.re; pscale = C.scale_of ct; cache = [] }
-
-    let copy ct = ct (* ciphertexts are immutable in this implementation *)
-    let free _ = ()
-    let rot_left ct k = C.rotate cfg.ctx cfg.keys ct k
-    let rot_right ct k = C.rotate cfg.ctx cfg.keys ct (-k)
-
-    (* binary ops modulus-switch the fresher operand down, as SEAL's user
-       code must do by hand *)
-    let level_match a b =
-      let l = Stdlib.min (C.level_of a) (C.level_of b) in
-      (C.mod_switch_to_level cfg.ctx a l, C.mod_switch_to_level cfg.ctx b l)
-
-    let add a b =
-      let a, b = level_match a b in
-      C.add cfg.ctx a b
-
-    let sub a b =
-      let a, b = level_match a b in
-      C.sub cfg.ctx a b
-
-    let mul a b =
-      let a, b = level_match a b in
-      C.mul cfg.ctx cfg.keys a b
-
-    let add_plain c p = C.add_plain cfg.ctx c (encoded p ~level:(C.level_of c))
-    let sub_plain c p = C.sub_plain cfg.ctx c (encoded p ~level:(C.level_of c))
-    let mul_plain c p = C.mul_plain cfg.ctx c (encoded p ~level:(C.level_of c))
-    let add_scalar c x = C.add_scalar cfg.ctx c x
-    let sub_scalar c x = C.add_scalar cfg.ctx c (-.x)
-    let mul_scalar c x ~scale = C.mul_scalar cfg.ctx c x ~scale:(float_of_int scale)
-
-    (* fused ops compose the primitives: the win on a real scheme is the
-       shared pt encoding cache, not slot-pass fusion *)
-    let fma_scalar acc x w ~scale = add acc (mul_scalar x w ~scale)
-    let fma_plain acc x p = add acc (mul_plain x p)
-    let fma_rot acc x r = add acc (rot_left x r)
-    let rescale c x = C.rescale cfg.ctx c x
-    let max_rescale c ub = C.max_rescale cfg.ctx c ub
-    let scale_of c = C.scale_of c
-
-    let env_of c =
-      { Hisa.env_n = (C.params cfg.ctx).C.n; env_r = C.level_of c; env_log_q = 0 }
-  end)
+  B.make { B.ctx = cfg.ctx; rng = cfg.rng; keys = cfg.keys; secret = cfg.secret }

@@ -1,0 +1,73 @@
+(** Compiled execution plans (DESIGN.md §14).
+
+    A plan is the ahead-of-time half of running a circuit: a topologically
+    scheduled array of steps over a fixed ciphertext arena, with layout
+    conversions made explicit, slot lifetimes precomputed (so live
+    ciphertext memory is bounded by the arena high-water mark), and fusion
+    opportunities counted. {!Plan_exec} stages and replays it against a
+    HISA backend with outputs bit-identical to the interpretive
+    {!Chet_runtime.Executor}.
+
+    The records are deliberately transparent: the executor, the bundle
+    store and the tests all inspect (and the prepare pass mutates
+    [p_stats] of) a plan directly. *)
+
+module Circuit = Chet_nn.Circuit
+module Layout = Chet_runtime.Layout
+module Executor = Chet_runtime.Executor
+
+type op =
+  | Op_node  (** run the circuit node's own kernel *)
+  | Op_convert of Layout.kind  (** layout-convert the node's raw value *)
+
+type step = {
+  st_id : int;  (** position in the schedule *)
+  st_node : Circuit.node;  (** circuit node this step computes (or converts) *)
+  st_op : op;
+  st_kind : Layout.kind;  (** layout kind of the result *)
+  st_srcs : int array;  (** arena slots read *)
+  st_dst : int;  (** arena slot written *)
+  st_release : int array;  (** slots dead after this step (never contains [st_dst]) *)
+  st_meta : Layout.meta;  (** static layout of the result *)
+}
+
+type stats = {
+  mutable fused_mul_rescale : int;
+  mutable fused_rot_acc : int;
+  mutable fused_mul_acc : int;
+}
+
+type t = {
+  p_circuit : Circuit.t;
+  p_policy : Executor.layout_policy;
+  p_slots : int;
+  p_margin : int;
+  p_input_meta : Layout.meta;
+  p_steps : step array;
+  p_arena : int;  (** arena size = ciphertext-tensor high-water mark *)
+  p_output : int;  (** arena slot holding the circuit output after the last step *)
+  p_stats : stats;  (** fusion counts, filled in by [Plan_exec.prepare] *)
+}
+
+val build : ?margin:int -> slots:int -> policy:Executor.layout_policy -> Circuit.t -> t
+(** Schedule the circuit under the given layout policy: one step per node
+    in topological order, conversion steps emitted on demand before their
+    first consumer and shared by later ones, then arena slots assigned by
+    a liveness pass. [margin] defaults to
+    {!Executor.required_margin}. *)
+
+val validate : t -> (unit, string) result
+(** Structural soundness: schedule order, slot bounds, no read of a dead
+    or released slot, output alive at the end. *)
+
+val summary : t -> string
+
+val to_string : t -> string
+(** The checksummed PLAN frame ({!Chet_crypto.Serial} discipline). Weights
+    and the circuit itself are {e not} serialized — a plan only references
+    its circuit's node ids. *)
+
+val of_string : circuit:Circuit.t -> string -> t
+(** Rebind a PLAN frame to the circuit it was built from; validates the
+    frame and the rebuilt plan. @raise Chet_crypto.Serial.Corrupt on
+    version, checksum, id or validation mismatch. *)

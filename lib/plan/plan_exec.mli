@@ -1,0 +1,35 @@
+(** Executes a {!Plan.t} against a HISA backend (DESIGN.md §14).
+
+    [prepare] is the expensive, per-deployment half: it stages one closure
+    per step through the prepare-once kernels of
+    {!Chet_runtime.Kernels.Make.Staged}, encoding weight and mask
+    plaintexts up front under a plaintext budget. [run_encrypted] replays
+    the closures over a fixed ciphertext arena, releasing dead slots
+    immediately. Outputs are bit-identical to the interpretive
+    {!Chet_runtime.Executor} (the regression gate of
+    test/test_runtime_prop.ml). *)
+
+module Cancel = Chet_hisa.Cancel
+module Kernels = Chet_runtime.Kernels
+
+module Make (H : Chet_hisa.Hisa.S) : sig
+  module K : module type of Kernels.Make (H)
+
+  type prepared
+  (** A plan with its staged per-step closures and encoded plaintexts. *)
+
+  val plan : prepared -> Plan.t
+
+  val prepare : ?pt_budget:int -> Kernels.scales -> Plan.t -> prepared
+  (** Validates the plan, checks the backend's slot count, stages every
+      step, and overwrites the plan's [p_stats] fusion counts (static per
+      plan, so repeated prepares — one per worker — are idempotent). *)
+
+  val run_encrypted : ?cancel:Cancel.t -> prepared -> K.ct_tensor -> K.ct_tensor
+  (** Replay the staged closures; checks [cancel] between steps and emits
+      one tracer span per step when tracing is on. *)
+
+  val run : ?cancel:Cancel.t -> prepared -> Chet_tensor.Tensor.t -> Chet_tensor.Tensor.t
+  (** Full client–server roundtrip on a cleartext image: encrypt at the
+      plan's input layout, execute, decrypt. *)
+end

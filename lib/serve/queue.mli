@@ -1,0 +1,30 @@
+(** Bounded multi-producer / multi-consumer job queue — the
+    admission-control half of the serving layer (DESIGN.md §9).
+
+    Producers never block: a push at or past the high-water mark is shed
+    immediately with the observed depth, which the caller turns into a
+    typed [Herr.Overloaded] rejection. Consumers block until work or
+    shutdown. *)
+
+type 'a t
+
+type stats = { q_pushed : int; q_shed : int; q_popped : int; q_max_depth : int }
+
+val create : high_water:int -> unit -> 'a t
+(** @raise Invalid_argument if [high_water < 1]. *)
+
+val high_water : 'a t -> int
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> (unit, int) result
+(** [Error depth] when shed (queue closed or at high water). *)
+
+val pop : 'a t -> 'a option
+(** Blocking; [None] once the queue is closed {e and} drained — the
+    worker-shutdown signal. *)
+
+val close : 'a t -> unit
+(** Pending items still drain; new pushes are rejected; every blocked
+    consumer wakes. *)
+
+val stats : 'a t -> stats

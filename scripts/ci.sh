@@ -40,11 +40,19 @@ echo "== smoke: plan =="
 # interpretive --no-plan path. Hard cap, like every smoke.
 timeout 180 scripts/plan_smoke.sh
 
+echo "== smoke: kernels (@kernel-smoke) =="
+# Fast-ring kernels (DESIGN.md §15): the Bigarray/Shoup NTT must beat the
+# scalar reference, and real-backend inference must be bit-identical across
+# fast/reference/2-domain runs. Real lattice ops throughout, so a hard cap.
+timeout 60 dune build @kernel-smoke
+timeout 300 scripts/kernel_smoke.sh
+
 echo "== bench: plan vs interpretive =="
 # The perf gate's numbers: per-inference latency and allocation delta of
-# the plan path on the fast model subset. Lands in BENCH.json and the
+# the plan path, plus the fast-ring kernel grid and its real-backend
+# speedup (bit-identity asserted in-bench). Lands in BENCH.json and the
 # numbered BENCH_<n>.json trajectory so future PRs have a baseline.
-timeout 300 dune exec bench/main.exe -- --plan --fast
+timeout 420 dune exec bench/main.exe -- --plan --kernels --fast
 
 echo "== smoke: net =="
 # The fork/exec chaos drill: supervisor + 2 shard processes, loadgen with

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Fast-ring kernel smoke (DESIGN.md §15): the Bigarray/Shoup kernel path
+# must (a) beat the scalar reference on a raw NTT round trip, (b) produce
+# bit-identical inference results with the toggle flipped either way, and
+# (c) stay bit-identical when the residue channels fan out across a
+# 2-domain Kpool. Any drift is a reduction-window bug, not noise.
+#
+# Usage: scripts/kernel_smoke.sh  (expects a completed `dune build`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=_build/default/bin/chet_cli.exe
+KBENCH=_build/default/bench/kbench.exe
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/chet-kernel-smoke.XXXXXX")
+trap 'rm -rf "$DIR"' EXIT
+
+echo "-- ntt microbench: fast path must beat the scalar reference"
+"$KBENCH" 4096 100 | tee "$DIR/kbench.out"
+fast_us=$(awk '/ntt fast/ { print $3 }' "$DIR/kbench.out")
+scalar_us=$(awk '/ntt scalar/ { print $3 }' "$DIR/kbench.out")
+awk -v f="$fast_us" -v s="$scalar_us" 'BEGIN { exit !(f + 0 < s + 0) }' || {
+  echo "kernel smoke FAIL: fast NTT ($fast_us us) not faster than scalar ($scalar_us us)" >&2
+  exit 1
+}
+
+# the timing-free tail of a real run: "class=K (clear K); max |err|=E"
+result_line() { grep '^measured latency' "$1" | sed 's/^measured latency: [0-9.]* s; //'; }
+
+echo "-- real-backend inference, fast ring (1 domain)"
+"$BIN" run micro --target seal --real --domains 1 >"$DIR/fast.out"
+result_line "$DIR/fast.out" >"$DIR/fast.res"
+
+echo "-- real-backend inference, scalar reference (--no-fast-ring)"
+"$BIN" run micro --target seal --real --domains 1 --no-fast-ring >"$DIR/ref.out"
+result_line "$DIR/ref.out" >"$DIR/ref.res"
+
+echo "-- real-backend inference, fast ring across 2 kernel domains"
+"$BIN" run micro --target seal --real --domains 2 >"$DIR/dom2.out"
+result_line "$DIR/dom2.out" >"$DIR/dom2.res"
+
+echo "-- all three runs must agree bit-for-bit"
+diff -u "$DIR/ref.res" "$DIR/fast.res"
+diff -u "$DIR/ref.res" "$DIR/dom2.res"
+cat "$DIR/ref.res"
+
+echo "-- profile grid on the real backends (quick)"
+"$BIN" profile --quick -o "$DIR/kernel-calibration.json" >/dev/null
+test -s "$DIR/kernel-calibration.json" || {
+  echo "kernel smoke FAIL: profile wrote no calibration" >&2
+  exit 1
+}
+
+echo "kernel smoke OK"

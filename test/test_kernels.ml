@@ -1,0 +1,267 @@
+(* Fast-kernel correctness: the Bigarray NTT and Rvec reduction kernels
+   must be bit-identical to the scalar schoolbook reference for every prime
+   in the ladder, and the kernel-domain pool must be deterministic for
+   every width (ISSUE 9 property tests). *)
+
+module Modarith = Chet_crypto.Modarith
+module Ntt = Chet_crypto.Ntt
+module Rvec = Chet_crypto.Rvec
+module Rq = Chet_crypto.Rq
+module Rq_rns = Chet_crypto.Rq_rns
+module Kpool = Chet_crypto.Kpool
+
+let rng = Random.State.make [| 0x9e11; 0x5a3d |]
+
+(* the ladder the compiler actually uses: 30-bit NTT primes *)
+let ladder n = Modarith.gen_ntt_primes ~bits:30 ~modulus_of:(2 * n) ~count:5
+
+let random_poly n p = Array.init n (fun _ -> Random.State.int rng p)
+
+let with_fast_ring b f =
+  let saved = Rq.fast_ring_enabled () in
+  Rq.set_fast_ring b;
+  Fun.protect ~finally:(fun () -> Rq.set_fast_ring saved) f
+
+(* --- NTT: fast path vs scalar reference --- *)
+
+let test_ntt_matches_reference () =
+  (* n = 4096 > leaf size exercises the blocked recursion; n = 64 the
+     all-in-one-leaf case *)
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun prime ->
+          let tbl = Ntt.make_table ~n ~prime in
+          Alcotest.(check bool) "fast tables built" true (Ntt.has_fast tbl);
+          for _ = 1 to 3 do
+            let a = random_poly n prime in
+            let reference = Array.copy a in
+            Ntt.forward tbl reference;
+            let buf = Rvec.of_int_array a in
+            Ntt.forward_buf tbl buf;
+            Alcotest.(check (array int))
+              (Printf.sprintf "forward n=%d p=%d" n prime)
+              reference (Rvec.to_int_array buf);
+            Ntt.inverse_buf tbl buf;
+            Alcotest.(check (array int))
+              (Printf.sprintf "roundtrip n=%d p=%d" n prime)
+              a (Rvec.to_int_array buf)
+          done)
+        (ladder n))
+    [ 64; 4096 ]
+
+let test_ntt_reference_path_identical () =
+  (* --no-fast-ring must agree with the fast path bit for bit *)
+  let n = 2048 in
+  Array.iter
+    (fun prime ->
+      let tbl = Ntt.make_table ~n ~prime in
+      let a = random_poly n prime in
+      let fast = Rvec.of_int_array a in
+      let slow = Rvec.of_int_array a in
+      with_fast_ring true (fun () -> Ntt.forward_buf tbl fast);
+      with_fast_ring false (fun () -> Ntt.forward_buf tbl slow);
+      Alcotest.(check bool) "forward agree" true (Rvec.equal fast slow);
+      with_fast_ring true (fun () -> Ntt.inverse_buf tbl fast);
+      with_fast_ring false (fun () -> Ntt.inverse_buf tbl slow);
+      Alcotest.(check bool) "inverse agree" true (Rvec.equal fast slow))
+    (ladder n)
+
+(* --- Rvec kernels: fast vs schoolbook twins --- *)
+
+let test_rvec_kernels () =
+  let n = 513 (* odd, to catch length assumptions *) in
+  Array.iter
+    (fun p ->
+      let a = Rvec.of_int_array (random_poly n p) in
+      let b = Rvec.of_int_array (random_poly n p) in
+      let check name fast_k ref_k =
+        let df = Rvec.create n and dr = Rvec.create n in
+        fast_k df;
+        ref_k dr;
+        Alcotest.(check bool) name true (Rvec.equal df dr)
+      in
+      check "pointwise_mul"
+        (fun d -> Rvec.pointwise_mul_into d a b p)
+        (fun d -> Rvec.pointwise_mul_ref_into d a b p);
+      let s = Random.State.int rng p in
+      check "scalar_mul"
+        (fun d -> Rvec.scalar_mul_into d a s p)
+        (fun d -> Rvec.scalar_mul_ref_into d a s p);
+      (* mac starts from the same accumulator on both sides *)
+      let acc0 = random_poly n p in
+      let mf = Rvec.of_int_array acc0 and mr = Rvec.of_int_array acc0 in
+      Rvec.pointwise_mac_into mf a b p;
+      Rvec.pointwise_mac_ref_into mr a b p;
+      Alcotest.(check bool) "pointwise_mac" true (Rvec.equal mf mr);
+      (* broadcast: residues of a *different* word-sized modulus *)
+      let q = 1073741789 (* < 2^30, not one of the NTT primes *) in
+      let src = Rvec.of_int_array (random_poly n q) in
+      check "broadcast_mod"
+        (fun d -> Rvec.broadcast_mod_into d src p)
+        (fun d -> Rvec.broadcast_mod_ref_into d src p);
+      let q_last = 1073479681 in
+      let last = Rvec.of_int_array (random_poly n q_last) in
+      check "rescale_limb"
+        (fun d -> Rvec.rescale_limb_into d a last ~q_last ~p)
+        (fun d -> Rvec.rescale_limb_ref_into d a last ~q_last ~p))
+    (ladder 64)
+
+let test_rvec_edge_values () =
+  (* adversarial residues: 0, 1, p-1 in every combination *)
+  Array.iter
+    (fun p ->
+      let vals = [| 0; 1; p - 1; p / 2; p / 2 + 1 |] in
+      let k = Array.length vals in
+      let n = k * k in
+      let a = Rvec.create n and b = Rvec.create n in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          Rvec.set a ((i * k) + j) vals.(i);
+          Rvec.set b ((i * k) + j) vals.(j)
+        done
+      done;
+      let df = Rvec.create n and dr = Rvec.create n in
+      Rvec.pointwise_mul_into df a b p;
+      Rvec.pointwise_mul_ref_into dr a b p;
+      Alcotest.(check (array int)) "mul edges" (Rvec.to_int_array dr) (Rvec.to_int_array df);
+      Rvec.add_into df a b p;
+      for i = 0 to n - 1 do
+        Alcotest.(check int) "add edges" (Modarith.add_mod (Rvec.get a i) (Rvec.get b i) p)
+          (Rvec.get df i)
+      done;
+      Rvec.sub_into df a b p;
+      for i = 0 to n - 1 do
+        Alcotest.(check int) "sub edges" (Modarith.sub_mod (Rvec.get a i) (Rvec.get b i) p)
+          (Rvec.get df i)
+      done;
+      Rvec.neg_into df a p;
+      for i = 0 to n - 1 do
+        Alcotest.(check int) "neg edges" (Modarith.neg_mod (Rvec.get a i) p) (Rvec.get df i)
+      done)
+    (ladder 8)
+
+let test_shoup () =
+  Array.iter
+    (fun p ->
+      for _ = 1 to 200 do
+        let w = Random.State.int rng p in
+        let wsh = Modarith.shoup w p in
+        let x = Random.State.full_int rng (2 * p) (* lazy operands allowed *) in
+        Alcotest.(check int) "shoup" (w * x mod p) (Modarith.mul_mod_shoup w wsh x p)
+      done)
+    (ladder 64)
+
+(* --- kernel-domain pool --- *)
+
+let test_kpool_runs_all_chunks () =
+  List.iter
+    (fun k ->
+      Kpool.configure ~domains:k;
+      Fun.protect
+        ~finally:(fun () -> Kpool.configure ~domains:1)
+        (fun () ->
+          Alcotest.(check int) "width" k (Kpool.domain_count ());
+          let out = Array.make 257 0 in
+          Kpool.run 257 (fun i -> out.(i) <- (i * i) + 1);
+          Array.iteri
+            (fun i v -> Alcotest.(check int) (Printf.sprintf "chunk %d" i) ((i * i) + 1) v)
+            out;
+          (* nested run degrades to sequential but still covers everything *)
+          let nested = Array.make 64 0 in
+          Kpool.run 8 (fun i -> Kpool.run 8 (fun j -> nested.((i * 8) + j) <- i + j));
+          Array.iteri
+            (fun idx v -> Alcotest.(check int) "nested" ((idx / 8) + (idx mod 8)) v)
+            nested))
+    [ 1; 2; 4 ]
+
+let test_kpool_propagates_exceptions () =
+  Kpool.configure ~domains:2;
+  Fun.protect
+    ~finally:(fun () -> Kpool.configure ~domains:1)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      (try
+         Kpool.run 16 (fun i ->
+             Atomic.incr hits;
+             if i = 7 then failwith "chunk 7 boom")
+       with Failure m -> Alcotest.(check string) "message" "chunk 7 boom" m);
+      (* every chunk still ran *)
+      Alcotest.(check int) "all chunks ran" 16 (Atomic.get hits))
+
+(* --- k-domain determinism: bit-identical ciphertexts for k in {1,2,4} --- *)
+
+module C = Chet_crypto.Rns_ckks
+
+let encrypt_with_domains k =
+  Kpool.configure ~domains:k;
+  Fun.protect
+    ~finally:(fun () -> Kpool.configure ~domains:1)
+    (fun () ->
+      let ctx = C.make_context (C.default_params ~n:64 ~num_coeff_primes:3 ()) in
+      let rng = Chet_crypto.Sampling.create ~seed:77 in
+      let sk, keys = C.keygen ctx rng in
+      C.add_power_of_two_rotation_keys ctx rng sk keys;
+      let z = Array.init (C.slot_count ctx) (fun i -> float_of_int (i mod 5) /. 7.0) in
+      let pt = C.encode_real ctx ~level:3 ~scale:(Float.ldexp 1.0 25) z in
+      let ct = C.encrypt ctx rng keys.C.public pt in
+      let ct = C.mul ctx keys ct ct in
+      let ct = C.rescale ctx ct (C.max_rescale ctx ct (1 lsl 30)) in
+      let ct = C.rotate ctx keys ct 3 in
+      (ct.C.c0, ct.C.c1))
+
+let test_k_domain_determinism () =
+  let c0_1, c1_1 = encrypt_with_domains 1 in
+  let c0_2, c1_2 = encrypt_with_domains 2 in
+  let c0_4, c1_4 = encrypt_with_domains 4 in
+  Alcotest.(check bool) "k=1 vs k=2" true (Rq_rns.equal c0_1 c0_2 && Rq_rns.equal c1_1 c1_2);
+  Alcotest.(check bool) "k=1 vs k=4" true (Rq_rns.equal c0_1 c0_4 && Rq_rns.equal c1_1 c1_4)
+
+(* --- whole-ring fast vs reference bit-identity --- *)
+
+let test_ring_fast_vs_reference () =
+  let n = 64 in
+  let primes = ladder n in
+  let ca = Array.init n (fun i -> (i * 977) - (n * 488) + Random.State.int rng 3) in
+  let cb = Array.init n (fun i -> (i * i) - 1000) in
+  let run fast =
+    with_fast_ring fast (fun () ->
+        let ctx = Rq_rns.make_ctx ~n ~primes in
+        let basis = Array.init (Array.length primes) (fun i -> i) in
+        let a = Rq_rns.of_centered_coeffs ctx basis ca in
+        let b = Rq_rns.of_centered_coeffs ctx basis cb in
+        let m = Rq_rns.mul ctx a b in
+        let s = Rq_rns.add ctx m (Rq_rns.to_ntt ctx (Rq_rns.neg ctx b)) in
+        let s = Rq_rns.mul_scalar ctx s 123457 in
+        let d = Rq_rns.drop_last ctx (Rq_rns.from_ntt ctx s) ~rounded:true in
+        Rq_rns.to_bigint_coeffs ctx d)
+  in
+  let f = run true in
+  let r = run false in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check string)
+        (Printf.sprintf "coeff %d" i)
+        (Chet_bigint.Bigint.to_string x)
+        (Chet_bigint.Bigint.to_string f.(i)))
+    r
+
+let suite =
+  [
+    ( "ring-kernels",
+      [
+        Alcotest.test_case "ntt fast = scalar reference, every ladder prime" `Quick
+          test_ntt_matches_reference;
+        Alcotest.test_case "ntt fast = --no-fast-ring path" `Quick test_ntt_reference_path_identical;
+        Alcotest.test_case "rvec kernels = schoolbook twins" `Quick test_rvec_kernels;
+        Alcotest.test_case "rvec edge residues" `Quick test_rvec_edge_values;
+        Alcotest.test_case "shoup multiplication" `Quick test_shoup;
+        Alcotest.test_case "kpool covers every chunk at k=1,2,4" `Quick test_kpool_runs_all_chunks;
+        Alcotest.test_case "kpool propagates chunk exceptions" `Quick
+          test_kpool_propagates_exceptions;
+        Alcotest.test_case "k-domain determinism: identical ciphertexts" `Quick
+          test_k_domain_determinism;
+        Alcotest.test_case "ring ops fast = reference, bit-identical" `Quick
+          test_ring_fast_vs_reference;
+      ] );
+  ]

@@ -111,8 +111,8 @@ let logq = 90
 
 let test_big_mul_matches_schoolbook () =
   let a = random_ints 10 1000 and b = random_ints 11 1000 in
-  let pa = Rq_big.of_centered_ints ~logq a and pb = Rq_big.of_centered_ints ~logq b in
-  let got = Rq_big.to_centered ~logq (Rq_big.mul bctx ~logq pa pb) in
+  let pa = Rq_big.of_centered_coeffs bctx logq a and pb = Rq_big.of_centered_coeffs bctx logq b in
+  let got = Rq_big.to_centered_bigint_coeffs bctx (Rq_big.mul bctx pa pb) in
   let expected = Array.make n 0 in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
@@ -126,8 +126,8 @@ let test_big_mul_matches_schoolbook () =
 let test_big_rescale_pow2 () =
   let a = [| 1 lsl 20; -(1 lsl 21); 3 lsl 19; 0 |] in
   let padded = Array.append a (Array.make (n - 4) 0) in
-  let p = Rq_big.of_centered_ints ~logq padded in
-  let r = Rq_big.to_centered ~logq:(logq - 10) (Rq_big.rescale_pow2 ~logq ~k:10 p) in
+  let p = Rq_big.of_centered_coeffs bctx logq padded in
+  let r = Rq_big.to_centered_bigint_coeffs bctx (Rq_big.div_round_pow2 bctx p ~k:10) in
   Alcotest.(check int) "c0" (1 lsl 10) (B.to_int r.(0));
   Alcotest.(check int) "c1" (-(1 lsl 11)) (B.to_int r.(1));
   Alcotest.(check int) "c2" (3 lsl 9) (B.to_int r.(2));
@@ -135,15 +135,16 @@ let test_big_rescale_pow2 () =
 
 let test_big_mod_down_preserves_small () =
   let ints = random_ints 12 1000 in
-  let p = Rq_big.of_centered_ints ~logq ints in
-  let down = Rq_big.to_centered ~logq:40 (Rq_big.mod_down ~logq_to:40 p) in
+  let p = Rq_big.of_centered_coeffs bctx logq ints in
+  let down = Rq_big.to_centered_bigint_coeffs bctx (Rq_big.mod_down bctx p 40) in
   Array.iteri (fun i c -> Alcotest.(check int) "preserved" c (B.to_int down.(i))) ints
 
 let test_big_automorphism_matches_rns () =
   let ints = random_ints 13 500 in
   let g = 5 in
   let via_big =
-    Rq_big.to_centered ~logq (Rq_big.automorphism ~logq ~g (Rq_big.of_centered_ints ~logq ints))
+    Rq_big.to_centered_bigint_coeffs bctx
+      (Rq_big.automorphism bctx (Rq_big.of_centered_coeffs bctx logq ints) ~g)
   in
   let via_rns = Rq_rns.to_centered_bigint_coeffs ctx (Rq_rns.automorphism ctx (poly_of_ints ints) ~g) in
   Array.iteri
@@ -175,10 +176,10 @@ let props =
         let a = poly_of_ints (random_ints seed 10000) in
         let z = Rq_rns.add ctx a (Rq_rns.neg ctx a) in
         Array.for_all B.is_zero (Rq_rns.to_bigint_coeffs ctx z));
-    prop "big reduce idempotent" 50 (fun seed ->
+    prop "big canonical roundtrip" 50 (fun seed ->
         let ints = random_ints seed 100000 in
-        let p = Rq_big.of_centered_ints ~logq ints in
-        Rq_big.reduce ~logq p = p);
+        let p = Rq_big.of_centered_coeffs bctx logq ints in
+        Rq_big.equal (Rq_big.of_bigint_coeffs bctx logq (Rq_big.to_bigint_coeffs bctx p)) p);
   ]
 
 let suite =
