@@ -818,6 +818,109 @@ let kernels_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Result integrity: sentinel overhead & noise margins                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The DESIGN.md §16 acceptance evidence: what verified serving costs per
+   inference (a sentinel-twin run against the plain run, same backend, same
+   slots), and how much precision headroom each zoo model has — the clean
+   sentinel margin and the noise-margin guard's bound at final decrypt. *)
+let integrity_bench () =
+  print_endline "\n===== Result integrity: sentinel overhead & noise margins =====";
+  let module Integrity = Chet.Integrity in
+  let module Checked = Chet_hisa.Checked_backend in
+  (* one slot count for every row: the twin layout needs 2x the live
+     region, and a fair overhead ratio needs baseline and sentinel runs on
+     identically sized vectors *)
+  let slots = 32768 in
+  let points = ref [] in
+  let rows =
+    List.map
+      (fun (spec : Models.spec) ->
+        let circuit = spec.Models.build () in
+        let compiled = Workloads.compiled_for Compiler.Seal spec in
+        let opts = compiled.Compiler.opts in
+        let scheme = Compiler.scheme_of_params opts compiled.Compiler.params in
+        let scales = opts.Compiler.scales in
+        let policy = compiled.Compiler.policy in
+        let image = Models.input_for spec ~seed:7 in
+        let backend () =
+          Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false }
+        in
+        let module H = (val backend () : Hisa.S) in
+        let module E = Executor.Make (H) in
+        let plain () = E.run scales circuit ~policy image in
+        ignore (plain ());
+        let plain_out, base_s = time_once plain in
+        let isp = Integrity.spec_for circuit in
+        let margin = ref Float.nan in
+        let sentinel =
+          Integrity.sentinel ~observe:(fun t -> margin := Integrity.margin_bits isp t) isp
+        in
+        let verified () = E.run ~sentinel scales circuit ~policy image in
+        ignore (verified ());
+        let v_out, v_s = time_once verified in
+        let max_diff =
+          Array.fold_left Float.max 0.0
+            (Array.mapi
+               (fun i v -> Float.abs (v -. plain_out.T.data.(i)))
+               v_out.T.data)
+        in
+        if max_diff > 1e-9 then
+          failwith (spec.Models.model_name ^ ": sentinel perturbed the primary answer");
+        if not (!margin > 0.0) then
+          failwith (Printf.sprintf "%s: clean sentinel margin %.2f" spec.Models.model_name !margin);
+        (* noise-margin guard at the model's compiled scheme: the bound is
+           conservative, so a fired guard is itself a reportable datum *)
+        let noise_margin = ref Float.nan in
+        let guard_fired = ref false in
+        (let cfg =
+           {
+             (Checked.default_config ~scheme) with
+             Checked.noise = Some (Checked.default_noise_model ());
+           }
+         in
+         let module HN =
+           (val Checked.wrap ~config:(Some cfg) ~margin:noise_margin ~scheme (backend ()) : Hisa.S)
+         in
+         let module EN = Executor.Make (HN) in
+         try ignore (EN.run scales circuit ~policy image)
+         with Chet_hisa.Herr.Fhe_error (Chet_hisa.Herr.Precision_exhausted { margin_bits; _ }, _)
+         ->
+           guard_fired := true;
+           noise_margin := margin_bits);
+        let overhead = v_s /. Float.max 1e-9 base_s in
+        points :=
+          Jsonx.Obj
+            [
+              ("model", Jsonx.Str spec.Models.model_name);
+              ("baseline_seconds", Jsonx.Num base_s);
+              ("sentinel_seconds", Jsonx.Num v_s);
+              ("sentinel_overhead", Jsonx.Num overhead);
+              ("sentinel_margin_bits", Jsonx.Num !margin);
+              ( "noise_margin_bits",
+                if Float.is_nan !noise_margin then Jsonx.Null else Jsonx.Num !noise_margin );
+              ("noise_guard_fired", Jsonx.Bool !guard_fired);
+            ]
+          :: !points;
+        [
+          spec.Models.model_name;
+          fmt_seconds base_s;
+          fmt_seconds v_s;
+          Printf.sprintf "%.2fx" overhead;
+          Printf.sprintf "%.1f" !margin;
+          (if !guard_fired then Printf.sprintf "%.1f (fired)" !noise_margin
+           else Printf.sprintf "%.1f" !noise_margin);
+        ])
+      (networks ())
+  in
+  print_table ~title:"per-inference, cleartext backend, twin layout at 32768 slots"
+    ~headers:
+      [ "network"; "plain s"; "sentinel s"; "overhead"; "sent. margin b"; "noise margin b" ]
+    rows;
+  add_json "integrity" (Jsonx.Arr (List.rev !points))
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -850,6 +953,7 @@ let () =
     | "--serve" :: rest -> "srv" :: wanted rest
     | "--plan" :: rest -> "pln" :: wanted rest
     | "--kernels" :: rest -> "krn" :: wanted rest
+    | "--integrity" :: rest -> "int" :: wanted rest
     | _ :: rest -> wanted rest
     | [] -> []
   in
@@ -871,6 +975,7 @@ let () =
   if want "srv" then begin serve_bench (); Gc.compact () end;
   if want "pln" then begin plan_bench (); Gc.compact () end;
   if want "krn" then begin kernels_bench (); Gc.compact () end;
+  if want "int" then begin integrity_bench (); Gc.compact () end;
   if all || List.mem "abl" selected then ablation ();
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total;

@@ -168,6 +168,8 @@ let serve_sweep ?(domains = 2) ?(burst = 48) ~high_waters () =
         (fun ~req_seed:_ ~attempt:_ ->
           Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false });
       dep_plan = None;
+      dep_sentinel = None;
+      dep_twin = false;
     }
   in
   let images = Array.init burst (fun i -> Models.input_for spec ~seed:(9000 + i)) in

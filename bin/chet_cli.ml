@@ -12,6 +12,7 @@
 
 module Compiler = Chet.Compiler
 module Scale_select = Chet.Scale_select
+module Integrity = Chet.Integrity
 module Executor = Chet_runtime.Executor
 module Models = Chet_nn.Models
 module Circuit = Chet_nn.Circuit
@@ -262,11 +263,23 @@ let run_cmd =
              (node id, layer, layout, HISA op count, result scale/level) — and write it to \
              $(docv); open in chrome://tracing or Perfetto.")
   in
-  let run () model target real checked seed plan no_plan trace cost_file =
-    let use_plan = plan && not no_plan in
+  let sentinel_arg =
+    Arg.(
+      value & flag
+      & info [ "sentinel" ]
+          ~doc:
+            "Verify the answer end-to-end with sentinel slots (DESIGN.md §16): a known probe \
+             rides the twin lane through the whole circuit and is checked against the clear \
+             reference at decrypt. Forces the interpretive executor.")
+  in
+  let run () model target real checked want_sentinel seed plan no_plan trace cost_file =
+    let use_plan = plan && not no_plan && not want_sentinel in
+    if plan && want_sentinel then
+      Printf.eprintf "chet: --plan: --sentinel forces the interpretive executor\n";
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
-    let opts = apply_cost_file (Compiler.default_options ~target ()) target cost_file in
+    let base_opts = apply_cost_file (Compiler.default_options ~target ()) target cost_file in
+    let opts = { base_opts with Compiler.sentinel = want_sentinel } in
     let compiled = Compiler.compile opts circuit in
     Format.printf "%a@." Compiler.pp_compiled compiled;
     let image = Models.input_for spec ~seed in
@@ -279,6 +292,8 @@ let run_cmd =
     let wrap b = if trace = None then b else Timed_backend.wrap timer b in
     let the_plan = if use_plan then Some (Compiler.plan compiled) else None in
     Option.iter (fun p -> Printf.printf "plan: %s\n" (Chet_plan.Plan.summary p)) the_plan;
+    let isp = if want_sentinel then Some (Integrity.spec_for circuit) else None in
+    let margin = ref Float.nan in
     let run_with (backend : Hisa.t) =
       let module H = (val wrap backend) in
       match the_plan with
@@ -287,7 +302,14 @@ let run_cmd =
           PE.run (PE.prepare opts.Compiler.scales p) image
       | None ->
           let module E = Executor.Make (H) in
-          E.run opts.Compiler.scales circuit ~policy:compiled.Compiler.policy image
+          let sentinel =
+            Option.map
+              (fun sp ->
+                Integrity.sentinel ~observe:(fun t -> margin := Integrity.margin_bits sp t) sp)
+              isp
+          in
+          E.run ?sentinel ~twin:want_sentinel opts.Compiler.scales circuit
+            ~policy:compiled.Compiler.policy image
     in
     let finally () = Tracer.set_global None in
     let got, latency =
@@ -329,12 +351,15 @@ let run_cmd =
     Printf.printf "%s latency: %.2f s; class=%d (clear %d); max |err|=%.5f\n"
       (if real then "measured" else "simulated")
       latency (T.argmax got) (T.argmax expected)
-      (T.max_abs_diff (T.flatten expected) (T.flatten got))
+      (T.max_abs_diff (T.flatten expected) (T.flatten got));
+    if want_sentinel then
+      if Float.is_nan !margin then Printf.printf "sentinel: verified (margin not observed)\n"
+      else Printf.printf "sentinel: verified, margin %.2f bits\n" !margin
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one encrypted inference")
     Term.(
-      const run $ kernel_term $ model_arg $ target_arg $ real_arg $ checked_arg $ seed_arg
-      $ plan_arg $ no_plan_arg $ trace_arg $ cost_file_arg)
+      const run $ kernel_term $ model_arg $ target_arg $ real_arg $ checked_arg $ sentinel_arg
+      $ seed_arg $ plan_arg $ no_plan_arg $ trace_arg $ cost_file_arg)
 
 let scales_cmd =
   let tol_arg = Arg.(value & opt float 0.05 & info [ "tolerance" ] ~doc:"Output tolerance.") in
@@ -529,17 +554,37 @@ let serve_cmd =
   let fault_arg =
     Arg.(
       value
-      & opt (enum [ ("none", `None); ("transient", `Transient); ("persistent", `Persistent) ]) `None
+      & opt
+          (enum
+             [
+               ("none", `None);
+               ("transient", `Transient);
+               ("persistent", `Persistent);
+               ("silent", `Silent);
+             ])
+          `None
       & info [ "fault" ]
           ~doc:
-            "Inject NaN-poison faults into the primary deployment: 'transient' corrupts only the \
-             first attempt of each request (retries recover), 'persistent' corrupts every attempt \
-             (the circuit breaker trips and traffic degrades to the fallback rung).")
+            "Inject faults into the primary deployment: 'transient' NaN-poisons only the first \
+             attempt of each request (retries recover), 'persistent' NaN-poisons every attempt \
+             (the circuit breaker trips and traffic degrades to the fallback rung), 'silent' \
+             perturbs result slots with no typed error — invisible without $(b,--sentinel), \
+             which catches it and degrades to the clean fallback.")
   in
   let real_arg =
     Arg.(
       value & flag
       & info [ "real" ] ~doc:"Serve on the real instantiated scheme ladder instead of cleartext.")
+  in
+  let sentinel_arg =
+    Arg.(
+      value & flag
+      & info [ "sentinel" ]
+          ~doc:
+            "Verify every answer end-to-end with sentinel slots (DESIGN.md §16): a known probe \
+             rides the interleaved twin lane through the whole circuit and is checked against \
+             the clear reference before the answer is released. Mismatches surface as typed \
+             Integrity_violation. Forces the interpretive executor.")
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Key-generation seed (--real).") in
   let plan_arg =
@@ -574,11 +619,12 @@ let serve_cmd =
              Pacing gives SIGINT/SIGTERM a window to land mid-run and exercise graceful \
              shutdown.")
   in
-  let run () model target requests domains queue_hw deadline_ms tight_every fault real seed plan
-      no_plan metrics_dump state_dir interarrival_ms =
+  let run () model target requests domains queue_hw deadline_ms tight_every fault real
+      want_sentinel seed plan no_plan metrics_dump state_dir interarrival_ms =
     let use_plan = plan && not no_plan in
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
+    let sentinel = if want_sentinel then Some (Integrity.spec_for circuit) else None in
     let store = Option.map (fun d -> fst (open_store_verbose d)) state_dir in
     (* warm restart: adopt the newest valid bundle; a bundle that passes the
        store's checksums but fails schema parsing is reported (typed) and
@@ -658,11 +704,12 @@ let serve_cmd =
                       "chet: --plan: bundle has no PLAN frame; serving interpretive\n";
                     None
             in
-            Service.ladder_of_factory compiled ~factory ~predict_cost:true ?plan:plan_runner ()
+            Service.ladder_of_factory compiled ~factory ~predict_cost:true ?plan:plan_runner
+              ?sentinel ()
         | None ->
             Service.ladder_of_compiled compiled ~seed ~with_secret:true ~predict_cost:true
               ?plan:(if use_plan then Some (Compiler.plan compiled) else None)
-              ()
+              ?sentinel ()
       else begin
         (* cleartext twin of the deployment ladder: same circuit, policy and
            scales, with seeded fault injection on the primary rung so the
@@ -673,6 +720,7 @@ let serve_cmd =
             | `None -> None
             | `Transient -> if attempt = 0 then Some Fault.Nan_poison else None
             | `Persistent -> Some Fault.Nan_poison
+            | `Silent -> Some Fault.Silent_corruption
           in
           match armed with
           | None -> clear ()
@@ -682,6 +730,12 @@ let serve_cmd =
         in
         let primary_plan =
           if not use_plan then None
+          else if want_sentinel then begin
+            (* the plan compiles the untwinned layout; sentinels need the
+               doubled strides, so verified serving stays interpretive *)
+            Printf.eprintf "chet: --plan: --sentinel forces interpretive serving\n";
+            None
+          end
           else if fault <> `None then begin
             (* fault injection wraps the interpretive backend view; a plan
                rung would route around it, so it wins and plans are off *)
@@ -713,6 +767,7 @@ let serve_cmd =
                 PE.run ~cancel prepared image)
           end
         in
+        let twin = sentinel <> None in
         [
           {
             Service.dep_label = "primary";
@@ -721,7 +776,9 @@ let serve_cmd =
             dep_policy = compiled.Compiler.policy;
             dep_cost_ms = None;
             dep_backend = primary_backend;
-            dep_plan = primary_plan;
+            dep_plan = (if twin then None else primary_plan);
+            dep_sentinel = sentinel;
+            dep_twin = twin;
           };
           {
             Service.dep_label = "clear-fallback";
@@ -731,6 +788,8 @@ let serve_cmd =
             dep_cost_ms = None;
             dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
             dep_plan = None;
+            dep_sentinel = sentinel;
+            dep_twin = twin;
           };
         ]
       end
@@ -828,8 +887,8 @@ let serve_cmd =
     Term.(
       const run $ kernel_term_serve $ model_arg $ target_arg $ requests_arg $ domains_arg
       $ queue_arg $ deadline_arg
-      $ tight_arg $ fault_arg $ real_arg $ seed_arg $ plan_arg $ no_plan_arg $ metrics_arg
-      $ state_dir_arg $ interarrival_arg)
+      $ tight_arg $ fault_arg $ real_arg $ sentinel_arg $ seed_arg $ plan_arg $ no_plan_arg
+      $ metrics_arg $ state_dir_arg $ interarrival_arg)
 
 (* --- chet store: inspect and maintain a deployment store ---------------- *)
 
@@ -943,8 +1002,28 @@ let shard_worker_cmd =
   let fault_arg =
     Arg.(
       value
-      & opt (enum [ ("none", `None); ("transient", `Transient); ("persistent", `Persistent) ]) `None
-      & info [ "fault" ] ~doc:"Inject NaN-poison faults into the primary rung (as `chet serve').")
+      & opt
+          (enum
+             [
+               ("none", `None);
+               ("transient", `Transient);
+               ("persistent", `Persistent);
+               ("silent", `Silent);
+             ])
+          `None
+      & info [ "fault" ]
+          ~doc:
+            "Inject faults into the primary rung: $(b,transient)/$(b,persistent) NaN-poison (as \
+             `chet serve'), or $(b,silent) small-magnitude corruption that evades every per-op \
+             screen and is only caught by the sentinel lane (DESIGN.md §16).")
+  in
+  let sentinel_arg =
+    Arg.(
+      value & flag
+      & info [ "sentinel" ]
+          ~doc:
+            "Verify every answer with sentinel slots before it leaves the shard (DESIGN.md §16), \
+             and answer HLTH selftest probes by running a sentinel-only inference.")
   in
   let slow_ms_arg =
     Arg.(
@@ -954,10 +1033,12 @@ let shard_worker_cmd =
             "Artificially sleep this long inside every primary-rung attempt — makes this shard a \
              predictable straggler for hedging demos (scripts/hedge_smoke.sh).")
   in
-  let run () model target listen shard domains queue_hw max_inflight fault slow_ms state_dir seed =
+  let run () model target listen shard domains queue_hw max_inflight fault want_sentinel slow_ms
+      state_dir seed =
     let addr = parse_addr listen in
     let spec = lookup_model model in
     let circuit = spec.Models.build () in
+    let sentinel = if want_sentinel then Some (Integrity.spec_for circuit) else None in
     let store = Option.map (fun d -> fst (open_store_verbose d)) state_dir in
     (* warm restart from the shard's own bundle (DESIGN.md §11): a corrupt or
        empty store means cold compile, then persist for the next restart —
@@ -989,19 +1070,31 @@ let shard_worker_cmd =
     let clear () =
       Clear.make { Clear.slots; scheme; strict_modulus = false; encode_noise = false }
     in
-    let primary_backend ~req_seed ~attempt =
-      if slow_ms > 0.0 then Unix.sleepf (slow_ms /. 1000.0);
+    let arm_fault ~req_seed ~attempt base =
       let armed =
         match fault with
         | `None -> None
         | `Transient -> if attempt = 0 then Some Fault.Nan_poison else None
         | `Persistent -> Some Fault.Nan_poison
+        | `Silent -> Some Fault.Silent_corruption
       in
       match armed with
-      | None -> clear ()
+      | None -> base
       | Some f ->
-          let faulty, _log = Fault.wrap (Fault.default_config ~seed:req_seed (Some f)) (clear ()) in
+          let faulty, _log = Fault.wrap (Fault.default_config ~seed:req_seed (Some f)) base in
           Checked.wrap ~scheme faulty
+    in
+    let primary_backend ~req_seed ~attempt =
+      if slow_ms > 0.0 then Unix.sleepf (slow_ms /. 1000.0);
+      arm_fault ~req_seed ~attempt (clear ())
+    in
+    (* NaN-poison deliberately spares the fallback (the degradation drill:
+       primary poisoned, clear rung saves the request), but silent
+       corruption models a bad *host* — flaky memory corrupts every rung it
+       computes on, so the Integrity_violation escapes to the supervisor
+       instead of being healed by degradation *)
+    let fallback_backend ~req_seed ~attempt =
+      match fault with `Silent -> arm_fault ~req_seed ~attempt (clear ()) | _ -> clear ()
     in
     let ladder =
       [
@@ -1013,6 +1106,8 @@ let shard_worker_cmd =
           dep_cost_ms = None;
           dep_backend = primary_backend;
           dep_plan = None;
+          dep_sentinel = sentinel;
+          dep_twin = want_sentinel;
         };
         {
           Service.dep_label = "clear-fallback";
@@ -1020,8 +1115,10 @@ let shard_worker_cmd =
           dep_scales = opts.Compiler.scales;
           dep_policy = compiled.Compiler.policy;
           dep_cost_ms = None;
-          dep_backend = (fun ~req_seed:_ ~attempt:_ -> clear ());
+          dep_backend = fallback_backend;
           dep_plan = None;
+          dep_sentinel = sentinel;
+          dep_twin = want_sentinel;
         };
       ]
     in
@@ -1051,7 +1148,32 @@ let shard_worker_cmd =
         Net_server.srv_max_inflight = max_inflight;
       }
     in
-    let server = Net_server.start srv_cfg svc in
+    (* HLTH selftest (DESIGN.md §16): run a sentinel-only probe through the
+       same primary backend the suspect answers came from — an armed silent
+       fault corrupts the probe too, so the supervisor's confirm step sees
+       the same Integrity_violation the client did *)
+    let selftest =
+      Option.map
+        (fun isp () ->
+          match
+            let module H = (val primary_backend ~req_seed:seed ~attempt:0) in
+            let module E = Executor.Make (H) in
+            let margin = ref Float.nan in
+            let s =
+              Integrity.sentinel ~observe:(fun t -> margin := Integrity.margin_bits isp t) isp
+            in
+            ignore
+              (E.run ~sentinel:s ~twin:true opts.Compiler.scales circuit
+                 ~policy:compiled.Compiler.policy
+                 (Models.input_for spec ~seed));
+            !margin
+          with
+          | m -> Ok m
+          | exception Herr.Fhe_error (e, _) -> Error (Herr.error_name e)
+          | exception e -> Error (Printexc.to_string e))
+        sentinel
+    in
+    let server = Net_server.start ?selftest srv_cfg svc in
     let stopping = Atomic.make false in
     let install sg =
       try Sys.set_signal sg (Sys.Signal_handle (fun _ -> Atomic.set stopping true))
@@ -1091,7 +1213,7 @@ let shard_worker_cmd =
     Term.(
       const run $ kernel_term_serve $ model_arg $ target_arg $ listen_arg $ shard_arg
       $ domains_arg $ queue_arg
-      $ inflight_arg $ fault_arg $ slow_ms_arg $ state_dir_arg $ net_seed_arg)
+      $ inflight_arg $ fault_arg $ sentinel_arg $ slow_ms_arg $ state_dir_arg $ net_seed_arg)
 
 let supervise_cmd =
   let front_arg = addr_arg "front" ~doc:"Front-door address (REQ1 proxy + HLTH control)" in
@@ -1111,9 +1233,31 @@ let supervise_cmd =
   let fault_arg =
     Arg.(
       value
-      & opt (enum [ ("none", "none"); ("transient", "transient"); ("persistent", "persistent") ])
+      & opt
+          (enum
+             [
+               ("none", "none");
+               ("transient", "transient");
+               ("persistent", "persistent");
+               ("silent", "silent");
+             ])
           "none"
-      & info [ "fault" ] ~doc:"Fault mode passed through to every shard worker.")
+      & info [ "fault" ]
+          ~doc:"Fault mode passed through to the shard workers (see `chet shard-worker --help').")
+  in
+  let fault_shard_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "fault-shard" ]
+          ~doc:
+            "Pass $(b,--fault) to this one shard only — the deliberate corrupter of the \
+             integrity chaos drill (-1 = every shard).")
+  in
+  let sentinel_arg =
+    Arg.(
+      value & flag
+      & info [ "sentinel" ]
+          ~doc:"Pass $(b,--sentinel) to every shard worker (DESIGN.md §16 verified serving).")
   in
   let hedge_ms_arg =
     Arg.(
@@ -1134,8 +1278,8 @@ let supervise_cmd =
       value & opt float 0.0
       & info [ "slow-ms" ] ~doc:"Per-attempt delay injected into the $(b,--slow-shard) worker.")
   in
-  let run model target front shards sock_dir domains queue_hw duration_s fault hedge_ms slow_shard
-      slow_ms state_dir seed =
+  let run model target front shards sock_dir domains queue_hw duration_s fault fault_shard
+      want_sentinel hedge_ms slow_shard slow_ms state_dir seed =
     let front_addr = parse_addr front in
     (try Unix.mkdir sock_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     let shard_addr i = Wire.Unix_sock (Filename.concat sock_dir (Printf.sprintf "shard-%d.sock" i)) in
@@ -1148,14 +1292,19 @@ let supervise_cmd =
           "--target"; target_name target;
           "--domains"; string_of_int domains;
           "--queue"; string_of_int queue_hw;
-          "--fault"; fault;
           "--seed"; string_of_int seed;
         ]
       in
+      let with_fault =
+        if fault <> "none" && (fault_shard < 0 || shard = fault_shard) then
+          base @ [ "--fault"; fault ]
+        else base
+      in
+      let with_sentinel = if want_sentinel then with_fault @ [ "--sentinel" ] else with_fault in
       let with_slow =
         if shard = slow_shard && slow_ms > 0.0 then
-          base @ [ "--slow-ms"; string_of_float slow_ms ]
-        else base
+          with_sentinel @ [ "--slow-ms"; string_of_float slow_ms ]
+        else with_sentinel
       in
       let with_store =
         match state_dir with
@@ -1203,8 +1352,8 @@ let supervise_cmd =
           down shards. The front door also answers HLTH control frames (ping / report / kill N)")
     Term.(
       const run $ model_arg $ target_arg $ front_arg $ shards_arg $ sock_dir_arg $ domains_arg
-      $ queue_arg $ duration_arg $ fault_arg $ hedge_ms_arg $ slow_shard_arg $ slow_ms_arg
-      $ state_dir_arg $ net_seed_arg)
+      $ queue_arg $ duration_arg $ fault_arg $ fault_shard_arg $ sentinel_arg $ hedge_ms_arg
+      $ slow_shard_arg $ slow_ms_arg $ state_dir_arg $ net_seed_arg)
 
 let loadgen_cmd =
   let addr_arg = addr_arg "addr" ~doc:"Target address (a shard, or the supervisor front door)" in
@@ -1247,10 +1396,35 @@ let loadgen_cmd =
       & info [ "bench-out" ] ~docv:"FILE"
           ~doc:"Merge throughput and p50/p95/p99 latency under the `loadgen' key of this BENCH.json.")
   in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-verify every answer's sentinel lane client-side against the clear reference \
+             (DESIGN.md §16) — independent of the shard's own check. Requires the target to \
+             serve with $(b,--sentinel); exits 5 if any answer fails the re-check.")
+  in
   let run model addr requests concurrency fault_every deadline_ms retries kill_after kill_shard
-      control bench_out seed =
+      control bench_out verify seed =
     let spec = lookup_model model in
     let shape = (Models.input_for spec ~seed:0).T.shape in
+    (* client-side sentinel re-verification: the loadgen never trusts the
+       shard's margin claim — it recomputes the deviation from the clear
+       probe reference on the returned lane *)
+    let lg_verify =
+      if not verify then None
+      else begin
+        let circuit = spec.Models.build () in
+        let isp = Integrity.spec_for circuit in
+        let ref_shape = isp.Integrity.it_expected.T.shape in
+        let numel = Array.fold_left ( * ) 1 ref_shape in
+        Some
+          (fun lane ->
+            Array.length lane = numel
+            && Integrity.margin_bits isp (T.of_array ref_shape lane) > 0.0)
+      end
+    in
     let kill_at =
       match (kill_after, control) with
       | Some after, Some c -> Some (parse_addr c, after, kill_shard)
@@ -1269,6 +1443,7 @@ let loadgen_cmd =
         lg_retries = retries;
         lg_fault_every = fault_every;
         lg_kill_at = kill_at;
+        lg_verify;
       }
     in
     let r = Loadgen.run cfg in
@@ -1280,7 +1455,10 @@ let loadgen_cmd =
       bench_out;
     (* every request must have gotten *an* answer by construction; zero
        successes against a live target is still a failed drill *)
-    if r.Loadgen.r_ok = 0 then exit 4
+    if r.Loadgen.r_ok = 0 then exit 4;
+    (* --verify: an answer that fails the independent client-side re-check
+       is a corruption that escaped the whole guard stack — never tolerable *)
+    if r.Loadgen.r_client_rejected > 0 then exit 5
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -1291,7 +1469,7 @@ let loadgen_cmd =
     Term.(
       const run $ model_arg $ addr_arg $ requests_arg $ concurrency_arg $ fault_every_arg
       $ deadline_arg $ retries_arg $ kill_after_arg $ kill_shard_arg $ control_arg $ bench_arg
-      $ net_seed_arg)
+      $ verify_arg $ net_seed_arg)
 
 let () =
   let info = Cmd.info "chet" ~doc:"CHET: an optimizing compiler for FHE neural-network inference" in

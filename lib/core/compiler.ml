@@ -24,6 +24,7 @@ type options = {
   scales : Kernels.scales;
   cost : Hisa.cost_model option;
   max_n : int;
+  sentinel : bool;
 }
 
 let default_options ?(target = Seal) () =
@@ -35,6 +36,7 @@ let default_options ?(target = Seal) () =
     scales = Kernels.default_scales;
     cost = None;
     max_n = 65536;
+    sentinel = false;
   }
 
 type params_choice =
@@ -109,7 +111,11 @@ let run_through (backend : Hisa.t) opts circuit ~policy =
   let module H = (val backend) in
   let module E = Executor.Make (H) in
   let kind_of = Executor.assign policy circuit in
-  let meta = E.input_meta circuit ~kind:(kind_of circuit.Circuit.input) in
+  (* sentinel deployments execute on the interleaved twin layout, so every
+     analysis pass must see that geometry: its extents (parameter
+     selection), its op mix (cost), and its doubled rotation amounts
+     (rotation-key selection) *)
+  let meta = E.input_meta ~twin:opts.sentinel circuit ~kind:(kind_of circuit.Circuit.input) in
   let enc = E.K.encrypt_tensor opts.scales meta (zero_image circuit) in
   let out = E.run_encrypted opts.scales circuit ~policy enc in
   (H.scale_of out.E.K.cts.(0), H.env_of out.E.K.cts.(0))
@@ -415,7 +421,7 @@ module Serial = Chet_crypto.Serial
    name; the caller re-supplies the circuit and the reader verifies the
    name). Bumping the layout bumps [compiled_version] — an old frame then
    surfaces as a typed [Serial.Corrupt], never a misparse. *)
-let compiled_version = 1
+let compiled_version = 2
 
 let int_of_policy = function
   | Executor.All_hw -> 0
@@ -496,6 +502,7 @@ let write_compiled w c =
       Serial.write_int w c.opts.scales.Kernels.pu;
       Serial.write_int w c.opts.scales.Kernels.pm;
       Serial.write_int w c.opts.max_n;
+      Serial.write_int w (if c.opts.sentinel then 1 else 0);
       Serial.write_int w (int_of_policy c.policy);
       write_params w c.params;
       write_counted_pairs w c.rotations;
@@ -550,6 +557,12 @@ let read_compiled ~circuit r =
       let pm = Serial.read_int r in
       if pc < 1 || pw < 1 || pu < 1 || pm < 1 then raise (Serial.Corrupt "bad scales");
       let max_n = Serial.read_int r in
+      let sentinel =
+        match Serial.read_int r with
+        | 0 -> false
+        | 1 -> true
+        | k -> raise (Serial.Corrupt (Printf.sprintf "bad sentinel flag %d" k))
+      in
       let opts =
         {
           target;
@@ -559,6 +572,7 @@ let read_compiled ~circuit r =
           scales = { Kernels.pc; pw; pu; pm };
           cost = None;
           max_n;
+          sentinel;
         }
       in
       let policy = policy_of_int (Serial.read_int r) in

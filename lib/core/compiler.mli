@@ -25,6 +25,11 @@ type options = {
   scales : Kernels.scales;
   cost : Hisa.cost_model option;  (** default: the target's calibrated model *)
   max_n : int;  (** largest ring dimension to consider (default 65536) *)
+  sentinel : bool;
+      (** compile for sentinel-slot integrity checking (DESIGN.md §16): the
+          deployment executes on an interleaved twin layout (odd slots carry
+          a known probe), so every analysis pass — parameter selection,
+          cost, rotation keys — runs on that doubled geometry *)
 }
 
 val default_options : ?target:target -> unit -> options

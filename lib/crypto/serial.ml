@@ -288,7 +288,9 @@ let read_big_ciphertext r =
 
 module Herr = Chet_herr.Herr
 
-let wire_version = 2
+(* v3: RSP1 carries the sentinel lane (rs_margin_bits + rs_sentinel) and
+   HLTH gains the supervisor's Health_selftest probe (DESIGN.md §16). *)
+let wire_version = 3
 
 type wire_request = {
   rq_id : int;
@@ -315,6 +317,13 @@ type wire_response = {
   rs_served_by : string;
   rs_degraded : bool;
   rs_attempts : int;
+  rs_margin_bits : float;
+      (** measured sentinel precision headroom of this answer; NaN when the
+          serving rung did not verify a sentinel lane *)
+  rs_sentinel : float array;
+      (** the decrypted sentinel outputs, so the receiver can re-verify the
+          answer against its own clear-reference prediction independently of
+          the shard's claim; [[||]] when no sentinel lane ran *)
   rs_result : (int array * float array, Herr.error * Herr.context) result;
 }
 
@@ -331,6 +340,10 @@ type wire_health =
   | Health_kill of int  (** supervisor kill endpoint: SIGKILL this shard *)
   | Health_report of { hr_uptime_s : float; hr_shards : shard_report list }
   | Health_ack of { ha_ok : bool; ha_detail : string }
+  | Health_selftest
+      (** run a sentinel-only probe inference locally and ack whether its
+          lane verified — how the supervisor confirms a suspect shard really
+          corrupts results before quarantining it (DESIGN.md §16) *)
 
 (* Full bijective codec for the error taxonomy: the client must receive the
    same typed value the server raised, not a stringified shadow of it. *)
@@ -405,6 +418,15 @@ let write_herr_error w (e : Herr.error) =
           write_int w 1;
           write_int w id);
       write_string w reason
+  | Herr.Integrity_violation { slot; expected; got } ->
+      write_int w 17;
+      write_int w slot;
+      write_float w expected;
+      write_float w got
+  | Herr.Precision_exhausted { margin_bits; tolerance } ->
+      write_int w 18;
+      write_float w margin_bits;
+      write_float w tolerance
 
 let read_herr_error r : Herr.error =
   match read_int r with
@@ -469,6 +491,15 @@ let read_herr_error r : Herr.error =
       in
       let reason = read_string r in
       Herr.Cancelled { node_id; reason }
+  | 17 ->
+      let slot = read_int r in
+      let expected = read_float r in
+      let got = read_float r in
+      Herr.Integrity_violation { slot; expected; got }
+  | 18 ->
+      let margin_bits = read_float r in
+      let tolerance = read_float r in
+      Herr.Precision_exhausted { margin_bits; tolerance }
   | k -> raise (Corrupt (Printf.sprintf "unknown error code %d" k))
 
 let write_herr_context w (c : Herr.context) =
@@ -578,6 +609,8 @@ let write_response w (s : wire_response) =
       write_string w s.rs_served_by;
       write_int w (if s.rs_degraded then 1 else 0);
       write_int w s.rs_attempts;
+      write_float w s.rs_margin_bits;
+      write_float_array w s.rs_sentinel;
       match s.rs_result with
       | Ok (shape, data) ->
           write_int w 0;
@@ -602,6 +635,12 @@ let read_response r =
         | k -> raise (Corrupt (Printf.sprintf "bad degraded flag %d" k))
       in
       let rs_attempts = read_int r in
+      let rs_margin_bits = read_float r in
+      let rs_sentinel = read_float_array r in
+      (* NaN is the legitimate "unverified" marker, but infinities are not a
+         value [Integrity.margin_bits] can produce (it clamps to 60) *)
+      if Float.abs rs_margin_bits = Float.infinity then
+        raise (Corrupt "implausible sentinel margin");
       let rs_result =
         match read_int r with
         | 0 -> Ok (read_tensor_parts r)
@@ -611,7 +650,8 @@ let read_response r =
             Error (e, c)
         | k -> raise (Corrupt (Printf.sprintf "bad result flag %d" k))
       in
-      { rs_id; rs_shard; rs_served_by; rs_degraded; rs_attempts; rs_result })
+      { rs_id; rs_shard; rs_served_by; rs_degraded; rs_attempts; rs_margin_bits; rs_sentinel;
+        rs_result })
 
 let write_health w (h : wire_health) =
   write_frame w "HLTH" (fun w ->
@@ -636,7 +676,8 @@ let write_health w (h : wire_health) =
       | Health_ack { ha_ok; ha_detail } ->
           write_int w 3;
           write_int w (if ha_ok then 1 else 0);
-          write_string w ha_detail)
+          write_string w ha_detail
+      | Health_selftest -> write_int w 4)
 
 let read_health r =
   read_frame r "HLTH" (fun r ->
@@ -673,4 +714,5 @@ let read_health r =
             | k -> raise (Corrupt (Printf.sprintf "bad ack flag %d" k))
           in
           Health_ack { ha_ok; ha_detail = read_string r }
+      | 4 -> Health_selftest
       | k -> raise (Corrupt (Printf.sprintf "unknown health kind %d" k)))

@@ -132,6 +132,13 @@ type wire_response = {
   rs_served_by : string;
   rs_degraded : bool;
   rs_attempts : int;
+  rs_margin_bits : float;
+      (** sentinel margin of the answer's verified run; [nan] = the serving
+          deployment ran without a sentinel lane (DESIGN.md §16) *)
+  rs_sentinel : float array;
+      (** decrypted sentinel twin lane, [[||]] when unverified — shipped so
+          the client can re-verify integrity independently of the shard's
+          own claim *)
   rs_result : (int array * float array, Herr.error * Herr.context) result;
 }
 
@@ -148,6 +155,10 @@ type wire_health =
   | Health_kill of int  (** supervisor kill endpoint: SIGKILL this shard *)
   | Health_report of { hr_uptime_s : float; hr_shards : shard_report list }
   | Health_ack of { ha_ok : bool; ha_detail : string }
+  | Health_selftest
+      (** run a sentinel-only probe inference locally and ack whether its
+          lane verified — how the supervisor confirms a suspect shard really
+          corrupts results before quarantining it (DESIGN.md §16) *)
 
 val write_herr_error : writer -> Herr.error -> unit
 val read_herr_error : reader -> Herr.error

@@ -85,6 +85,21 @@ type error =
           the work completed up to there was kept honest, everything after
           was saved. Not retryable: the requester no longer wants the
           answer. *)
+  | Integrity_violation of { slot : int; expected : float; got : float }
+      (** A sentinel slot decrypted to a value outside the compiled
+          precision tolerance of its clear-reference prediction: the
+          ciphertext was silently corrupted somewhere between encrypt and
+          decrypt (a bit flip, a buggy kernel, a faulty shard). The primary
+          result shares the ciphertext and cannot be trusted. Retryable —
+          on a {e different} shard. [slot] is the worst offending sentinel
+          slot; [expected]/[got] are its reference and decrypted values. *)
+  | Precision_exhausted of { margin_bits : float; tolerance : float }
+      (** The noise-margin guard's conservative CKKS error bound crossed
+          the compiled precision tolerance: continuing would decrypt to
+          garbage that no scale/level screen can catch. Raised {e before}
+          the bad decrypt. [margin_bits] is log2(tolerance / error-bound)
+          at the point of exhaustion (<= 0 by definition here). Recoverable
+          only by recompiling with more modulus budget or larger scales. *)
 
 type context = {
   op : string;  (** HISA/kernel operation, e.g. ["mul"], ["conv2d"] *)
@@ -118,6 +133,8 @@ let error_name = function
   | Corrupt_bundle _ -> "corrupt bundle"
   | Corrupt_frame _ -> "corrupt frame"
   | Cancelled _ -> "cancelled"
+  | Integrity_violation _ -> "integrity violation"
+  | Precision_exhausted _ -> "precision exhausted"
 
 let error_detail = function
   | Scale_mismatch { expected; got } -> Printf.sprintf "expected scale %.6g, got %.6g" expected got
@@ -144,6 +161,12 @@ let error_detail = function
       match node_id with
       | Some id -> Printf.sprintf "cancelled at node %d: %s" id reason
       | None -> Printf.sprintf "cancelled: %s" reason)
+  | Integrity_violation { slot; expected; got } ->
+      Printf.sprintf "sentinel slot %d decrypted to %.6g, reference predicts %.6g" slot got
+        expected
+  | Precision_exhausted { margin_bits; tolerance } ->
+      Printf.sprintf "noise margin %.2f bits (error bound crossed tolerance %.3g)" margin_bits
+        tolerance
 
 (* One line, grep-able, front-loaded with the coordinates a human needs:
    where (node/layer), what op, which backend, which invariant, details. *)

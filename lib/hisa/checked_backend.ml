@@ -30,23 +30,49 @@
    whole inference under [wrap] and turn silent corruption into a typed,
    per-op diagnosable error. *)
 
+(* The noise-margin guard (DESIGN.md §16): alongside scale and level, the
+   checker can track a conservative interval model of CKKS error growth —
+   per ciphertext, an absolute message-space error bound [serr] and a
+   message magnitude bound [smag], grown per op with the standard heuristic
+   rules (LibFHE's catalogue: additive for add/rot/rescale, cross-term
+   products for multiplies). When the bound crosses the deployment's
+   precision tolerance, the request raises a typed [Precision_exhausted]
+   *before* it decrypts to garbage — turning "the answer looked wrong" into
+   a diagnosable, pre-decrypt failure. The constants are heuristics
+   calibrated to this repo's backends at the default scales; the point is
+   the monotone bound and the margin gauge, not a tight noise proof. *)
+type noise_model = {
+  nm_fresh : float;  (** message-space error of a fresh encryption *)
+  nm_encode : float;  (** error contributed by encoding a plaintext *)
+  nm_rot : float;  (** key-switch/relin/rescale rounding error per op *)
+  nm_tolerance : float;  (** error bound at which [Precision_exhausted] fires *)
+}
+
+let default_noise_model ?(tolerance = 0.05) () =
+  { nm_fresh = 1e-5; nm_encode = 1e-6; nm_rot = 1e-6; nm_tolerance = tolerance }
+
 type config = {
   scheme : Hisa.scheme_kind;
       (** must describe the wrapped backend's *actual* modulus chain (see
           e.g. {!Compiler.instantiate_with_scheme}) *)
   tolerance : float;  (** relative slack for operand-scale compatibility *)
   value_bound : float;  (** largest plausible decoded magnitude *)
+  noise : noise_model option;  (** None: noise-margin guard off *)
 }
 
-let default_config ~scheme = { scheme; tolerance = Herr.scale_tolerance; value_bound = 1e30 }
+let default_config ~scheme =
+  { scheme; tolerance = Herr.scale_tolerance; value_bound = 1e30; noise = None }
 
-let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
+let log2f x = Float.log x /. Float.log 2.0
+
+let wrap ?(config = None) ?margin ~scheme (backend : Hisa.t) : Hisa.t =
   let cfg = match config with Some c -> c | None -> default_config ~scheme in
+  let nm = cfg.noise in
   let module B = (val backend) in
   (module struct
     let slots = B.slots
 
-    type pt = { bp : B.pt; pscale : float }
+    type pt = { bp : B.pt; pscale : float; pmax : float }
 
     type ct = {
       bc : B.ct;
@@ -54,6 +80,8 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
       mutable freed : bool;
       mutable sscale : float;  (** shadow scale *)
       mutable slevel : int;  (** shadow level: RNS primes or logQ bits remaining *)
+      mutable serr : float;  (** noise guard: message-space error bound *)
+      mutable smag : float;  (** noise guard: message magnitude bound *)
     }
 
     let next_id = ref 0
@@ -64,6 +92,23 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
       | Hisa.Pow2_modulus _ -> e.Hisa.env_log_q
 
     let err ~op e = Herr.raise_err ~backend:"checked" ~op e
+
+    (* noise-guard plumbing: all bound arithmetic degenerates to zeros when
+       no model is configured, so the guard never fires and costs a few
+       float ops per call *)
+    let nmv f = match nm with Some m -> f m | None -> 0.0
+
+    let margin_of m e = log2f (m.nm_tolerance /. Float.max e Float.min_float)
+
+    let guard ~op e =
+      match nm with
+      | Some m when e > m.nm_tolerance ->
+          (match margin with Some r -> r := margin_of m e | None -> ());
+          err ~op (Herr.Precision_exhausted { margin_bits = margin_of m e; tolerance = m.nm_tolerance })
+      | _ -> ()
+
+    let gauge e =
+      match (nm, margin) with Some m, Some r -> r := margin_of m e | _ -> ()
 
     (* shadow-vs-observed scale agreement: the shadow mirrors the backend's
        own float algebra, so only representation drift (sequential vs fused
@@ -89,10 +134,13 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
 
     (* Build a checked handle for a fresh backend result whose shadow values
        are [sscale]/[slevel]; verifies the postcondition, then adopts the
-       backend's exact float scale so drift never accumulates. *)
-    let mk ~op bc ~sscale ~slevel =
+       backend's exact float scale so drift never accumulates. The noise
+       guard fires here: the bound is monotone, so the first op to push it
+       past tolerance is the one named in the error. *)
+    let mk ~op bc ~sscale ~slevel ~serr ~smag =
+      guard ~op serr;
       incr next_id;
-      let c = { bc; cid = !next_id; freed = false; sscale; slevel } in
+      let c = { bc; cid = !next_id; freed = false; sscale; slevel; serr; smag } in
       observe ~op c;
       c.sscale <- B.scale_of bc;
       c
@@ -120,7 +168,8 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
         err ~op:"encode"
           (Herr.Invalid_op { reason = Printf.sprintf "encode scale must be >= 1, got %d" scale });
       screen ~op:"encode" values;
-      { bp = B.encode values ~scale; pscale = float_of_int scale }
+      let pmax = Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0 values in
+      { bp = B.encode values ~scale; pscale = float_of_int scale; pmax }
 
     let decode p =
       let v = B.decode p.bp in
@@ -143,14 +192,20 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
       let bc = B.encrypt p.bp in
       (* fresh ciphertexts anchor the shadow level at the backend's report *)
       mk ~op:"encrypt" bc ~sscale:p.pscale ~slevel:(level_of_env (B.env_of bc))
+        ~serr:(nmv (fun m -> m.nm_fresh +. m.nm_encode))
+        ~smag:p.pmax
 
     let decrypt c =
       observe ~op:"decrypt" c;
-      { bp = B.decrypt c.bc; pscale = c.sscale }
+      (* the pre-decrypt precision gate: a bound past tolerance means the
+         plaintext under this ciphertext is already garbage *)
+      guard ~op:"decrypt" c.serr;
+      gauge c.serr;
+      { bp = B.decrypt c.bc; pscale = c.sscale; pmax = c.smag }
 
     let copy c =
       observe ~op:"copy" c;
-      mk ~op:"copy" (B.copy c.bc) ~sscale:c.sscale ~slevel:c.slevel
+      mk ~op:"copy" (B.copy c.bc) ~sscale:c.sscale ~slevel:c.slevel ~serr:c.serr ~smag:c.smag
 
     let free c =
       live ~op:"free" c;
@@ -163,6 +218,8 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
       observe ~op c;
       if k >= slots || k <= -slots then err ~op (Herr.Slot_overflow { slots; requested = k });
       mk ~op (f c.bc k) ~sscale:c.sscale ~slevel:c.slevel
+        ~serr:(c.serr +. nmv (fun m -> m.nm_rot))
+        ~smag:c.smag
 
     let rot_left c k = rot ~op:"rot_left" B.rot_left c k
     let rot_right c k = rot ~op:"rot_right" B.rot_right c k
@@ -175,6 +232,8 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
       if not (compatible a.sscale b.sscale) then
         err ~op (Herr.Scale_mismatch { expected = a.sscale; got = b.sscale });
       mk ~op (f a.bc b.bc) ~sscale:a.sscale ~slevel:(Stdlib.min a.slevel b.slevel)
+        ~serr:(a.serr +. b.serr)
+        ~smag:(a.smag +. b.smag)
 
     let add a b = binop ~op:"add" B.add a b
     let sub a b = binop ~op:"sub" B.sub a b
@@ -184,6 +243,8 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
       if not (compatible c.sscale p.pscale) then
         err ~op (Herr.Scale_mismatch { expected = c.sscale; got = p.pscale });
       mk ~op (f c.bc p.bp) ~sscale:c.sscale ~slevel:c.slevel
+        ~serr:(c.serr +. nmv (fun m -> m.nm_encode))
+        ~smag:(c.smag +. p.pmax)
 
     let add_plain c p = plain_add ~op:"add_plain" B.add_plain c p
     let sub_plain c p = plain_add ~op:"sub_plain" B.sub_plain c p
@@ -191,7 +252,8 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
     let scalar ~op f c x =
       observe ~op c;
       screen_scalar ~op x;
-      mk ~op (f c.bc x) ~sscale:c.sscale ~slevel:c.slevel
+      mk ~op (f c.bc x) ~sscale:c.sscale ~slevel:c.slevel ~serr:c.serr
+        ~smag:(c.smag +. Float.abs x)
 
     let add_scalar c x = scalar ~op:"add_scalar" B.add_scalar c x
     let sub_scalar c x = scalar ~op:"sub_scalar" B.sub_scalar c x
@@ -203,22 +265,31 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
       observe ~op:"mul" b;
       depth ~op:"mul" a;
       depth ~op:"mul" b;
+      (* cross-term error growth: |(a+ea)(b+eb) - ab| <= ea|b| + eb|a| + ea·eb,
+         plus the relinearization rounding term *)
       mk ~op:"mul" (B.mul a.bc b.bc) ~sscale:(a.sscale *. b.sscale)
         ~slevel:(Stdlib.min a.slevel b.slevel)
+        ~serr:((a.serr *. b.smag) +. (b.serr *. a.smag) +. (a.serr *. b.serr) +. nmv (fun m -> m.nm_rot))
+        ~smag:(a.smag *. b.smag)
 
     let mul_plain c p =
       observe ~op:"mul_plain" c;
       depth ~op:"mul_plain" c;
       mk ~op:"mul_plain" (B.mul_plain c.bc p.bp) ~sscale:(c.sscale *. p.pscale) ~slevel:c.slevel
+        ~serr:((c.serr *. p.pmax) +. (c.smag *. nmv (fun m -> m.nm_encode)))
+        ~smag:(c.smag *. p.pmax)
 
     let mul_scalar c x ~scale =
       observe ~op:"mul_scalar" c;
       screen_scalar ~op:"mul_scalar" x;
       depth ~op:"mul_scalar" c;
+      (* the scalar is quantized to the 1/scale grid before multiplying *)
       mk ~op:"mul_scalar"
         (B.mul_scalar c.bc x ~scale)
         ~sscale:(c.sscale *. float_of_int scale)
         ~slevel:c.slevel
+        ~serr:((c.serr *. Float.abs x) +. (c.smag /. float_of_int scale))
+        ~smag:(c.smag *. Float.abs x)
 
     (* --- fused ops ----------------------------------------------------- *)
 
@@ -296,6 +367,8 @@ let wrap ?(config = None) ~scheme (backend : Hisa.t) : Hisa.t =
                      rs expected;
                });
         mk ~op:"rescale" bc ~sscale:expected ~slevel:slevel'
+          ~serr:(c.serr +. nmv (fun m -> m.nm_rot))
+          ~smag:c.smag
       end
 
     let max_rescale c ub =

@@ -24,6 +24,13 @@
    - [Dropped_rescale]: one rescale silently becomes the identity (the
      backend "forgets" to divide). Caught by the rescale postcondition
      -> [Illegal_rescale].
+   - [Silent_corruption]: decode perturbs every slot by a seeded
+     small-magnitude offset (order 10x the deployment precision tolerance,
+     nowhere near the magnitude screen's bound and never NaN/Inf). This is
+     the fault class NO per-op checker can see — scale, level, magnitude
+     and NaN screens all pass — and exists to prove that only the
+     end-to-end sentinel lane (DESIGN.md §16) catches it
+     -> [Integrity_violation], raised by the sentinel verifier, not here.
 
    Faults fire once (first opportunity at or after the trigger) so a single
    run exercises exactly one corruption; [injection_log] records what fired
@@ -37,6 +44,7 @@ type fault =
   | Slot_scramble
   | Nan_poison
   | Dropped_rescale
+  | Silent_corruption
 
 let fault_name = function
   | Scale_corruption -> "scale corruption"
@@ -44,6 +52,7 @@ let fault_name = function
   | Slot_scramble -> "slot scramble"
   | Nan_poison -> "nan poison"
   | Dropped_rescale -> "dropped rescale"
+  | Silent_corruption -> "silent corruption"
 
 type config = {
   fault : fault option;  (** [None] = transparent pass-through *)
@@ -122,6 +131,14 @@ let wrap (cfg : config) (backend : Hisa.t) : Hisa.t * injection_log =
             w
           end
         end
+        else if firing Silent_corruption ~op then
+          (* small seeded perturbation on every slot: passes every per-op
+             screen, only the sentinel lane can tell *)
+          Array.map
+            (fun x ->
+              let sign = if Random.State.bool rng then 1.0 else -1.0 in
+              x +. (sign *. (0.2 +. (0.6 *. Random.State.float rng 1.0))))
+            v
         else v
 
       let encrypt p = mk ~op:(count "encrypt") (B.encrypt p)

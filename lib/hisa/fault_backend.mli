@@ -1,0 +1,46 @@
+(** Deterministic fault-injection HISA wrapper — the adversarial twin of
+    {!Checked_backend}. Wraps any backend and, once the op counter reaches
+    [trigger], corrupts exactly one thing in a seeded, reproducible way, so
+    tests can prove each corruption class the monitors claim to catch
+    actually surfaces as the matching typed {!Chet_herr.Herr.Fhe_error}. *)
+
+type fault =
+  | Scale_corruption
+      (** the next fresh ciphertext's [scale_of] lies by a multiplicative
+          factor -> caught as [Scale_mismatch] *)
+  | Premature_level_drop
+      (** the next fresh ciphertext's [env_of] under-reports its level
+          -> caught as [Level_mismatch] *)
+  | Slot_scramble
+      (** decode rotates the slot vector and drags in masked garbage
+          -> caught as [Corrupt_ciphertext] by the magnitude screen *)
+  | Nan_poison  (** decode poisons one seeded slot with NaN -> [Numeric_blowup] *)
+  | Dropped_rescale
+      (** one rescale silently becomes the identity -> [Illegal_rescale] *)
+  | Silent_corruption
+      (** decode perturbs every slot by a seeded small-magnitude offset that
+          passes every per-op screen; only the end-to-end sentinel lane
+          (DESIGN.md §16) catches it -> [Integrity_violation], raised by the
+          sentinel verifier rather than any wrapper *)
+
+val fault_name : fault -> string
+
+type config = {
+  fault : fault option;  (** [None] = transparent pass-through *)
+  trigger : int;  (** op count at which the fault arms itself *)
+  seed : int;  (** drives which slot / rotation the corruption picks *)
+}
+
+val default_config : ?trigger:int -> ?seed:int -> fault option -> config
+
+type injection_log = {
+  mutable fired : bool;  (** did the armed fault actually corrupt something? *)
+  mutable fired_at_op : int;  (** op counter value when it fired *)
+  mutable fired_in : string;  (** HISA op name it fired inside *)
+}
+
+val wrap : config -> Hisa.t -> Hisa.t * injection_log
+(** Faulting view of the backend plus the log that records whether, where
+    and inside which op the armed fault fired. Faults fire once (first
+    opportunity at or after [trigger]); with [fault = None] the wrapper is
+    observationally identical to the bare backend. *)

@@ -113,6 +113,10 @@ let attempt cfg ?fault payload : (Serial.wire_response, Herr.error * Herr.contex
 
 let retryable = function
   | Herr.Overloaded _ | Herr.Corrupt_frame _ | Herr.Deadline_exceeded _ -> true
+  (* a sentinel mismatch is deterministic on a corrupting shard but the
+     front door routes round-robin, so the retry lands elsewhere — exactly
+     the client-side failover DESIGN.md §16 prescribes *)
+  | Herr.Integrity_violation _ -> true
   | _ -> false
 
 type result_meta = {

@@ -31,6 +31,12 @@ type config = {
   lg_kill_at : (Wire.addr * int * int) option;
       (** [(control, after, shard)]: once [after] requests have completed,
           ask [control] to SIGKILL [shard] — the mid-run crash of the drill *)
+  lg_verify : (float array -> bool) option;
+      (** client-side sentinel re-verification (DESIGN.md §16): applied to
+          each ok answer's [rs_sentinel] lane, independent of the shard's own
+          claim. When set, an ok answer with no lane at all also counts as
+          rejected — the caller demanded verified answers. [None] trusts the
+          wire. *)
 }
 
 let default_config ~addr ~shape =
@@ -46,6 +52,7 @@ let default_config ~addr ~shape =
     lg_fault_every = 0;
     lg_stall_s = 0.05;
     lg_kill_at = None;
+    lg_verify = None;
   }
 
 type results = {
@@ -58,6 +65,15 @@ type results = {
   r_latencies_ms : float array;  (** one entry per request, answered or not *)
   r_wall_s : float;
   r_kills_sent : int;
+  r_verified : int;  (** ok answers that arrived with a sentinel lane *)
+  r_client_rejected : int;
+      (** ok answers whose lane failed the independent client-side
+          re-verification ([lg_verify]) — each one is a corruption the
+          server-side guard missed; the chaos drill requires zero *)
+  r_integrity_errors : int;
+      (** answers rejected as typed [Integrity_violation] — corruptions the
+          serving side itself caught (also present in [r_errors] by name) *)
+  r_min_margin_bits : float;  (** worst verified margin seen; [nan] if none *)
 }
 
 let lcg s = ((s * 1103515245) + 12345) land 0x3FFFFFFF
@@ -92,6 +108,10 @@ let run cfg : results =
   let errors : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let faults = ref 0 in
   let attempts = ref 0 in
+  let verified = ref 0 in
+  let client_rejected = ref 0 in
+  let integrity_errors = ref 0 in
+  let min_margin = ref Float.nan in
   let latencies = Array.make cfg.lg_total 0.0 in
   let record f = Mutex.protect lock f in
   let client_cfg =
@@ -132,10 +152,19 @@ let run cfg : results =
             attempts := !attempts + meta.Client.rm_attempts;
             if fault <> None then incr faults;
             match meta.Client.rm_response with
-            | Ok { Serial.rs_result = Ok _; rs_degraded; _ } ->
+            | Ok { Serial.rs_result = Ok _; rs_degraded; rs_margin_bits; rs_sentinel; _ } ->
                 incr ok;
-                if rs_degraded then incr degraded
+                if rs_degraded then incr degraded;
+                if rs_sentinel <> [||] then begin
+                  incr verified;
+                  if Float.is_nan !min_margin || rs_margin_bits < !min_margin then
+                    min_margin := rs_margin_bits
+                end;
+                (match cfg.lg_verify with
+                | Some check -> if rs_sentinel = [||] || not (check rs_sentinel) then incr client_rejected
+                | None -> ())
             | Ok { Serial.rs_result = Error (err, _); _ } | Error (err, _) ->
+                (match err with Herr.Integrity_violation _ -> incr integrity_errors | _ -> ());
                 let name = Herr.error_name err in
                 Hashtbl.replace errors name (1 + Option.value ~default:0 (Hashtbl.find_opt errors name)));
         Atomic.incr completions;
@@ -159,6 +188,10 @@ let run cfg : results =
     r_latencies_ms = latencies;
     r_wall_s = wall;
     r_kills_sent = Atomic.get kills_sent;
+    r_verified = !verified;
+    r_client_rejected = !client_rejected;
+    r_integrity_errors = !integrity_errors;
+    r_min_margin_bits = !min_margin;
   }
 
 let percentile = Service.percentile
@@ -174,6 +207,11 @@ let to_json r : Jsonx.t =
       ("faults_injected", Jsonx.Num (float_of_int r.r_faults_injected));
       ("wire_attempts", Jsonx.Num (float_of_int r.r_wire_attempts));
       ("kills_sent", Jsonx.Num (float_of_int r.r_kills_sent));
+      ("verified", Jsonx.Num (float_of_int r.r_verified));
+      ("client_rejected", Jsonx.Num (float_of_int r.r_client_rejected));
+      ("integrity_errors", Jsonx.Num (float_of_int r.r_integrity_errors));
+      ( "min_margin_bits",
+        if Float.is_nan r.r_min_margin_bits then Jsonx.Null else Jsonx.Num r.r_min_margin_bits );
       ("wall_s", Jsonx.Num r.r_wall_s);
       ("requests_per_s", Jsonx.Num (float_of_int r.r_total /. Float.max 1e-9 r.r_wall_s));
       ("p50_ms", Jsonx.Num (percentile r.r_latencies_ms 50.0));
@@ -195,6 +233,10 @@ let write_bench ~path r =
 let pp fmt r =
   Format.fprintf fmt "loadgen: %d requests, %d ok (%d degraded), %d faults injected, %d attempts@."
     r.r_total r.r_ok r.r_degraded r.r_faults_injected r.r_wire_attempts;
+  if r.r_verified > 0 || r.r_integrity_errors > 0 || r.r_client_rejected > 0 then
+    Format.fprintf fmt
+      "  integrity: %d verified, %d client-rejected, %d typed violations, min margin %.2f bits@."
+      r.r_verified r.r_client_rejected r.r_integrity_errors r.r_min_margin_bits;
   List.iter (fun (k, v) -> Format.fprintf fmt "  error %-20s %d@." k v) r.r_errors;
   Format.fprintf fmt "  wall %.2fs  %.1f req/s  p50 %.1fms  p95 %.1fms  p99 %.1fms@." r.r_wall_s
     (float_of_int r.r_total /. Float.max 1e-9 r.r_wall_s)

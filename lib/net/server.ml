@@ -136,6 +136,10 @@ type t = {
   cfg : config;
   service : Service.t;
   health : Serial.wire_health -> Serial.wire_health;
+  selftest : (unit -> (float, string) result) option;
+  (* sentinel-only probe inference (DESIGN.md §16): Ok margin_bits when the
+     lane verifies, Error detail when it does not. None = shard was started
+     without a sentinel deployment, so it cannot vouch for itself. *)
   listen_fd : Unix.file_descr;
   stop_flag : bool Atomic.t;
   inflight : int Atomic.t;
@@ -172,8 +176,22 @@ let untrack t fd = Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns
 
 let default_health = function
   | Serial.Health_ping -> Serial.Health_ack { ha_ok = true; ha_detail = "shard" }
-  | Serial.Health_kill _ | Serial.Health_report _ | Serial.Health_ack _ ->
+  | Serial.Health_kill _ | Serial.Health_report _ | Serial.Health_ack _ | Serial.Health_selftest ->
       Serial.Health_ack { ha_ok = false; ha_detail = "not a supervisor" }
+
+(* The supervisor's quarantine probe: answered by the shard itself (before
+   the pluggable [health] hook) because only the shard can run its own
+   sentinel lane. A shard without a selftest hook answers honestly that it
+   cannot vouch for itself — the supervisor treats that as non-exonerating. *)
+let run_selftest t =
+  match t.selftest with
+  | None -> Serial.Health_ack { ha_ok = false; ha_detail = "no sentinel deployment" }
+  | Some probe -> (
+      match probe () with
+      | Ok margin ->
+          Serial.Health_ack { ha_ok = true; ha_detail = Printf.sprintf "margin %.2f bits" margin }
+      | Error detail -> Serial.Health_ack { ha_ok = false; ha_detail = detail }
+      | exception e -> Serial.Health_ack { ha_ok = false; ha_detail = Printexc.to_string e })
 
 let error_response t ~id (err : Herr.error) reason =
   Atomic.incr t.rejected;
@@ -184,6 +202,8 @@ let error_response t ~id (err : Herr.error) reason =
     rs_served_by = "";
     rs_degraded = false;
     rs_attempts = 0;
+    rs_margin_bits = Float.nan;
+    rs_sentinel = [||];
     rs_result = Error (err, Herr.context ~backend:"net" reason);
   }
 
@@ -203,6 +223,8 @@ let response_of_outcome t ~id (out : Service.outcome) =
     rs_served_by = out.Service.out_served_by;
     rs_degraded = out.Service.out_degraded;
     rs_attempts = out.Service.out_attempts;
+    rs_margin_bits = out.Service.out_margin_bits;
+    rs_sentinel = out.Service.out_sentinel;
     rs_result;
   }
 
@@ -298,8 +320,11 @@ let answer t payload : string option =
   | "HLTH" -> (
       match Serial.read_health (Serial.reader payload) with
       | h ->
+          let reply =
+            match h with Serial.Health_selftest -> run_selftest t | h -> t.health h
+          in
           let w = Serial.writer () in
-          Serial.write_health w (t.health h);
+          Serial.write_health w reply;
           Some (Serial.contents w)
       | exception Serial.Corrupt reason ->
           reply_response
@@ -372,13 +397,14 @@ let accept_loop t =
         Atomic.set t.stop_flag true
   done
 
-let start ?(health = default_health) cfg service =
+let start ?(health = default_health) ?selftest cfg service =
   let listen_fd = Wire.listen cfg.srv_addr in
   let t =
     {
       cfg;
       service;
       health;
+      selftest;
       listen_fd;
       stop_flag = Atomic.make false;
       inflight = Atomic.make 0;

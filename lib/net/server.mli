@@ -1,0 +1,68 @@
+(** Shard server: the socket front of one [Chet_serve.Service] (DESIGN.md §12).
+
+    Thread-per-connection over blocking sockets: an accept thread hands each
+    connection to a systhread that loops recv REQ1 → submit → await → send
+    RSP1. Beyond REQ1, a connection may carry CNCL control frames (trip the
+    cancel token of an in-flight request by id) and HLTH health frames;
+    duplicate REQ1 ids are answered bit-identically from a bounded dedupe
+    cache (DESIGN.md §13), so client retries and supervisor hedges are
+    idempotent.
+
+    Rejections are {e answers}, not dropped connections: over-capacity and
+    draining yield typed [Overloaded] RSP1s, checksum/schema failures yield
+    typed [Corrupt_frame] RSP1s. Only transport faults close the connection,
+    because after those the byte stream has no trustworthy boundary. *)
+
+type config = {
+  srv_addr : Wire.addr;
+  srv_shard : int;  (** stamped into every RSP1 this server answers *)
+  srv_max_frame : int;
+  srv_max_inflight : int;  (** concurrent requests admitted past the socket *)
+  srv_read_deadline_s : float;
+      (** per-frame receive budget: once a frame's first byte has arrived,
+          the rest must land within this — a violation is a transport fault
+          (the stream boundary is lost) answered with a typed goodbye *)
+  srv_idle_timeout_s : float;
+      (** how long a connection may sit quiet {e between} frames before the
+          server closes it — a benign hang-up, not a fault *)
+  srv_write_deadline_s : float;
+  srv_dedup_cap : int;
+      (** entries in the request-id dedupe cache; [0] disables caching *)
+}
+
+val default_config : ?shard:int -> Wire.addr -> config
+
+type stats = {
+  srv_accepted : int;  (** connections accepted *)
+  srv_served : int;  (** RSP1 answers carrying [Ok] *)
+  srv_rejected : int;  (** RSP1 answers carrying a typed error *)
+  srv_corrupt : int;  (** of those, [Corrupt_frame] rejections *)
+  srv_dedup_hits : int;  (** REQ1s answered bit-identically from the dedupe cache *)
+  srv_cancelled : int;  (** CNCL frames that found their request in flight *)
+}
+
+type t
+
+val default_health : Chet_crypto.Serial.wire_health -> Chet_crypto.Serial.wire_health
+(** Answers pings; declines supervisor-only frames with [ha_ok = false]. *)
+
+val start :
+  ?health:(Chet_crypto.Serial.wire_health -> Chet_crypto.Serial.wire_health) ->
+  ?selftest:(unit -> (float, string) result) ->
+  config ->
+  Chet_serve.Service.t ->
+  t
+(** Bind, listen, and serve until {!stop}. [health] answers HLTH frames
+    other than selftest. [selftest] is the sentinel-only probe inference of
+    DESIGN.md §16 — [Ok margin_bits] when the shard's own lane verifies,
+    [Error detail] when it does not; it answers [Health_selftest] frames
+    {e before} the pluggable [health] hook, because only the shard can run
+    its own sentinel lane. When absent, selftest probes are answered
+    [ha_ok = false] ("no sentinel deployment") — the supervisor treats that
+    as non-exonerating. *)
+
+val stats : t -> stats
+
+val stop : t -> unit
+(** Stop accepting, close the listen socket and every tracked connection,
+    and join the accept thread. Idempotent in effect. *)

@@ -97,6 +97,11 @@ type shard = {
   mutable sh_backoff_ms : float;
   mutable sh_restart_at : float;  (** no respawn before this instant *)
   mutable sh_ping_failures : int;
+  mutable sh_suspect : bool;
+      (** a forwarded answer from this shard failed sentinel verification;
+          routing skips it until the health loop's [Health_selftest] probe
+          either exonerates it or confirms the corruption and quarantines
+          it (DESIGN.md §16) *)
 }
 
 type t = {
@@ -115,6 +120,8 @@ type t = {
   hedges : Metrics.counter;
   hedge_wins : Metrics.counter;
   cancels_sent : Metrics.counter;
+  integrity_failures : Metrics.counter;
+  quarantines : Metrics.counter;
   mutable threads : Thread.t list;
 }
 
@@ -142,10 +149,25 @@ let spawn_shard t sh ~first =
 let note_death t sh status =
   sh.sh_proc <- None;
   sh.sh_up <- false;
+  (* death is the remediation: the replacement process gets a clean slate
+     (a still-corrupting shard re-earns suspicion on its next bad answer) *)
+  sh.sh_suspect <- false;
   sh.sh_last_error <- status_to_string status;
   sh.sh_restart_at <- Wire.now () +. (sh.sh_backoff_ms /. 1000.0);
   sh.sh_backoff_ms <- Float.min t.cfg.sup_backoff_cap_ms (sh.sh_backoff_ms *. 2.0);
   Breaker.record_failure sh.sh_breaker
+
+(* A forwarded answer from [sh] failed sentinel verification. The failure is
+   already the request's answer elsewhere (the router moved on); here the
+   shard itself goes under suspicion until the health loop's selftest probe
+   decides between exoneration and quarantine. *)
+let mark_suspect t sh =
+  Metrics.incr t.integrity_failures;
+  with_lock t (fun () ->
+      if not sh.sh_suspect then begin
+        sh.sh_suspect <- true;
+        sh.sh_last_error <- "integrity: sentinel mismatch"
+      end)
 
 let monitor_tick t =
   Array.iter
@@ -162,10 +184,34 @@ let monitor_tick t =
 let health_tick t =
   Array.iter
     (fun sh ->
-      let probe = with_lock t (fun () -> Option.map (fun _ -> sh.sh_addr) sh.sh_proc) in
+      let probe =
+        with_lock t (fun () -> Option.map (fun _ -> (sh.sh_addr, sh.sh_suspect)) sh.sh_proc)
+      in
       match probe with
       | None -> ()
-      | Some addr -> (
+      | Some (addr, true) -> (
+          (* suspect shard: ask it to run its own sentinel lane before
+             deciding. A verified lane exonerates (the mismatch was a
+             one-off); a failed or unanswerable probe confirms the shard
+             cannot produce trustworthy answers — quarantine it. The SIGKILL
+             feeds the ordinary death/backoff/restart machinery, so a shard
+             that corrupts persistently decays to the capped restart cadence
+             instead of flapping. *)
+          match
+            Client.health ~deadline_s:t.cfg.sup_ping_deadline_s addr Serial.Health_selftest
+          with
+          | Ok (Serial.Health_ack { ha_ok = true; _ }) ->
+              with_lock t (fun () ->
+                  sh.sh_suspect <- false;
+                  sh.sh_last_error <- "")
+          | Ok _ | Error _ ->
+              Metrics.incr t.quarantines;
+              with_lock t (fun () ->
+                  sh.sh_last_error <- "quarantined: selftest failed";
+                  match sh.sh_proc with
+                  | Some proc -> proc.sp_kill Sys.sigkill
+                  | None -> ()))
+      | Some (addr, false) -> (
           match Client.ping ~deadline_s:t.cfg.sup_ping_deadline_s addr with
           | Ok (Serial.Health_ack { ha_ok = true; _ }) ->
               with_lock t (fun () ->
@@ -209,7 +255,9 @@ let route ?(exclude = -1) t : shard option =
       let sh = t.shards.((start + i) mod n) in
       if sh.sh_id = exclude then probe (i + 1)
       else
-        let candidate = with_lock t (fun () -> sh.sh_up) in
+        (* a suspect shard is unroutable: until the selftest probe clears
+           it, every answer it could give is presumed corrupt *)
+        let candidate = with_lock t (fun () -> sh.sh_up && not sh.sh_suspect) in
         if candidate && Breaker.allow sh.sh_breaker then Some sh else probe (i + 1)
   in
   probe 0
@@ -221,6 +269,8 @@ let reject ~id err op =
     rs_served_by = "";
     rs_degraded = false;
     rs_attempts = 0;
+    rs_margin_bits = Float.nan;
+    rs_sentinel = [||];
     rs_result = Error (err, Herr.context ~backend:"supervisor" op);
   }
 
@@ -259,6 +309,16 @@ let handle_sequential t (rq : Serial.wire_request) : Serial.wire_response =
               match rsp.Serial.rs_result with
               | Error ((Herr.Overloaded _ | Herr.Corrupt_frame _), _) ->
                   Breaker.record_failure sh.sh_breaker;
+                  Metrics.incr t.routed_errors;
+                  go (tried + 1)
+              | Error (Herr.Integrity_violation _, _) ->
+                  (* the shard produced an answer its own sentinel lane
+                     rejected: NOT the system's answer. Put the shard under
+                     suspicion (the health loop confirms before
+                     quarantining) and fail the request over to a shard
+                     whose answers still verify. *)
+                  Breaker.record_failure sh.sh_breaker;
+                  mark_suspect t sh;
                   Metrics.incr t.routed_errors;
                   go (tried + 1)
               | Error (Herr.Cancelled _, _) ->
@@ -305,6 +365,9 @@ let spawn_leg t sh (rq : Serial.wire_request) cell =
          (match res with
          | Ok { Serial.rs_result = Error ((Herr.Overloaded _ | Herr.Corrupt_frame _), _); _ } ->
              Breaker.record_failure sh.sh_breaker
+         | Ok { Serial.rs_result = Error (Herr.Integrity_violation _, _); _ } ->
+             Breaker.record_failure sh.sh_breaker;
+             mark_suspect t sh
          | Ok { Serial.rs_result = Error (Herr.Cancelled _, _); _ } ->
              Breaker.release sh.sh_breaker
          | Ok _ -> Breaker.record_success sh.sh_breaker
@@ -356,7 +419,10 @@ let handle_hedged t (rq : Serial.wire_request) : Serial.wire_response =
               | Ok
                   {
                     Serial.rs_result =
-                      Error ((Herr.Overloaded _ | Herr.Corrupt_frame _ | Herr.Cancelled _), _);
+                      Error
+                        ( ( Herr.Overloaded _ | Herr.Corrupt_frame _ | Herr.Cancelled _
+                          | Herr.Integrity_violation _ ),
+                          _ );
                     _;
                   } ->
                   None
@@ -438,7 +504,10 @@ let report t =
                {
                  Serial.hs_shard = sh.sh_id;
                  hs_pid = (match sh.sh_proc with Some p -> p.sp_pid | None -> -1);
-                 hs_up = sh.sh_up;
+                 (* a suspect shard reports down: it is unroutable until the
+                    selftest probe clears it, and callers of the report (the
+                    CLI status view, await_ready) should see it that way *)
+                 hs_up = sh.sh_up && not sh.sh_suspect;
                  hs_restarts = sh.sh_restarts;
                  hs_last_error = sh.sh_last_error;
                }))
@@ -460,6 +529,9 @@ let handle_health t : Serial.wire_health -> Serial.wire_health = function
             proc.sp_kill Sys.sigkill;
             Serial.Health_ack { ha_ok = true; ha_detail = Printf.sprintf "SIGKILL shard %d" id })
   | Serial.Health_ack _ -> Serial.Health_ack { ha_ok = false; ha_detail = "unexpected ack" }
+  | Serial.Health_selftest ->
+      (* the probe is a shard-side operation; the supervisor has no lane *)
+      Serial.Health_ack { ha_ok = false; ha_detail = "not a shard" }
 
 (* ---- front-door socket (REQ1 proxy + HLTH control) ---- *)
 
@@ -579,6 +651,7 @@ let start ~(spawn : spawn) cfg =
           sh_backoff_ms = cfg.sup_backoff_base_ms;
           sh_restart_at = neg_infinity;
           sh_ping_failures = 0;
+          sh_suspect = false;
         })
   in
   let listen_fd = Wire.listen cfg.sup_front_addr in
@@ -610,6 +683,12 @@ let start ~(spawn : spawn) cfg =
       cancels_sent =
         Metrics.counter registry ~help:"CNCL frames sent to shards (hedge losers + relays)"
           "chet_sup_cancels_sent_total";
+      integrity_failures =
+        Metrics.counter registry ~help:"shard answers rejected by sentinel verification"
+          "chet_integrity_failures_total";
+      quarantines =
+        Metrics.counter registry ~help:"shards killed after a failed integrity selftest"
+          "chet_shard_quarantines_total";
       threads = [];
     }
   in

@@ -1,0 +1,77 @@
+(** Shard supervisor: fork N workers, watch them, restart them, route around
+    them (DESIGN.md §12).
+
+    The supervisor owns no FHE state. Each worker process rebuilds its
+    deployment from the durable store bundle (warm restart, DESIGN.md §11),
+    which is what makes SIGKILL survivable: the supervisor notices death
+    (waitpid for crashes, health pings for hangs), restarts with capped
+    exponential backoff, and keeps the front door honest while a shard is
+    down — requests route to live shards through per-shard circuit
+    breakers, hedged duplicates race a slow shard when configured
+    (DESIGN.md §13), and when nothing is routable the client gets a typed
+    [Overloaded], never a hang.
+
+    Result integrity (DESIGN.md §16): a forwarded answer rejected by the
+    shard's own sentinel lane is never the system's answer — the request
+    fails over to another shard, and the offender goes under suspicion.
+    Suspect shards are unroutable; the health loop sends them a
+    [Health_selftest] probe, and a shard whose probe does not verify is
+    quarantined (SIGKILL into the ordinary backoff-restart machinery, so a
+    persistent corrupter decays to the capped restart cadence instead of
+    flapping). Counted by [chet_integrity_failures_total] and
+    [chet_shard_quarantines_total]. *)
+
+(** Handle on one spawned worker process (or a fake in tests). *)
+type spawned = {
+  sp_pid : int;
+  sp_kill : int -> unit;  (** deliver this signal *)
+  sp_poll : unit -> Unix.process_status option;  (** [None] while running *)
+}
+
+type spawn = shard:int -> addr:Wire.addr -> spawned
+
+val exec_spawn : argv_for:(shard:int -> addr:Wire.addr -> string array) -> spawn
+(** The production spawn: fork/exec this very binary as [chet shard-worker].
+    [argv_for] closes over model/state-dir/tuning flags at the CLI layer. *)
+
+type config = {
+  sup_shards : int;
+  sup_shard_addr : int -> Wire.addr;
+  sup_front_addr : Wire.addr;  (** REQ1 proxy + HLTH control socket *)
+  sup_backoff_base_ms : float;
+  sup_backoff_cap_ms : float;
+  sup_health_interval_s : float;  (** ping cadence; also the monitor tick *)
+  sup_ping_deadline_s : float;
+  sup_hang_pings : int;  (** consecutive failed pings before SIGKILL *)
+  sup_forward_deadline_s : float;  (** transport budget per forwarded request *)
+  sup_breaker_threshold : int;
+  sup_breaker_cooldown_s : float;
+  sup_hedge_delay_s : float;
+      (** hedged requests (DESIGN.md §13): if the routed shard has not
+          answered within this delay, duplicate the request to a second
+          breaker-healthy shard — first acceptable answer wins, the loser is
+          cancelled with a CNCL frame. [<= 0] disables hedging. *)
+}
+
+val default_config :
+  shards:int -> shard_addr:(int -> Wire.addr) -> front_addr:Wire.addr -> config
+
+type t
+
+val start : spawn:spawn -> config -> t
+(** Spawn every shard, open the front door, and start the monitor and
+    accept threads.
+    @raise Invalid_argument when [sup_shards < 1]. *)
+
+val await_ready : t -> ?n:int -> timeout_s:float -> unit -> bool
+(** Block until at least [n] shards (default: all) answer pings, or
+    [timeout_s] elapses. *)
+
+val metrics_snapshot : t -> string
+(** Prometheus-style exposition of the supervisor's counters, including
+    [chet_integrity_failures_total] and [chet_shard_quarantines_total]. *)
+
+val stop : ?kill_workers:bool -> t -> unit
+(** Stop routing and monitoring; with [kill_workers] (default) SIGTERM each
+    worker, giving a graceful drain a moment before insisting with
+    SIGKILL. *)

@@ -86,8 +86,8 @@ let node_out_meta ~slots (node : Circuit.node) (src_metas : Layout.meta list) =
       let kh = weights.Tensor.shape.(2) and kw = weights.Tensor.shape.(3) in
       let _, _, out_spatial = Kernels.conv_geometry m ~kh ~kw ~stride ~padding in
       Layout.with_channels out_spatial cout
-  | Circuit.MatMul { weights; _ }, [ _ ] ->
-      Layout.vector_meta ~slots ~length:weights.Tensor.shape.(0)
+  | Circuit.MatMul { weights; _ }, [ m ] ->
+      Layout.vector_meta ~slots ~length:weights.Tensor.shape.(0) ~twin:m.Layout.twin ()
   | Circuit.AvgPool { ksize; stride; _ }, [ m ] ->
       Layout.after_stride
         (Layout.with_spatial m ~height:(m.Layout.height - ksize + 1)

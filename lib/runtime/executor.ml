@@ -107,15 +107,26 @@ let required_margin circuit =
       Stdlib.max acc need)
     1 (Circuit.topo_order circuit)
 
+(* Sentinel threading (DESIGN.md §16): [sn_probe] is the known input packed
+   into the layout's twin slots at encrypt time; [sn_verify] receives the
+   decrypted twin tensor after the run and raises a typed
+   [Herr.Integrity_violation] if it strays from the clear-reference
+   prediction. The executor stays policy-free: what "too far" means belongs
+   to the caller (lib/core's Integrity module). *)
+type sentinel = {
+  sn_probe : Tensor.t;
+  sn_verify : Tensor.t -> unit;
+}
+
 module Make (H : Hisa.S) = struct
   module K = Kernels.Make (H)
 
-  let input_meta ?margin circuit ~kind =
+  let input_meta ?margin ?(twin = false) circuit ~kind =
     let margin = match margin with Some m -> m | None -> required_margin circuit in
     let node = circuit.Circuit.input in
     match node.Circuit.shape with
     | [| c; h; w |] ->
-        Layout.create ~kind ~slots:H.slots ~channels:c ~height:h ~width:w ~margin ()
+        Layout.create ~kind ~slots:H.slots ~channels:c ~height:h ~width:w ~margin ~twin ()
     | shape ->
         Herr.raise_err ~backend:"executor" ~op:"input_meta" ~node_id:node.Circuit.id
           ~layer:(op_name node)
@@ -217,13 +228,29 @@ module Make (H : Hisa.S) = struct
     run_encrypted_with ?cancel cfg circuit ~kind_of:(assign policy circuit) input
 
   (* Full client–server roundtrip on a cleartext image: encrypt with the
-     layout the policy assigns to the input, run, decrypt. *)
-  let run ?cancel cfg circuit ~policy image =
+     layout the policy assigns to the input, run, decrypt.
+
+     [twin] runs on an interleaved-twin layout without verification — the
+     compiler's analysis passes use it so a sentinel deployment's parameter,
+     cost and rotation selection see the geometry it will actually execute.
+     [sentinel] implies [twin] and additionally packs/verifies the probe. *)
+  let run ?cancel ?sentinel ?(twin = false) cfg circuit ~policy image =
     (* compute the assignment once and reuse it for the run itself, rather
        than paying [assign] a second time inside [run_encrypted] *)
     let kind_of = assign policy circuit in
-    let meta = input_meta circuit ~kind:(kind_of circuit.Circuit.input) in
-    let encrypted = K.encrypt_tensor cfg meta image in
+    let twin = twin || sentinel <> None in
+    let meta = input_meta ~twin circuit ~kind:(kind_of circuit.Circuit.input) in
+    let probe = Option.map (fun s -> s.sn_probe) sentinel in
+    let encrypted = K.encrypt_tensor ?probe cfg meta image in
     let out = run_encrypted_with ?cancel cfg circuit ~kind_of encrypted in
-    K.decrypt_tensor out
+    match sentinel with
+    | None -> K.decrypt_tensor out
+    | Some s ->
+        let primary, twin_out = K.decrypt_parts out in
+        (match twin_out with
+        | Some t -> s.sn_verify t
+        | None ->
+            Herr.raise_err ~backend:"executor" ~op:"sentinel"
+              (Herr.Invalid_op { reason = "output layout lost its twin slots" }));
+        primary
 end

@@ -75,12 +75,19 @@ module Make (H : Hisa.S) = struct
 
   (* --- encryptor / decryptor --------------------------------------- *)
 
-  let encrypt_tensor cfg meta tensor =
-    let vecs = Layout.pack meta tensor in
+  let encrypt_tensor ?probe cfg meta tensor =
+    let vecs = Layout.pack ?probe meta tensor in
     { meta; cts = Array.map (fun v -> H.encrypt (H.encode v ~scale:cfg.pc)) vecs }
 
   let decrypt_tensor t =
     Layout.unpack t.meta (Array.map (fun ct -> H.decode (H.decrypt ct)) t.cts)
+
+  (* Decrypt once, split into the primary result and (for twin layouts) the
+     sentinel tensor carried in the odd slots. *)
+  let decrypt_parts t =
+    let vecs = Array.map (fun ct -> H.decode (H.decrypt ct)) t.cts in
+    let twin = if t.meta.Layout.twin then Some (Layout.unpack_twin t.meta vecs) else None in
+    (Layout.unpack t.meta vecs, twin)
 
   (* --- helpers ------------------------------------------------------ *)
 
@@ -333,7 +340,7 @@ module Make (H : Hisa.S) = struct
                  meta.Layout.channels meta.Layout.height meta.Layout.width;
              got = Printf.sprintf "weights %s" (shape_str weights.Tensor.shape);
            });
-    let out_meta = Layout.vector_meta ~slots:H.slots ~length:out_dim in
+    let out_meta = Layout.vector_meta ~slots:H.slots ~length:out_dim ~twin:meta.Layout.twin () in
     let out = ref None in
     for o = 0 to out_dim - 1 do
       let partial = ref None in
@@ -348,11 +355,18 @@ module Make (H : Hisa.S) = struct
           partial := add_opt !partial (H.mul_plain ct (H.encode wp_j ~scale:cfg.pw)))
         t.cts;
       let partial = match !partial with Some p -> p | None -> assert false in
-      (* all-reduce: every slot ends up holding the dot product *)
-      let total = fold_blocks partial ~count:H.slots ~stride:1 in
+      (* all-reduce: every slot ends up holding the dot product. Twin
+         layouts fold at stride 2 over half the slots — each parity class
+         all-reduces within itself, keeping the sentinel dot product in the
+         odd slots and the primary one in the even slots. *)
+      let total =
+        if meta.Layout.twin then fold_blocks partial ~count:(H.slots / 2) ~stride:2
+        else fold_blocks partial ~count:H.slots ~stride:1
+      in
       (* select slot o *)
       let mask = Array.make H.slots 0.0 in
       mask.(Layout.slot_of out_meta ~c:o ~h:0 ~w:0) <- 1.0;
+      if meta.Layout.twin then mask.(Layout.slot_of out_meta ~c:o ~h:0 ~w:0 + 1) <- 1.0;
       out := add_opt !out (H.mul_plain total (H.encode mask ~scale:cfg.pm))
     done;
     let out_ct = match !out with Some ct -> ct | None -> assert false in
@@ -781,7 +795,7 @@ module Make (H : Hisa.S) = struct
                    meta.Layout.channels meta.Layout.height meta.Layout.width;
                got = Printf.sprintf "weights %s" (shape_str weights.Tensor.shape);
              });
-      let out_meta = Layout.vector_meta ~slots:H.slots ~length:out_dim in
+      let out_meta = Layout.vector_meta ~slots:H.slots ~length:out_dim ~twin:meta.Layout.twin () in
       let n_in = Layout.num_cts meta in
       let w_pts =
         Array.init out_dim (fun o ->
@@ -798,6 +812,7 @@ module Make (H : Hisa.S) = struct
               (fun () ->
                 let mask = Array.make H.slots 0.0 in
                 mask.(Layout.slot_of out_meta ~c:o ~h:0 ~w:0) <- 1.0;
+                if meta.Layout.twin then mask.(Layout.slot_of out_meta ~c:o ~h:0 ~w:0 + 1) <- 1.0;
                 mask)
               ~scale:cfg.pm)
       in
@@ -820,7 +835,10 @@ module Make (H : Hisa.S) = struct
                   | Some a -> H.fma_plain a ct p))
             t.cts;
           let partial = match !partial with Some p -> p | None -> assert false in
-          let total = fold_blocks_fused partial ~count:H.slots ~stride:1 in
+          let total =
+            if meta.Layout.twin then fold_blocks_fused partial ~count:(H.slots / 2) ~stride:2
+            else fold_blocks_fused partial ~count:H.slots ~stride:1
+          in
           let m = mask_pts.(o) () in
           out :=
             Some

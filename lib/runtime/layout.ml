@@ -16,6 +16,7 @@ type meta = {
   ch_stride : int;
   ch_per_ct : int;
   slots : int;
+  twin : bool;
 }
 
 let floor_pow2 n =
@@ -26,10 +27,22 @@ let floor_pow2 n =
 let channel_extent ~height ~width ~margin ~row_stride =
   ((height + (2 * margin)) * row_stride) + (2 * margin) + width
 
-let create ~kind ~slots ~channels ~height ~width ?(margin = 2) () =
-  let row_stride = width + (2 * margin) in
-  let ch_stride = channel_extent ~height ~width ~margin ~row_stride in
-  let offset = (margin * row_stride) + margin in
+(* Twin (sentinel) layouts interleave: logical position [s] of the plain
+   layout lives at physical slot [2s], and slot [2s+1] carries the sentinel
+   copy of the same position. Every stride and offset is doubled, so every
+   rotation amount any kernel derives from this meta is even — and rotation
+   by an even amount preserves slot parity even across wrap-around, which is
+   what guarantees the primary (even) and sentinel (odd) computations can
+   never read each other's slots. *)
+let spread_of twin = if twin then 2 else 1
+
+let create ~kind ~slots ~channels ~height ~width ?(margin = 2) ?(twin = false) () =
+  let spread = spread_of twin in
+  let base_row = width + (2 * margin) in
+  let base_ch = channel_extent ~height ~width ~margin ~row_stride:base_row in
+  let row_stride = spread * base_row in
+  let ch_stride = spread * base_ch in
+  let offset = spread * ((margin * base_row) + margin) in
   if ch_stride > slots then err ~op:"create" (Herr.Slot_overflow { slots; requested = ch_stride });
   let rec ceil_pow2 p n = if p >= n then p else ceil_pow2 (p * 2) n in
   let ch_per_ct =
@@ -37,21 +50,37 @@ let create ~kind ~slots ~channels ~height ~width ?(margin = 2) () =
     | HW -> 1
     | CHW -> Stdlib.min (floor_pow2 (slots / ch_stride)) (ceil_pow2 1 channels)
   in
-  { kind; channels; height; width; offset; col_stride = 1; row_stride; ch_stride; ch_per_ct; slots }
+  {
+    kind;
+    channels;
+    height;
+    width;
+    offset;
+    col_stride = spread;
+    row_stride;
+    ch_stride;
+    ch_per_ct;
+    slots;
+    twin;
+  }
 
-let vector_meta ~slots ~length =
-  if length > slots then err ~op:"vector_meta" (Herr.Slot_overflow { slots; requested = length });
+let vector_meta ~slots ~length ?(twin = false) () =
+  let spread = spread_of twin in
+  if length * spread > slots then
+    err ~op:"vector_meta" (Herr.Slot_overflow { slots; requested = length * spread });
   {
     kind = CHW;
     channels = length;
     height = 1;
     width = 1;
     offset = 0;
-    col_stride = 1;
-    row_stride = 1;
-    ch_stride = 1;
-    ch_per_ct = Stdlib.max 1 (Stdlib.min slots (floor_pow2 (Stdlib.max 1 length) * 2));
+    col_stride = spread;
+    row_stride = spread;
+    ch_stride = spread;
+    ch_per_ct =
+      Stdlib.max 1 (Stdlib.min (slots / spread) (floor_pow2 (Stdlib.max 1 length) * 2));
     slots;
+    twin;
   }
 
 let num_cts meta = (meta.channels + meta.ch_per_ct - 1) / meta.ch_per_ct
@@ -72,19 +101,36 @@ let iter_positions meta f =
     done
   done
 
-let pack meta t =
-  if t.Tensor.shape <> [| meta.channels; meta.height; meta.width |] && t.Tensor.shape <> [| meta.channels * meta.height * meta.width |] then
-    err ~op:"pack"
+let check_shape ~op meta t =
+  if
+    t.Tensor.shape <> [| meta.channels; meta.height; meta.width |]
+    && t.Tensor.shape <> [| meta.channels * meta.height * meta.width |]
+  then
+    err ~op
       (Herr.Shape_mismatch
          {
            expected = Printf.sprintf "[%d; %d; %d]" meta.channels meta.height meta.width;
            got =
              "[" ^ String.concat "; " (Array.to_list (Array.map string_of_int t.Tensor.shape)) ^ "]";
-         });
+         })
+
+let pack ?probe meta t =
+  check_shape ~op:"pack" meta t;
+  (match probe with
+  | Some p ->
+      if not meta.twin then
+        err ~op:"pack" (Herr.Invalid_op { reason = "sentinel probe on a layout without twin slots" });
+      check_shape ~op:"pack" meta p
+  | None -> ());
   let out = Array.init (num_cts meta) (fun _ -> Array.make meta.slots 0.0) in
   iter_positions meta (fun c h w ->
       let v = t.Tensor.data.(flat_index meta ~c ~h ~w) in
-      out.(ct_index meta c).(slot_of meta ~c ~h ~w) <- v);
+      out.(ct_index meta c).(slot_of meta ~c ~h ~w) <- v;
+      match probe with
+      | Some p ->
+          out.(ct_index meta c).(slot_of meta ~c ~h ~w + 1) <-
+            p.Tensor.data.(flat_index meta ~c ~h ~w)
+      | None -> ());
   out
 
 let unpack meta vecs =
@@ -93,9 +139,22 @@ let unpack meta vecs =
       t.Tensor.data.(flat_index meta ~c ~h ~w) <- vecs.(ct_index meta c).(slot_of meta ~c ~h ~w));
   t
 
+(* The sentinel side of {!unpack}: the tensor the odd (twin) slots carry. *)
+let unpack_twin meta vecs =
+  if not meta.twin then
+    err ~op:"unpack_twin" (Herr.Invalid_op { reason = "layout has no twin slots" });
+  let t = Tensor.create [| meta.channels; meta.height; meta.width |] in
+  iter_positions meta (fun c h w ->
+      t.Tensor.data.(flat_index meta ~c ~h ~w) <-
+        vecs.(ct_index meta c).(slot_of meta ~c ~h ~w + 1));
+  t
+
 let plains meta f =
   let out = Array.init (num_cts meta) (fun _ -> Array.make meta.slots 0.0) in
-  iter_positions meta (fun c h w -> out.(ct_index meta c).(slot_of meta ~c ~h ~w) <- f c h w);
+  iter_positions meta (fun c h w ->
+      let v = f c h w in
+      out.(ct_index meta c).(slot_of meta ~c ~h ~w) <- v;
+      if meta.twin then out.(ct_index meta c).(slot_of meta ~c ~h ~w + 1) <- v);
   out
 
 let plain_ct meta j f =
@@ -105,7 +164,9 @@ let plain_ct meta j f =
   for c = c_lo to c_hi do
     for h = 0 to meta.height - 1 do
       for w = 0 to meta.width - 1 do
-        out.(slot_of meta ~c ~h ~w) <- f c h w
+        let v = f c h w in
+        out.(slot_of meta ~c ~h ~w) <- v;
+        if meta.twin then out.(slot_of meta ~c ~h ~w + 1) <- v
       done
     done
   done;
@@ -168,10 +229,12 @@ let max_extent meta =
 
 let max_rotation_safe meta d =
   let d = abs d in
-  meta.offset - d >= 0 && max_extent meta + d < meta.slots
+  let occupied = max_extent meta + if meta.twin then 1 else 0 in
+  meta.offset - d >= 0 && occupied + d < meta.slots
 
 let pp fmt meta =
-  Format.fprintf fmt "%s[%dx%dx%d] cpc=%d strides=(%d,%d) ch=%d off=%d slots=%d"
+  Format.fprintf fmt "%s[%dx%dx%d] cpc=%d strides=(%d,%d) ch=%d off=%d slots=%d%s"
     (match meta.kind with HW -> "HW" | CHW -> "CHW")
     meta.channels meta.height meta.width meta.ch_per_ct meta.col_stride meta.row_stride
     meta.ch_stride meta.offset meta.slots
+    (if meta.twin then " twin" else "")

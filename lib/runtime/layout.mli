@@ -12,7 +12,15 @@
     avoids or delays these expensive operations").
 
     Invariant maintained by the kernels: every slot that is not a valid
-    logical position holds zero. *)
+    logical position holds zero.
+
+    Sentinel twin layouts ([twin = true], DESIGN.md §16) interleave: logical
+    position [s] lives at physical slot [2s] and slot [2s+1] carries a
+    sentinel copy of the same position (a known probe input packed at
+    encrypt time). All strides and offsets are doubled, so every rotation
+    amount a kernel derives from the meta is even — and even rotations
+    preserve slot parity even across wrap-around, which isolates the
+    primary (even) and sentinel (odd) computations unconditionally. *)
 
 type kind = HW | CHW
 
@@ -27,16 +35,20 @@ type meta = {
   ch_stride : int;  (** slots between channel blocks within a ciphertext *)
   ch_per_ct : int;  (** always a power of two (or 1) *)
   slots : int;
+  twin : bool;  (** odd slots carry the interleaved sentinel copy *)
 }
 
-val create : kind:kind -> slots:int -> channels:int -> height:int -> width:int -> ?margin:int -> unit -> meta
+val create :
+  kind:kind -> slots:int -> channels:int -> height:int -> width:int -> ?margin:int ->
+  ?twin:bool -> unit -> meta
 (** [margin] (default 2) is the border head-room in logical pixels on every
     side — it must be at least [⌊k/2⌋] for the largest Same-padding
-    convolution applied to this tensor.
+    convolution applied to this tensor. [twin] (default false) interleaves
+    sentinel slots (doubling the physical footprint).
     @raise Chet_herr.Herr.Fhe_error
       ([Slot_overflow]) if the tensor does not fit in [slots]. *)
 
-val vector_meta : slots:int -> length:int -> meta
+val vector_meta : slots:int -> length:int -> ?twin:bool -> unit -> meta
 (** Dense vector layout (used for fully-connected outputs): [length]
     channels of 1×1, packed contiguously. *)
 
@@ -50,11 +62,22 @@ val slot_of : meta -> c:int -> h:int -> w:int -> int
 val flat_index : meta -> c:int -> h:int -> w:int -> int
 (** Row-major logical index, as [Flatten] would produce. *)
 
-val pack : meta -> Chet_tensor.Tensor.t -> float array array
-(** Lay a cleartext tensor out physically — the Encryptor side. *)
+val iter_positions : meta -> (int -> int -> int -> unit) -> unit
+(** Visit every logical [(c, h, w)] position. *)
+
+val pack : ?probe:Chet_tensor.Tensor.t -> meta -> Chet_tensor.Tensor.t -> float array array
+(** Lay a cleartext tensor out physically — the Encryptor side. [probe]
+    (twin layouts only) is the sentinel tensor packed into the odd slots.
+    @raise Chet_herr.Herr.Fhe_error
+      ([Invalid_op]) if a probe is supplied without twin slots. *)
 
 val unpack : meta -> float array array -> Chet_tensor.Tensor.t
 (** Inverse of {!pack} — the Decryptor side. *)
+
+val unpack_twin : meta -> float array array -> Chet_tensor.Tensor.t
+(** The sentinel tensor the odd (twin) slots carry — what the integrity
+    check compares against the clear reference prediction.
+    @raise Chet_herr.Herr.Fhe_error ([Invalid_op]) without twin slots. *)
 
 val plains : meta -> (int -> int -> int -> float) -> float array array
 (** [plains meta f]: per-ciphertext plaintext vectors with [f c h w] at each

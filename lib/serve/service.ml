@@ -11,6 +11,7 @@ module Executor = Chet_runtime.Executor
 module Circuit = Chet_nn.Circuit
 module Tensor = Chet_tensor.Tensor
 module Compiler = Chet.Compiler
+module Integrity = Chet.Integrity
 module Metrics = Chet_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
@@ -32,6 +33,13 @@ type deployment = {
          (DESIGN.md §14) instead of the interpretive executor — same
          request/attempt seed derivation, bit-identical answers, but no
          per-request layout or plaintext re-derivation *)
+  dep_sentinel : Integrity.spec option;
+      (* verify every answer against the sentinel lane (DESIGN.md §16);
+         forces the interpretive executor *)
+  dep_twin : bool;
+      (* run on twin layouts even without verification — required of every
+         FHE rung of a sentinel-compiled deployment, whose rotation keys
+         cover only the doubled (twin) rotation amounts *)
 }
 
 (* Shrink the scale exponents the way Scale_select's fallback ladder does:
@@ -47,7 +55,7 @@ let reduced_scales (s : Kernels.scales) k =
   }
 
 let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_rungs = 1)
-    ?(clear_fallback = true) ?(predict_cost = false) ?plan () =
+    ?(clear_fallback = true) ?(predict_cost = false) ?plan ?sentinel () =
   let scales = compiled.Compiler.opts.Compiler.scales in
   let policy = compiled.Compiler.policy in
   (* the admission-control prediction comes for free: [compile] already
@@ -77,9 +85,14 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
          runner ~cancel ~worker ~req_seed:(req_seed + (attempt * 7919)) image)
       plan
   in
+  (* sentinel verification forces the interpretive executor: a plan is
+     prepared on twin-less layouts and cannot carry the probe lane *)
+  let dep_plan = if sentinel = None then dep_plan else None in
+  let twin = sentinel <> None in
   let primary =
     { dep_label = "primary"; dep_degraded = false; dep_scales = scales; dep_policy = policy;
-      dep_cost_ms = scheme_cost_ms; dep_backend = backend; dep_plan }
+      dep_cost_ms = scheme_cost_ms; dep_backend = backend; dep_plan; dep_sentinel = sentinel;
+      dep_twin = twin }
   in
   let reduced =
     List.init reduced_rungs (fun i ->
@@ -94,6 +107,12 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
           (* the plan's staged plaintexts are encoded at the primary scales;
              reduced rungs change scales, so they stay interpretive *)
           dep_plan = None;
+          (* a reduced rung trades precision for headroom by design, so the
+             full-precision sentinel tolerance would reject honest degraded
+             answers — it runs twin (the deployment's rotation keys cover
+             only doubled amounts) but unverified *)
+          dep_sentinel = None;
+          dep_twin = twin;
         })
   in
   let clear =
@@ -113,6 +132,10 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
               Clear.make
                 { Clear.slots = n / 2; scheme; strict_modulus = false; encode_noise = false });
           dep_plan = None;
+          (* the cleartext rung is exact, so sentinel verification is free
+             and keeps the end-to-end integrity contract on the last rung *)
+          dep_sentinel = sentinel;
+          dep_twin = twin;
         };
       ]
     end
@@ -120,7 +143,7 @@ let ladder_of_factory compiled ~(factory : Compiler.backend_factory) ?(reduced_r
   (primary :: reduced) @ clear
 
 let ladder_of_compiled compiled ~seed ?rotation_keys ?reduced_rungs ?clear_fallback ?predict_cost
-    ?plan ~with_secret () =
+    ?plan ?sentinel ~with_secret () =
   let factory, _scheme =
     Compiler.instantiate_factory compiled ~seed ?rotation_keys ~with_secret ()
   in
@@ -131,7 +154,7 @@ let ladder_of_compiled compiled ~seed ?rotation_keys ?reduced_rungs ?clear_fallb
       plan
   in
   ladder_of_factory compiled ~factory ?reduced_rungs ?clear_fallback ?predict_cost ?plan:plan_runner
-    ()
+    ?sentinel ()
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                        *)
@@ -185,6 +208,12 @@ type outcome = {
   out_attempts : int;
   out_queue_ms : float;
   out_total_ms : float;
+  out_margin_bits : float;
+      (* measured sentinel margin of the winning attempt; nan when the
+         serving rung ran without a sentinel lane (DESIGN.md §16) *)
+  out_sentinel : float array;
+      (* decrypted sentinel twin lane, [||] when unverified — carried to the
+         wire so clients can re-verify independently of the shard *)
 }
 
 (* The rendezvous between the submitting caller and the worker. No timed
@@ -220,6 +249,7 @@ type mutable_stats = {
   mutable late_results : int;
   mutable cancelled : int;
   mutable admission_rejects : int;
+  mutable integrity_failures : int;
   mutable latencies : float list;
 }
 
@@ -241,6 +271,8 @@ type metric_handles = {
   mx_cancelled : Metrics.counter;
   mx_admission : Metrics.counter;
   mx_cancel_saved_ms : Metrics.counter;
+  mx_integrity : Metrics.counter;
+  mx_margin : Metrics.gauge;
   mx_latency : Metrics.histogram;
 }
 
@@ -265,6 +297,12 @@ let make_metrics () =
     mx_cancel_saved_ms =
       c "chet_serve_cancel_saved_ms_total"
         "predicted milliseconds of wasted work avoided by mid-circuit cancellation";
+    mx_integrity =
+      c "chet_integrity_failures_total" "attempts whose sentinel lane failed verification";
+    mx_margin =
+      Metrics.gauge registry
+        ~help:"measured precision headroom of the last verified answer, log2(tolerance/deviation)"
+        "chet_serve_sentinel_margin_bits";
     mx_latency =
       Metrics.histogram registry ~help:"end-to-end request latency" ~lo:1e-4 ~growth:2.0
         ~buckets:28 "chet_serve_latency_seconds";
@@ -283,6 +321,7 @@ type stats = {
   s_late_results : int;
   s_cancelled : int;
   s_admission_rejects : int;
+  s_integrity_failures : int;
   s_queue : Queue.stats;
   s_latencies_ms : float array;
 }
@@ -313,11 +352,19 @@ let transient_error = function
   | Herr.Numeric_blowup _ | Herr.Corrupt_ciphertext _
   (* a torn/bit-flipped wire frame is the network twin of a corrupt
      ciphertext: a fresh attempt over a fresh connection can clear it *)
-  | Herr.Corrupt_frame _ ->
+  | Herr.Corrupt_frame _
+  (* a sentinel mismatch means *this attempt's* ciphertexts went bad; a
+     fresh attempt (different derived randomness, and — over the network —
+     a different shard) can produce a clean answer *)
+  | Herr.Integrity_violation _ ->
       true
   | Herr.Modulus_exhausted _ | Herr.Slot_overflow _ | Herr.Shape_mismatch _ | Herr.Missing_node _
   | Herr.Missing_rotation_key _ | Herr.Invalid_op _ | Herr.Overloaded _
   | Herr.Deadline_exceeded _ | Herr.Worker_crashed _ | Herr.Corrupt_bundle _
+  (* the deployment's modulus budget cannot produce a precise answer for
+     this circuit — deterministic, so retrying reproduces it; only the
+     degradation ladder (a differently-compiled rung) can help *)
+  | Herr.Precision_exhausted _
   (* the requester no longer wants the answer; retrying would be the exact
      wasted work cancellation exists to avoid *)
   | Herr.Cancelled _ ->
@@ -331,15 +378,40 @@ let run_attempt t dep req ~attempt ~worker =
   try
     match dep.dep_plan with
     | Some plan_run ->
-        Ok (plan_run ~cancel:req.req_cancel ~worker ~req_seed:req.req_seed ~attempt req.req_image)
+        Ok
+          ( plan_run ~cancel:req.req_cancel ~worker ~req_seed:req.req_seed ~attempt req.req_image,
+            Float.nan,
+            [||] )
     | None ->
         let backend = dep.dep_backend ~req_seed:req.req_seed ~attempt in
         let module H = (val backend : Hisa.S) in
         let module E = Executor.Make (H) in
-        Ok
-          (E.run ~cancel:req.req_cancel dep.dep_scales t.circuit ~policy:dep.dep_policy
-             req.req_image)
+        let margin = ref Float.nan in
+        let lane = ref [||] in
+        let sentinel =
+          Option.map
+            (fun spec ->
+              Integrity.sentinel
+                ~observe:(fun twin ->
+                  (* the *measured* precision headroom of this answer — the
+                     noise model's predicted margin is its forecast *)
+                  let m = Integrity.margin_bits spec twin in
+                  margin := m;
+                  lane := Array.copy twin.Tensor.data;
+                  Metrics.set_gauge t.mx.mx_margin m)
+                spec)
+            dep.dep_sentinel
+        in
+        let tensor =
+          E.run ~cancel:req.req_cancel ?sentinel ~twin:dep.dep_twin dep.dep_scales t.circuit
+            ~policy:dep.dep_policy req.req_image
+        in
+        Ok (tensor, !margin, !lane)
   with
+  | Herr.Fhe_error ((Herr.Integrity_violation _ as e), c) ->
+      with_lock t.ms.sm (fun () -> t.ms.integrity_failures <- t.ms.integrity_failures + 1);
+      Metrics.incr t.mx.mx_integrity;
+      Error (e, c)
   | Herr.Fhe_error (e, c) -> Error (e, c)
   | exn ->
       (* a non-FHE exception is a backend bug: convert it to the typed
@@ -420,7 +492,8 @@ let abandoned req = with_lock req.cell.cm (fun () -> req.cell.abandoned)
 let process t req ~worker =
   let pickup = t.cfg.now () in
   let queue_ms = (pickup -. req.req_submitted) *. 1000.0 in
-  let mk ?(served_by = "") ?(degraded = false) ~attempts result =
+  let mk ?(served_by = "") ?(degraded = false) ?(margin_bits = Float.nan) ?(sentinel = [||])
+      ~attempts result =
     {
       out_id = req.req_id;
       out_result = result;
@@ -429,6 +502,8 @@ let process t req ~worker =
       out_attempts = attempts;
       out_queue_ms = queue_ms;
       out_total_ms = (t.cfg.now () -. req.req_submitted) *. 1000.0;
+      out_margin_bits = margin_bits;
+      out_sentinel = sentinel;
     }
   in
   (* expired or cancelled while queued: never start work (not even backend
@@ -488,10 +563,10 @@ let process t req ~worker =
             incr attempts;
             let attempt_start = t.cfg.now () in
             match run_attempt t dep req ~attempt:!attempt ~worker with
-            | Ok tensor ->
+            | Ok (tensor, margin_bits, lane) ->
                 Breaker.record_success brk;
                 verdict := true;
-                served := Some (dep, tensor);
+                served := Some (dep, tensor, margin_bits, lane);
                 rung_done := true
             | Error ((Herr.Cancelled _, _) as cancelled) ->
                 (* the token tripped mid-circuit. No breaker verdict: a
@@ -545,8 +620,9 @@ let process t req ~worker =
     done;
     let out =
       match !served with
-      | Some (dep, tensor) ->
-          mk ~served_by:dep.dep_label ~degraded:dep.dep_degraded ~attempts:!attempts (Ok tensor)
+      | Some (dep, tensor, margin_bits, lane) ->
+          mk ~served_by:dep.dep_label ~degraded:dep.dep_degraded ~margin_bits ~sentinel:lane
+            ~attempts:!attempts (Ok tensor)
       | None ->
           let e, c =
             match !last_err with
@@ -591,6 +667,7 @@ let create cfg ~circuit ~ladder =
       late_results = 0;
       cancelled = 0;
       admission_rejects = 0;
+      integrity_failures = 0;
       latencies = [];
     }
   in
@@ -653,6 +730,8 @@ let submit t ?deadline_ms ?seed image =
         out_attempts = 0;
         out_queue_ms = 0.0;
         out_total_ms = 0.0;
+        out_margin_bits = Float.nan;
+        out_sentinel = [||];
       }
     in
     with_lock req.cell.cm (fun () -> req.cell.result <- Some out)
@@ -747,6 +826,8 @@ let await t (req : ticket) =
                   out_attempts = 0;
                   out_queue_ms = 0.0;
                   out_total_ms = elapsed_ms;
+                  out_margin_bits = Float.nan;
+                  out_sentinel = [||];
                 }
               in
               with_lock t.ms.sm (fun () ->
@@ -819,6 +900,7 @@ let stats t =
         s_late_results = t.ms.late_results;
         s_cancelled = t.ms.cancelled;
         s_admission_rejects = t.ms.admission_rejects;
+        s_integrity_failures = t.ms.integrity_failures;
         s_queue = Queue.stats t.queue;
         s_latencies_ms = Array.of_list (List.rev t.ms.latencies);
       })
@@ -953,10 +1035,10 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>requests: %d submitted, %d ok (%d degraded), %d failed, %d shed, %d deadline-expired@,\
      retries: %d; breaker trips: %d; worker crashes: %d; late results: %d@,\
-     cancelled: %d; admission rejects: %d@,\
+     cancelled: %d; admission rejects: %d; integrity failures: %d@,\
      queue: %d admitted, %d shed, max depth %d@,\
      latency ms: p50 %.1f  p95 %.1f  p99 %.1f@]"
     s.s_submitted s.s_succeeded s.s_degraded s.s_failed s.s_shed s.s_deadline s.s_retries
     s.s_breaker_trips s.s_worker_crashes s.s_late_results s.s_cancelled s.s_admission_rejects
-    s.s_queue.Queue.q_pushed s.s_queue.Queue.q_shed s.s_queue.Queue.q_max_depth (pct 50.0)
-    (pct 95.0) (pct 99.0)
+    s.s_integrity_failures s.s_queue.Queue.q_pushed s.s_queue.Queue.q_shed
+    s.s_queue.Queue.q_max_depth (pct 50.0) (pct 95.0) (pct 99.0)

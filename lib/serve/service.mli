@@ -68,6 +68,19 @@ type deployment = {
           answers stay bit-identical across the two paths. [dep_backend]
           remains the fallback (and the contract for checked/fault
           wrapping); [None] means the rung is always interpretive. *)
+  dep_sentinel : Chet.Integrity.spec option;
+      (** When present, every answer this rung produces is verified against
+          the sentinel lane (DESIGN.md §16): the probe rides the odd twin
+          slots through the whole circuit and its decrypted value must match
+          the clear-reference prediction within the spec's tolerance. A
+          mismatch surfaces as a typed [Integrity_violation] — transient, so
+          the attempt is retried with fresh randomness (and, over the
+          network, on a different shard). Forces the interpretive executor. *)
+  dep_twin : bool;
+      (** Run on twin (interleaved-sentinel) layouts even without
+          verification. Every FHE rung of a sentinel-compiled deployment
+          must set this: its rotation keys cover only the doubled (twin)
+          rotation amounts. *)
 }
 
 val ladder_of_compiled :
@@ -78,6 +91,7 @@ val ladder_of_compiled :
   ?clear_fallback:bool ->
   ?predict_cost:bool ->
   ?plan:Chet_plan.Plan.t ->
+  ?sentinel:Chet.Integrity.spec ->
   with_secret:bool ->
   unit ->
   deployment list
@@ -101,7 +115,14 @@ val ladder_of_compiled :
     executes through {!Compiler.instantiate_plan_runner} — one prepared
     executor per worker domain, bit-identical answers. Degraded rungs stay
     interpretive: the plan's staged plaintexts are encoded at the primary
-    scales. *)
+    scales.
+
+    With [?sentinel] (the circuit must have been compiled with
+    [opts.sentinel = true] so parameters and rotation keys match the twin
+    geometry), the primary and cleartext rungs verify every answer against
+    the sentinel lane and the plan path is disabled; reduced rungs run twin
+    but unverified — their deliberate precision loss would trip the
+    full-precision tolerance. *)
 
 val ladder_of_factory :
   Compiler.compiled ->
@@ -110,6 +131,7 @@ val ladder_of_factory :
   ?clear_fallback:bool ->
   ?predict_cost:bool ->
   ?plan:Compiler.plan_runner ->
+  ?sentinel:Chet.Integrity.spec ->
   unit ->
   deployment list
 (** {!ladder_of_compiled} around an already-instantiated deployment —
@@ -147,6 +169,12 @@ type outcome = {
   out_attempts : int;  (** inference attempts across all rungs *)
   out_queue_ms : float;  (** submission -> worker pickup *)
   out_total_ms : float;  (** submission -> outcome *)
+  out_margin_bits : float;
+      (** measured sentinel margin of the winning attempt; [nan] when the
+          serving rung ran without a sentinel lane (DESIGN.md §16) *)
+  out_sentinel : float array;
+      (** decrypted sentinel twin lane, [[||]] when unverified — carried to
+          the wire so clients can re-verify independently of the shard *)
 }
 
 type ticket
@@ -220,6 +248,9 @@ type stats = {
   s_cancelled : int;  (** outcomes delivered as typed [Cancelled] *)
   s_admission_rejects : int;
       (** requests refused because no rung's predicted cost fit the budget *)
+  s_integrity_failures : int;
+      (** attempts whose sentinel lane failed verification (each retried or
+          degraded per {!transient_error}) *)
   s_queue : Queue.stats;
   s_latencies_ms : float array;  (** total latency of every finished outcome *)
 }

@@ -68,4 +68,11 @@ echo "== smoke: hedge =="
 # throughout; the cap converts any new hang into a CI failure.
 timeout 300 scripts/hedge_smoke.sh
 
+echo "== smoke: integrity =="
+# Result-integrity drill (DESIGN.md §16): 2 sentinel shards, one silently
+# corrupting every ciphertext it computes. Corrupted answers must be caught
+# by the sentinel lane, failed over, and the corrupter quarantined after a
+# failed selftest probe — with zero corrupted lanes accepted client-side.
+timeout 300 scripts/integrity_smoke.sh
+
 echo "CI OK"

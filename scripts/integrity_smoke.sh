@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end result-integrity chaos drill (DESIGN.md §16). Start a
+# supervisor with two sentinel-serving shard processes, one of which
+# silently corrupts every ciphertext it computes — small-magnitude damage
+# that evades every per-op screen and is only caught by the sentinel lane.
+# Drive verified loadgen traffic and require
+#   (a) every request is answered ok: corrupted answers are rejected by the
+#       shard's own sentinel, the supervisor fails the request over to the
+#       clean shard, and the client-side re-verification accepts zero
+#       corrupted lanes (loadgen exits 5 if even one slips through);
+#   (b) the supervisor put the corrupter under suspicion
+#       (chet_integrity_failures_total > 0), confirmed with a selftest
+#       probe, and quarantined it (chet_shard_quarantines_total > 0);
+#   (c) the quarantine SIGKILL fed the ordinary restart machinery
+#       (chet_sup_restarts_total for the bad shard > 0);
+#   (d) everything shuts down cleanly on SIGTERM.
+#
+# Usage: scripts/integrity_smoke.sh  (expects a completed `dune build`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=_build/default/bin/chet_cli.exe
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/chet-integrity-smoke.XXXXXX")
+SUP_PID=
+cleanup() {
+  [ -n "$SUP_PID" ] && kill -9 "$SUP_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+FRONT="unix:$DIR/front.sock"
+
+echo "-- start supervisor: 2 sentinel shards, shard 1 silently corrupting"
+"$BIN" supervise micro --front "$FRONT" --shards 2 --sentinel \
+  --fault silent --fault-shard 1 \
+  --sock-dir "$DIR/shards" >"$DIR/sup.out" 2>&1 &
+SUP_PID=$!
+
+for _ in $(seq 1 300); do
+  grep -q '^supervisor: pid' "$DIR/sup.out" 2>/dev/null && break
+  kill -0 "$SUP_PID" 2>/dev/null || { echo "integrity smoke FAIL: supervisor died during startup" >&2; cat "$DIR/sup.out"; exit 1; }
+  sleep 0.2
+done
+grep -q '^supervisor: pid' "$DIR/sup.out" || {
+  echo "integrity smoke FAIL: supervisor not ready within 60s" >&2
+  exit 1
+}
+
+echo "-- loadgen: 40 verified requests against the front door"
+timeout 120 "$BIN" loadgen micro --addr "$FRONT" \
+  --requests 40 --concurrency 4 --verify >"$DIR/loadgen.out" 2>&1
+cat "$DIR/loadgen.out"
+
+echo "-- every request answered ok; zero corrupted lanes accepted"
+grep -q '^loadgen: 40 requests, 40 ok' "$DIR/loadgen.out" || {
+  echo "integrity smoke FAIL: not all 40 requests succeeded" >&2
+  exit 1
+}
+grep -q 'integrity: [1-9][0-9]* verified, 0 client-rejected' "$DIR/loadgen.out" || {
+  echo "integrity smoke FAIL: loadgen did not report verified, clean answers" >&2
+  exit 1
+}
+
+echo "-- graceful shutdown on SIGTERM"
+kill -TERM "$SUP_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SUP_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$SUP_PID" 2>/dev/null; then
+  echo "integrity smoke FAIL: supervisor did not exit within 20s of SIGTERM" >&2
+  exit 1
+fi
+wait "$SUP_PID" 2>/dev/null || true
+SUP_PID=
+cat "$DIR/sup.out"
+
+echo "-- the corrupter was detected, quarantined and restarted"
+# detection: at least one forwarded answer came back Integrity_violation
+grep -Eq '^chet_integrity_failures_total [1-9][0-9]*' "$DIR/sup.out" || {
+  echo "integrity smoke FAIL: metrics show no sentinel rejections at the supervisor" >&2
+  exit 1
+}
+# confirmation + quarantine: the selftest probe failed and the shard was killed
+grep -Eq '^chet_shard_quarantines_total [1-9][0-9]*' "$DIR/sup.out" || {
+  echo "integrity smoke FAIL: metrics show no quarantine" >&2
+  exit 1
+}
+# the SIGKILL fed the ordinary backoff-restart machinery
+grep -Eq 'chet_sup_restarts_total\{shard="1"\} [1-9][0-9]*' "$DIR/sup.out" || {
+  echo "integrity smoke FAIL: quarantined shard was never restarted" >&2
+  exit 1
+}
+grep -q '^supervisor: clean shutdown' "$DIR/sup.out" || {
+  echo "integrity smoke FAIL: supervisor did not report a clean shutdown" >&2
+  exit 1
+}
+
+echo "integrity smoke OK"

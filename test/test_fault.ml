@@ -120,6 +120,42 @@ let test_clean_composition_transparent () =
   let bare = T.flatten (run_bare ()) and wrapped = T.flatten (run_wrapped ()) in
   Alcotest.(check (float 0.0)) "bit-identical output" 0.0 (T.max_abs_diff bare wrapped)
 
+(* --- silent corruption: the class the per-op monitors cannot see -------- *)
+
+let test_silent_corruption_evades_monitors () =
+  (* the defining property of the class: every per-op screen passes, the run
+     completes, and without a sentinel the caller gets a confidently wrong
+     answer — which is exactly why the end-to-end lane exists *)
+  let outcome, log = run_with_fault Fault.Silent_corruption in
+  Alcotest.(check bool) "fault fired" true log.Fault.fired;
+  Alcotest.(check string) "fired in decode" "decode" log.Fault.fired_in;
+  match outcome with
+  | Ok () -> ()
+  | Error (e, c) ->
+      Alcotest.failf "silent corruption should evade the monitors, got %s" (Herr.to_string (e, c))
+
+let test_silent_corruption_caught_by_sentinel () =
+  (* same fault, but the deployment was compiled with the sentinel twin lane:
+     the corruption perturbs the probe slots too, and verification raises the
+     typed violation instead of returning the garbage *)
+  let circuit = Models.micro.Models.build () in
+  let opts = { (Compiler.default_options ()) with Compiler.sentinel = true } in
+  let compiled = Compiler.compile opts circuit in
+  let isp = Chet.Integrity.spec_for circuit in
+  let backend, scheme = Compiler.instantiate_with_scheme compiled ~seed:42 ~with_secret:true () in
+  let faulty, log = Fault.wrap (Fault.default_config (Some Fault.Silent_corruption)) backend in
+  let checked = Checked.wrap ~scheme faulty in
+  let module H = (val checked) in
+  let module E = Executor.Make (H) in
+  let sentinel = Chet.Integrity.sentinel isp in
+  match
+    E.run ~sentinel ~twin:true compiled.Compiler.opts.Compiler.scales circuit
+      ~policy:compiled.Compiler.policy image
+  with
+  | _ -> Alcotest.fail "corrupted answer escaped the sentinel"
+  | exception Herr.Fhe_error (Herr.Integrity_violation _, _) ->
+      Alcotest.(check bool) "fault fired" true log.Fault.fired
+
 (* --- direct Checked_backend unit tests (no executor in the loop) -------- *)
 
 let chain = [| 1073741789; 1073741783; 1073741741 |]
@@ -251,6 +287,10 @@ let suite =
         Alcotest.test_case "dropped rescale -> Illegal_rescale" `Quick test_dropped_rescale_detected;
         Alcotest.test_case "late trigger still detected" `Quick test_late_trigger_still_detected;
         Alcotest.test_case "clean composition transparent" `Quick test_clean_composition_transparent;
+        Alcotest.test_case "silent corruption evades per-op monitors" `Quick
+          test_silent_corruption_evades_monitors;
+        Alcotest.test_case "silent corruption -> Integrity_violation (sentinel)" `Quick
+          test_silent_corruption_caught_by_sentinel;
         Alcotest.test_case "checked: use after free" `Quick test_checked_use_after_free;
         Alcotest.test_case "checked: illegal divisor" `Quick test_checked_illegal_divisor;
         Alcotest.test_case "checked: NaN encode" `Quick test_checked_nan_encode;

@@ -67,7 +67,7 @@ let test_layout_too_big_rejected () =
      with Chet_hisa.Herr.Fhe_error (Chet_hisa.Herr.Slot_overflow _, _) -> true)
 
 let test_vector_meta () =
-  let meta = Layout.vector_meta ~slots:2048 ~length:10 in
+  let meta = Layout.vector_meta ~slots:2048 ~length:10 () in
   Alcotest.(check int) "one ct" 1 (Layout.num_cts meta);
   Alcotest.(check int) "slot of c" 7 (Layout.slot_of meta ~c:7 ~h:0 ~w:0)
 

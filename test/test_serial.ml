@@ -356,15 +356,21 @@ let sample_errors : Herr.error list =
     Herr.Corrupt_frame { frame = "REQ1"; reason = "truncated" };
     Herr.Cancelled { node_id = Some 23; reason = "superseded" };
     Herr.Cancelled { node_id = None; reason = "caller went away" };
+    Herr.Integrity_violation { slot = 33; expected = 0.75; got = 0.1875 };
+    Herr.Precision_exhausted { margin_bits = -1.5; tolerance = 0.05 };
   ]
 
 let sample_response_ok =
+  (* carries a verified sentinel lane: the wire v3 fields ride the fuzz
+     harness and the roundtrip check like every older field *)
   {
     Serial.rs_id = 7;
     rs_shard = 1;
     rs_served_by = "primary";
     rs_degraded = false;
     rs_attempts = 2;
+    rs_margin_bits = 7.25;
+    rs_sentinel = Array.init 6 (fun i -> float_of_int i *. 0.125);
     rs_result = Ok ([| 1; 10 |], Array.init 10 (fun i -> float_of_int i *. 0.5));
   }
 
@@ -375,6 +381,8 @@ let sample_response_err err =
     rs_served_by = "";
     rs_degraded = true;
     rs_attempts = 3;
+    rs_margin_bits = 0.0;
+    rs_sentinel = [||];
     rs_result =
       Error (err, { Herr.op = "mul"; backend = "checked"; node_id = Some 4; layer = Some "conv1" });
   }
@@ -430,7 +438,16 @@ let test_wire_health_roundtrip () =
       Serial.Health_kill 1;
       sample_health;
       Serial.Health_ack { ha_ok = false; ha_detail = "no shard 9" };
+      Serial.Health_selftest;
     ]
+
+let test_wire_response_unverified () =
+  (* nan margin = "this answer ran without a sentinel lane" — the one NaN
+     the codec must carry faithfully (structural equality can't see it) *)
+  let rsp = { sample_response_ok with Serial.rs_margin_bits = Float.nan; rs_sentinel = [||] } in
+  let back = Serial.read_response (Serial.reader (frame_bytes Serial.write_response rsp)) in
+  Alcotest.(check bool) "nan margin survives" true (Float.is_nan back.Serial.rs_margin_bits);
+  Alcotest.(check bool) "empty lane survives" true (back.Serial.rs_sentinel = [||])
 
 let fuzz_frame name full read_back =
   for cut = 0 to String.length full - 1 do
@@ -470,6 +487,11 @@ let test_fuzz_wire_response () =
 let test_fuzz_wire_health () =
   fuzz_frame "HLTH"
     (frame_bytes Serial.write_health sample_health)
+    (fun s -> Serial.read_health (Serial.reader s));
+  (* the selftest probe frame is tiny (version + kind), so the fuzz space is
+     small — all the more reason every mangling must still land in Corrupt *)
+  fuzz_frame "HLTH-selftest"
+    (frame_bytes Serial.write_health Serial.Health_selftest)
     (fun s -> Serial.read_health (Serial.reader s))
 
 (* --- CNCL + hedged REQ1 (DESIGN.md §13) ---
@@ -522,6 +544,7 @@ let suite =
         Alcotest.test_case "wire response + full error taxonomy (RSP1)" `Quick
           test_wire_response_roundtrip;
         Alcotest.test_case "wire health roundtrip (HLTH)" `Quick test_wire_health_roundtrip;
+        Alcotest.test_case "wire response unverified markers" `Quick test_wire_response_unverified;
         Alcotest.test_case "fuzz: REQ1 truncation + bit flips" `Quick test_fuzz_wire_request;
         Alcotest.test_case "fuzz: RSP1 truncation + bit flips" `Quick test_fuzz_wire_response;
         Alcotest.test_case "fuzz: HLTH truncation + bit flips" `Quick test_fuzz_wire_health;

@@ -55,6 +55,8 @@ let dep ?(label = "primary") ?(degraded = false) ?cost_ms backend =
     dep_cost_ms = cost_ms;
     dep_backend = backend;
     dep_plan = None;
+    dep_sentinel = None;
+    dep_twin = false;
   }
 
 let clean_dep ?label ?degraded () = dep ?label ?degraded (fun ~req_seed:_ ~attempt:_ -> clear_backend ())
